@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables, prints the
+model's numbers next to the paper's (with ratios), and asserts the
+*shape* conditions the reproduction must preserve.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a report block (visible with -s / captured otherwise)."""
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def table2_rows():
+    """All nine measured Table II rows (expensive: measured once)."""
+    from repro.eval.table2 import generate_table2
+
+    return generate_table2()

@@ -1,0 +1,54 @@
+"""Ablation: the timing side channel that motivates Table I (Sec. VI-A).
+
+Runs the TVLA-style fixed-vs-fixed leakage test and the error-count
+distinguisher against both decoders, demonstrating why the paper
+rejects the round-2 submission decoder as its baseline.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.leakage import error_count_distinguisher, leakage_test
+from repro.eval.reporting import format_table
+
+
+def test_leakage_report():
+    reports = [
+        leakage_test(constant_time=False, samples=10),
+        leakage_test(constant_time=True, samples=10),
+    ]
+    emit(format_table(
+        ["Decoder", "mean (0 err)", "mean (16 err)", "|t|", "leaks"],
+        [(r.decoder, r.mean_low, r.mean_high, abs(r.t_statistic), r.leaks)
+         for r in reports],
+        title="Leakage test — Welch t between 0-error and 16-error decodes",
+    ))
+    submission, walters = reports
+    assert submission.leaks          # [14]'s attack surface exists
+    assert not walters.leaks         # [15]'s countermeasure closes it
+    assert submission.mean_high > submission.mean_low
+    assert walters.std_low == walters.std_high == 0.0
+
+
+def test_distinguisher_report():
+    reports = [
+        error_count_distinguisher(constant_time=False, attempts=12),
+        error_count_distinguisher(constant_time=True, attempts=12),
+    ]
+    emit(format_table(
+        ["Decoder", "attempts", "exact hits", "mean abs error"],
+        [(r.decoder, r.attempts, r.exact_hits, r.mean_absolute_error)
+         for r in reports],
+        title="Error-count recovery from decode timing",
+    ))
+    submission, walters = reports
+    # timing fully reveals the error count for the submission decoder...
+    assert submission.exact_hits >= 10
+    # ...and gives nothing better than chance for the constant-time one
+    assert walters.exact_hits <= submission.exact_hits
+    assert walters.mean_absolute_error >= 2.0
+
+
+def test_bench_leakage_test(benchmark):
+    benchmark.pedantic(
+        lambda: leakage_test(constant_time=False, samples=4),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,91 @@
+"""Ablation: decryption noise vs. the BCH correction budget.
+
+LAC's design premise (Sec. I) is that a strong error-correcting code
+buys single-byte coefficients; this benchmark measures the actual
+noise the decoder absorbs, the D2 effect at level V, and the
+ciphertext-compression trade-off.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.noise import (
+    channel_error_distribution,
+    compression_sweep,
+    d2_ablation,
+    h_sweep,
+)
+from repro.eval.reporting import format_table
+from repro.lac.params import ALL_PARAMS
+
+
+def test_noise_budget_report():
+    reports = [channel_error_distribution(p, trials=12) for p in ALL_PARAMS]
+    emit(format_table(
+        ["Scheme", "mean errors", "max errors", "BER", "t", "reliable"],
+        [(r.scheme, r.mean_errors, r.max_errors,
+          f"{r.bit_error_rate:.5f}", r.correction_capacity, r.decodes_reliably)
+         for r in reports],
+        title="Channel errors handed to the BCH decoder",
+    ))
+    for report in reports:
+        assert report.decodes_reliably
+        # the design margin: worst case stays below half the capacity
+        assert report.max_errors <= report.correction_capacity // 2
+
+
+def test_d2_report():
+    with_d2, without_d2 = d2_ablation(trials=10)
+    emit(format_table(
+        ["Encoding", "mean errors", "max errors"],
+        [("D2 (shipped)", with_d2.mean_errors, with_d2.max_errors),
+         ("plain", without_d2.mean_errors, without_d2.max_errors)],
+        title="LAC-256: D2 redundant encoding vs. plain",
+    ))
+    # D2 strictly reduces the error rate at the shipped h = 384
+    assert with_d2.mean_errors <= without_d2.mean_errors
+    assert with_d2.decodes_reliably and without_d2.decodes_reliably
+
+
+def test_h_sweep_report():
+    points = h_sweep(weights=(384, 512, 640, 768), trials=6)
+    emit(format_table(
+        ["h", "D2 mean", "D2 max", "plain mean", "plain max", "plain fails"],
+        [(p.h, p.d2_mean, p.d2_max,
+          "-" if p.plain_mean is None else p.plain_mean,
+          "-" if p.plain_max is None else p.plain_max,
+          p.plain_failed)
+         for p in points],
+        title="Secret weight vs. channel errors (LAC-256 geometry)",
+    ))
+    by_h = {p.h: p for p in points}
+    # D2 always at or below plain where both decode
+    for p in points:
+        if p.plain_max is not None:
+            assert p.d2_max <= p.plain_max
+    # the design justification: plain encoding collapses first as h grows
+    assert by_h[768].plain_failed or by_h[768].plain_max > 2 * by_h[768].d2_max
+    # while D2 still decodes at h = 768
+    assert by_h[768].d2_max <= 16
+
+
+def test_compression_sweep_report():
+    reports = compression_sweep(bit_widths=(3, 4, 8), trials=8)
+    emit(format_table(
+        ["Variant", "v bits", "mean errors", "max errors"],
+        [(r.scheme, r.v_bits, r.mean_errors, r.max_errors) for r in reports],
+        title="Ciphertext compression vs. noise (LAC-256)",
+    ))
+    by_bits = {r.v_bits: r for r in reports}
+    # uncompressed is never worse than the shipped 4-bit variant
+    assert by_bits[8].mean_errors <= by_bits[4].mean_errors
+    # everything still decodes with margin
+    for report in reports:
+        assert report.decodes_reliably
+
+
+def test_bench_noise_monte_carlo(benchmark):
+    from repro.lac.params import LAC_128
+
+    benchmark.pedantic(
+        lambda: channel_error_distribution(LAC_128, trials=5),
+        rounds=2, iterations=1,
+    )

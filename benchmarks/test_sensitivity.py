@@ -1,0 +1,77 @@
+"""Sensitivity analysis: the conclusions vs. the calibrated prices.
+
+Re-prices the recorded operation counts under +-2x perturbations of
+every calibrated cost constant and verifies the paper's structural
+claims survive all of them (see docs/CYCLEMODEL.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import format_table
+from repro.eval.sensitivity import CALIBRATED_PARAMETERS, SensitivityAnalysis
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return SensitivityAnalysis()
+
+
+@pytest.fixture(scope="module")
+def sweep(analysis):
+    return analysis.sweep()
+
+
+def test_sensitivity_report(sweep):
+    by_parameter = {}
+    for point in sweep:
+        by_parameter.setdefault(point.parameter, []).append(point)
+    rows = []
+    for parameter, points in by_parameter.items():
+        speedups = [p.speedup for p in points]
+        rows.append((
+            parameter,
+            min(speedups), max(speedups),
+            min(p.ct_overhead for p in points),
+            max(p.ct_overhead for p in points),
+        ))
+    emit(format_table(
+        ["Perturbed price (x0.5..x2)", "speedup min", "speedup max",
+         "CT cost min", "CT cost max"],
+        rows,
+        title="Sensitivity of the headline conclusions (LAC-128)",
+    ))
+    assert set(by_parameter) == set(CALIBRATED_PARAMETERS)
+
+
+def test_speedup_conclusion_robust(sweep):
+    """The accelerators win by >4x under every single-price 2x shift."""
+    for point in sweep:
+        assert point.speedup > 4.0, point
+        assert point.speedup < 12.0, point
+
+
+def test_ct_overhead_conclusion_robust(sweep):
+    """Constant time always costs extra; never more than ~6x."""
+    for point in sweep:
+        assert 1.5 < point.ct_overhead < 6.5, point
+
+
+def test_design_argument_robust(sweep):
+    """Accelerated mult stays below GenA for every perturbation
+    (the Sec. IV-A argument for the length-512 unit)."""
+    for point in sweep:
+        assert point.mult_below_generation, point
+
+
+def test_nominal_point(analysis):
+    from repro.cosim.costs import ISE_COSTS, REFERENCE_COSTS
+
+    nominal = analysis.evaluate(REFERENCE_COSTS, ISE_COSTS)
+    emit(f"nominal headline speedup: {nominal.speedup:.2f} (paper: 7.66)")
+    assert 6.0 < nominal.speedup < 9.0
+
+
+def test_bench_sweep(benchmark, analysis):
+    """Re-pricing is cheap: a full sweep is pure arithmetic."""
+    benchmark.pedantic(analysis.sweep, rounds=3, iterations=1)

@@ -1,0 +1,170 @@
+"""Table II: protocol and kernel cycle counts for every configuration.
+
+Regenerates all nine RISC-V rows (LAC-{128,192,256} x {ref, const-BCH,
+ISE}) on the cycle model, prints them against the paper's values, and
+verifies the headline speedups (7.66 / 14.42 / 13.36).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.cosim.protocol import CycleModel
+from repro.eval.reporting import format_table
+from repro.eval.table2 import PAPER_SPEEDUPS, PAPER_TABLE2
+from repro.lac.params import ALL_PARAMS, LAC_128
+
+
+def _paper_row(scheme: str):
+    return next(r for r in PAPER_TABLE2 if r.scheme == scheme)
+
+
+_PROFILE_SUFFIX = {"ref.": "ref.", "const. BCH": "const. BCH", "opt.": "opt."}
+
+
+def test_table2_report(table2_rows):
+    lines = []
+    for row in table2_rows:
+        paper = _paper_row(row.scheme)
+        lines.append((
+            row.scheme,
+            row.key_generation, paper.key_generation,
+            row.encapsulation, paper.encapsulation,
+            row.decapsulation, paper.decapsulation,
+            row.total / paper.total,
+        ))
+    emit(format_table(
+        ["Scheme", "KeyGen", "(paper)", "Encaps", "(paper)",
+         "Decaps", "(paper)", "ratio"],
+        lines,
+        title="Table II — protocol cycle counts (model vs. paper)",
+    ))
+    # every cell within +-30% of the paper
+    for row in table2_rows:
+        paper = _paper_row(row.scheme)
+        for field in ("key_generation", "encapsulation", "decapsulation"):
+            measured, reference = getattr(row, field), getattr(paper, field)
+            assert 0.70 < measured / reference < 1.30, (row.scheme, field)
+
+
+def test_table2_kernel_report(table2_rows):
+    lines = []
+    for row in table2_rows:
+        paper = _paper_row(row.scheme)
+        lines.append((
+            row.scheme,
+            row.gen_a, paper.gen_a,
+            row.sample_poly, paper.sample_poly,
+            row.multiplication, paper.multiplication,
+            row.bch_decode, paper.bch_decode,
+        ))
+    emit(format_table(
+        ["Scheme", "GenA", "(paper)", "Sample", "(paper)",
+         "Mult", "(paper)", "BCH Dec", "(paper)"],
+        lines,
+        title="Table II — bottleneck kernels (model vs. paper)",
+    ))
+    for row in table2_rows:
+        paper = _paper_row(row.scheme)
+        # kernel cells within a 2x band (Sample-256 is the loosest)
+        for field in ("gen_a", "sample_poly", "multiplication", "bch_decode"):
+            measured, reference = getattr(row, field), getattr(paper, field)
+            assert 0.5 < measured / reference < 2.0, (row.scheme, field)
+
+
+def test_headline_speedups(table2_rows):
+    by_scheme = {r.scheme: r for r in table2_rows}
+    lines = []
+    for params in ALL_PARAMS:
+        baseline = by_scheme[f"{params.name} const. BCH"]
+        optimized = by_scheme[f"{params.name} opt."]
+        factor = baseline.total / optimized.total
+        paper = PAPER_SPEEDUPS[params.name]
+        lines.append((params.name, factor, paper, factor / paper))
+        # the headline factors within +-20%
+        assert 0.8 < factor / paper < 1.2, params.name
+    emit(format_table(
+        ["Scheme", "speedup (model)", "speedup (paper)", "ratio"],
+        lines,
+        title="Headline speedups: const-BCH baseline / ISE-optimized",
+    ))
+
+
+def test_kernel_shape_claims(table2_rows):
+    """The qualitative claims of Sec. VI-B."""
+    by_scheme = {r.scheme: r for r in table2_rows}
+    for params in ALL_PARAMS:
+        ref = by_scheme[f"{params.name} ref."]
+        opt = by_scheme[f"{params.name} opt."]
+        # multiplication gains two orders of magnitude (n=512) / >50x (1024)
+        assert ref.multiplication / opt.multiplication > 50
+        # GenA barely moves (the modest SHA256 accelerator)
+        assert ref.gen_a / opt.gen_a < 1.2
+        # accelerated mult is cheaper than polynomial generation (Sec. IV-A)
+        assert opt.multiplication < opt.gen_a
+
+
+def test_table2_internal_decomposition(table2_rows):
+    """The structural arithmetic of Table II, which the paper's own
+    numbers satisfy and our measurement must too:
+
+    * keygen  ~ GenA + 2 x Sample + Mult            (+ small glue)
+    * encaps  ~ GenA + 3 x Sample + Mult + trunc    (+ small glue)
+    * decaps  ~ Mult + BCH decode + encaps          (+ small glue)
+
+    where `trunc` is the v-component multiplication, proportional to
+    v_slots/n of a full multiplication on the reference profile.
+    """
+    from repro.lac.params import ALL_PARAMS
+
+    params_by_name = {p.name: p for p in ALL_PARAMS}
+    lines = []
+    for row in table2_rows:
+        scheme_name = row.scheme.rsplit(" ", 1)[0].replace(" const.", "")
+        params = params_by_name[row.scheme.split(" ")[0]]
+        is_ise = row.scheme.endswith("opt.")
+        trunc = (
+            row.multiplication  # the unit always runs full-length
+            if is_ise
+            else round(row.multiplication * params.v_slots / params.n)
+        )
+        kg_model = row.gen_a + 2 * row.sample_poly + row.multiplication
+        enc_model = row.gen_a + 3 * row.sample_poly + row.multiplication + trunc
+        dec_model = row.multiplication + row.bch_decode + row.encapsulation
+        lines.append((
+            row.scheme,
+            row.key_generation / kg_model,
+            row.encapsulation / enc_model,
+            row.decapsulation / dec_model,
+        ))
+        # the totals decompose into the kernels with only small glue
+        # (the sub-1.0 slack comes from rejection-sampling draw counts
+        # differing between the standalone kernel and in-protocol runs)
+        assert 0.92 <= row.key_generation / kg_model < 1.25, row.scheme
+        assert 0.92 <= row.encapsulation / enc_model < 1.25, row.scheme
+        assert 0.92 <= row.decapsulation / dec_model < 1.25, row.scheme
+    emit(format_table(
+        ["Scheme", "KG / model", "Enc / model", "Dec / model"],
+        lines,
+        title="Table II decomposition (total / sum-of-kernels; glue = excess)",
+    ))
+
+
+@pytest.mark.parametrize("profile", ["ref", "const_bch", "ise"])
+def test_bench_lac128_decapsulation(benchmark, profile):
+    """Wall-clock of one cycle-accounted decapsulation measurement."""
+    model = CycleModel(LAC_128, profile)
+
+    def measure():
+        pair = model.kem.keygen(seed=model.seed)
+        enc = model.kem.encaps(pair.public_key, message=model.seed[:32])
+        return model.kem.decaps(pair.secret_key, enc.ciphertext)
+
+    benchmark.pedantic(measure, rounds=2, iterations=1)
+
+
+def test_bench_full_table2(benchmark):
+    """Wall-clock of regenerating one full Table II row."""
+    benchmark.pedantic(
+        lambda: CycleModel(LAC_128, "ise").measure_protocol(),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,63 @@
+"""Table III: FPGA resource utilization from the structural area model."""
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import format_table
+from repro.eval.table3 import PAPER_TABLE3, generate_table3, pq_alu_overhead
+from repro.hw.area import AreaModel
+from repro.hw.mul_ter import MulTerUnit
+
+
+def test_table3_report():
+    rows = generate_table3()
+    paper = {r.block: r for r in PAPER_TABLE3}
+    lines = []
+    for row in rows:
+        reference = paper[row.block]
+        lines.append((
+            row.block,
+            row.luts, reference.luts,
+            row.registers, reference.registers,
+            row.brams, row.dsps,
+        ))
+    emit(format_table(
+        ["Block", "LUTs", "(paper)", "Regs", "(paper)", "BRAM", "DSP"],
+        lines,
+        title="Table III — resource utilization (model vs. paper)",
+    ))
+    by_block = {r.block: r for r in rows}
+    # shape: the ternary multiplier dominates everything
+    mul_ter = by_block["- Ternary Multiplier"]
+    assert mul_ter.luts > 20 * by_block["- SHA256"].luts
+    assert mul_ter.registers > 5 * by_block["- SHA256"].registers
+    # Barrett has the only DSPs; the PQ-ALU uses no BRAM
+    assert by_block["- Modulo (Barrett)"].dsps == 2
+    assert all(
+        r.brams == 0 for r in rows if r.block.startswith("-")
+    )
+    # BRAM/DSP columns match the paper exactly
+    for row in rows:
+        reference = paper[row.block]
+        assert row.brams == reference.brams, row.block
+        assert row.dsps == reference.dsps, row.block
+
+
+def test_abstract_overhead():
+    overhead = pq_alu_overhead()
+    emit(
+        f"PQ-ALU overhead: {overhead.luts:,} LUTs / {overhead.registers:,} "
+        f"registers / {overhead.dsps} DSPs "
+        f"(paper: 32,617 / 11,019 / 2)"
+    )
+    assert abs(overhead.luts - 32_617) / 32_617 < 0.10
+    assert abs(overhead.registers - 11_019) / 11_019 < 0.05
+    assert overhead.dsps == 2
+
+
+def test_bench_area_estimation(benchmark):
+    benchmark.pedantic(generate_table3, rounds=5, iterations=1)
+
+
+def test_bench_inventory_extraction(benchmark):
+    model = AreaModel()
+    unit = MulTerUnit(512)
+    benchmark.pedantic(lambda: model.estimate(unit.inventory()), rounds=5, iterations=2)

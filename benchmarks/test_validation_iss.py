@@ -1,0 +1,75 @@
+"""Validation: the analytical cycle model against the real ISS.
+
+Every kernel runs twice — as RISC-V machine code on the instruction-set
+simulator (through the full pq.* operand-packing protocol) and as an
+instruction-schedule prediction priced with the same RISCY cost model.
+The benchmark asserts bit-exact functional results and cycle-exact
+agreement, closing the loop between Tables I/II (operation-count
+models) and actual execution.
+"""
+
+from benchmarks.conftest import emit
+from repro.cosim.validation import (
+    run_all,
+    validate_modq_kernel,
+    validate_mul_ter_kernel,
+)
+from repro.eval.reporting import format_table
+
+
+def test_validation_report():
+    results = run_all()
+    emit(format_table(
+        ["Kernel", "ISS cycles", "Predicted", "Exact", "Functional"],
+        [(v.name, v.iss_cycles, v.predicted_cycles, v.exact, v.functional_ok)
+         for v in results],
+        title="ISS validation — machine code vs. analytical model",
+    ))
+    for v in results:
+        assert v.functional_ok, v.name
+        assert v.exact, v.name
+
+
+def test_modq_speedup_on_iss():
+    """pq.modq vs. the RV32M divider, end to end on the simulator."""
+    ise = validate_modq_kernel(count=128, use_ise=True)
+    sw = validate_modq_kernel(count=128, use_ise=False)
+    factor = sw.iss_cycles / ise.iss_cycles
+    emit(f"mod-q reduction speedup on ISS: {factor:.2f}x "
+         f"({sw.iss_cycles:,} -> {ise.iss_cycles:,} cycles)")
+    assert factor > 3.5
+
+
+def test_decrypt_core_on_iss():
+    """A complete LAC-128 decryption front-end as one machine-code
+    program: u*s through pq.mul_ter, noise subtraction through
+    pq.modq, branchless threshold decode — bit-exact against the
+    Python codec and self-measured through rdcycle."""
+    from repro.cosim.decrypt_kernel import run_decrypt_kernel
+
+    result = run_decrypt_kernel()
+    emit(
+        f"on-target decrypt front-end: {result.iss_cycles:,} cycles "
+        f"({result.instructions:,} instructions, self-measured "
+        f"{result.self_measured_cycles:,}); bits match codec: "
+        f"{result.matches_codec}"
+    )
+    assert result.matches_codec
+    # vs. 2.36M cycles for the software multiplication alone
+    assert result.iss_cycles < 20_000
+
+
+def test_bench_mul_ter_on_iss(benchmark):
+    """Wall-clock of a full MUL TER transaction through the ISS."""
+    result = benchmark.pedantic(
+        lambda: validate_mul_ter_kernel(512), rounds=2, iterations=1
+    )
+    assert result.functional_ok
+
+
+def test_bench_modq_kernel_on_iss(benchmark):
+    result = benchmark.pedantic(
+        lambda: validate_modq_kernel(count=64, use_ise=True),
+        rounds=3, iterations=1,
+    )
+    assert result.exact

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The BCH timing side channel, demonstrated end to end (Sec. VI-A).
+
+D'Anvers et al. [14] showed that a non-constant-time error-correcting
+decoder leaks the decryption error count through its running time, and
+that this correlates with the secret key.  This example plays the
+attacker against both decoders on the cycle model:
+
+1. profile decode time as a function of the injected error count;
+2. recover hidden error counts from (averaged) decode timings;
+3. run the TVLA-style Welch t-test that [15] used to certify the
+   constant-time decoder.
+
+Run:  python examples/timing_attack.py
+"""
+
+import numpy as np
+
+from repro.eval.leakage import (
+    cycle_distribution,
+    error_count_distinguisher,
+    leakage_test,
+)
+
+
+def profile_curve() -> None:
+    print("--- decode cycles vs. injected error count ---")
+    print(f"{'errors':>8} {'submission':>14} {'constant-time':>14}")
+    for errors in (0, 4, 8, 12, 16):
+        submission = cycle_distribution(False, errors, samples=5, seed=errors)
+        walters = cycle_distribution(True, errors, samples=2, seed=errors)
+        print(f"{errors:>8} {submission.mean():>14,.0f} {walters.mean():>14,.0f}")
+    print("(the submission column climbs with the error count; the")
+    print(" constant-time column is one flat value)")
+
+
+def run_distinguisher() -> None:
+    print("\n--- recovering hidden error counts from timing ---")
+    for constant_time in (False, True):
+        report = error_count_distinguisher(constant_time, attempts=12)
+        print(f"{report.decoder:15s}: {report.exact_hits}/{report.attempts} "
+              f"exact recoveries, mean abs. error {report.mean_absolute_error:.1f}")
+    print("(error counts leak the decryption noise, which [14] turns")
+    print(" into secret-key recovery over many queries)")
+
+
+def run_tvla() -> None:
+    print("\n--- Welch t-test, 0 errors vs. 16 errors ---")
+    for constant_time in (False, True):
+        report = leakage_test(constant_time, samples=10)
+        verdict = "LEAKS" if report.leaks else "constant time"
+        print(f"{report.decoder:15s}: |t| = {abs(report.t_statistic):8.2f} "
+              f"-> {verdict}")
+    print("(|t| > 4.5 rejects the constant-time hypothesis; this is the")
+    print(" test that motivates the paper's choice of [15] as baseline)")
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Timing side channel in BCH(511,367,16) decoding")
+    print("=" * 64 + "\n")
+    profile_curve()
+    run_distinguisher()
+    run_tvla()
+
+    print("\nConclusion: the round-2 submission decoder is exploitable;")
+    print("the Walters/Roy decoder closes the channel at ~3x the cycle")
+    print("cost — which the paper's MUL CHIEN accelerator then wins back")
+    print("(Table II: 514,280 -> 160,295 cycles for LAC-128).")
+
+
+if __name__ == "__main__":
+    main()

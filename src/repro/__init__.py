@@ -1,0 +1,27 @@
+"""Reproduction of "Extending the RISC-V Instruction Set for Hardware
+Acceleration of the Post-Quantum Scheme LAC" (DATE 2020).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.lac` — the LAC KEM/PKE (the paper's workload);
+* :mod:`repro.bch`, :mod:`repro.gf`, :mod:`repro.ring`,
+  :mod:`repro.hashes` — the cryptographic substrates;
+* :mod:`repro.hw` — cycle-accurate accelerator models and area;
+* :mod:`repro.riscv` — the RV32IM+PQ instruction-set simulator;
+* :mod:`repro.cosim` — the HW/SW co-design cycle models;
+* :mod:`repro.eval` — the Table I/II/III evaluation harness.
+"""
+
+from repro.lac import ALL_PARAMS, LAC_128, LAC_192, LAC_256, LacKem, LacPke
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PARAMS",
+    "LAC_128",
+    "LAC_192",
+    "LAC_256",
+    "LacKem",
+    "LacPke",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""BCH error-correcting codes over GF(2^9).
+
+LAC relies on a strong binary BCH code to tolerate decryption noise
+(Sec. III/IV-B of the paper): BCH(511, 367, t=16) for LAC-128/LAC-256
+and BCH(511, 439, t=8) for LAC-192, both shortened to a 256-bit
+systematic payload.
+
+Two decoders are provided, mirroring Table I of the paper:
+
+* :class:`repro.bch.decoder.BCHDecoder` — the round-2-submission style
+  decoder: table-based field arithmetic, early exits, data-dependent
+  Berlekamp--Massey.  Its execution time depends on the error pattern,
+  which is the timing side channel the paper measures.
+* :class:`repro.bch.ct_decoder.ConstantTimeBCHDecoder` — the
+  Walters/Roy-style constant-time decoder: fixed iteration counts,
+  inverse-free Berlekamp--Massey, branch-free selects.
+"""
+
+from repro.bch.code import BCHCode, LAC_BCH_128_256, LAC_BCH_192
+from repro.bch.encoder import BCHEncoder
+from repro.bch.decoder import BCHDecoder, DecodeResult
+from repro.bch.ct_decoder import ConstantTimeBCHDecoder
+
+__all__ = [
+    "BCHCode",
+    "BCHEncoder",
+    "BCHDecoder",
+    "ConstantTimeBCHDecoder",
+    "DecodeResult",
+    "LAC_BCH_128_256",
+    "LAC_BCH_192",
+]

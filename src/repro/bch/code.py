@@ -1,0 +1,183 @@
+"""BCH code construction.
+
+A binary primitive BCH code of length n = 2^m - 1 correcting t errors
+has generator polynomial g(x) = lcm of the minimal polynomials of
+alpha, alpha^2, ..., alpha^{2t}.  The dimension is k = n - deg(g).
+
+LAC shortens the code to a 256-bit payload: the top k - 256 message
+positions are fixed to zero and never transmitted.  The transmitted
+codeword therefore has ``256 + (n - k)`` bits, with parity in the low
+positions and the systematic message in the high positions — which is
+exactly why the paper's Chien search only probes Lambda(alpha^112) ..
+Lambda(alpha^368) for t = 16 (message positions 144..399 of the
+400-bit shortened word) and Lambda(alpha^184) .. Lambda(alpha^440) for
+t = 8 (message positions 72..327 of the 328-bit word).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from functools import lru_cache
+
+from repro.gf.field import GF2m, GF512
+from repro.gf.poly2 import Poly2
+
+
+@dataclass(frozen=True)
+class BCHCode:
+    """A (possibly shortened) systematic binary BCH code.
+
+    Attributes
+    ----------
+    field:
+        The GF(2^m) field; the natural code length is ``field.group_order``.
+    t:
+        Designed error-correction capability.
+    payload_bits:
+        Number of systematic message bits actually used (the code is
+        shortened by ``k - payload_bits`` positions).  ``None`` means
+        the full dimension k is used (no shortening).
+    """
+
+    field: GF2m
+    t: int
+    payload_bits: int | None = None
+    generator: Poly2 = dataclass_field(init=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        generator = _generator_polynomial(self.field, self.t)
+        object.__setattr__(self, "generator", generator)
+        if self.t < 1:
+            raise ValueError("t must be >= 1")
+        if self.payload_bits is not None and not 0 < self.payload_bits <= self.k_full:
+            raise ValueError(
+                f"payload_bits={self.payload_bits} exceeds the code "
+                f"dimension k={self.k_full}"
+            )
+
+    # ------------------------------------------------------------------
+    # dimensions
+    # ------------------------------------------------------------------
+
+    @property
+    def n_full(self) -> int:
+        """Natural (unshortened) code length, 2^m - 1."""
+        return self.field.group_order
+
+    @property
+    def parity_bits(self) -> int:
+        """Number of parity bits, deg(g) = n - k."""
+        return self.generator.degree
+
+    @property
+    def k_full(self) -> int:
+        """Unshortened dimension."""
+        return self.n_full - self.parity_bits
+
+    @property
+    def k(self) -> int:
+        """Message length in use (payload bits)."""
+        return self.payload_bits if self.payload_bits is not None else self.k_full
+
+    @property
+    def n(self) -> int:
+        """Transmitted codeword length (shortened)."""
+        return self.k + self.parity_bits
+
+    @property
+    def shortening(self) -> int:
+        """Number of suppressed (always-zero) message positions."""
+        return self.k_full - self.k
+
+    # ------------------------------------------------------------------
+    # Chien search window
+    # ------------------------------------------------------------------
+
+    def chien_window(self, window: str) -> tuple[int, int]:
+        """The inclusive exponent range [start, stop] probed by a decoder.
+
+        * ``"natural"`` — every exponent 1..n_full, what a generic BCH
+          software decoder probes on the zero-padded full-length word
+          (the submission and Walters implementations of Table I);
+        * ``"transmitted"`` — only exponents that can flag a position of
+          the shortened codeword;
+        * ``"message"`` — only the systematic message positions, the
+          paper's optimized window (Sec. IV-B).
+        """
+        if window == "natural":
+            return 1, self.n_full
+        if window == "transmitted":
+            return self.chien_start, self.chien_stop
+        if window == "message":
+            return self.chien_message_start, self.chien_message_stop
+        raise ValueError(f"unknown Chien window {window!r}")
+
+    @property
+    def chien_start(self) -> int:
+        """First exponent l such that alpha^l can locate a codeword error.
+
+        A root Lambda(alpha^l) = 0 flags an error at position
+        ``n_full - l``.  The highest occupied position of the shortened
+        codeword is ``n - 1``, hence l starts at ``n_full - (n - 1)``.
+        """
+        return self.n_full - (self.n - 1)
+
+    @property
+    def chien_stop(self) -> int:
+        """Last exponent probed (inclusive): position 0, l = n_full."""
+        return self.n_full
+
+    @property
+    def chien_message_start(self) -> int:
+        """First exponent probing a *message* position (paper's window).
+
+        The message occupies positions ``parity_bits .. n-1``; the paper
+        exploits systematicity and only probes these.
+        """
+        return self.n_full - (self.n - 1)
+
+    @property
+    def chien_message_stop(self) -> int:
+        """Last exponent (inclusive) probing a message position."""
+        return self.n_full - self.parity_bits
+
+    def position_of_root(self, l: int) -> int:
+        """Codeword bit position flagged by a root at alpha^l."""
+        return (self.n_full - l) % self.n_full
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``'BCH(511,367,16) shortened to (400,256)'``."""
+        base = f"BCH({self.n_full},{self.k_full},{self.t})"
+        if self.shortening:
+            return f"{base} shortened to ({self.n},{self.k})"
+        return base
+
+    def __repr__(self) -> str:
+        return f"BCHCode({self.describe()})"
+
+
+@lru_cache(maxsize=None)
+def _generator_polynomial(field: GF2m, t: int) -> Poly2:
+    """g(x) = lcm of minimal polynomials of alpha^1 .. alpha^{2t}.
+
+    Because conjugate elements share a minimal polynomial, we collect
+    the distinct minimal polynomials and multiply them once each.
+    """
+    if 2 * t >= field.group_order:
+        raise ValueError(f"t={t} too large for GF(2^{field.m})")
+    minimal_polys: set[int] = set()
+    for i in range(1, 2 * t + 1):
+        minimal_polys.add(field.minimal_polynomial(field.alpha_pow(i)))
+    generator = Poly2.one()
+    for mask in sorted(minimal_polys):
+        generator = generator * Poly2(mask)
+    return generator
+
+
+#: The BCH(511, 367, 16) code of LAC-128 / LAC-256, 256-bit payload.
+LAC_BCH_128_256 = BCHCode(GF512, t=16, payload_bits=256)
+
+#: The BCH(511, 439, 8) code of LAC-192, 256-bit payload.
+LAC_BCH_192 = BCHCode(GF512, t=8, payload_bits=256)

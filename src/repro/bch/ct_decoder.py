@@ -1,0 +1,232 @@
+"""Walters/Roy-style constant-time BCH decoder.
+
+The decoder executes an input-independent schedule (the property the
+paper's Table I verifies and that [15] proved by leakage testing):
+
+* syndromes are accumulated over *every* transmitted position,
+  masking the contribution instead of branching on the bit value;
+* the error locator is computed with the inversion-free
+  Berlekamp--Massey algorithm over a fixed number of iterations with
+  fixed-size coefficient arrays and branch-free (mask-select) updates;
+* the Chien search walks the whole message window with the fixed
+  t+1-slot schedule and flips bits through masks.
+
+Field multiplications use the shift-and-add schedule
+(:meth:`repro.gf.field.GF2m.mul_shift_add`, the same data path as the
+MUL GF hardware module) and are charged as ``gf_mul_ct``, which the
+cost model prices at the software cost of a branch-free GF(2^9)
+multiply — the very overhead that makes the protected decoder ~3x
+slower in Table I and motivates the MUL CHIEN accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bch.code import BCHCode
+from repro.bch.decoder import DecodeResult, _degree
+from repro.bitutils import require_bits
+from repro.metrics import NullCounter, OpCounter, ensure_counter
+
+
+def _mask_select(mask: int, if_true: int, if_false: int) -> int:
+    """Branch-free select: mask is 0 or all-ones (here modelled as 0/1)."""
+    return if_true if mask else if_false
+
+
+class ConstantTimeBCHDecoder:
+    """Constant-time BCH decoder (Walters & Roy, IACR ePrint 2019/155 style)."""
+
+    def __init__(self, code: BCHCode):
+        self.code = code
+        self.field = code.field
+
+    def _ct_mul(self, counter: OpCounter):
+        """The constant-time multiply for this run.
+
+        When operations are being counted, the genuine shift-and-add
+        schedule runs (and is charged as ``gf_mul_ct``).  On the
+        purely functional path the bit-identical table multiply is
+        substituted — same outputs (a tested invariant of
+        :class:`~repro.gf.field.GF2m`), ~10x less interpreter work.
+        """
+        if isinstance(counter, NullCounter):
+            return self.field.mul
+        return self.field.mul_shift_add
+
+    # ------------------------------------------------------------------
+
+    def decode(
+        self,
+        received: np.ndarray,
+        counter: OpCounter | None = None,
+        window: str = "natural",
+    ) -> DecodeResult:
+        """Correct up to t errors with an input-independent schedule.
+
+        ``window`` selects the Chien probe range; the software decoder
+        of [15] probes the ``"natural"`` full-length window (constant,
+        conservative), the paper's optimized variant only the
+        ``"message"`` positions.
+        """
+        code = self.code
+        counter = ensure_counter(counter)
+        received = require_bits(received, code.n, "received")
+        working = received.copy()
+
+        syndromes = self._syndromes(working, counter)
+        locator = self._inversion_free_bm(syndromes, counter)
+        flips, roots_found = self._chien_flip(working, locator, counter, window)
+
+        message = working[code.parity_bits :].copy()
+        locator_degree = _degree(locator)
+        if window == "message":
+            success = locator_degree <= code.t and flips <= locator_degree
+        else:
+            success = roots_found == locator_degree and flips == roots_found
+        return DecodeResult(
+            codeword=working,
+            message=message,
+            errors_found=flips,
+            success=success,
+            counter=counter,
+        )
+
+    # ------------------------------------------------------------------
+    # phase 1: dense, masked syndrome accumulation
+    # ------------------------------------------------------------------
+
+    def _syndromes(self, received: np.ndarray, counter: OpCounter) -> list[int]:
+        code, field = self.code, self.field
+        two_t = 2 * code.t
+        syndromes = [0] * two_t
+        with counter.phase("syndrome"):
+            counter.count("call")
+            for i in range(code.n):
+                counter.count("loop")
+                counter.count("load")
+                bit_mask = int(received[i])  # 0 or 1; no branch taken on it
+                counter.count("alu")  # mask expansion
+                for j in range(1, two_t + 1):
+                    term = field.alpha_pow(i * j)
+                    counter.count("loop")
+                    counter.count("load")   # antilog table
+                    counter.count("alu", 2)  # exponent arithmetic + masking
+                    counter.count("gf_add")
+                    syndromes[j - 1] ^= term * bit_mask
+        return syndromes
+
+    # ------------------------------------------------------------------
+    # phase 2: inversion-free Berlekamp--Massey, fixed schedule
+    # ------------------------------------------------------------------
+
+    def _inversion_free_bm(self, syndromes: list[int], counter: OpCounter) -> list[int]:
+        code, field = self.code, self.field
+        t = code.t
+        two_t = 2 * t
+        size = t + 1
+
+        locator = [0] * size
+        locator[0] = 1
+        shadow = [0] * size
+        shadow[0] = 1
+        delta = 1
+        length = 0
+        ct_mul = self._ct_mul(counter)
+
+        with counter.phase("error_locator"):
+            counter.count("call")
+            for r in range(two_t):
+                counter.count("loop")
+                # discrepancy over a fixed t+1-term window
+                discrepancy = 0
+                for i in range(size):
+                    s = syndromes[r - i] if 0 <= r - i < two_t else 0
+                    discrepancy ^= ct_mul(locator[i], s)
+                    counter.count("gf_mul_ct")
+                    counter.count("gf_add")
+                    counter.count("load", 2)
+
+                # locator' = delta * locator - discrepancy * x * shadow
+                updated = [0] * size
+                for i in range(size):
+                    left = ct_mul(delta, locator[i])
+                    right = ct_mul(
+                        discrepancy, shadow[i - 1] if i > 0 else 0
+                    )
+                    updated[i] = left ^ right
+                    counter.count("gf_mul_ct", 2)
+                    counter.count("gf_add")
+                    counter.count("store")
+
+                # branch-free control: decide whether this round resets
+                # the shadow register (d != 0 and 2L <= r)
+                take = 1 if (discrepancy != 0 and 2 * length <= r) else 0
+                counter.count("alu", 4)  # flag computation, no branch
+                new_shadow = [0] * size
+                for i in range(size):
+                    via_reset = locator[i]
+                    via_shift = shadow[i - 1] if i > 0 else 0
+                    new_shadow[i] = _mask_select(take, via_reset, via_shift)
+                    counter.count("alu", 2)  # two masked selects
+                    counter.count("store")
+                delta = _mask_select(take, discrepancy, delta)
+                length = _mask_select(take, r + 1 - length, length)
+                counter.count("alu", 2)
+
+                locator = updated
+                shadow = new_shadow
+        return locator
+
+    # ------------------------------------------------------------------
+    # phase 3: Chien search + masked correction over the message window
+    # ------------------------------------------------------------------
+
+    def _chien_flip(
+        self,
+        working: np.ndarray,
+        locator: list[int],
+        counter: OpCounter,
+        window: str,
+    ) -> tuple[int, int]:
+        code, field = self.code, self.field
+        t = code.t
+        start, stop = code.chien_window(window)
+
+        ct_mul = self._ct_mul(counter)
+        terms = [
+            ct_mul(locator[j], field.alpha_pow(start * j))
+            for j in range(1, t + 1)
+        ]
+        steps = [field.alpha_pow(j) for j in range(1, t + 1)]
+        flips = 0
+        roots_found = 0
+
+        with counter.phase("chien"):
+            counter.count("call")
+            counter.count("gf_mul_ct", t)
+            for l in range(start, stop + 1):
+                counter.count("loop")
+                value = locator[0]
+                for j in range(t):
+                    value ^= terms[j]
+                    counter.count("gf_add")
+                    counter.count("load")
+                # branch-free root test: is_root = (value == 0) as a mask
+                is_root = 1 if value == 0 else 0
+                roots_found += is_root
+                counter.count("alu", 3)  # normalize-to-mask sequence
+
+                position = code.position_of_root(l)
+                if position < code.n:
+                    working[position] ^= is_root
+                    flips += is_root
+                counter.count("load")
+                counter.count("store")
+                counter.count("alu")
+
+                for j in range(t):
+                    terms[j] = ct_mul(terms[j], steps[j])
+                    counter.count("gf_mul_ct")
+                    counter.count("store")
+        return flips, roots_found

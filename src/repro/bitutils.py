@@ -1,0 +1,60 @@
+"""Bit-level packing helpers shared across the code base.
+
+Conventions:
+
+* A *bit array* is a 1-D :class:`numpy.ndarray` of dtype ``uint8``
+  containing only 0s and 1s, index 0 being the least significant /
+  lowest polynomial degree.
+* A *bitmask* is a Python int with bit i equal to bit-array index i.
+* Byte conversion is little-endian-bit-first (bit 0 of byte 0 is bit
+  array index 0), matching how LAC packs message bytes into codeword
+  polynomials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bits_to_mask(bits: np.ndarray) -> int:
+    """Pack a bit array into an integer bitmask."""
+    mask = 0
+    for i, b in enumerate(bits):
+        if b:
+            mask |= 1 << i
+    return mask
+
+
+def mask_to_bits(mask: int, length: int) -> np.ndarray:
+    """Unpack an integer bitmask into a bit array of the given length."""
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
+    if mask.bit_length() > length:
+        raise ValueError(
+            f"mask needs {mask.bit_length()} bits, only {length} requested"
+        )
+    return np.array([(mask >> i) & 1 for i in range(length)], dtype=np.uint8)
+
+def bytes_to_bits(data: bytes, length: int | None = None) -> np.ndarray:
+    """Unpack bytes into a bit array (bit 0 of byte 0 first)."""
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    if length is not None:
+        if length > bits.size:
+            raise ValueError(f"{len(data)} bytes hold {bits.size} < {length} bits")
+        bits = bits[:length]
+    return bits.astype(np.uint8)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bit array into bytes (padding the final byte with zeros)."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little").tobytes()
+
+
+def require_bits(bits: np.ndarray, length: int, name: str = "bits") -> np.ndarray:
+    """Validate that ``bits`` is a 0/1 array of exactly ``length`` entries."""
+    array = np.asarray(bits, dtype=np.uint8)
+    if array.ndim != 1 or array.size != length:
+        raise ValueError(f"{name} must be a flat array of {length} bits")
+    if np.any(array > 1):
+        raise ValueError(f"{name} must contain only 0s and 1s")
+    return array

@@ -1,0 +1,117 @@
+"""Per-operation cycle prices (the calibrated half of the cycle model).
+
+The annotated implementations *count* what they execute; this module
+*prices* those counts.  Prices fall in two groups:
+
+**Architectural prices** follow directly from the RISCY cost model
+(:mod:`repro.riscv.cost_model`): ``alu``/``store`` 1, ``load`` 2,
+``branch`` 2 (average of taken/not-taken), ``loop`` 2 (increment +
+loop-back branch, amortized over partial unrolling), ``div`` 35
+(serial divider), ``call`` 10 (jal/jalr plus register save/restore),
+``pq_issue`` 1 and ``pq_busy`` 1 (an EX-stage stall cycle).
+
+**Calibrated prices** summarize code sequences whose exact compiled
+form we cannot reproduce; each is pinned to the paper's *reference*
+column once and then reused everywhere:
+
+* ``gf_mul_table`` = 9 — GF(2^9) multiply via log/antilog tables
+  (two table loads, exponent add, wrap test, antilog load);
+* ``gf_mul_skip`` = 2 — the zero-operand early-out of the same routine;
+* ``gf_mul_ct`` = 40 — branch-free shift-and-add GF(2^9) multiply
+  (9 iterations of ~4.5 masked ops), the constant-time software
+  multiplier of [15];
+* ``modq`` = 6 (software Barrett sequence: mulh, mul, sub, compare,
+  correct) vs. 2 on the ISE profile (pq.modq issue + move);
+* ``sha256_block`` = 700 for the optimized software compression the
+  LAC submission links, vs. 400 for the accelerator path (65 busy
+  cycles + 16 word transfers + 8 digest reads + wrapper overhead) —
+  the small difference reproduces the paper's observation that the
+  SHA256 accelerator barely moves GenA (159,097 -> 154,746);
+* ``prng_byte`` = 255 — the reference implementation's per-output-byte
+  stream management (buffer bookkeeping and call layering around the
+  hash), which Table II shows dominating both GenA and Sample poly.
+
+Calibration anchors (paper reference column -> model): the ternary
+multiplication inner loop (2 loads + 2 ALU + store + loop = 9 cycles
+per n^2 iterations -> 2.36M for n=512 vs. the paper's 2,381,843) and
+GenA-128 (prng_byte from 159,097).  Every other number in Tables I/II
+is then a *prediction* of the model, compared against the paper in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections import Counter
+
+from repro.metrics import OpCounter
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Cycle price per counted operation."""
+
+    alu: int = 1
+    load: int = 2
+    store: int = 1
+    branch: int = 2
+    loop: int = 2
+    call: int = 10
+    mul: int = 1
+    div: int = 35
+    modq: int = 6
+    gf_add: int = 1
+    gf_mul_table: int = 9
+    gf_mul_skip: int = 2
+    gf_mul_ct: int = 40
+    sha256_block: int = 700
+    #: one Keccak-f[1600] permutation in software (unrolled C on RV32)
+    keccak_f: int = 6000
+    prng_byte: int = 255
+    pq_issue: int = 1
+    pq_busy: int = 1
+
+    def price_of(self, op: str) -> int:
+        """Cycle price of one operation name (KeyError on unknown ops)."""
+        try:
+            return getattr(self, op)
+        except AttributeError:
+            raise KeyError(f"no cycle price defined for operation {op!r}") from None
+
+    def price_counts(self, counts: Counter) -> int:
+        """Price a flat operation counter."""
+        return sum(self.price_of(op) * n for op, n in counts.items())
+
+
+#: Prices for the pure-software profiles (ref / const-BCH rows).
+REFERENCE_COSTS = CycleCosts()
+
+#: Prices for the ISE profile: hardware-backed SHA-256 and mod-q.
+ISE_COSTS = replace(REFERENCE_COSTS, sha256_block=400, modq=2)
+
+#: Prices for the NewHope co-design of [8]: Keccak on its accelerator
+#: (24 busy clocks + 42 word transfers + control per permutation) and a
+#: leaner generation wrapper than the LAC reference code (the kernel
+#: columns of [8]'s row in Table II imply ~12 cycles/byte of stream
+#: management vs. LAC's 255).
+NEWHOPE_COSTS = replace(REFERENCE_COSTS, keccak_f=200, prng_byte=12, modq=2)
+
+#: Prices for the paper's future-work variant: LAC with the SHA256
+#: accelerator swapped for the Keccak core (everything else as ISE).
+ISE_KECCAK_COSTS = replace(ISE_COSTS, keccak_f=200, prng_byte=255)
+
+
+def price(counter: OpCounter, costs: CycleCosts = REFERENCE_COSTS) -> int:
+    """Total cycles of everything the counter recorded."""
+    return costs.price_counts(counter.totals())
+
+
+def price_phases(
+    counter: OpCounter, costs: CycleCosts = REFERENCE_COSTS
+) -> dict[str, int]:
+    """Per-phase cycle breakdown (Table I's columns)."""
+    return {
+        phase: costs.price_counts(counts)
+        for phase, counts in counter.phases.items()
+        if counts
+    }

@@ -1,0 +1,214 @@
+"""Protocol-level cycle measurement (Table II).
+
+A :class:`CycleModel` instantiates one of the paper's three RISC-V
+configurations and *executes* the full CCA KEM with operation counting
+on deterministic data, then prices the counts:
+
+* ``"ref"`` — reference software: O(n^2) ternary multiplication
+  (full for keygen/decryption, truncated to ``v_slots`` for the v
+  component, as the reference code does), submission-style BCH
+  decoder, software SHA-256 and reductions;
+* ``"const_bch"`` — same, with the Walters/Roy constant-time decoder
+  (the paper's security baseline);
+* ``"ise"`` — the optimized co-design: MUL TER transactions (with the
+  Algorithm 1/2 split for n = 1024), MUL CHIEN-backed constant-time
+  decoding over the message window, accelerator-priced SHA-256 and
+  pq.modq reductions.
+
+The kernel columns of Table II (GenA, Sample poly, Multiplication,
+BCH decode) are measured standalone, exactly as the paper reports
+them: one GenA call, one sampled polynomial, one full ring
+multiplication, one decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cosim.accelerated import IseBchDecoder, IseMultiplier
+from repro.cosim.costs import CycleCosts, ISE_COSTS, REFERENCE_COSTS, price
+from repro.hashes.prng import Sha256Prng
+from repro.lac.kem import LacKem
+from repro.lac.params import LacParams
+from repro.lac.sampling import gen_a, sample_ternary_fixed_weight
+from repro.metrics import OpCounter
+from repro.ring.ternary import TernaryPoly, ternary_mul, ternary_mul_truncated
+
+#: The three RISC-V configurations of Table II.
+PROFILES = ("ref", "const_bch", "ise")
+
+
+@dataclass(frozen=True)
+class KernelCycles:
+    """The four bottleneck kernels (Table II's right-hand columns)."""
+
+    gen_a: int
+    sample_poly: int
+    multiplication: int
+    bch_decode: int
+
+
+@dataclass(frozen=True)
+class ProtocolCycles:
+    """One Table II row."""
+
+    scheme: str
+    profile: str
+    key_generation: int
+    encapsulation: int
+    decapsulation: int
+    kernels: KernelCycles
+
+    @property
+    def total(self) -> int:
+        """Sum of the three operations (the paper's speedup basis)."""
+        return self.key_generation + self.encapsulation + self.decapsulation
+
+
+def _reference_multiplier(ring, ternary, general, counter=None):
+    """The reference implementation's O(n^2) schedule, cycle-annotated."""
+    return ternary_mul(ring, ternary, general, counter)
+
+
+def _reference_v_multiplier(ring, ternary, general, slots, counter=None):
+    return ternary_mul_truncated(ring, ternary, general, slots, counter)
+
+
+class CycleModel:
+    """Cycle measurement for one (parameter set, profile) pair."""
+
+    def __init__(
+        self,
+        params: LacParams,
+        profile: str,
+        seed: bytes | None = None,
+        mul_ter_length: int | None = None,
+    ):
+        if profile not in PROFILES:
+            raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+        self.params = params
+        self.profile = profile
+        self.seed = seed or bytes(range(64))
+        self.costs: CycleCosts = ISE_COSTS if profile == "ise" else REFERENCE_COSTS
+
+        if profile == "ise":
+            if mul_ter_length is None:
+                self._multiplier = IseMultiplier()
+            else:
+                from repro.hw.mul_ter import MulTerUnit
+
+                self._multiplier = IseMultiplier(MulTerUnit(mul_ter_length))
+            self._bch_decoder = IseBchDecoder(params.bch)
+            self.kem = LacKem(
+                params,
+                multiplier=self._multiplier,
+                bch_decoder=self._bch_decoder,
+            )
+        else:
+            self._multiplier = _reference_multiplier
+            self._bch_decoder = None
+            self.kem = LacKem(
+                params,
+                multiplier=_reference_multiplier,
+                v_multiplier=_reference_v_multiplier,
+                constant_time_bch=(profile == "const_bch"),
+            )
+
+    # ------------------------------------------------------------------
+    # kernel measurements
+    # ------------------------------------------------------------------
+
+    def _price(self, counter: OpCounter) -> int:
+        return price(counter, self.costs)
+
+    def measure_gen_a(self) -> int:
+        """Cycles of one GenA call (the Table II kernel column)."""
+        counter = OpCounter()
+        gen_a(self.seed[:32], self.params, counter)
+        return self._price(counter)
+
+    def measure_sample_poly(self) -> int:
+        """Cycles of sampling one fixed-weight polynomial."""
+        counter = OpCounter()
+        prng = Sha256Prng(self.seed[:32], counter=counter)
+        sample_ternary_fixed_weight(prng, self.params, counter)
+        return self._price(counter)
+
+    def measure_multiplication(self) -> int:
+        """One full ring multiplication (the Table II column)."""
+        counter = OpCounter()
+        rng = np.random.default_rng(int.from_bytes(self.seed[:4], "little"))
+        ternary = TernaryPoly(rng.integers(-1, 2, self.params.n).astype(np.int8))
+        general = rng.integers(0, self.params.q, self.params.n).astype(np.int64)
+        self._multiplier(self.params.ring, ternary, general, counter)
+        return self._price(counter)
+
+    def measure_bch_decode(self, errors: int = 0) -> int:
+        """One BCH decode with ``errors`` injected bit errors."""
+        counter = OpCounter()
+        self._decode_with_errors(errors, counter)
+        return self._price(counter)
+
+    def _decode_with_errors(self, errors: int, counter: OpCounter):
+        from repro.bch.encoder import BCHEncoder
+
+        code = self.params.bch
+        rng = np.random.default_rng(1234)
+        message = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = BCHEncoder(code).encode(message)
+        if errors:
+            positions = rng.choice(code.n, size=errors, replace=False)
+            codeword = codeword.copy()
+            codeword[positions] ^= 1
+        if self.profile == "ise":
+            return self._bch_decoder.decode(codeword, counter)
+        if self.profile == "const_bch":
+            return self.kem.pke.codec.ct_decoder.decode(codeword, counter)
+        return self.kem.pke.codec.decoder.decode(codeword, counter)
+
+    def measure_kernels(self) -> KernelCycles:
+        """All four bottleneck kernel columns of Table II."""
+        return KernelCycles(
+            gen_a=self.measure_gen_a(),
+            sample_poly=self.measure_sample_poly(),
+            multiplication=self.measure_multiplication(),
+            bch_decode=self.measure_bch_decode(),
+        )
+
+    # ------------------------------------------------------------------
+    # protocol measurements
+    # ------------------------------------------------------------------
+
+    def measure_protocol(self) -> ProtocolCycles:
+        """Run keygen/encaps/decaps with counting; price each operation."""
+        kg_counter = OpCounter()
+        pair = self.kem.keygen(seed=self.seed, counter=kg_counter)
+
+        enc_counter = OpCounter()
+        enc = self.kem.encaps(
+            pair.public_key, message=self.seed[:32], counter=enc_counter
+        )
+
+        dec_counter = OpCounter()
+        shared = self.kem.decaps(pair.secret_key, enc.ciphertext, dec_counter)
+        if shared != enc.shared_secret:
+            raise AssertionError(
+                f"{self.params.name}/{self.profile}: decapsulation mismatch "
+                "during cycle measurement"
+            )
+
+        return ProtocolCycles(
+            scheme=self.params.name,
+            profile=self.profile,
+            key_generation=self._price(kg_counter),
+            encapsulation=self._price(enc_counter),
+            decapsulation=self._price(dec_counter),
+            kernels=self.measure_kernels(),
+        )
+
+
+def speedup(baseline: ProtocolCycles, optimized: ProtocolCycles) -> float:
+    """The paper's headline factor: total protocol cycles, baseline/opt."""
+    return baseline.total / optimized.total

@@ -1,0 +1,31 @@
+"""Evaluation harness: regenerates every table of the paper.
+
+* :mod:`repro.eval.table1` — BCH decoder timing (submission vs.
+  Walters, 0 vs. 16 errors, per-phase cycles);
+* :mod:`repro.eval.table2` — protocol + kernel cycle counts for all
+  parameter sets and profiles, with the paper's values for comparison;
+* :mod:`repro.eval.table3` — FPGA resource estimates;
+* :mod:`repro.eval.ablations` — MUL TER length sweep (performance vs.
+  area trade-off, Sec. IV-A's design-choice discussion);
+* :mod:`repro.eval.leakage` — the timing-side-channel distinguisher
+  motivating Table I (Welch t-test over cycle distributions);
+* :mod:`repro.eval.reporting` — shared table formatting.
+"""
+
+from repro.eval.table1 import Table1Row, generate_table1, PAPER_TABLE1
+from repro.eval.table2 import Table2Row, generate_table2, PAPER_TABLE2
+from repro.eval.table3 import Table3Row, generate_table3, PAPER_TABLE3
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "generate_table1",
+    "generate_table2",
+    "generate_table3",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "format_table",
+]

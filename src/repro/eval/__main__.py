@@ -1,0 +1,189 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.eval            # everything (Tables I-III + extras)
+    python -m repro.eval table1     # one artifact
+    python -m repro.eval table2 table3
+
+Artifacts: table1, table2, table3, newhope, ablations, noise, validate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.reporting import format_table
+
+
+def run_table1() -> None:
+    from repro.eval.table1 import PAPER_TABLE1, generate_table1
+
+    rows = generate_table1()
+    print(format_table(
+        ["Scheme", "Fails", "Syndr.", "(paper)", "ErrLoc", "(paper)",
+         "Chien", "(paper)", "Decode", "(paper)"],
+        [(m.scheme, m.fails, m.syndrome, p.syndrome, m.error_locator,
+          p.error_locator, m.chien, p.chien, m.decode, p.decode)
+         for m, p in zip(rows, PAPER_TABLE1)],
+        title="Table I — BCH(511,367,16) decode cycles on RISC-V",
+    ))
+
+
+def run_table2() -> None:
+    from repro.eval.table2 import (
+        PAPER_SPEEDUPS,
+        PAPER_TABLE2,
+        generate_table2,
+        measured_speedups,
+    )
+
+    paper = {r.scheme: r for r in PAPER_TABLE2}
+    rows = generate_table2()
+    print(format_table(
+        ["Scheme", "KeyGen", "(paper)", "Encaps", "(paper)", "Decaps", "(paper)"],
+        [(r.scheme, r.key_generation, paper[r.scheme].key_generation,
+          r.encapsulation, paper[r.scheme].encapsulation,
+          r.decapsulation, paper[r.scheme].decapsulation) for r in rows],
+        title="Table II — protocol cycle counts",
+    ))
+    print()
+    speedups = measured_speedups()
+    print(format_table(
+        ["Scheme", "speedup (model)", "speedup (paper)"],
+        [(name, speedups[name], PAPER_SPEEDUPS[name]) for name in speedups],
+        title="Headline speedups (const-BCH baseline / ISE)",
+    ))
+
+
+def run_table3() -> None:
+    from repro.eval.table3 import PAPER_TABLE3, generate_table3, pq_alu_overhead
+
+    paper = {r.block: r for r in PAPER_TABLE3}
+    print(format_table(
+        ["Block", "LUTs", "(paper)", "Regs", "(paper)", "BRAM", "DSP"],
+        [(r.block, r.luts, paper[r.block].luts, r.registers,
+          paper[r.block].registers, r.brams, r.dsps)
+         for r in generate_table3()],
+        title="Table III — resource utilization",
+    ))
+    overhead = pq_alu_overhead()
+    print(f"\nPQ-ALU overhead: {overhead.luts:,} LUTs / "
+          f"{overhead.registers:,} registers / {overhead.dsps} DSPs "
+          f"(paper: 32,617 / 11,019 / 2)")
+
+
+def run_newhope() -> None:
+    from repro.cosim.newhope_model import NewHopeCycleModel, PAPER_NEWHOPE_ROW
+
+    row = NewHopeCycleModel().measure_protocol()
+    paper = PAPER_NEWHOPE_ROW
+    print(format_table(
+        ["Operation", "measured", "paper [8]"],
+        [("Key-Generation", row.key_generation, paper["key_generation"]),
+         ("Encapsulation", row.encapsulation, paper["encapsulation"]),
+         ("Decapsulation", row.decapsulation, paper["decapsulation"]),
+         ("GenA", row.kernels.gen_a, paper["gen_a"]),
+         ("Sample poly", row.kernels.sample_poly, paper["sample_poly"]),
+         ("Multiplication", row.kernels.multiplication, paper["multiplication"])],
+        title="NewHope1024 CPA baseline (vs. [8])",
+    ))
+
+
+def run_ablations() -> None:
+    from repro.eval.ablations import (
+        karatsuba_ablation,
+        keccak_generation_ablation,
+        sweep_mul_ter_lengths,
+    )
+
+    print(format_table(
+        ["Unit length", "LUTs", "Registers", "mult n=512", "mult n=1024"],
+        [(p.length, p.luts, p.registers, p.cycles_n512, p.cycles_n1024)
+         for p in sweep_mul_ter_lengths()],
+        title="Ablation — MUL TER length sweep",
+    ))
+    keccak = keccak_generation_ablation()
+    print(f"\nKeccak future work: GenA {keccak.gen_a_sha256:,} -> "
+          f"{keccak.gen_a_keccak:,} ({keccak.gen_a_speedup:.2f}x), "
+          f"+{keccak.area_delta_luts:,} LUTs")
+    karatsuba = karatsuba_ablation()
+    print(f"Karatsuba future work: {karatsuba.base_mults_karatsuba:,} vs "
+          f"{karatsuba.base_mults_schoolbook:,} base multiplications; "
+          f"SW cycles {karatsuba.karatsuba_software_cycles:,} vs "
+          f"{karatsuba.ternary_schoolbook_cycles:,}")
+
+
+def run_noise() -> None:
+    from repro.eval.noise import channel_error_distribution, h_sweep
+    from repro.lac.params import ALL_PARAMS
+
+    print(format_table(
+        ["Scheme", "mean errors", "max errors", "t"],
+        [(r.scheme, r.mean_errors, r.max_errors, r.correction_capacity)
+         for r in (channel_error_distribution(p, trials=10) for p in ALL_PARAMS)],
+        title="Decryption-noise Monte Carlo",
+    ))
+    print(format_table(
+        ["h", "D2 max errors", "plain max errors", "plain fails"],
+        [(p.h, p.d2_max, "-" if p.plain_max is None else p.plain_max,
+          p.plain_failed) for p in h_sweep(trials=5)],
+        title="Secret-weight sweep (LAC-256 geometry)",
+    ))
+
+
+def run_validate() -> None:
+    from repro.cosim.validation import run_all
+
+    print(format_table(
+        ["Kernel", "ISS cycles", "Predicted", "Exact", "Functional"],
+        [(v.name, v.iss_cycles, v.predicted_cycles, v.exact, v.functional_ok)
+         for v in run_all()],
+        title="ISS validation",
+    ))
+
+
+def run_sensitivity() -> None:
+    from repro.eval.sensitivity import SensitivityAnalysis
+
+    analysis = SensitivityAnalysis()
+    points = analysis.sweep()
+    by_parameter: dict[str, list] = {}
+    for point in points:
+        by_parameter.setdefault(point.parameter, []).append(point)
+    print(format_table(
+        ["Perturbed price (x0.5..x2)", "speedup min", "speedup max"],
+        [(name, min(p.speedup for p in ps), max(p.speedup for p in ps))
+         for name, ps in by_parameter.items()],
+        title="Sensitivity — LAC-128 headline speedup under price shifts",
+    ))
+
+
+ARTIFACTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "newhope": run_newhope,
+    "ablations": run_ablations,
+    "noise": run_noise,
+    "validate": run_validate,
+    "sensitivity": run_sensitivity,
+}
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or list(ARTIFACTS)
+    unknown = [t for t in targets if t not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
+        return 2
+    for index, target in enumerate(targets):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        ARTIFACTS[target]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

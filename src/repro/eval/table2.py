@@ -1,0 +1,122 @@
+"""Table II: protocol and kernel cycle counts for all configurations.
+
+Regenerates the paper's central results table: Key-Generation /
+Encapsulation / Decapsulation plus the four bottleneck kernels for
+LAC-{128,192,256} x {ref, const-BCH, ISE-optimized} on RISC-V.  The
+ARM Cortex-M4 rows (pqm4 [4]) and the NewHope co-design row ([8]) are
+carried as published reference values, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cosim.protocol import PROFILES, CycleModel, ProtocolCycles
+from repro.lac.params import ALL_PARAMS, LacParams
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One Table II row (kernel columns None where the paper has '-')."""
+
+    scheme: str
+    device: str
+    security_class: str
+    key_generation: int
+    encapsulation: int
+    decapsulation: int
+    gen_a: int | None = None
+    sample_poly: int | None = None
+    multiplication: int | None = None
+    bch_decode: int | None = None
+
+    @property
+    def total(self) -> int:
+        return self.key_generation + self.encapsulation + self.decapsulation
+
+
+#: The paper's measured values (every row of Table II).
+PAPER_TABLE2 = (
+    Table2Row("LAC-128 ref. [4]", "ARM Cortex-M4", "CCA (I)",
+              2_266_368, 3_979_851, 6_303_717),
+    Table2Row("LAC-192 ref. [4]", "ARM Cortex-M4", "CCA (III)",
+              7_532_180, 9_986_506, 17_452_435),
+    Table2Row("LAC-256 ref. [4]", "ARM Cortex-M4", "CCA (V)",
+              7_665_769, 13_533_851, 21_125_257),
+    Table2Row("LAC-128 ref.", "RISC-V", "CCA (I)",
+              2_980_721, 4_969_233, 7_544_632,
+              159_097, 190_173, 2_381_843, 161_514),
+    Table2Row("LAC-192 ref.", "RISC-V", "CCA (III)",
+              10_162_116, 13_388_940, 22_984_529,
+              287_609, 165_092, 9_482_261, 78_584),
+    Table2Row("LAC-256 ref.", "RISC-V", "CCA (V)",
+              10_516_000, 18_165_942, 27_879_782,
+              287_736, 344_541, 9_482_263, 171_622),
+    Table2Row("LAC-128 const. BCH", "RISC-V", "CCA (I)",
+              2_981_055, 4_969_238, 7_897_403,
+              159_192, 190_256, 2_381_843, 514_280),
+    Table2Row("LAC-192 const. BCH", "RISC-V", "CCA (III)",
+              10_162_502, 13_388_952, 23_126_138,
+              287_736, 165_185, 9_482_261, 220_181),
+    Table2Row("LAC-256 const. BCH", "RISC-V", "CCA (V)",
+              10_515_588, 18_165_040, 28_220_945,
+              287_609, 344_436, 9_482_263, 513_687),
+    Table2Row("LAC-128 opt.", "RISC-V", "CCA (I)",
+              542_814, 640_237, 839_132,
+              154_746, 159_134, 6_390, 160_295),
+    Table2Row("LAC-192 opt.", "RISC-V", "CCA (III)",
+              816_635, 1_086_148, 1_324_014,
+              282_264, 156_320, 151_354, 52_142),
+    Table2Row("LAC-256 opt.", "RISC-V", "CCA (V)",
+              1_086_252, 1_388_366, 1_759_756,
+              282_264, 291_007, 151_355, 160_296),
+    Table2Row("NewHope opt. [8]", "RISC-V", "CPA (V)",
+              357_052, 589_285, 167_647,
+              42_050, 75_682, 73_827, None),
+)
+
+#: Paper-reported headline speedups (sum of the three operations,
+#: constant-time-BCH baseline vs. ISE-optimized).
+PAPER_SPEEDUPS = {"LAC-128": 7.66, "LAC-192": 14.42, "LAC-256": 13.36}
+
+_PROFILE_LABEL = {"ref": "ref.", "const_bch": "const. BCH", "ise": "opt."}
+
+
+def _row_from_cycles(params: LacParams, cycles: ProtocolCycles) -> Table2Row:
+    return Table2Row(
+        scheme=f"{params.name} {_PROFILE_LABEL[cycles.profile]}",
+        device="RISC-V (model)",
+        security_class=f"CCA ({params.nist_level})",
+        key_generation=cycles.key_generation,
+        encapsulation=cycles.encapsulation,
+        decapsulation=cycles.decapsulation,
+        gen_a=cycles.kernels.gen_a,
+        sample_poly=cycles.kernels.sample_poly,
+        multiplication=cycles.kernels.multiplication,
+        bch_decode=cycles.kernels.bch_decode,
+    )
+
+
+def generate_table2(
+    params_list: tuple[LacParams, ...] = ALL_PARAMS,
+    profiles: tuple[str, ...] = PROFILES,
+) -> list[Table2Row]:
+    """Measure every (parameter set, profile) cell of Table II."""
+    rows = []
+    for profile in profiles:
+        for params in params_list:
+            cycles = CycleModel(params, profile).measure_protocol()
+            rows.append(_row_from_cycles(params, cycles))
+    return rows
+
+
+def measured_speedups(
+    params_list: tuple[LacParams, ...] = ALL_PARAMS,
+) -> dict[str, float]:
+    """The headline factors on the model (const-BCH total / ISE total)."""
+    out = {}
+    for params in params_list:
+        baseline = CycleModel(params, "const_bch").measure_protocol()
+        optimized = CycleModel(params, "ise").measure_protocol()
+        out[params.name] = baseline.total / optimized.total
+    return out

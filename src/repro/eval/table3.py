@@ -1,0 +1,55 @@
+"""Table III: FPGA resource utilization.
+
+The structural area model (:mod:`repro.hw.area`) estimates LUT and
+register usage of every PQ-ALU unit from its component inventory; the
+platform blocks (RISCY base core, peripherals) and the NewHope
+accelerators of [8] are the paper's published values.  What must hold
+(and is asserted by the Table III benchmark): the ternary multiplier
+dominates LUTs and registers, the GF block is tiny, the Barrett unit
+holds the design's only two DSP slices, and the PQ-ALU needs no BRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.area import AreaEstimate, AreaModel
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    block: str
+    luts: int
+    registers: int
+    brams: int
+    dsps: int
+
+
+#: The paper's synthesis results (Xilinx Zynq UltraScale+ ZCU102).
+PAPER_TABLE3 = (
+    Table3Row("Peripherals/Memory", 8_769, 7_369, 32, 0),
+    Table3Row("RISC-V core total", 53_819, 13_928, 0, 10),
+    Table3Row("- Ternary Multiplier", 31_465, 9_305, 0, 0),
+    Table3Row("- GF-Multipliers", 86, 158, 0, 0),
+    Table3Row("- SHA256", 1_031, 1_556, 0, 0),
+    Table3Row("- Modulo (Barrett)", 35, 0, 0, 2),
+    Table3Row("NTT accelerator [8]", 886, 618, 1, 26),
+    Table3Row("Keccak accelerator [8]", 10_435, 4_225, 0, 0),
+)
+
+#: The abstract's headline accelerator overhead.
+PAPER_PQ_ALU_OVERHEAD = AreaEstimate(luts=32_617, registers=11_019, dsps=2)
+
+
+def generate_table3(mul_ter_length: int = 512) -> list[Table3Row]:
+    """The full Table III layout from the structural area model."""
+    report = AreaModel().full_report(mul_ter_length)
+    return [
+        Table3Row(name, est.luts, est.registers, est.brams, est.dsps)
+        for name, est in report.items()
+    ]
+
+
+def pq_alu_overhead(mul_ter_length: int = 512) -> AreaEstimate:
+    """Total accelerator cost (compare: 32,617 LUTs / 11,019 FF / 2 DSP)."""
+    return AreaModel().pq_alu_overhead(mul_ter_length)

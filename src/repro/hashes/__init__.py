@@ -1,0 +1,14 @@
+"""Hashing substrate: SHA-256 and the LAC seed-expansion PRNG.
+
+LAC generates its public polynomial and all secret/error polynomials
+by expanding short seeds through SHA-256 (Sec. III-B of the paper) —
+which is why the paper's third accelerator is a SHA256 core.  The
+implementation here is written from scratch (and verified against
+``hashlib`` in the test suite) so the same round schedule can back
+both the software cycle model and the hardware accelerator model.
+"""
+
+from repro.hashes.sha256 import SHA256, sha256
+from repro.hashes.prng import Sha256Prng
+
+__all__ = ["SHA256", "sha256", "Sha256Prng"]

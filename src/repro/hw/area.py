@@ -1,0 +1,116 @@
+"""FPGA resource estimation (Table III substitution).
+
+We cannot synthesize RTL, so Table III is reproduced with a structural
+area model: every unit reports a :class:`ComponentInventory` (adder
+bits, mux bits, gates, flip-flops, DSPs, BRAMs) and this module maps
+primitives to Xilinx UltraScale+ CLB resources with standard per-
+primitive costs:
+
+* a w-bit ripple/carry adder maps to ~w LUTs (carry chain),
+* a 2:1 mux bit or comparator bit to ~0.5 LUT (two fit one LUT6),
+* a 2-input gate to ~0.5 LUT (synthesis packs several per LUT but
+  routing and control overhead roughly cancel the packing at this
+  granularity),
+* flip-flops map 1:1 to CLB registers; DSP and BRAM pass through.
+
+The RISCY base core and the platform peripherals are carried as
+published constants (they are the paper's measurement of third-party
+RTL, not something our models produce); the PQ-ALU units are estimated
+from their inventories.  What the model must preserve from Table III:
+the ternary multiplier dominating LUTs and registers, the GF block
+being tiny, Barrett holding the only two DSPs, and the PQ-ALU using
+zero BRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.barrett import BarrettUnit
+from repro.hw.chien import ChienUnit
+from repro.hw.common import ComponentInventory
+from repro.hw.mul_ter import MulTerUnit
+from repro.hw.sha256_accel import Sha256Unit
+
+#: LUTs per primitive unit (see module docstring).
+LUTS_PER_ADDER_BIT = 1.0
+LUTS_PER_MUX_BIT = 0.5
+LUTS_PER_COMPARATOR_BIT = 0.5
+LUTS_PER_GATE = 0.5
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """LUT/register/BRAM/DSP usage of one block."""
+
+    luts: int
+    registers: int
+    brams: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "AreaEstimate") -> "AreaEstimate":
+        return AreaEstimate(
+            luts=self.luts + other.luts,
+            registers=self.registers + other.registers,
+            brams=self.brams + other.brams,
+            dsps=self.dsps + other.dsps,
+        )
+
+
+#: Paper-reported baseline blocks (third-party RTL we do not model).
+RISCY_BASE_CORE = AreaEstimate(luts=21_202, registers=2_909, brams=0, dsps=8)
+PERIPHERALS_AND_MEMORY = AreaEstimate(luts=8_769, registers=7_369, brams=32, dsps=0)
+
+#: Paper values for the comparison rows of Table III ([8]'s accelerators).
+NEWHOPE_NTT_ACCELERATOR = AreaEstimate(luts=886, registers=618, brams=1, dsps=26)
+NEWHOPE_KECCAK_ACCELERATOR = AreaEstimate(luts=10_435, registers=4_225, brams=0, dsps=0)
+
+
+class AreaModel:
+    """Maps component inventories to UltraScale+ resource estimates."""
+
+    def estimate(self, inventory: ComponentInventory) -> AreaEstimate:
+        """Map a component inventory to LUT/FF/BRAM/DSP figures."""
+        luts = (
+            inventory.adder_bits * LUTS_PER_ADDER_BIT
+            + inventory.mux_bits * LUTS_PER_MUX_BIT
+            + inventory.comparator_bits * LUTS_PER_COMPARATOR_BIT
+            + inventory.gates * LUTS_PER_GATE
+        )
+        return AreaEstimate(
+            luts=round(luts),
+            registers=inventory.flipflops,
+            brams=inventory.bram,
+            dsps=inventory.dsp,
+        )
+
+    # ------------------------------------------------------------------
+
+    def pq_alu_report(self, mul_ter_length: int = 512) -> dict[str, AreaEstimate]:
+        """Per-unit estimates for the PQ-ALU (Table III's indented rows)."""
+        return {
+            "Ternary Multiplier": self.estimate(MulTerUnit(mul_ter_length).inventory()),
+            "GF-Multipliers": self.estimate(ChienUnit().inventory()),
+            "SHA256": self.estimate(Sha256Unit().inventory()),
+            "Modulo (Barrett)": self.estimate(BarrettUnit().inventory()),
+        }
+
+    def full_report(self, mul_ter_length: int = 512) -> dict[str, AreaEstimate]:
+        """The complete Table III layout: platform + extended core + units."""
+        units = self.pq_alu_report(mul_ter_length)
+        pq_alu_total = AreaEstimate(0, 0)
+        for estimate in units.values():
+            pq_alu_total = pq_alu_total + estimate
+        report = {"Peripherals/Memory": PERIPHERALS_AND_MEMORY}
+        report["RISC-V core total"] = RISCY_BASE_CORE + pq_alu_total
+        report.update({f"- {name}": est for name, est in units.items()})
+        report["NTT accelerator [8]"] = NEWHOPE_NTT_ACCELERATOR
+        report["Keccak accelerator [8]"] = NEWHOPE_KECCAK_ACCELERATOR
+        return report
+
+    def pq_alu_overhead(self, mul_ter_length: int = 512) -> AreaEstimate:
+        """The accelerators' total cost (the abstract's headline numbers)."""
+        total = AreaEstimate(0, 0)
+        for estimate in self.pq_alu_report(mul_ter_length).values():
+            total = total + estimate
+        return total

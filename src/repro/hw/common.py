@@ -1,0 +1,92 @@
+"""Shared infrastructure for the hardware models.
+
+Every unit exposes a :class:`ComponentInventory` describing its
+structural composition — the flip-flops, adders, multiplexers and
+gates a synthesis tool would map to LUTs and registers.  The inventory
+is what the area model (:mod:`repro.hw.area`) consumes to reproduce
+Table III; keeping it structural (counts of primitives, not magic LUT
+numbers) means the MUL TER size ablation changes area estimates for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ComponentInventory:
+    """Structural primitive counts of a hardware block.
+
+    Widths are tracked because an UltraScale+ LUT6 absorbs roughly two
+    bits of simple logic: a w-bit adder costs about w LUTs (carry chain),
+    a w-bit 2:1 mux about w/2 LUTs, and w flip-flops w registers.
+    """
+
+    #: flip-flop bits (registers)
+    flipflops: int = 0
+    #: total adder/subtractor bit-width (sum over all adders)
+    adder_bits: int = 0
+    #: total 2:1 multiplexer bit-width
+    mux_bits: int = 0
+    #: total comparator bit-width (equality/magnitude)
+    comparator_bits: int = 0
+    #: 2-input gate equivalents (AND/XOR/OR), counted individually
+    gates: int = 0
+    #: DSP48 slices consumed by wide multipliers
+    dsp: int = 0
+    #: 36kb BRAM blocks
+    bram: int = 0
+    #: free-form notes on the block's structure
+    notes: list[str] = field(default_factory=list)
+
+    def __add__(self, other: "ComponentInventory") -> "ComponentInventory":
+        return ComponentInventory(
+            flipflops=self.flipflops + other.flipflops,
+            adder_bits=self.adder_bits + other.adder_bits,
+            mux_bits=self.mux_bits + other.mux_bits,
+            comparator_bits=self.comparator_bits + other.comparator_bits,
+            gates=self.gates + other.gates,
+            dsp=self.dsp + other.dsp,
+            bram=self.bram + other.bram,
+            notes=self.notes + other.notes,
+        )
+
+    def scaled(self, factor: int) -> "ComponentInventory":
+        """Inventory of ``factor`` identical instances."""
+        return ComponentInventory(
+            flipflops=self.flipflops * factor,
+            adder_bits=self.adder_bits * factor,
+            mux_bits=self.mux_bits * factor,
+            comparator_bits=self.comparator_bits * factor,
+            gates=self.gates * factor,
+            dsp=self.dsp * factor,
+            bram=self.bram * factor,
+            notes=list(self.notes),
+        )
+
+
+class ClockedUnit:
+    """Base class for cycle-accurate unit models.
+
+    Subclasses implement :meth:`_tick` (one clock edge) and use
+    :meth:`run` to advance a whole operation while accounting cycles.
+    ``cycle_count`` accumulates over the unit's lifetime, mirroring a
+    hardware performance counter.
+    """
+
+    def __init__(self) -> None:
+        self.cycle_count = 0
+
+    def tick(self, n: int = 1) -> None:
+        """Advance ``n`` clock cycles."""
+        for _ in range(n):
+            self._tick()
+            self.cycle_count += 1
+
+    def _tick(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reset_cycles(self) -> None:
+        """Zero the performance counter (datapath state is preserved)."""
+        self.cycle_count = 0

@@ -1,0 +1,49 @@
+"""The LAC post-quantum public-key cryptosystem (NIST round 2).
+
+This is the paper's workload: an RLWE-based PKE/KEM with byte-sized
+modulus q = 251, ternary secrets, and a strong BCH error-correcting
+code (Sec. III).  All three security levels are supported:
+
+========  ======  ====  =======================  ====  ==========
+Name      n       h     BCH code                 D2    NIST level
+========  ======  ====  =======================  ====  ==========
+LAC-128   512     256   BCH(511,367,16)/256      no    I
+LAC-192   1024    256   BCH(511,439,8)/256       no    III
+LAC-256   1024    384   BCH(511,367,16)/256      yes   V
+========  ======  ====  =======================  ====  ==========
+
+Public API:
+
+* :data:`LAC_128`, :data:`LAC_192`, :data:`LAC_256` — parameter sets.
+* :class:`repro.lac.pke.LacPke` — the CPA-secure public-key encryption.
+* :class:`repro.lac.kem.LacKem` — the CCA-secure KEM (Fujisaki-Okamoto
+  transform with re-encryption, the "CCA" rows of Table II).
+"""
+
+from repro.lac.params import LAC_128, LAC_192, LAC_256, ALL_PARAMS, LacParams
+from repro.lac.sampling import gen_a, sample_ternary_fixed_weight
+from repro.lac.encoding import MessageCodec
+from repro.lac.pke import Ciphertext, LacPke, PublicKey, SecretKey
+from repro.lac.kem import KemKeyPair, KemSecretKey, LacKem
+from repro.lac.hybrid import HybridCiphertext, HybridDecryptionError, LacHybrid
+
+__all__ = [
+    "LAC_128",
+    "LAC_192",
+    "LAC_256",
+    "ALL_PARAMS",
+    "LacParams",
+    "gen_a",
+    "sample_ternary_fixed_weight",
+    "MessageCodec",
+    "LacPke",
+    "LacKem",
+    "PublicKey",
+    "SecretKey",
+    "Ciphertext",
+    "KemKeyPair",
+    "KemSecretKey",
+    "LacHybrid",
+    "HybridCiphertext",
+    "HybridDecryptionError",
+]

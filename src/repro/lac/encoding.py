@@ -1,0 +1,157 @@
+"""Message <-> ring-element encoding, including D2 and compression.
+
+Encryption path (Sec. III-C): the 256-bit plaintext is BCH-encoded
+into a codeword, each codeword bit is scaled to floor(q/2) = 125 and
+placed into a ring coefficient (twice, at offset ``codeword_bits``,
+for D2 parameter sets).  Only the occupied ``v_slots`` coefficients of
+v are transmitted, each compressed to 4 bits.
+
+Decryption path (Sec. III-D): coefficients are threshold-decoded back
+to bits — a bit is 1 when the (noisy) coefficient is closer to q/2
+than to 0; D2 pairs vote by summed distance — and the BCH decoder
+removes the remaining bit errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bch.decoder import BCHDecoder, DecodeResult
+from repro.bch.ct_decoder import ConstantTimeBCHDecoder
+from repro.bch.encoder import BCHEncoder
+from repro.bitutils import bits_to_bytes, bytes_to_bits
+from repro.lac.params import LacParams
+from repro.metrics import OpCounter, ensure_counter
+
+
+@dataclass
+class DecodedMessage:
+    """Threshold + BCH decode outcome."""
+
+    message: bytes
+    bch_result: DecodeResult
+    #: Bit errors the threshold stage handed to the BCH decoder
+    #: (relative to the corrected codeword) — a noise health metric.
+    channel_errors: int
+
+
+class MessageCodec:
+    """Encode/decode 32-byte messages into/out of ring coefficients."""
+
+    def __init__(self, params: LacParams):
+        self.params = params
+        self.encoder = BCHEncoder(params.bch)
+        self.decoder = BCHDecoder(params.bch)
+        self.ct_decoder = ConstantTimeBCHDecoder(params.bch)
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+
+    def encode(self, message: bytes, counter: OpCounter | None = None) -> np.ndarray:
+        """BCH-encode and embed a message into a full ring element.
+
+        Unused coefficients are zero; the caller adds this to the RLWE
+        mask b*s' + e'' and truncates to ``params.v_slots``.
+        """
+        params = self.params
+        counter = ensure_counter(counter)
+        if len(message) != params.message_bytes:
+            raise ValueError(f"message must be {params.message_bytes} bytes")
+        bits = bytes_to_bits(message, params.bch.k)
+        codeword = self.encoder.encode(bits, counter)
+
+        out = np.zeros(params.n, dtype=np.int64)
+        amplitude = params.half_q
+        cw_len = params.codeword_bits
+        out[:cw_len] = codeword.astype(np.int64) * amplitude
+        if params.d2:
+            out[cw_len : 2 * cw_len] = out[:cw_len]
+        with counter.phase("encode"):
+            counter.count("loop", params.v_slots)
+            counter.count("alu", params.v_slots)
+            counter.count("store", params.v_slots)
+        return out
+
+    # ------------------------------------------------------------------
+    # threshold decode
+    # ------------------------------------------------------------------
+
+    def threshold_decode(
+        self, noisy: np.ndarray, counter: OpCounter | None = None
+    ) -> np.ndarray:
+        """Map ``v_slots`` noisy Z_q values to hard codeword bits.
+
+        Per coefficient w, let d0 = distance(w, 0) and
+        d1 = distance(w, floor(q/2)) on the Z_q circle; the bit is 1
+        when d1 < d0.  D2 pairs sum both distances before comparing —
+        a 1-bit soft combination that roughly halves the noise standard
+        deviation, which is what lets LAC-256 keep t = 16.
+        """
+        params = self.params
+        counter = ensure_counter(counter)
+        q, half = params.q, params.half_q
+        cw_len = params.codeword_bits
+        if noisy.size != params.v_slots:
+            raise ValueError(f"expected {params.v_slots} coefficients")
+
+        values = np.mod(noisy, q)
+        d0 = np.minimum(values, q - values)
+        shifted = np.mod(values - half, q)
+        d1 = np.minimum(shifted, q - shifted)
+        with counter.phase("threshold"):
+            counter.count("loop", params.v_slots)
+            counter.count("load", params.v_slots)
+            counter.count("alu", 4 * params.v_slots)
+            counter.count("branch", params.v_slots)
+            counter.count("store", cw_len)
+        if params.d2:
+            bit_metric0 = d0[:cw_len] + d0[cw_len : 2 * cw_len]
+            bit_metric1 = d1[:cw_len] + d1[cw_len : 2 * cw_len]
+            return (bit_metric1 < bit_metric0).astype(np.uint8)
+        return (d1[:cw_len] < d0[:cw_len]).astype(np.uint8)
+
+    def decode(
+        self,
+        noisy: np.ndarray,
+        counter: OpCounter | None = None,
+        constant_time: bool = True,
+        bch_decoder=None,
+    ) -> DecodedMessage:
+        """Full decode: threshold bits, then BCH error correction.
+
+        ``bch_decoder`` overrides the decoder choice (anything with a
+        ``decode(bits, counter) -> DecodeResult`` method, e.g. the
+        ISE-accelerated decoder of the co-design layer).
+        """
+        counter = ensure_counter(counter)
+        hard_bits = self.threshold_decode(noisy, counter)
+        if bch_decoder is not None:
+            result = bch_decoder.decode(hard_bits, counter)
+        elif constant_time:
+            result = self.ct_decoder.decode(hard_bits, counter)
+        else:
+            result = self.decoder.decode(hard_bits, counter)
+        channel_errors = int(np.count_nonzero(hard_bits != result.codeword))
+        message = bits_to_bytes(result.message)
+        return DecodedMessage(
+            message=message, bch_result=result, channel_errors=channel_errors
+        )
+
+    # ------------------------------------------------------------------
+    # ciphertext compression of v (4 bits per slot)
+    # ------------------------------------------------------------------
+
+    def compress_v(self, v: np.ndarray) -> np.ndarray:
+        """Drop the low ``8 - v_bits`` bits of each v coefficient."""
+        shift = 8 - self.params.v_bits
+        return (np.mod(v, self.params.q).astype(np.int64) >> shift).astype(np.uint8)
+
+    def decompress_v(self, compressed: np.ndarray) -> np.ndarray:
+        """Re-center the dropped bits (adds uniform noise of +-2^(shift-1))."""
+        shift = 8 - self.params.v_bits
+        if shift == 0:
+            return compressed.astype(np.int64)
+        return (compressed.astype(np.int64) << shift) + (1 << (shift - 1))

@@ -1,0 +1,114 @@
+"""Hybrid public-key encryption (KEM-DEM) on top of the LAC KEM.
+
+The KEM transports 32-byte secrets; real payloads need a data
+encapsulation mechanism.  This module provides the standard KEM-DEM
+construction with primitives already in the repository:
+
+* stream cipher: SHA-256 in counter mode, keyed from the KEM secret;
+* integrity: an encrypt-then-MAC tag (keyed hash) over the whole
+  ciphertext, so tampering anywhere — KEM part or payload — is
+  rejected before any plaintext is released.
+
+Wire format: ``kem_ciphertext || nonce (12) || body || tag (32)``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.hashes.sha256 import sha256
+from repro.lac.kem import KemSecretKey, LacKem
+from repro.lac.params import LacParams
+from repro.lac.pke import Ciphertext, PublicKey
+
+_NONCE_BYTES = 12
+_TAG_BYTES = 32
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += sha256(key + nonce + counter.to_bytes(8, "little"))
+        counter += 1
+    return bytes(out[:length])
+
+
+def _tag(key: bytes, data: bytes) -> bytes:
+    """Nested keyed hash (HMAC-style envelope)."""
+    return sha256(key + sha256(key + data))
+
+
+def _derive_keys(shared_secret: bytes) -> tuple[bytes, bytes]:
+    return sha256(shared_secret + b"hybrid-enc"), sha256(shared_secret + b"hybrid-mac")
+
+
+@dataclass
+class HybridCiphertext:
+    """A sealed message."""
+
+    params: LacParams
+    kem_ciphertext: Ciphertext
+    nonce: bytes
+    body: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Wire format: kem_ct || nonce || body || tag."""
+        return (
+            self.kem_ciphertext.to_bytes() + self.nonce + self.body + self.tag
+        )
+
+    @classmethod
+    def from_bytes(cls, params: LacParams, blob: bytes) -> "HybridCiphertext":
+        kem_len = params.ciphertext_bytes
+        minimum = kem_len + _NONCE_BYTES + _TAG_BYTES
+        if len(blob) < minimum:
+            raise ValueError(f"hybrid ciphertext must be >= {minimum} bytes")
+        kem_ct = Ciphertext.from_bytes(params, blob[:kem_len])
+        nonce = blob[kem_len : kem_len + _NONCE_BYTES]
+        body = blob[kem_len + _NONCE_BYTES : -_TAG_BYTES]
+        return cls(params, kem_ct, nonce, body, blob[-_TAG_BYTES:])
+
+
+class HybridDecryptionError(Exception):
+    """Authentication failed — the ciphertext was tampered with."""
+
+
+class LacHybrid:
+    """Seal/open arbitrary-length messages under a LAC public key."""
+
+    def __init__(self, params: LacParams):
+        self.params = params
+        self.kem = LacKem(params)
+
+    def seal(self, pk: PublicKey, plaintext: bytes) -> HybridCiphertext:
+        """Encrypt and authenticate ``plaintext`` for the key holder."""
+        encapsulated = self.kem.encaps(pk)
+        enc_key, mac_key = _derive_keys(encapsulated.shared_secret)
+        nonce = secrets.token_bytes(_NONCE_BYTES)
+        body = bytes(
+            p ^ k
+            for p, k in zip(plaintext, _keystream(enc_key, nonce, len(plaintext)))
+        )
+        kem_ct = encapsulated.ciphertext
+        tag = _tag(mac_key, kem_ct.to_bytes() + nonce + body)
+        return HybridCiphertext(self.params, kem_ct, nonce, body, tag)
+
+    def open(self, sk: KemSecretKey, sealed: HybridCiphertext) -> bytes:
+        """Authenticate and decrypt; raises on any tampering.
+
+        Implicit rejection does the heavy lifting: a tampered KEM part
+        decapsulates to a decoy secret, whose MAC key then rejects the
+        tag — one uniform failure path, no decryption oracle.
+        """
+        shared = self.kem.decaps(sk, sealed.kem_ciphertext)
+        enc_key, mac_key = _derive_keys(shared)
+        expected = _tag(
+            mac_key, sealed.kem_ciphertext.to_bytes() + sealed.nonce + sealed.body
+        )
+        if expected != sealed.tag:
+            raise HybridDecryptionError("authentication failed")
+        stream = _keystream(enc_key, sealed.nonce, len(sealed.body))
+        return bytes(c ^ k for c, k in zip(sealed.body, stream))

@@ -1,0 +1,171 @@
+"""LAC CCA-secure KEM via the Fujisaki-Okamoto transform.
+
+The paper benchmarks the CCA variant (Table II, "Security Class CCA"),
+whose decapsulation re-encrypts the recovered message and compares
+ciphertexts — that re-encryption is why LAC decapsulation costs
+roughly a key generation plus an encryption plus a decryption, and why
+the accelerators pay off twice per decapsulation.
+
+Key derivations (SHA-256 with domain separation):
+
+* coins  = H(m || H(pk) || "coins")  — deterministic encryption randomness
+* shared = H(m || H(ct) || "shared") — the session key
+* reject = H(z || H(ct) || "reject") — implicit rejection on FO failure
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.hashes.sha256 import sha256
+from repro.lac.params import LacParams
+from repro.lac.pke import Ciphertext, LacPke, Multiplier, PublicKey, SecretKey, fast_multiplier
+from repro.metrics import OpCounter, ensure_counter
+
+
+def _hash3(a: bytes, b: bytes, label: bytes, counter: OpCounter | None = None) -> bytes:
+    # sha256() takes the hashlib fast path when nothing is counted
+    return sha256(a + b + label, counter=counter)
+
+
+@dataclass
+class KemSecretKey:
+    """Decapsulation key: the PKE secret, the public key (for
+    re-encryption), its digest, and the implicit-rejection secret z."""
+
+    sk: SecretKey
+    pk: PublicKey
+    pk_digest: bytes
+    z: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize for storage: sk || pk || pk_digest || z."""
+        return self.sk.to_bytes() + self.pk.to_bytes() + self.pk_digest + self.z
+
+    @classmethod
+    def from_bytes(cls, params: LacParams, blob: bytes) -> "KemSecretKey":
+        expected = (
+            params.secret_key_bytes + params.public_key_bytes + 32 + 32
+        )
+        if len(blob) != expected:
+            raise ValueError(f"KEM secret key must be {expected} bytes")
+        offset = params.secret_key_bytes
+        sk = SecretKey.from_bytes(params, blob[:offset])
+        pk = PublicKey.from_bytes(
+            params, blob[offset : offset + params.public_key_bytes]
+        )
+        offset += params.public_key_bytes
+        pk_digest = blob[offset : offset + 32]
+        z = blob[offset + 32 : offset + 64]
+        return cls(sk, pk, pk_digest, z)
+
+
+@dataclass
+class KemKeyPair:
+    public_key: PublicKey
+    secret_key: KemSecretKey
+
+
+@dataclass
+class EncapsResult:
+    ciphertext: Ciphertext
+    shared_secret: bytes
+
+
+class LacKem:
+    """The CCA-secure LAC key encapsulation mechanism."""
+
+    def __init__(
+        self,
+        params: LacParams,
+        multiplier: Multiplier = fast_multiplier,
+        constant_time_bch: bool = True,
+        v_multiplier=None,
+        bch_decoder=None,
+    ):
+        self.params = params
+        self.pke = LacPke(
+            params,
+            multiplier,
+            v_multiplier=v_multiplier,
+            bch_decoder=bch_decoder,
+        )
+        self.constant_time_bch = constant_time_bch
+
+    # ------------------------------------------------------------------
+
+    def keygen(
+        self, seed: bytes | None = None, counter: OpCounter | None = None
+    ) -> KemKeyPair:
+        """Generate a key pair (random seed drawn from the OS when omitted)."""
+        counter = ensure_counter(counter)
+        params = self.params
+        if seed is None:
+            seed = secrets.token_bytes(params.seed_bytes + 32)
+        if len(seed) < params.seed_bytes + 32:
+            raise ValueError(
+                f"seed must provide {params.seed_bytes + 32} bytes "
+                "(PKE seed + implicit-rejection secret)"
+            )
+        pke_seed, z = seed[: params.seed_bytes], seed[params.seed_bytes :][:32]
+        pk, sk = self.pke.keygen(pke_seed, counter)
+        with counter.phase("kem_glue"):
+            pk_digest = _hash3(pk.to_bytes(), b"", b"pk", counter)
+        return KemKeyPair(pk, KemSecretKey(sk, pk, pk_digest, z))
+
+    # ------------------------------------------------------------------
+
+    def encaps(
+        self,
+        pk: PublicKey,
+        message: bytes | None = None,
+        counter: OpCounter | None = None,
+    ) -> EncapsResult:
+        """Encapsulate a fresh shared secret under ``pk``.
+
+        ``message`` fixes the FO randomness (tests/KATs only); normal
+        callers leave it None for an OS-random message.
+        """
+        counter = ensure_counter(counter)
+        params = self.params
+        if message is None:
+            message = secrets.token_bytes(params.message_bytes)
+        if len(message) != params.message_bytes:
+            raise ValueError(f"message must be {params.message_bytes} bytes")
+
+        with counter.phase("kem_glue"):
+            pk_digest = _hash3(pk.to_bytes(), b"", b"pk", counter)
+            coins = _hash3(message, pk_digest, b"coins", counter)
+        ciphertext = self.pke.encrypt(pk, message, coins, counter)
+        with counter.phase("kem_glue"):
+            ct_digest = _hash3(ciphertext.to_bytes(), b"", b"ct", counter)
+            shared = _hash3(message, ct_digest, b"shared", counter)
+        return EncapsResult(ciphertext, shared)
+
+    # ------------------------------------------------------------------
+
+    def decaps(
+        self,
+        keys: KemSecretKey,
+        ciphertext: Ciphertext,
+        counter: OpCounter | None = None,
+    ) -> bytes:
+        """Recover the shared secret (implicit rejection on FO failure)."""
+        counter = ensure_counter(counter)
+        decoded = self.pke.decrypt(
+            keys.sk, ciphertext, counter, constant_time_bch=self.constant_time_bch
+        )
+        with counter.phase("kem_glue"):
+            coins = _hash3(decoded.message, keys.pk_digest, b"coins", counter)
+        # FO re-encryption: the decapsulation's second big cost block
+        reencrypted = self.pke.encrypt(keys.pk, decoded.message, coins, counter)
+        with counter.phase("kem_glue"):
+            ct_bytes = ciphertext.to_bytes()
+            ct_digest = _hash3(ct_bytes, b"", b"ct", counter)
+            counter.count("loop", len(ct_bytes))
+            counter.count("load", 2 * len(ct_bytes))
+            counter.count("alu", len(ct_bytes))
+            if reencrypted.to_bytes() == ct_bytes:
+                return _hash3(decoded.message, ct_digest, b"shared", counter)
+            return _hash3(keys.z, ct_digest, b"reject", counter)

@@ -1,0 +1,38 @@
+"""The NewHope lattice KEM — the paper's comparison baseline.
+
+Table II compares the LAC co-design against the RISC-V NewHope
+co-design of [8] (CPA-secure, NIST level V), and Table III against its
+NTT and Keccak accelerators.  Rather than carrying those rows purely
+as citations, this subpackage implements the baseline itself:
+
+* NewHope512/NewHope1024 CPA-PKE and CPA-KEM (q = 12289, binomial
+  noise psi_8, SHAKE-128 generation, NTT-domain public keys,
+  3-bit-compressed second ciphertext component);
+* cycle-annotated kernels matching [8]'s measurement style, with the
+  NTT running on the loosely-coupled accelerator model
+  (:mod:`repro.hw.ntt_accel`) and generation on the Keccak core.
+
+The structural differences the paper highlights all become measurable:
+NewHope's NTT needs DSPs and BRAM where LAC's ternary multiplier needs
+LUTs; NewHope's Keccak generation is faster but 10x larger than LAC's
+SHA256 core; LAC pays for its error-correcting decoder but wins on
+key and ciphertext sizes.
+"""
+
+from repro.newhope.params import NEWHOPE_1024, NEWHOPE_512, NewHopeParams
+from repro.newhope.cpa import (
+    NewHopeCiphertext,
+    NewHopeCpaKem,
+    NewHopeKeyPair,
+    NewHopePke,
+)
+
+__all__ = [
+    "NEWHOPE_512",
+    "NEWHOPE_1024",
+    "NewHopeParams",
+    "NewHopePke",
+    "NewHopeCpaKem",
+    "NewHopeKeyPair",
+    "NewHopeCiphertext",
+]

@@ -1,0 +1,72 @@
+"""NewHope parameter sets (NIST round-2 CPA variant).
+
+Both sets share q = 12289, binomial parameter k = 8, a 256-bit
+message, and 3-bit compression of the second ciphertext component;
+they differ in the ring size (and hence in how many coefficients carry
+each message bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ring.ntt import NEWHOPE_Q, NttContext, get_context
+
+
+@dataclass(frozen=True)
+class NewHopeParams:
+    """One NewHope parameter set."""
+
+    name: str
+    n: int
+    nist_level: str
+    q: int = NEWHOPE_Q
+    #: Binomial noise parameter: coefficients are HW(a) - HW(b) with
+    #: a, b k-bit strings (variance k/2).
+    k: int = 8
+    seed_bytes: int = 32
+    message_bytes: int = 32
+    #: Bits kept per coefficient of the compressed component v.
+    v_bits: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n % (8 * self.message_bytes):
+            raise ValueError("ring size must be a multiple of the message bits")
+
+    @property
+    def ntt(self) -> NttContext:
+        return get_context(self.n, self.q)
+
+    @property
+    def redundancy(self) -> int:
+        """Ring coefficients per message bit (4 for n=1024, 2 for n=512)."""
+        return self.n // (8 * self.message_bytes)
+
+    # ------------------------------------------------------------------
+    # wire sizes (bytes) — the paper quotes pk 1824 / sk 1792 / ct 2176
+    # for level V; those figures use 14-bit packed polynomials.
+    # ------------------------------------------------------------------
+
+    @property
+    def poly_bytes(self) -> int:
+        """A full polynomial packed at 14 bits per coefficient."""
+        return (14 * self.n + 7) // 8
+
+    @property
+    def public_key_bytes(self) -> int:
+        return self.seed_bytes + self.poly_bytes
+
+    @property
+    def secret_key_bytes(self) -> int:
+        return self.poly_bytes
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        return self.poly_bytes + (self.v_bits * self.n + 7) // 8
+
+    def __str__(self) -> str:
+        return self.name
+
+
+NEWHOPE_512 = NewHopeParams(name="NewHope512", n=512, nist_level="I")
+NEWHOPE_1024 = NewHopeParams(name="NewHope1024", n=1024, nist_level="V")

@@ -1,0 +1,48 @@
+"""Polynomial ring arithmetic for LAC.
+
+All LAC arithmetic happens in R_n = Z_q[x] / (x^n + 1) with q = 251
+(Sec. IV-A of the paper).  This subpackage provides:
+
+* :class:`repro.ring.poly.PolyRing` — the ring, with golden-model
+  schoolbook multiplication (Eq. 1), vectorized arithmetic, and both
+  wrapped-convolution variants;
+* :mod:`repro.ring.ternary` — ternary polynomials (coefficients in
+  {-1, 0, 1}) and the addition/subtraction-only multiplication that
+  the MUL TER hardware exploits;
+* :mod:`repro.ring.splitting` — the two-level software polynomial
+  splitting of Algorithms 1 and 2, which lets a length-512 multiplier
+  serve the n = 1024 parameter sets.
+"""
+
+from repro.ring.poly import LAC_Q, PolyRing
+from repro.ring.ternary import (
+    TernaryPoly,
+    ternary_mul,
+    ternary_mul_truncated,
+    ternary_to_zq,
+    zq_to_centered,
+)
+from repro.ring.splitting import (
+    UNIT_LEN,
+    ring_multiply,
+    software_mul512,
+    split_mul_general,
+    split_mul_high,
+    split_mul_low,
+)
+
+__all__ = [
+    "LAC_Q",
+    "PolyRing",
+    "TernaryPoly",
+    "ternary_mul",
+    "ternary_mul_truncated",
+    "ternary_to_zq",
+    "zq_to_centered",
+    "split_mul_general",
+    "split_mul_high",
+    "split_mul_low",
+    "ring_multiply",
+    "software_mul512",
+    "UNIT_LEN",
+]

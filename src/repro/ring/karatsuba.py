@@ -1,0 +1,131 @@
+"""Karatsuba polynomial multiplication (the paper's future-work note).
+
+Sec. IV-A observes that Karatsuba's identity would reduce the four
+sub-multiplications of Eq. (2) to three — but only for *general x
+general* products: the sum a^l + a^h of two ternary polynomials has
+coefficients in {-2..2}, so the ternary MUL TER data path (adders and
+subtractors only) can no longer serve, and the hardware would need
+real multipliers.  The paper therefore leaves Karatsuba as future
+work.
+
+This module supplies the machinery to quantify that trade:
+
+* :func:`karatsuba_full` — recursive Karatsuba over Z_q with operation
+  counting (the general multiplier a Karatsuba split would need);
+* :func:`karatsuba_ring_mul` — the negacyclic product via Karatsuba;
+* :func:`base_multiplications` — the D&C recurrence 3^levels, vs. the
+  4^levels of the paper's splitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import OpCounter, ensure_counter
+from repro.ring.poly import LAC_Q, PolyRing
+
+#: Below this size the recursion falls back to schoolbook.
+DEFAULT_THRESHOLD = 32
+
+
+def _schoolbook_full(
+    a: np.ndarray, b: np.ndarray, q: int, counter: OpCounter
+) -> np.ndarray:
+    """Plain product (length 2n-1) with general-coefficient costs.
+
+    Unlike the ternary schedule, every partial product is a real
+    integer multiplication plus a reduction.
+    """
+    n = a.size
+    counter.count("loop", n * n)
+    counter.count("load", 2 * n * n)
+    counter.count("mul", n * n)
+    counter.count("alu", n * n)
+    counter.count("modq", n * n)
+    counter.count("store", n * n)
+    return np.mod(np.convolve(a, b), q)
+
+
+def karatsuba_full(
+    a: np.ndarray,
+    b: np.ndarray,
+    q: int = LAC_Q,
+    counter: OpCounter | None = None,
+    threshold: int = DEFAULT_THRESHOLD,
+) -> np.ndarray:
+    """The unreduced product a*b (length 2n-1) by recursive Karatsuba.
+
+    c = a^l b^l + ((a^l + a^h)(b^l + b^h) - a^l b^l - a^h b^h) x^{n/2}
+        + a^h b^h x^n
+    """
+    counter = ensure_counter(counter)
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.size != b.size:
+        raise ValueError("operands must have equal length")
+    n = a.size
+    if n <= threshold or n % 2:
+        return _schoolbook_full(a, b, q, counter)
+
+    half = n // 2
+    a_lo, a_hi = a[:half], a[half:]
+    b_lo, b_hi = b[:half], b[half:]
+
+    # three half-size products instead of four
+    low = karatsuba_full(a_lo, b_lo, q, counter, threshold)
+    high = karatsuba_full(a_hi, b_hi, q, counter, threshold)
+    counter.count("loop", 2 * half)
+    counter.count("alu", 2 * half)
+    counter.count("modq", 2 * half)
+    counter.count("load", 4 * half)
+    counter.count("store", 2 * half)
+    cross = karatsuba_full(
+        np.mod(a_lo + a_hi, q), np.mod(b_lo + b_hi, q), q, counter, threshold
+    )
+
+    middle = np.mod(cross - low - high, q)
+    counter.count("loop", middle.size)
+    counter.count("alu", 2 * middle.size)
+    counter.count("modq", middle.size)
+    counter.count("load", 3 * middle.size)
+    counter.count("store", middle.size)
+
+    out = np.zeros(2 * n - 1, dtype=np.int64)
+    out[: low.size] += low
+    out[half : half + middle.size] += middle
+    out[n : n + high.size] += high
+    counter.count("loop", 2 * n)
+    counter.count("alu", 2 * n)
+    counter.count("modq", 2 * n)
+    counter.count("load", 4 * n)
+    counter.count("store", 2 * n)
+    return np.mod(out, q)
+
+
+def karatsuba_ring_mul(
+    ring: PolyRing,
+    a: np.ndarray,
+    b: np.ndarray,
+    counter: OpCounter | None = None,
+    threshold: int = DEFAULT_THRESHOLD,
+) -> np.ndarray:
+    """Reduced ring product via Karatsuba + wrap-around."""
+    counter = ensure_counter(counter)
+    full = karatsuba_full(a, b, ring.q, counter, threshold)
+    counter.count("loop", ring.n)
+    counter.count("alu", ring.n)
+    counter.count("modq", ring.n)
+    counter.count("load", 2 * ring.n)
+    counter.count("store", ring.n)
+    return ring.reduce_full(full)
+
+
+def base_multiplications(n: int, threshold: int = DEFAULT_THRESHOLD) -> int:
+    """Coefficient multiplications performed by the recursion.
+
+    Karatsuba's 3-way recurrence vs. the 4-way of plain splitting:
+    the quantity the paper's future-work note is about.
+    """
+    if n <= threshold or n % 2:
+        return n * n
+    return 3 * base_multiplications(n // 2, threshold)

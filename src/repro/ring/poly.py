@@ -1,0 +1,134 @@
+"""The coefficient ring R_n = Z_q[x] / (x^n ± 1), q = 251.
+
+Polynomials are plain 1-D numpy arrays of dtype ``int64`` with values
+in [0, q).  The class methods keep results reduced.  The schoolbook
+multiplication implements Eq. (1) of the paper directly and serves as
+the golden model against which the ternary multiplier, the splitting
+algorithms, and the MUL TER hardware model are all verified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: LAC's coefficient modulus (a single byte, prime).
+LAC_Q = 251
+
+
+class PolyRing:
+    """Z_q[x] / (x^n - wrap), where wrap is +1 (positive convolution,
+    i.e. reduction by x^n - 1) or -1 (negative convolution, x^n + 1).
+
+    LAC uses the negative wrapped convolution; the positive variant is
+    needed because the MUL TER hardware supports both (Fig. 2) and the
+    splitting algorithms rely on wrap-free products of padded inputs.
+    """
+
+    def __init__(self, n: int, q: int = LAC_Q, negacyclic: bool = True):
+        if n < 1:
+            raise ValueError("ring degree must be positive")
+        if q < 2:
+            raise ValueError("modulus must be >= 2")
+        self.n = n
+        self.q = q
+        self.negacyclic = negacyclic
+
+    # ------------------------------------------------------------------
+    # construction / validation
+    # ------------------------------------------------------------------
+
+    def zero(self) -> np.ndarray:
+        """The zero element."""
+        return np.zeros(self.n, dtype=np.int64)
+
+    def element(self, coeffs) -> np.ndarray:
+        """Coerce and reduce an arbitrary coefficient sequence."""
+        array = np.asarray(coeffs, dtype=np.int64)
+        if array.ndim != 1 or array.size != self.n:
+            raise ValueError(f"expected {self.n} coefficients, got shape {array.shape}")
+        return np.mod(array, self.q)
+
+    def random(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random ring element (test/benchmark helper)."""
+        return rng.integers(0, self.q, self.n, dtype=np.int64)
+
+    def is_element(self, a: np.ndarray) -> bool:
+        """True when ``a`` is a reduced coefficient vector of this ring."""
+        a = np.asarray(a)
+        return a.ndim == 1 and a.size == self.n and bool(
+            np.all((0 <= a) & (a < self.q))
+        )
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Coefficient-wise addition mod q."""
+        return np.mod(a + b, self.q)
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Coefficient-wise subtraction mod q."""
+        return np.mod(a - b, self.q)
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        """Additive inverse mod q."""
+        return np.mod(-a, self.q)
+
+    def mul_schoolbook(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Direct evaluation of Eq. (1): the golden-model multiplication.
+
+        c_i = sum_{j<=i} a_j b_{i-j}  -/+  sum_{j>i} a_j b_{n+i-j}  (mod q)
+
+        with the sign of the wrap-around term set by the convolution
+        variant.
+        """
+        n, q = self.n, self.q
+        if a.size != n or b.size != n:
+            raise ValueError("operands must be full-length ring elements")
+        wrap_sign = -1 if self.negacyclic else 1
+        out = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            low = int(np.dot(a[: i + 1], b[i::-1]))
+            high = int(np.dot(a[i + 1 :], b[n - 1 : i : -1])) if i + 1 < n else 0
+            out[i] = (low + wrap_sign * high) % q
+        return out
+
+    def mul_full(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The unreduced product (length 2n-1), before any wrap-around."""
+        return np.mod(np.convolve(a, b), self.q)
+
+    def reduce_full(self, product: np.ndarray) -> np.ndarray:
+        """Reduce an unreduced product (length <= 2n-1) by x^n -/+ 1."""
+        n, q = self.n, self.q
+        out = np.zeros(n, dtype=np.int64)
+        out[: min(n, product.size)] = product[:n]
+        if product.size > n:
+            tail = product[n:]
+            sign = -1 if self.negacyclic else 1
+            out[: tail.size] += sign * tail
+        return np.mod(out, q)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Fast reduced multiplication (convolve + wrap), vectorized."""
+        return self.reduce_full(np.convolve(a, b))
+
+    def scalar_mul(self, a: np.ndarray, s: int) -> np.ndarray:
+        """Multiply every coefficient by an integer scalar mod q."""
+        return np.mod(a * s, self.q)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        wrap = "+1" if self.negacyclic else "-1"
+        return f"PolyRing(Z_{self.q}[x]/(x^{self.n}{wrap}))"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PolyRing)
+            and (self.n, self.q, self.negacyclic)
+            == (other.n, other.q, other.negacyclic)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.q, self.negacyclic))

@@ -1,0 +1,55 @@
+"""RV32IM instruction-set simulator with the paper's PQ extension.
+
+The paper integrates its accelerators into the execute stage of the
+RISCY core (PULPino) and reaches them through four custom R-type
+instructions on opcode 0x77 (Sec. V).  This subpackage provides the
+equivalent substrate in simulation:
+
+* :mod:`repro.riscv.encoding` — RV32I + M + PQ instruction encoding
+  and decoding (bit-exact RISC-V formats);
+* :mod:`repro.riscv.assembler` — a two-pass assembler (labels,
+  ABI register names, common pseudo-instructions, data directives);
+* :mod:`repro.riscv.cpu` — the instruction-set simulator with a
+  RISCY-style cycle cost model (4-stage pipeline approximation);
+* :mod:`repro.riscv.pq_alu` — the PQ-ALU: the four accelerator units
+  behind ``pq.mul_ter``, ``pq.mul_chien``, ``pq.sha256``, ``pq.modq``,
+  including the bit-level operand packing protocol of Sec. V.
+
+Kernels assembled here execute with real cycle accounting, which is
+how the analytical cost model of :mod:`repro.cosim` is validated.
+"""
+
+from repro.riscv.encoding import decode, encode, Instruction
+from repro.riscv.assembler import Assembler, AssemblerError
+from repro.riscv.compressed import decode_compressed, encode_compressed, is_compressed
+from repro.riscv.cpu import Cpu, CpuError, ExecutionResult
+from repro.riscv.disasm import disassemble, disassemble_word
+from repro.riscv.memory import Memory
+from repro.riscv.pq_alu import PqAlu
+from repro.riscv.platform import CycleTimer, MmioMemory, Uart, make_platform
+from repro.riscv.trace import Tracer
+from repro.riscv.cost_model import RiscyCostModel
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "Cpu",
+    "CpuError",
+    "ExecutionResult",
+    "Instruction",
+    "Memory",
+    "MmioMemory",
+    "PqAlu",
+    "Tracer",
+    "Uart",
+    "CycleTimer",
+    "make_platform",
+    "RiscyCostModel",
+    "decode",
+    "decode_compressed",
+    "disassemble",
+    "disassemble_word",
+    "encode",
+    "encode_compressed",
+    "is_compressed",
+]

@@ -1,0 +1,283 @@
+"""RV32C: the compressed instruction extension.
+
+The paper's RISCY core "fully supports the RISC-V base integer
+instruction set (I), the compressed instruction set (C), and the
+multiplication instruction set (M)" (Sec. V).  This module implements
+the C extension for the ISS: every 16-bit instruction decodes to its
+32-bit equivalent :class:`~repro.riscv.encoding.Instruction` (the
+standard expansion), and :func:`encode_compressed` produces the RVC
+encoding for instructions that have one.
+
+The CPU fetches 16 bits first; if the two low bits are ``11`` the
+parcel is the start of a 32-bit instruction, otherwise it executes the
+compressed expansion and advances the PC by 2.
+"""
+
+from __future__ import annotations
+
+from repro.riscv.encoding import EncodingError, Instruction, sign_extend
+
+#: Registers addressable by the 3-bit rd'/rs' fields: x8..x15.
+_CREG_BASE = 8
+
+
+def _creg(bits: int) -> int:
+    return _CREG_BASE + (bits & 0x7)
+
+
+def is_compressed(parcel: int) -> bool:
+    """True when the 16-bit parcel is an RVC instruction."""
+    return (parcel & 0x3) != 0x3
+
+
+def decode_compressed(parcel: int) -> Instruction:
+    """Expand a 16-bit RVC instruction to its 32-bit equivalent."""
+    parcel &= 0xFFFF
+    quadrant = parcel & 0x3
+    funct3 = (parcel >> 13) & 0x7
+
+    if quadrant == 0b00:
+        return _decode_q0(parcel, funct3)
+    if quadrant == 0b01:
+        return _decode_q1(parcel, funct3)
+    if quadrant == 0b10:
+        return _decode_q2(parcel, funct3)
+    raise EncodingError(f"parcel {parcel:#06x} is not compressed")
+
+
+def _decode_q0(parcel: int, funct3: int) -> Instruction:
+    if parcel == 0:
+        raise EncodingError("the all-zero parcel is defined illegal")
+    if funct3 == 0b000:  # c.addi4spn rd', sp, nzuimm
+        imm = (
+            (((parcel >> 11) & 0x3) << 4)
+            | (((parcel >> 7) & 0xF) << 6)
+            | (((parcel >> 6) & 0x1) << 2)
+            | (((parcel >> 5) & 0x1) << 3)
+        )
+        if imm == 0:
+            raise EncodingError("c.addi4spn with zero immediate is reserved")
+        return Instruction("addi", rd=_creg(parcel >> 2), rs1=2, imm=imm)
+    if funct3 == 0b010:  # c.lw rd', offset(rs1')
+        imm = (
+            (((parcel >> 10) & 0x7) << 3)
+            | (((parcel >> 6) & 0x1) << 2)
+            | (((parcel >> 5) & 0x1) << 6)
+        )
+        return Instruction("lw", rd=_creg(parcel >> 2), rs1=_creg(parcel >> 7), imm=imm)
+    if funct3 == 0b110:  # c.sw rs2', offset(rs1')
+        imm = (
+            (((parcel >> 10) & 0x7) << 3)
+            | (((parcel >> 6) & 0x1) << 2)
+            | (((parcel >> 5) & 0x1) << 6)
+        )
+        return Instruction("sw", rs1=_creg(parcel >> 7), rs2=_creg(parcel >> 2), imm=imm)
+    raise EncodingError(f"unsupported Q0 compressed instruction {parcel:#06x}")
+
+
+def _decode_q1(parcel: int, funct3: int) -> Instruction:
+    rd = (parcel >> 7) & 0x1F
+    imm6 = sign_extend((((parcel >> 12) & 1) << 5) | ((parcel >> 2) & 0x1F), 6)
+
+    if funct3 == 0b000:  # c.addi / c.nop
+        return Instruction("addi", rd=rd, rs1=rd, imm=imm6)
+    if funct3 == 0b001:  # c.jal (RV32)
+        return Instruction("jal", rd=1, imm=_cj_offset(parcel))
+    if funct3 == 0b010:  # c.li
+        return Instruction("addi", rd=rd, rs1=0, imm=imm6)
+    if funct3 == 0b011:
+        if rd == 2:  # c.addi16sp
+            imm = sign_extend(
+                (((parcel >> 12) & 1) << 9)
+                | (((parcel >> 6) & 1) << 4)
+                | (((parcel >> 5) & 1) << 6)
+                | (((parcel >> 3) & 0x3) << 7)
+                | (((parcel >> 2) & 1) << 5),
+                10,
+            )
+            if imm == 0:
+                raise EncodingError("c.addi16sp with zero immediate is reserved")
+            return Instruction("addi", rd=2, rs1=2, imm=imm)
+        if imm6 == 0:
+            raise EncodingError("c.lui with zero immediate is reserved")
+        return Instruction("lui", rd=rd, imm=imm6 & 0xFFFFF)  # c.lui
+    if funct3 == 0b100:
+        sub = (parcel >> 10) & 0x3
+        rd_prime = _creg(parcel >> 7)
+        if sub == 0b00:  # c.srli
+            shamt = ((parcel >> 12) & 1) << 5 | ((parcel >> 2) & 0x1F)
+            return Instruction("srli", rd=rd_prime, rs1=rd_prime, imm=shamt)
+        if sub == 0b01:  # c.srai
+            shamt = ((parcel >> 12) & 1) << 5 | ((parcel >> 2) & 0x1F)
+            return Instruction("srai", rd=rd_prime, rs1=rd_prime, imm=shamt)
+        if sub == 0b10:  # c.andi
+            return Instruction("andi", rd=rd_prime, rs1=rd_prime, imm=imm6)
+        rs2_prime = _creg(parcel >> 2)
+        op = (parcel >> 5) & 0x3
+        mnemonic = {0b00: "sub", 0b01: "xor", 0b10: "or", 0b11: "and"}[op]
+        return Instruction(mnemonic, rd=rd_prime, rs1=rd_prime, rs2=rs2_prime)
+    if funct3 == 0b101:  # c.j
+        return Instruction("jal", rd=0, imm=_cj_offset(parcel))
+    # c.beqz / c.bnez
+    offset = sign_extend(
+        (((parcel >> 12) & 1) << 8)
+        | (((parcel >> 10) & 0x3) << 3)
+        | (((parcel >> 5) & 0x3) << 6)
+        | (((parcel >> 3) & 0x3) << 1)
+        | (((parcel >> 2) & 1) << 5),
+        9,
+    )
+    mnemonic = "beq" if funct3 == 0b110 else "bne"
+    return Instruction(mnemonic, rs1=_creg(parcel >> 7), rs2=0, imm=offset)
+
+
+def _cj_offset(parcel: int) -> int:
+    return sign_extend(
+        (((parcel >> 12) & 1) << 11)
+        | (((parcel >> 11) & 1) << 4)
+        | (((parcel >> 9) & 0x3) << 8)
+        | (((parcel >> 8) & 1) << 10)
+        | (((parcel >> 7) & 1) << 6)
+        | (((parcel >> 6) & 1) << 7)
+        | (((parcel >> 3) & 0x7) << 1)
+        | (((parcel >> 2) & 1) << 5),
+        12,
+    )
+
+
+def _decode_q2(parcel: int, funct3: int) -> Instruction:
+    rd = (parcel >> 7) & 0x1F
+    rs2 = (parcel >> 2) & 0x1F
+    bit12 = (parcel >> 12) & 1
+
+    if funct3 == 0b000:  # c.slli
+        shamt = (bit12 << 5) | rs2
+        return Instruction("slli", rd=rd, rs1=rd, imm=shamt)
+    if funct3 == 0b010:  # c.lwsp
+        imm = (bit12 << 5) | (((parcel >> 4) & 0x7) << 2) | (((parcel >> 2) & 0x3) << 6)
+        if rd == 0:
+            raise EncodingError("c.lwsp with rd = x0 is reserved")
+        return Instruction("lw", rd=rd, rs1=2, imm=imm)
+    if funct3 == 0b100:
+        if bit12 == 0:
+            if rs2 == 0:  # c.jr
+                if rd == 0:
+                    raise EncodingError("c.jr with rs1 = x0 is reserved")
+                return Instruction("jalr", rd=0, rs1=rd, imm=0)
+            return Instruction("add", rd=rd, rs1=0, rs2=rs2)  # c.mv
+        if rs2 == 0:
+            if rd == 0:  # c.ebreak
+                return Instruction("ebreak")
+            return Instruction("jalr", rd=1, rs1=rd, imm=0)  # c.jalr
+        return Instruction("add", rd=rd, rs1=rd, rs2=rs2)  # c.add
+    if funct3 == 0b110:  # c.swsp
+        imm = (((parcel >> 9) & 0xF) << 2) | (((parcel >> 7) & 0x3) << 6)
+        return Instruction("sw", rs1=2, rs2=rs2, imm=imm)
+    raise EncodingError(f"unsupported Q2 compressed instruction {parcel:#06x}")
+
+
+# ---------------------------------------------------------------------------
+# compression (encode 32-bit instructions into RVC when possible)
+# ---------------------------------------------------------------------------
+
+
+def _is_creg(reg: int) -> bool:
+    return 8 <= reg <= 15
+
+
+def encode_compressed(instr: Instruction) -> int | None:
+    """The RVC encoding of ``instr``, or None when no form exists.
+
+    Covers the common forms a compiler emits: c.addi, c.li, c.mv,
+    c.add, c.sub/xor/or/and, c.slli/srli/srai/andi, c.lw/sw,
+    c.lwsp/swsp, c.j/jal, c.beqz/bnez, c.jr/jalr, c.ebreak, c.nop.
+    """
+    m, rd, rs1, rs2, imm = instr.mnemonic, instr.rd, instr.rs1, instr.rs2, instr.imm
+
+    if m == "addi":
+        if rd == rs1 and -32 <= imm < 32 and not (rd == 0 and imm != 0):
+            return (0b000 << 13) | (((imm >> 5) & 1) << 12) | (rd << 7) | ((imm & 0x1F) << 2) | 0b01
+        if rs1 == 0 and rd != 0 and -32 <= imm < 32:  # c.li
+            return (0b010 << 13) | (((imm >> 5) & 1) << 12) | (rd << 7) | ((imm & 0x1F) << 2) | 0b01
+        if rd == 2 and rs1 == 2 and imm and imm % 16 == 0 and -512 <= imm < 512:
+            value = imm & 0x3FF
+            return (
+                (0b011 << 13) | (((value >> 9) & 1) << 12) | (2 << 7)
+                | (((value >> 4) & 1) << 6) | (((value >> 6) & 1) << 5)
+                | (((value >> 7) & 0x3) << 3) | (((value >> 5) & 1) << 2) | 0b01
+            )
+    if m == "add":
+        if rs1 == 0 and rd != 0 and rs2 != 0:  # c.mv
+            return (0b100 << 13) | (0 << 12) | (rd << 7) | (rs2 << 2) | 0b10
+        if rd == rs1 and rd != 0 and rs2 != 0:  # c.add
+            return (0b100 << 13) | (1 << 12) | (rd << 7) | (rs2 << 2) | 0b10
+    if m in ("sub", "xor", "or", "and") and rd == rs1 and _is_creg(rd) and _is_creg(rs2):
+        op = {"sub": 0b00, "xor": 0b01, "or": 0b10, "and": 0b11}[m]
+        return (
+            (0b100 << 13) | (0b0 << 12) | (0b11 << 10) | ((rd - 8) << 7)
+            | (op << 5) | ((rs2 - 8) << 2) | 0b01
+        )
+    if m == "andi" and rd == rs1 and _is_creg(rd) and -32 <= imm < 32:
+        return (
+            (0b100 << 13) | (((imm >> 5) & 1) << 12) | (0b10 << 10)
+            | ((rd - 8) << 7) | ((imm & 0x1F) << 2) | 0b01
+        )
+    if m in ("srli", "srai") and rd == rs1 and _is_creg(rd) and 0 < imm < 32:
+        sub = 0b00 if m == "srli" else 0b01
+        return (
+            (0b100 << 13) | (0 << 12) | (sub << 10) | ((rd - 8) << 7)
+            | ((imm & 0x1F) << 2) | 0b01
+        )
+    if m == "slli" and rd == rs1 and rd != 0 and 0 < imm < 32:
+        return (0b000 << 13) | (0 << 12) | (rd << 7) | ((imm & 0x1F) << 2) | 0b10
+    if m == "lw":
+        if rs1 == 2 and rd != 0 and imm % 4 == 0 and 0 <= imm < 256:  # c.lwsp
+            return (
+                (0b010 << 13) | (((imm >> 5) & 1) << 12) | (rd << 7)
+                | (((imm >> 2) & 0x7) << 4) | (((imm >> 6) & 0x3) << 2) | 0b10
+            )
+        if _is_creg(rd) and _is_creg(rs1) and imm % 4 == 0 and 0 <= imm < 128:
+            return (
+                (0b010 << 13) | (((imm >> 3) & 0x7) << 10) | ((rs1 - 8) << 7)
+                | (((imm >> 2) & 1) << 6) | (((imm >> 6) & 1) << 5)
+                | ((rd - 8) << 2) | 0b00
+            )
+    if m == "sw":
+        if rs1 == 2 and imm % 4 == 0 and 0 <= imm < 256:  # c.swsp
+            return (
+                (0b110 << 13) | (((imm >> 2) & 0xF) << 9)
+                | (((imm >> 6) & 0x3) << 7) | (rs2 << 2) | 0b10
+            )
+        if _is_creg(rs2) and _is_creg(rs1) and imm % 4 == 0 and 0 <= imm < 128:
+            return (
+                (0b110 << 13) | (((imm >> 3) & 0x7) << 10) | ((rs1 - 8) << 7)
+                | (((imm >> 2) & 1) << 6) | (((imm >> 6) & 1) << 5)
+                | ((rs2 - 8) << 2) | 0b00
+            )
+    if m == "jal" and rd in (0, 1) and -2048 <= imm < 2048 and imm % 2 == 0:
+        funct3 = 0b101 if rd == 0 else 0b001
+        v = imm & 0xFFF
+        return (
+            (funct3 << 13)
+            | (((v >> 11) & 1) << 12) | (((v >> 4) & 1) << 11)
+            | (((v >> 8) & 0x3) << 9) | (((v >> 10) & 1) << 8)
+            | (((v >> 6) & 1) << 7) | (((v >> 7) & 1) << 6)
+            | (((v >> 1) & 0x7) << 3) | (((v >> 5) & 1) << 2) | 0b01
+        )
+    if m in ("beq", "bne") and rs2 == 0 and _is_creg(rs1) and -256 <= imm < 256 and imm % 2 == 0:
+        funct3 = 0b110 if m == "beq" else 0b111
+        v = imm & 0x1FF
+        return (
+            (funct3 << 13)
+            | (((v >> 8) & 1) << 12) | (((v >> 3) & 0x3) << 10)
+            | ((rs1 - 8) << 7) | (((v >> 6) & 0x3) << 5)
+            | (((v >> 1) & 0x3) << 3) | (((v >> 5) & 1) << 2) | 0b01
+        )
+    if m == "jalr" and imm == 0 and rs1 != 0:
+        if rd == 0:  # c.jr
+            return (0b100 << 13) | (0 << 12) | (rs1 << 7) | 0b10
+        if rd == 1:  # c.jalr
+            return (0b100 << 13) | (1 << 12) | (rs1 << 7) | 0b10
+    if m == "ebreak":
+        return (0b100 << 13) | (1 << 12) | 0b10
+    return None

@@ -1,0 +1,93 @@
+"""Disassembler for RV32IM + PQ machine code.
+
+Produces assembler-compatible text: every line disassembled from a
+valid instruction word re-assembles to the same word (the round-trip
+property the test suite checks).  Branch and jump offsets are printed
+as numeric immediates (PC-relative), annotated with the absolute
+target when a base address is supplied.
+"""
+
+from __future__ import annotations
+
+from repro.riscv.assembler import ABI_NAMES
+from repro.riscv.compressed import decode_compressed, is_compressed
+from repro.riscv.encoding import EncodingError, Instruction, SPECS, decode
+
+#: index -> preferred ABI name
+_REG_NAMES = {index: name for name, index in ABI_NAMES.items() if name != "fp"}
+
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+_LOADS = ("lb", "lh", "lw", "lbu", "lhu")
+_STORES = ("sb", "sh", "sw")
+
+
+def _reg(index: int) -> str:
+    return _REG_NAMES.get(index, f"x{index}")
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Assembler-syntax text of one decoded instruction."""
+    m = instr.mnemonic
+    spec = SPECS[m]
+    if m in ("ecall", "ebreak", "fence"):
+        return m
+    if spec.fmt == "R":
+        return f"{m} {_reg(instr.rd)}, {_reg(instr.rs1)}, {_reg(instr.rs2)}"
+    if m in _LOADS:
+        return f"{m} {_reg(instr.rd)}, {instr.imm}({_reg(instr.rs1)})"
+    if m == "jalr":
+        return f"{m} {_reg(instr.rd)}, {_reg(instr.rs1)}, {instr.imm}"
+    if spec.fmt in ("I", "shift"):
+        return f"{m} {_reg(instr.rd)}, {_reg(instr.rs1)}, {instr.imm}"
+    if spec.fmt == "S":
+        return f"{m} {_reg(instr.rs2)}, {instr.imm}({_reg(instr.rs1)})"
+    if spec.fmt == "B":
+        return f"{m} {_reg(instr.rs1)}, {_reg(instr.rs2)}, {instr.imm}"
+    if spec.fmt == "U":
+        return f"{m} {_reg(instr.rd)}, {instr.imm}"
+    if spec.fmt == "J":
+        return f"{m} {_reg(instr.rd)}, {instr.imm}"
+    raise EncodingError(f"unformattable instruction {instr}")  # pragma: no cover
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one 32-bit instruction word."""
+    return format_instruction(decode(word))
+
+
+def disassemble(
+    image: bytes, base: int = 0, include_addresses: bool = True
+) -> list[str]:
+    """Disassemble a code image (handles mixed 16/32-bit streams).
+
+    Undecodable parcels are rendered as ``.word``/``.half`` data lines,
+    so the output is always a complete, re-assemblable listing.
+    """
+    lines = []
+    offset = 0
+    while offset < len(image):
+        address = base + offset
+        parcel = int.from_bytes(image[offset : offset + 2], "little")
+        if is_compressed(parcel):
+            try:
+                text = "c: " + format_instruction(decode_compressed(parcel))
+            except EncodingError:
+                text = f".half {parcel:#06x}"
+            size = 2
+        else:
+            if offset + 4 > len(image):
+                text = f".half {parcel:#06x}"
+                size = 2
+            else:
+                word = int.from_bytes(image[offset : offset + 4], "little")
+                try:
+                    text = format_instruction(decode(word))
+                except EncodingError:
+                    text = f".word {word:#010x}"
+                size = 4
+        if include_addresses:
+            lines.append(f"{address:#010x}:  {text}")
+        else:
+            lines.append(text)
+        offset += size
+    return lines

@@ -1,0 +1,304 @@
+"""RV32IM + PQ instruction encoding/decoding.
+
+Implements the four RISC-V base formats the paper mentions (R/I/S/U,
+plus the B and J immediate variants) bit-exactly per the RISC-V
+unprivileged specification, and the paper's PQ extension: R-type
+instructions on the custom opcode 0x77 with the accelerator selected
+by funct3 (Fig. 6):
+
+====== ===============
+funct3 instruction
+====== ===============
+0      pq.mul_ter
+1      pq.mul_chien
+2      pq.sha256
+3      pq.modq
+====== ===============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The custom opcode activating the PQ-ALU (Sec. V).
+PQ_OPCODE = 0x77
+
+_MASK32 = 0xFFFFFFFF
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: str  # one of R, I, S, B, U, J, shift
+    opcode: int
+    funct3: int | None = None
+    funct7: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# instruction table
+# ---------------------------------------------------------------------------
+
+_R = lambda m, f3, f7, op=0x33: InstrSpec(m, "R", op, f3, f7)
+_I = lambda m, f3, op: InstrSpec(m, "I", op, f3)
+
+SPECS: dict[str, InstrSpec] = {}
+
+
+def _register(spec: InstrSpec) -> None:
+    SPECS[spec.mnemonic] = spec
+
+
+for _spec in [
+    InstrSpec("lui", "U", 0x37),
+    InstrSpec("auipc", "U", 0x17),
+    InstrSpec("jal", "J", 0x6F),
+    _I("jalr", 0, 0x67),
+    InstrSpec("beq", "B", 0x63, 0),
+    InstrSpec("bne", "B", 0x63, 1),
+    InstrSpec("blt", "B", 0x63, 4),
+    InstrSpec("bge", "B", 0x63, 5),
+    InstrSpec("bltu", "B", 0x63, 6),
+    InstrSpec("bgeu", "B", 0x63, 7),
+    _I("lb", 0, 0x03),
+    _I("lh", 1, 0x03),
+    _I("lw", 2, 0x03),
+    _I("lbu", 4, 0x03),
+    _I("lhu", 5, 0x03),
+    InstrSpec("sb", "S", 0x23, 0),
+    InstrSpec("sh", "S", 0x23, 1),
+    InstrSpec("sw", "S", 0x23, 2),
+    _I("addi", 0, 0x13),
+    _I("slti", 2, 0x13),
+    _I("sltiu", 3, 0x13),
+    _I("xori", 4, 0x13),
+    _I("ori", 6, 0x13),
+    _I("andi", 7, 0x13),
+    InstrSpec("slli", "shift", 0x13, 1, 0x00),
+    InstrSpec("srli", "shift", 0x13, 5, 0x00),
+    InstrSpec("srai", "shift", 0x13, 5, 0x20),
+    _R("add", 0, 0x00),
+    _R("sub", 0, 0x20),
+    _R("sll", 1, 0x00),
+    _R("slt", 2, 0x00),
+    _R("sltu", 3, 0x00),
+    _R("xor", 4, 0x00),
+    _R("srl", 5, 0x00),
+    _R("sra", 5, 0x20),
+    _R("or", 6, 0x00),
+    _R("and", 7, 0x00),
+    # M extension
+    _R("mul", 0, 0x01),
+    _R("mulh", 1, 0x01),
+    _R("mulhsu", 2, 0x01),
+    _R("mulhu", 3, 0x01),
+    _R("div", 4, 0x01),
+    _R("divu", 5, 0x01),
+    _R("rem", 6, 0x01),
+    _R("remu", 7, 0x01),
+    # system
+    InstrSpec("ecall", "I", 0x73, 0),
+    InstrSpec("ebreak", "I", 0x73, 0),
+    InstrSpec("fence", "I", 0x0F, 0),
+    # Zicsr (the performance counters RISCY exposes; the paper's cycle
+    # measurements read exactly these)
+    InstrSpec("csrrw", "I", 0x73, 1),
+    InstrSpec("csrrs", "I", 0x73, 2),
+    InstrSpec("csrrc", "I", 0x73, 3),
+    # PQ extension (opcode 0x77, funct3 selects the accelerator)
+    InstrSpec("pq.mul_ter", "R", PQ_OPCODE, 0, 0x00),
+    InstrSpec("pq.mul_chien", "R", PQ_OPCODE, 1, 0x00),
+    InstrSpec("pq.sha256", "R", PQ_OPCODE, 2, 0x00),
+    InstrSpec("pq.modq", "R", PQ_OPCODE, 3, 0x00),
+]:
+    _register(_spec)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __str__(self) -> str:
+        spec = SPECS[self.mnemonic]
+        if spec.fmt == "R":
+            return f"{self.mnemonic} x{self.rd}, x{self.rs1}, x{self.rs2}"
+        if spec.fmt in ("I", "shift"):
+            return f"{self.mnemonic} x{self.rd}, x{self.rs1}, {self.imm}"
+        if spec.fmt == "S":
+            return f"{self.mnemonic} x{self.rs2}, {self.imm}(x{self.rs1})"
+        if spec.fmt == "B":
+            return f"{self.mnemonic} x{self.rs1}, x{self.rs2}, {self.imm}"
+        return f"{self.mnemonic} x{self.rd}, {self.imm}"
+
+
+class EncodingError(ValueError):
+    """Raised for malformed instructions or immediates out of range."""
+
+
+def _check_reg(value: int, name: str) -> None:
+    if not 0 <= value < 32:
+        raise EncodingError(f"{name} must be x0..x31, got {value}")
+
+
+def _check_range(imm: int, bits: int, name: str) -> None:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= imm <= high:
+        raise EncodingError(f"{name} immediate {imm} outside [{low}, {high}]")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction into its 32-bit word."""
+    spec = SPECS.get(instr.mnemonic)
+    if spec is None:
+        raise EncodingError(f"unknown mnemonic {instr.mnemonic!r}")
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    _check_reg(rd, "rd")
+    _check_reg(rs1, "rs1")
+    _check_reg(rs2, "rs2")
+    op = spec.opcode
+
+    if instr.mnemonic == "ebreak":
+        return 0x00100073
+    if instr.mnemonic == "ecall":
+        return 0x00000073
+    if instr.mnemonic == "fence":
+        return 0x0000000F
+
+    if spec.fmt == "R":
+        return (
+            (spec.funct7 << 25) | (rs2 << 20) | (rs1 << 15)
+            | (spec.funct3 << 12) | (rd << 7) | op
+        )
+    if spec.fmt == "I":
+        if instr.mnemonic.startswith("csr"):
+            # the immediate is the unsigned 12-bit CSR address
+            if not 0 <= imm < (1 << 12):
+                raise EncodingError(f"CSR address {imm} outside 0..4095")
+            return (imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | op
+        _check_range(imm, 12, instr.mnemonic)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | op
+    if spec.fmt == "shift":
+        if not 0 <= imm < 32:
+            raise EncodingError(f"shift amount {imm} outside 0..31")
+        return (
+            (spec.funct7 << 25) | (imm << 20) | (rs1 << 15)
+            | (spec.funct3 << 12) | (rd << 7) | op
+        )
+    if spec.fmt == "S":
+        _check_range(imm, 12, instr.mnemonic)
+        value = imm & 0xFFF
+        return (
+            ((value >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+            | (spec.funct3 << 12) | ((value & 0x1F) << 7) | op
+        )
+    if spec.fmt == "B":
+        _check_range(imm, 13, instr.mnemonic)
+        if imm % 2:
+            raise EncodingError("branch offsets must be even")
+        value = imm & 0x1FFF
+        return (
+            (((value >> 12) & 1) << 31)
+            | (((value >> 5) & 0x3F) << 25)
+            | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12)
+            | (((value >> 1) & 0xF) << 8)
+            | (((value >> 11) & 1) << 7)
+            | op
+        )
+    if spec.fmt == "U":
+        if not 0 <= imm < (1 << 20):
+            raise EncodingError(f"U immediate {imm} outside 0..2^20-1")
+        return (imm << 12) | (rd << 7) | op
+    if spec.fmt == "J":
+        _check_range(imm, 21, instr.mnemonic)
+        if imm % 2:
+            raise EncodingError("jump offsets must be even")
+        value = imm & 0x1FFFFF
+        return (
+            (((value >> 20) & 1) << 31)
+            | (((value >> 1) & 0x3FF) << 21)
+            | (((value >> 11) & 1) << 20)
+            | (((value >> 12) & 0xFF) << 12)
+            | (rd << 7) | op
+        )
+    raise EncodingError(f"unhandled format {spec.fmt}")  # pragma: no cover
+
+
+# decode lookup: (opcode, funct3, funct7-or-None) -> spec
+_BY_OPCODE: dict[int, list[InstrSpec]] = {}
+for _spec in SPECS.values():
+    _BY_OPCODE.setdefault(_spec.opcode, []).append(_spec)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word."""
+    word &= _MASK32
+    if word == 0x00100073:
+        return Instruction("ebreak")
+    if word == 0x00000073:
+        return Instruction("ecall")
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    candidates = _BY_OPCODE.get(opcode)
+    if not candidates:
+        raise EncodingError(f"unknown opcode {opcode:#x} in word {word:#010x}")
+
+    for spec in candidates:
+        if spec.funct3 is not None and spec.funct3 != funct3:
+            continue
+        if spec.fmt in ("R", "shift") and spec.funct7 != funct7:
+            continue
+        m = spec.mnemonic
+        if spec.fmt == "R":
+            return Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+        if spec.fmt == "shift":
+            return Instruction(m, rd=rd, rs1=rs1, imm=rs2)
+        if spec.fmt == "I":
+            if m.startswith("csr"):
+                return Instruction(m, rd=rd, rs1=rs1, imm=word >> 20)
+            return Instruction(m, rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12))
+        if spec.fmt == "S":
+            imm = sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+            return Instruction(m, rs1=rs1, rs2=rs2, imm=imm)
+        if spec.fmt == "B":
+            imm = (
+                (((word >> 31) & 1) << 12)
+                | (((word >> 7) & 1) << 11)
+                | (((word >> 25) & 0x3F) << 5)
+                | (((word >> 8) & 0xF) << 1)
+            )
+            return Instruction(m, rs1=rs1, rs2=rs2, imm=sign_extend(imm, 13))
+        if spec.fmt == "U":
+            return Instruction(m, rd=rd, imm=word >> 12)
+        if spec.fmt == "J":
+            imm = (
+                (((word >> 31) & 1) << 20)
+                | (((word >> 12) & 0xFF) << 12)
+                | (((word >> 20) & 1) << 11)
+                | (((word >> 21) & 0x3FF) << 1)
+            )
+            return Instruction(m, rd=rd, imm=sign_extend(imm, 21))
+    raise EncodingError(
+        f"no matching instruction for word {word:#010x} "
+        f"(opcode {opcode:#x}, funct3 {funct3}, funct7 {funct7:#x})"
+    )

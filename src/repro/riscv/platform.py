@@ -1,0 +1,156 @@
+"""Memory-mapped peripherals (the PULPino-style platform layer).
+
+The paper's system is the PULPino microcontroller: the RISCY core plus
+peripherals on a memory-mapped bus (Table III's "Peripherals/Memory"
+row).  This module provides the simulation equivalent so machine-code
+programs can do real I/O:
+
+* :class:`MmioMemory` — a :class:`~repro.riscv.memory.Memory` with
+  device windows; loads/stores inside a window route to the device;
+* :class:`Uart` — a transmit-only UART (status + data registers);
+  everything written appears in ``output``;
+* :class:`CycleTimer` — a free-running timer readable as two 32-bit
+  words (the memory-mapped sibling of the rdcycle CSR).
+
+Register maps (word offsets from the device base):
+
+UART:   0x0 TX data (write: one byte)   0x4 status (read: 1 = ready)
+Timer:  0x0 cycles low                   0x4 cycles high
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.riscv.memory import Memory, MemoryError_
+
+#: Conventional device bases used by the bundled programs.
+UART_BASE = 0x80000
+TIMER_BASE = 0x81000
+
+
+class MmioDevice(Protocol):
+    """A bus target: byte-addressed reads/writes within its window."""
+
+    def read(self, offset: int, width: int) -> int:
+        """Read ``width`` bytes at ``offset`` within the window."""
+        ...
+
+    def write(self, offset: int, value: int, width: int) -> None:
+        """Write ``width`` bytes at ``offset`` within the window."""
+        ...
+
+
+class Uart:
+    """Transmit-only UART; written bytes accumulate in ``output``."""
+
+    WINDOW = 8
+
+    def __init__(self) -> None:
+        self.output = bytearray()
+
+    def read(self, offset: int, width: int) -> int:
+        """Status register at 0x4 (always ready); data reads as 0."""
+        if offset == 4:
+            return 1  # always ready to transmit
+        return 0
+
+    def write(self, offset: int, value: int, width: int) -> None:
+        """A write to 0x0 transmits one byte."""
+        if offset == 0:
+            self.output.append(value & 0xFF)
+        # writes elsewhere are ignored (config registers not modelled)
+
+    @property
+    def text(self) -> str:
+        return self.output.decode("ascii", errors="replace")
+
+
+class CycleTimer:
+    """A free-running cycle counter on the bus.
+
+    ``cycles`` is a callable so the timer always reflects the CPU's
+    current count (wire it as ``CycleTimer(lambda: cpu.cycles)``).
+    """
+
+    WINDOW = 8
+
+    def __init__(self, cycles: Callable[[], int]):
+        self._cycles = cycles
+
+    def read(self, offset: int, width: int) -> int:
+        """Cycle counter: low word at 0x0, high word at 0x4."""
+        value = self._cycles()
+        if offset == 0:
+            return value & 0xFFFFFFFF
+        if offset == 4:
+            return (value >> 32) & 0xFFFFFFFF
+        return 0
+
+    def write(self, offset: int, value: int, width: int) -> None:
+        """Ignored: the timer is read-only."""
+        pass  # read-only
+
+
+class MmioMemory(Memory):
+    """Flat RAM with memory-mapped device windows."""
+
+    def __init__(self, size: int = 1 << 20):
+        super().__init__(size)
+        self._windows: list[tuple[int, int, MmioDevice]] = []
+
+    def attach(self, base: int, device: MmioDevice, window: int | None = None) -> None:
+        """Map ``device`` at ``base`` (window defaults to device.WINDOW)."""
+        size = window if window is not None else getattr(device, "WINDOW", 4)
+        for existing_base, existing_size, _ in self._windows:
+            if base < existing_base + existing_size and existing_base < base + size:
+                raise ValueError("device windows overlap")
+        self._windows.append((base, size, device))
+
+    def _device_at(self, address: int, width: int):
+        for base, size, device in self._windows:
+            if base <= address < base + size:
+                if address + width > base + size:
+                    raise MemoryError_(
+                        f"access of {width} bytes at {address:#x} crosses "
+                        "a device window boundary"
+                    )
+                return device, address - base
+        return None, 0
+
+    def load(self, address: int, width: int) -> int:
+        """RAM load, or a device read inside a mapped window."""
+        device, offset = self._device_at(address, width)
+        if device is not None:
+            return device.read(offset, width) & ((1 << (8 * width)) - 1)
+        return super().load(address, width)
+
+    def store(self, address: int, value: int, width: int) -> None:
+        """RAM store, or a device write inside a mapped window."""
+        device, offset = self._device_at(address, width)
+        if device is not None:
+            device.write(offset, value, width)
+            return
+        super().store(address, value, width)
+
+
+def make_platform(memory_size: int = 1 << 20):
+    """A ready-to-use platform: (memory, uart, attach_timer).
+
+    The timer needs the CPU's cycle counter, which exists only after
+    the CPU is constructed; call ``attach_timer(cpu)`` afterwards::
+
+        memory, uart, attach_timer = make_platform()
+        cpu = Cpu(memory)
+        attach_timer(cpu)
+    """
+    memory = MmioMemory(memory_size)
+    uart = Uart()
+    memory.attach(UART_BASE, uart)
+
+    def attach_timer(cpu) -> CycleTimer:
+        timer = CycleTimer(lambda: cpu.cycles)
+        memory.attach(TIMER_BASE, timer)
+        return timer
+
+    return memory, uart, attach_timer

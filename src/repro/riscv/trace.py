@@ -1,0 +1,117 @@
+"""Execution tracing for the instruction-set simulator.
+
+Debug aid for kernel development: wraps a :class:`~repro.riscv.cpu.Cpu`
+and records one :class:`TraceEntry` per retired instruction — address,
+disassembly, cycle delta, and the destination-register writeback — with
+formatting helpers for human-readable listings.
+
+Example::
+
+    tracer = Tracer(cpu)
+    tracer.run(max_instructions=100)
+    print(tracer.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.riscv.cpu import Cpu, ExecutionResult
+from repro.riscv.disasm import format_instruction
+from repro.riscv.encoding import Instruction
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction."""
+
+    index: int
+    pc: int
+    text: str
+    cycles: int           # cycles charged by this instruction
+    total_cycles: int     # cumulative, after the instruction
+    rd: int | None        # destination register (None when no writeback)
+    rd_value: int | None
+
+    def format(self) -> str:
+        """One human-readable trace line."""
+        writeback = ""
+        if self.rd is not None and self.rd != 0:
+            writeback = f"   x{self.rd} <- {self.rd_value:#010x}"
+        return (
+            f"{self.index:6d}  {self.pc:#010x}  {self.text:<32s}"
+            f" [{self.cycles:>4d} cyc]{writeback}"
+        )
+
+
+_WRITEBACK_FREE = {
+    "sb", "sh", "sw", "beq", "bne", "blt", "bge", "bltu", "bgeu",
+    "ecall", "ebreak", "fence",
+}
+
+
+class Tracer:
+    """Step a CPU while recording a bounded execution trace."""
+
+    def __init__(self, cpu: Cpu, limit: int = 100_000):
+        self.cpu = cpu
+        self.limit = limit
+        self.entries: list[TraceEntry] = []
+
+    def step(self) -> TraceEntry:
+        """Retire one instruction and record it."""
+        cpu = self.cpu
+        pc_before = cpu.pc
+        cycles_before = cpu.cycles
+        instr: Instruction = cpu.step()
+        rd = None
+        rd_value = None
+        if instr.mnemonic not in _WRITEBACK_FREE:
+            rd = instr.rd
+            rd_value = cpu.regs[instr.rd]
+        entry = TraceEntry(
+            index=cpu.instret,
+            pc=pc_before,
+            text=format_instruction(instr),
+            cycles=cpu.cycles - cycles_before,
+            total_cycles=cpu.cycles,
+            rd=rd,
+            rd_value=rd_value,
+        )
+        if len(self.entries) < self.limit:
+            self.entries.append(entry)
+        return entry
+
+    def run(self, max_instructions: int = 1_000_000) -> ExecutionResult:
+        """Run to halt (or the limit), tracing every instruction."""
+        cpu = self.cpu
+        while not cpu.halted and cpu.instret < max_instructions:
+            self.step()
+        return ExecutionResult(
+            cycles=cpu.cycles,
+            instructions=cpu.instret,
+            reason=cpu.halt_reason if cpu.halted else "limit",
+            exit_code=cpu.regs[10],
+        )
+
+    # ------------------------------------------------------------------
+
+    def format(self, last: int | None = None) -> str:
+        """The trace as text (optionally only the last ``last`` entries)."""
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join(e.format() for e in entries)
+
+    def cycles_by_mnemonic(self) -> dict[str, int]:
+        """Cycle attribution per mnemonic (a quick profiler)."""
+        out: dict[str, int] = {}
+        for entry in self.entries:
+            mnemonic = entry.text.split()[0]
+            out[mnemonic] = out.get(mnemonic, 0) + entry.cycles
+        return out
+
+    def hotspots(self, top: int = 10) -> list[tuple[int, int]]:
+        """The ``top`` addresses by cumulative cycles (pc, cycles)."""
+        by_pc: dict[int, int] = {}
+        for entry in self.entries:
+            by_pc[entry.pc] = by_pc.get(entry.pc, 0) + entry.cycles
+        return sorted(by_pc.items(), key=lambda kv: -kv[1])[:top]

@@ -1,0 +1,101 @@
+"""Tests for the constant-time BCH decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bch.code import LAC_BCH_128_256, LAC_BCH_192
+from repro.bch.ct_decoder import ConstantTimeBCHDecoder
+from repro.bch.decoder import BCHDecoder
+from repro.metrics import OpCounter
+from tests.test_bch_decoder import make_word
+
+
+@pytest.fixture(params=[LAC_BCH_128_256, LAC_BCH_192], ids=["t16", "t8"])
+def code(request):
+    return request.param
+
+
+class TestCorrection:
+    def test_no_errors(self, code):
+        message, codeword, word = make_word(code, 0)
+        result = ConstantTimeBCHDecoder(code).decode(word)
+        assert result.success
+        assert result.errors_found == 0
+        assert np.array_equal(result.message, message)
+
+    @pytest.mark.parametrize("n_errors", [1, 3])
+    def test_some_errors(self, code, n_errors):
+        message, codeword, word = make_word(code, n_errors, seed=n_errors + 7)
+        result = ConstantTimeBCHDecoder(code).decode(word)
+        assert result.success
+        assert np.array_equal(result.codeword, codeword)
+
+    def test_maximum_errors(self, code):
+        message, codeword, word = make_word(code, code.t, seed=13)
+        result = ConstantTimeBCHDecoder(code).decode(word)
+        assert result.success
+        assert result.errors_found == code.t
+        assert np.array_equal(result.message, message)
+
+    def test_parity_region_errors(self, code):
+        message, codeword, word = make_word(
+            code, 2, seed=21, error_region=(0, code.parity_bits)
+        )
+        result = ConstantTimeBCHDecoder(code).decode(word)
+        assert np.array_equal(result.codeword, codeword)
+
+    @given(n_errors=st.integers(min_value=0, max_value=8), seed=st.integers(0, 50))
+    @settings(max_examples=6, deadline=None)
+    def test_matches_submission_decoder(self, n_errors, seed):
+        code = LAC_BCH_192
+        _, _, word = make_word(code, n_errors, seed=seed)
+        ct = ConstantTimeBCHDecoder(code).decode(word)
+        plain = BCHDecoder(code).decode(word)
+        assert np.array_equal(ct.codeword, plain.codeword)
+        assert ct.errors_found == plain.errors_found
+
+    def test_message_window(self, code):
+        message, _, word = make_word(
+            code, 3, seed=2, error_region=(code.parity_bits, code.n)
+        )
+        result = ConstantTimeBCHDecoder(code).decode(word, window="message")
+        assert np.array_equal(result.message, message)
+
+    def test_rejects_wrong_length(self, code):
+        with pytest.raises(ValueError):
+            ConstantTimeBCHDecoder(code).decode(np.zeros(3, dtype=np.uint8))
+
+
+class TestConstantTime:
+    """The decoder's schedule must be input-independent (Table I, [15])."""
+
+    def _ops(self, code, n_errors, seed):
+        _, _, word = make_word(code, n_errors, seed=seed)
+        counter = OpCounter()
+        ConstantTimeBCHDecoder(code).decode(word, counter)
+        return {
+            name: dict(counts) for name, counts in counter.phases.items()
+        }
+
+    def test_zero_vs_max_errors_identical(self, code):
+        assert self._ops(code, 0, seed=3) == self._ops(code, code.t, seed=4)
+
+    def test_independent_of_codeword(self, code):
+        assert self._ops(code, 2, seed=10) == self._ops(code, 2, seed=20)
+
+    @given(n_errors=st.integers(min_value=0, max_value=16))
+    @settings(max_examples=5, deadline=None)
+    def test_every_error_count_identical(self, n_errors):
+        code = LAC_BCH_128_256
+        baseline = self._ops(code, 0, seed=1)
+        assert self._ops(code, n_errors, seed=99) == baseline
+
+    def test_no_branchy_table_multiplies(self, code):
+        _, _, word = make_word(code, code.t, seed=6)
+        counter = OpCounter()
+        ConstantTimeBCHDecoder(code).decode(word, counter)
+        totals = counter.totals()
+        assert totals.get("gf_mul_table", 0) == 0
+        assert totals.get("gf_mul_skip", 0) == 0
+        assert totals["gf_mul_ct"] > 0

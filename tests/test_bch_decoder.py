@@ -1,0 +1,125 @@
+"""Tests for the submission-style BCH decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bch.code import LAC_BCH_128_256, LAC_BCH_192
+from repro.bch.decoder import BCHDecoder
+from repro.bch.encoder import BCHEncoder
+from repro.metrics import OpCounter
+
+
+def make_word(code, n_errors, seed=0, error_region=None):
+    rng = np.random.default_rng(seed)
+    message = rng.integers(0, 2, code.k).astype(np.uint8)
+    codeword = BCHEncoder(code).encode(message)
+    corrupted = codeword.copy()
+    if n_errors:
+        region = error_region or (0, code.n)
+        positions = rng.choice(
+            np.arange(region[0], region[1]), size=n_errors, replace=False
+        )
+        corrupted[positions] ^= 1
+    return message, codeword, corrupted
+
+
+@pytest.fixture(params=[LAC_BCH_128_256, LAC_BCH_192], ids=["t16", "t8"])
+def code(request):
+    return request.param
+
+
+class TestCorrection:
+    def test_no_errors(self, code):
+        message, codeword, word = make_word(code, 0)
+        result = BCHDecoder(code).decode(word)
+        assert result.success
+        assert result.errors_found == 0
+        assert np.array_equal(result.message, message)
+
+    @pytest.mark.parametrize("n_errors", [1, 2, 5])
+    def test_few_errors(self, code, n_errors):
+        message, codeword, word = make_word(code, n_errors, seed=n_errors)
+        result = BCHDecoder(code).decode(word)
+        assert result.success
+        assert result.errors_found == n_errors
+        assert np.array_equal(result.codeword, codeword)
+
+    def test_maximum_errors(self, code):
+        message, codeword, word = make_word(code, code.t, seed=42)
+        result = BCHDecoder(code).decode(word)
+        assert result.success
+        assert result.errors_found == code.t
+        assert np.array_equal(result.message, message)
+
+    def test_errors_in_parity_region(self, code):
+        message, codeword, word = make_word(
+            code, 3, seed=9, error_region=(0, code.parity_bits)
+        )
+        result = BCHDecoder(code).decode(word)
+        assert result.success
+        assert np.array_equal(result.codeword, codeword)
+
+    @given(n_errors=st.integers(min_value=0, max_value=16), seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_random_patterns(self, n_errors, seed):
+        code = LAC_BCH_128_256
+        message, codeword, word = make_word(code, n_errors, seed=seed)
+        result = BCHDecoder(code).decode(word)
+        assert result.success
+        assert np.array_equal(result.message, message)
+
+    def test_beyond_capacity_not_silently_wrong(self, code):
+        # with > t errors the decoder either reports failure or
+        # miscorrects; it must never claim success with a wrong codeword
+        message, codeword, word = make_word(code, code.t + 4, seed=5)
+        result = BCHDecoder(code).decode(word)
+        if result.success and np.array_equal(result.codeword, codeword):
+            pytest.fail("cannot correct beyond designed distance")
+        # (either failure flag, or a *different valid* codeword)
+
+    def test_message_window_corrects_message_errors(self, code):
+        message, codeword, word = make_word(
+            code, 4, seed=3, error_region=(code.parity_bits, code.n)
+        )
+        result = BCHDecoder(code).decode(word, window="message")
+        assert np.array_equal(result.message, message)
+
+    def test_rejects_wrong_length(self, code):
+        with pytest.raises(ValueError):
+            BCHDecoder(code).decode(np.zeros(10, dtype=np.uint8))
+
+
+class TestTimingBehaviour:
+    """The decoder's data-dependent execution (the Table I leak)."""
+
+    def _phase_ops(self, code, n_errors, seed=0):
+        _, _, word = make_word(code, n_errors, seed=seed)
+        counter = OpCounter()
+        BCHDecoder(code).decode(word, counter)
+        return {
+            name: sum(counts.values())
+            for name, counts in counter.phases.items()
+        }
+
+    def test_error_locator_grows_with_errors(self, code):
+        zero = self._phase_ops(code, 0)["error_locator"]
+        full = self._phase_ops(code, code.t)["error_locator"]
+        assert full > 10 * zero
+
+    def test_chien_near_constant(self, code):
+        zero = self._phase_ops(code, 0)["chien"]
+        full = self._phase_ops(code, code.t)["chien"]
+        assert abs(full - zero) < 0.01 * zero
+
+    def test_syndrome_depends_on_weight(self):
+        code = LAC_BCH_128_256
+        sparse = self._phase_ops(code, 0, seed=0)["syndrome"]
+        # a different random codeword has a different weight
+        different = self._phase_ops(code, 0, seed=1)["syndrome"]
+        assert sparse != different
+
+    def test_zero_syndrome_early_exit(self, code):
+        ops = self._phase_ops(code, 0)
+        # the early exit leaves only the syndrome-check scan
+        assert ops["error_locator"] < 250

@@ -1,0 +1,91 @@
+"""Tests for the systematic BCH encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bch.code import LAC_BCH_128_256, LAC_BCH_192
+from repro.bch.encoder import BCHEncoder
+from repro.bitutils import bits_to_mask
+from repro.gf.poly2 import Poly2
+from repro.metrics import OpCounter
+
+messages = st.binary(min_size=32, max_size=32).map(
+    lambda b: np.unpackbits(np.frombuffer(b, dtype=np.uint8), bitorder="little")
+)
+
+
+@pytest.fixture(params=[LAC_BCH_128_256, LAC_BCH_192], ids=["t16", "t8"])
+def encoder(request):
+    return BCHEncoder(request.param)
+
+
+class TestEncode:
+    def test_systematic_layout(self, encoder):
+        rng = np.random.default_rng(0)
+        message = rng.integers(0, 2, encoder.code.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        assert np.array_equal(codeword[encoder.code.parity_bits :], message)
+
+    def test_extract_message(self, encoder):
+        rng = np.random.default_rng(1)
+        message = rng.integers(0, 2, encoder.code.k).astype(np.uint8)
+        assert np.array_equal(
+            encoder.extract_message(encoder.encode(message)), message
+        )
+
+    @given(message=messages)
+    @settings(max_examples=20)
+    def test_codeword_divisible_by_generator(self, message):
+        encoder = BCHEncoder(LAC_BCH_192)
+        codeword = encoder.encode(message)
+        poly = Poly2(bits_to_mask(codeword))
+        assert (poly % encoder.code.generator).mask == 0
+
+    @given(message=messages)
+    @settings(max_examples=20)
+    def test_is_codeword(self, message):
+        encoder = BCHEncoder(LAC_BCH_128_256)
+        assert encoder.is_codeword(encoder.encode(message))
+
+    def test_non_codeword_detected(self, encoder):
+        codeword = encoder.encode(np.zeros(encoder.code.k, dtype=np.uint8))
+        codeword[0] ^= 1
+        assert not encoder.is_codeword(codeword)
+
+    def test_zero_message_is_zero_codeword(self, encoder):
+        codeword = encoder.encode(np.zeros(encoder.code.k, dtype=np.uint8))
+        assert not codeword.any()
+
+    def test_linearity(self, encoder):
+        rng = np.random.default_rng(2)
+        m1 = rng.integers(0, 2, encoder.code.k).astype(np.uint8)
+        m2 = rng.integers(0, 2, encoder.code.k).astype(np.uint8)
+        c1, c2 = encoder.encode(m1), encoder.encode(m2)
+        assert np.array_equal(encoder.encode(m1 ^ m2), c1 ^ c2)
+
+    def test_rejects_wrong_length(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros(10, dtype=np.uint8))
+
+    def test_rejects_non_binary(self, encoder):
+        bad = np.zeros(encoder.code.k, dtype=np.uint8)
+        bad[0] = 2
+        with pytest.raises(ValueError):
+            encoder.encode(bad)
+
+    def test_counter_records_encode_phase(self, encoder):
+        counter = OpCounter()
+        encoder.encode(np.ones(encoder.code.k, dtype=np.uint8), counter)
+        counts = counter.phase_counts("encode")
+        assert counts["loop"] == encoder.code.k
+
+    def test_minimum_distance_sample(self, encoder):
+        # every nonzero codeword has weight >= 2t+1
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            message = rng.integers(0, 2, encoder.code.k).astype(np.uint8)
+            if not message.any():
+                continue
+            weight = int(encoder.encode(message).sum())
+            assert weight >= 2 * encoder.code.t + 1

@@ -1,0 +1,75 @@
+"""Tests for the bit-packing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitutils import (
+    bits_to_bytes,
+    bits_to_mask,
+    bytes_to_bits,
+    mask_to_bits,
+    require_bits,
+)
+
+
+class TestMaskConversion:
+    @given(mask=st.integers(min_value=0, max_value=(1 << 100) - 1))
+    def test_roundtrip(self, mask):
+        assert bits_to_mask(mask_to_bits(mask, 100)) == mask
+
+    def test_mask_too_large(self):
+        with pytest.raises(ValueError):
+            mask_to_bits(0b1000, 3)
+
+    def test_negative_mask(self):
+        with pytest.raises(ValueError):
+            mask_to_bits(-1, 8)
+
+    def test_known_value(self):
+        assert list(mask_to_bits(0b1101, 4)) == [1, 0, 1, 1]
+
+
+class TestByteConversion:
+    @given(data=st.binary(min_size=0, max_size=64))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bit_order(self):
+        # bit 0 of byte 0 comes first (little-endian bit order)
+        bits = bytes_to_bits(b"\x01\x80")
+        assert bits[0] == 1
+        assert bits[15] == 1
+        assert int(bits.sum()) == 2
+
+    def test_truncation(self):
+        assert bytes_to_bits(b"\xff", 4).size == 4
+
+    def test_truncation_too_long(self):
+        with pytest.raises(ValueError):
+            bytes_to_bits(b"\xff", 9)
+
+    @given(nbits=st.integers(min_value=1, max_value=63))
+    def test_partial_byte_padding(self, nbits):
+        bits = np.ones(nbits, dtype=np.uint8)
+        packed = bits_to_bytes(bits)
+        assert len(packed) == (nbits + 7) // 8
+        assert list(bytes_to_bits(packed, nbits)) == [1] * nbits
+
+
+class TestRequireBits:
+    def test_accepts_valid(self):
+        out = require_bits(np.array([0, 1, 1], dtype=np.uint8), 3)
+        assert out.dtype == np.uint8
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="3 bits"):
+            require_bits(np.array([0, 1]), 3)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0s and 1s"):
+            require_bits(np.array([0, 2, 1]), 3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            require_bits(np.zeros((2, 2)), 4)

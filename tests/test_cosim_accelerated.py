@@ -1,0 +1,156 @@
+"""Tests for the ISE-accelerated multiplication and BCH decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bch.code import LAC_BCH_128_256, LAC_BCH_192
+from repro.bch.encoder import BCHEncoder
+from repro.cosim.accelerated import IseBchDecoder, IseMultiplier
+from repro.cosim.costs import ISE_COSTS, price
+from repro.hw.mul_ter import MulTerUnit
+from repro.lac.params import LAC_128, LAC_192
+from repro.metrics import OpCounter
+from repro.ring.poly import PolyRing
+from repro.ring.ternary import TernaryPoly
+from tests.test_bch_decoder import make_word
+
+
+class TestIseMultiplier:
+    def test_n512_matches_golden(self):
+        rng = np.random.default_rng(0)
+        ring = PolyRing(512)
+        t = TernaryPoly(rng.integers(-1, 2, 512).astype(np.int8))
+        g = ring.random(rng)
+        got = IseMultiplier()(ring, t, g)
+        assert np.array_equal(got, ring.mul(t.to_zq(), g))
+
+    def test_n1024_matches_golden(self):
+        rng = np.random.default_rng(1)
+        ring = PolyRing(1024)
+        t = TernaryPoly(rng.integers(-1, 2, 1024).astype(np.int8))
+        g = ring.random(rng)
+        got = IseMultiplier()(ring, t, g)
+        assert np.array_equal(got, ring.mul(t.to_zq(), g))
+
+    def test_small_ring_on_big_unit_folds(self):
+        # an n = 256 ring runs zero-padded on the 512 unit with a
+        # software fold by x^256 + 1
+        rng = np.random.default_rng(9)
+        ring = PolyRing(256)
+        t = TernaryPoly(rng.integers(-1, 2, 256).astype(np.int8))
+        g = ring.random(rng)
+        got = IseMultiplier()(ring, t, g)
+        assert np.array_equal(got, ring.mul(t.to_zq(), g))
+
+    def test_resized_unit_via_general_split(self):
+        # a length-256 unit serves n = 512 through the generalized split
+        rng = np.random.default_rng(10)
+        ring = PolyRing(512)
+        t = TernaryPoly(rng.integers(-1, 2, 512).astype(np.int8))
+        g = ring.random(rng)
+        got = IseMultiplier(MulTerUnit(256))(ring, t, g)
+        assert np.array_equal(got, ring.mul(t.to_zq(), g))
+
+    def test_incompatible_ring_rejected(self):
+        ring = PolyRing(384)  # not a power-of-two multiple of the unit
+        t = TernaryPoly(np.zeros(384, dtype=np.int8))
+        with pytest.raises(ValueError):
+            IseMultiplier()(ring, t, ring.zero())
+
+    def test_cycle_cost_n512_near_paper(self):
+        """Paper: 6,390 cycles for the accelerated length-512 multiply."""
+        rng = np.random.default_rng(2)
+        ring = PolyRing(512)
+        t = TernaryPoly(rng.integers(-1, 2, 512).astype(np.int8))
+        counter = OpCounter()
+        IseMultiplier()(ring, t, ring.random(rng), counter)
+        cycles = price(counter, ISE_COSTS)
+        assert 0.7 < cycles / 6_390 < 1.3
+
+    def test_cycle_cost_n1024_near_paper(self):
+        """Paper: 151,354 cycles via the two-level split."""
+        rng = np.random.default_rng(3)
+        ring = PolyRing(1024)
+        t = TernaryPoly(rng.integers(-1, 2, 1024).astype(np.int8))
+        counter = OpCounter()
+        IseMultiplier()(ring, t, ring.random(rng), counter)
+        cycles = price(counter, ISE_COSTS)
+        assert 0.7 < cycles / 151_354 < 1.3
+
+    def test_n1024_runs_16_unit_transactions(self):
+        rng = np.random.default_rng(4)
+        ring = PolyRing(1024)
+        t = TernaryPoly(rng.integers(-1, 2, 1024).astype(np.int8))
+        multiplier = IseMultiplier()
+        multiplier(ring, t, ring.random(rng))
+        # 16 transactions x (103 in + 512 compute + 128 out)
+        assert multiplier.unit.cycle_count == 16 * (103 + 512 + 128)
+
+
+@pytest.fixture(params=[LAC_BCH_128_256, LAC_BCH_192], ids=["t16", "t8"])
+def code(request):
+    return request.param
+
+
+class TestIseBchDecoder:
+    def test_corrects_message_errors(self, code):
+        message, codeword, word = make_word(
+            code, 3, seed=1, error_region=(code.parity_bits, code.n)
+        )
+        result = IseBchDecoder(code).decode(word)
+        assert result.success
+        assert np.array_equal(result.message, message)
+
+    def test_corrects_max_errors_in_message(self, code):
+        message, _, word = make_word(
+            code, code.t, seed=2, error_region=(code.parity_bits, code.n)
+        )
+        result = IseBchDecoder(code).decode(word)
+        assert np.array_equal(result.message, message)
+
+    def test_clean_word(self, code):
+        message, _, word = make_word(code, 0)
+        result = IseBchDecoder(code).decode(word)
+        assert result.errors_found == 0
+        assert np.array_equal(result.message, message)
+
+    def test_constant_schedule(self, code):
+        decoder = IseBchDecoder(code)
+
+        def ops(errors, seed):
+            _, _, word = make_word(code, errors, seed=seed,
+                                   error_region=(code.parity_bits, code.n))
+            counter = OpCounter()
+            decoder.decode(word, counter)
+            return {k: dict(v) for k, v in counter.phases.items()}
+
+        assert ops(0, 1) == ops(code.t, 2)
+
+    def test_decode_cost_near_paper(self):
+        """Paper: 160,295 cycles for the accelerated BCH(511,367,16)."""
+        _, _, word = make_word(LAC_BCH_128_256, 0)
+        counter = OpCounter()
+        IseBchDecoder(LAC_BCH_128_256).decode(word, counter)
+        cycles = price(counter, ISE_COSTS)
+        assert 0.7 < cycles / 160_295 < 1.4
+
+    def test_chien_offloaded(self, code):
+        _, _, word = make_word(code, 2, seed=5)
+        counter = OpCounter()
+        IseBchDecoder(code).decode(word, counter)
+        chien = counter.phase_counts("chien")
+        assert chien["pq_busy"] > 0       # the accelerator ran
+        assert chien.get("gf_mul_ct", 0) == 0  # no software CT multiplies
+
+    def test_speedup_over_software_chien(self, code):
+        from repro.bch.ct_decoder import ConstantTimeBCHDecoder
+        from repro.cosim.costs import REFERENCE_COSTS, price_phases
+
+        _, _, word = make_word(code, 2, seed=6)
+        hw_counter, sw_counter = OpCounter(), OpCounter()
+        IseBchDecoder(code).decode(word, hw_counter)
+        ConstantTimeBCHDecoder(code).decode(word, sw_counter)
+        hw_chien = price_phases(hw_counter, ISE_COSTS)["chien"]
+        sw_chien = price_phases(sw_counter, REFERENCE_COSTS)["chien"]
+        assert sw_chien > 8 * hw_chien

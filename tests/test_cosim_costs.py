@@ -1,0 +1,77 @@
+"""Tests for the cycle-cost pricing layer."""
+
+import pytest
+
+from repro.cosim.costs import (
+    CycleCosts,
+    ISE_COSTS,
+    REFERENCE_COSTS,
+    price,
+    price_phases,
+)
+from repro.metrics import OpCounter
+
+
+class TestPricing:
+    def test_price_of_known_ops(self):
+        assert REFERENCE_COSTS.price_of("alu") == 1
+        assert REFERENCE_COSTS.price_of("load") == 2
+        assert REFERENCE_COSTS.price_of("div") == 35
+
+    def test_price_of_unknown_op_raises(self):
+        with pytest.raises(KeyError, match="frobnicate"):
+            REFERENCE_COSTS.price_of("frobnicate")
+
+    def test_price_counter(self):
+        counter = OpCounter()
+        counter.count("alu", 10)
+        counter.count("load", 5)
+        assert price(counter) == 10 * 1 + 5 * 2
+
+    def test_price_phases(self):
+        counter = OpCounter()
+        with counter.phase("a"):
+            counter.count("alu", 3)
+        with counter.phase("b"):
+            counter.count("store", 2)
+        phases = price_phases(counter)
+        assert phases == {"a": 3, "b": 2}
+
+    def test_unknown_op_raises_at_pricing_time(self):
+        counter = OpCounter()
+        counter.count("typo_op")
+        with pytest.raises(KeyError):
+            price(counter)
+
+
+class TestProfiles:
+    def test_ise_prices_sha_cheaper(self):
+        assert ISE_COSTS.sha256_block < REFERENCE_COSTS.sha256_block
+
+    def test_ise_prices_modq_cheaper(self):
+        assert ISE_COSTS.modq < REFERENCE_COSTS.modq
+
+    def test_architectural_prices_shared(self):
+        for op in ("alu", "load", "store", "branch", "loop", "div", "pq_busy"):
+            assert ISE_COSTS.price_of(op) == REFERENCE_COSTS.price_of(op)
+
+    def test_ternary_inner_loop_anchor(self):
+        """The Table II calibration: 9 cycles per n^2 inner iteration."""
+        c = REFERENCE_COSTS
+        per_iteration = 2 * c.load + 2 * c.alu + c.store + c.loop
+        assert per_iteration == 9
+
+    def test_ct_gf_mul_is_expensive(self):
+        # the constant-time multiply must dominate the table-based one —
+        # that gap is why the constant-time decoder is ~3x slower
+        assert REFERENCE_COSTS.gf_mul_ct > 4 * REFERENCE_COSTS.gf_mul_table
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            REFERENCE_COSTS.alu = 5
+
+    def test_custom_costs(self):
+        custom = CycleCosts(alu=2)
+        counter = OpCounter()
+        counter.count("alu", 3)
+        assert price(counter, custom) == 6

@@ -1,0 +1,102 @@
+"""Tests for the NewHope cycle model and the new ablations."""
+
+import pytest
+
+from repro.cosim.costs import ISE_KECCAK_COSTS, NEWHOPE_COSTS, REFERENCE_COSTS
+from repro.cosim.newhope_model import (
+    AcceleratedNtt,
+    NewHopeCycleModel,
+    PAPER_NEWHOPE_ROW,
+)
+from repro.eval.ablations import karatsuba_ablation, keccak_generation_ablation
+from repro.eval.noise import channel_error_distribution, d2_ablation
+from repro.lac.params import LAC_128, LAC_192
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NewHopeCycleModel()
+
+
+@pytest.fixture(scope="module")
+def row(model):
+    return model.measure_protocol()
+
+
+class TestNewHopeModel:
+    def test_kernels_near_paper(self, row):
+        k = row.kernels
+        assert 0.7 < k.gen_a / PAPER_NEWHOPE_ROW["gen_a"] < 1.4
+        assert 0.6 < k.sample_poly / PAPER_NEWHOPE_ROW["sample_poly"] < 1.4
+        assert 0.85 < k.multiplication / PAPER_NEWHOPE_ROW["multiplication"] < 1.3
+
+    def test_cpa_decaps_cheap(self, row):
+        # CPA decapsulation = one decryption: far below encapsulation
+        assert row.decapsulation < row.encapsulation / 3
+
+    def test_no_bch(self, row):
+        assert row.kernels.bch_decode == 0
+
+    def test_gen_a_faster_than_lac(self, row):
+        """Table II: NewHope GenA 42k vs. LAC opt 154.7k (Keccak wins)."""
+        from repro.cosim.protocol import CycleModel
+
+        lac = CycleModel(LAC_128, "ise").measure_gen_a()
+        assert row.kernels.gen_a < lac / 2
+
+    def test_accelerated_ntt_charges_counter(self):
+        import numpy as np
+
+        from repro.metrics import OpCounter
+
+        ntt = AcceleratedNtt()
+        counter = OpCounter()
+        ntt.counter = counter
+        ntt.forward(np.zeros(1024, dtype=np.int64))
+        assert counter.totals()["pq_busy"] == ntt.unit.transform_cycles
+
+    def test_measure_is_repeatable(self, model):
+        assert model.measure_gen_a() == model.measure_gen_a()
+
+
+class TestCostProfiles:
+    def test_newhope_costs_leaner_wrapper(self):
+        assert NEWHOPE_COSTS.prng_byte < REFERENCE_COSTS.prng_byte
+        assert NEWHOPE_COSTS.keccak_f < REFERENCE_COSTS.keccak_f
+
+    def test_ise_keccak_keeps_lac_wrapper(self):
+        assert ISE_KECCAK_COSTS.prng_byte == REFERENCE_COSTS.prng_byte
+        assert ISE_KECCAK_COSTS.keccak_f < REFERENCE_COSTS.keccak_f
+
+
+class TestAblations:
+    def test_keccak_ablation_modest_gain(self):
+        report = keccak_generation_ablation(LAC_128)
+        assert 1.0 < report.gen_a_speedup < 1.3
+        assert 1.0 < report.sample_speedup < 1.3
+        assert report.area_delta_luts > 5_000
+
+    def test_keccak_ablation_other_params(self):
+        report = keccak_generation_ablation(LAC_192)
+        assert report.gen_a_keccak < report.gen_a_sha256
+
+    def test_karatsuba_ablation(self):
+        report = karatsuba_ablation(512)
+        assert report.base_mults_karatsuba == 3**4 * 32 * 32
+        assert report.karatsuba_software_cycles < report.ternary_schoolbook_cycles
+        assert report.split_products_karatsuba == 9
+
+
+class TestNoise:
+    def test_reliable_at_shipped_params(self):
+        report = channel_error_distribution(LAC_128, trials=8)
+        assert report.decodes_reliably
+        assert report.max_errors <= 4
+
+    def test_d2_not_worse(self):
+        with_d2, without_d2 = d2_ablation(trials=6)
+        assert with_d2.mean_errors <= without_d2.mean_errors
+
+    def test_margin_property(self):
+        report = channel_error_distribution(LAC_192, trials=5)
+        assert report.margin > 1

@@ -1,0 +1,92 @@
+"""Cross-profile consistency: every engine computes the same protocol.
+
+The three Table II configurations differ in *how* they compute — the
+O(n^2) software schedule, the constant-time decoder, the hardware
+models — never in *what*.  For identical seeds and messages, all
+profiles must produce bit-identical keys, ciphertexts and shared
+secrets; anything else would mean an engine computes different math,
+invalidating every cycle comparison.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosim.protocol import PROFILES, CycleModel
+from repro.lac.params import ALL_PARAMS, LAC_128
+
+SEED = bytes(range(64))
+
+
+@pytest.fixture(scope="module")
+def kems():
+    return {p: CycleModel(LAC_128, p).kem for p in PROFILES}
+
+
+class TestProfilesAgree:
+    def test_identical_keys(self, kems):
+        pairs = {p: k.keygen(seed=SEED) for p, k in kems.items()}
+        reference = pairs["ref"]
+        for profile, pair in pairs.items():
+            assert np.array_equal(
+                pair.public_key.b, reference.public_key.b
+            ), profile
+            assert pair.secret_key.sk.s == reference.secret_key.sk.s, profile
+
+    def test_identical_ciphertexts_and_secrets(self, kems):
+        message = b"\x5c" * 32
+        results = {}
+        for profile, kem in kems.items():
+            pair = kem.keygen(seed=SEED)
+            enc = kem.encaps(pair.public_key, message=message)
+            results[profile] = enc
+        blobs = {p: r.ciphertext.to_bytes() for p, r in results.items()}
+        secrets_ = {p: r.shared_secret for p, r in results.items()}
+        assert blobs["ref"] == blobs["const_bch"] == blobs["ise"]
+        assert secrets_["ref"] == secrets_["const_bch"] == secrets_["ise"]
+
+    def test_cross_profile_decapsulation(self, kems):
+        """A ciphertext produced on one engine decapsulates on another."""
+        message = b"\x9d" * 32
+        pair_ref = kems["ref"].keygen(seed=SEED)
+        enc = kems["ref"].encaps(pair_ref.public_key, message=message)
+        for profile in ("const_bch", "ise"):
+            pair = kems[profile].keygen(seed=SEED)
+            assert kems[profile].decaps(pair.secret_key, enc.ciphertext) == (
+                enc.shared_secret
+            ), profile
+
+    @given(message=st.binary(min_size=32, max_size=32))
+    @settings(max_examples=5, deadline=None)
+    def test_any_message_agrees(self, message):
+        ref = CycleModel(LAC_128, "ref").kem
+        ise = CycleModel(LAC_128, "ise").kem
+        pair_ref = ref.keygen(seed=SEED)
+        pair_ise = ise.keygen(seed=SEED)
+        a = ref.encaps(pair_ref.public_key, message=message)
+        b = ise.encaps(pair_ise.public_key, message=message)
+        assert a.ciphertext.to_bytes() == b.ciphertext.to_bytes()
+        assert a.shared_secret == b.shared_secret
+
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+    def test_all_parameter_sets(self, params):
+        message = b"\x31" * 32
+        blobs = []
+        for profile in PROFILES:
+            kem = CycleModel(params, profile).kem
+            pair = kem.keygen(seed=SEED)
+            enc = kem.encaps(pair.public_key, message=message)
+            blobs.append(enc.ciphertext.to_bytes())
+            assert kem.decaps(pair.secret_key, enc.ciphertext) == enc.shared_secret
+        assert blobs[0] == blobs[1] == blobs[2]
+
+    def test_resized_unit_agrees(self):
+        """Even a re-sized MUL TER unit computes the same protocol."""
+        message = b"\x77" * 32
+        baseline = CycleModel(LAC_128, "ise").kem
+        resized = CycleModel(LAC_128, "ise", mul_ter_length=256).kem
+        pair_a = baseline.keygen(seed=SEED)
+        pair_b = resized.keygen(seed=SEED)
+        a = baseline.encaps(pair_a.public_key, message=message)
+        b = resized.encaps(pair_b.public_key, message=message)
+        assert a.ciphertext.to_bytes() == b.ciphertext.to_bytes()

@@ -1,0 +1,61 @@
+"""Documentation enforcement: every public item carries a docstring.
+
+The deliverable is a library a downstream user can adopt; this test
+walks every module under ``repro`` and asserts that each public
+module, class, function and method documents itself.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        names.append(info.name)
+    return names
+
+
+MODULES = _iter_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exports are documented at their home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(member):
+                    continue
+                if not (member.__doc__ and member.__doc__.strip()):
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, f"{module_name}: {undocumented}"
+
+
+def test_module_count_sanity():
+    # the inventory of DESIGN.md: ~10 subpackages, dozens of modules
+    assert len(MODULES) > 45

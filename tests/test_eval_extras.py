@@ -1,0 +1,93 @@
+"""Tests for the sensitivity analysis and the CLI entry point."""
+
+import dataclasses
+
+import pytest
+
+from repro.cosim.costs import ISE_COSTS, REFERENCE_COSTS
+from repro.eval.__main__ import ARTIFACTS, main
+from repro.eval.sensitivity import (
+    CALIBRATED_PARAMETERS,
+    SensitivityAnalysis,
+)
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return SensitivityAnalysis()
+
+
+class TestSensitivity:
+    def test_nominal_evaluation(self, analysis):
+        point = analysis.evaluate(REFERENCE_COSTS, ISE_COSTS)
+        assert 6.0 < point.speedup < 9.0
+        assert 2.5 < point.ct_overhead < 4.0
+        assert point.mult_below_generation
+
+    def test_sweep_covers_all_parameters(self, analysis):
+        points = analysis.sweep(factors=(0.5, 2.0))
+        assert len(points) == 2 * len(CALIBRATED_PARAMETERS)
+        assert {p.parameter for p in points} == set(CALIBRATED_PARAMETERS)
+
+    def test_conclusions_stable(self, analysis):
+        for point in analysis.sweep(factors=(0.5, 2.0)):
+            assert point.speedup > 4.0, point
+            assert point.mult_below_generation, point
+
+    def test_extreme_prng_price_moves_speedup_directionally(self, analysis):
+        # cheaper generation makes the (generation-bound) ISE rows
+        # relatively cheaper -> larger speedup
+        cheap = analysis.evaluate(
+            dataclasses.replace(REFERENCE_COSTS, prng_byte=64),
+            dataclasses.replace(ISE_COSTS, prng_byte=64),
+        )
+        expensive = analysis.evaluate(
+            dataclasses.replace(REFERENCE_COSTS, prng_byte=512),
+            dataclasses.replace(ISE_COSTS, prng_byte=512),
+        )
+        assert cheap.speedup > expensive.speedup
+
+    def test_repricing_is_deterministic(self, analysis):
+        a = analysis.evaluate(REFERENCE_COSTS, ISE_COSTS)
+        b = analysis.evaluate(REFERENCE_COSTS, ISE_COSTS)
+        assert a == b
+
+
+class TestCli:
+    def test_artifact_registry(self):
+        assert {"table1", "table2", "table3", "newhope", "ablations",
+                "noise", "validate", "sensitivity"} == set(ARTIFACTS)
+
+    def test_unknown_artifact_exits_nonzero(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_table1_artifact_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Walters" in out
+
+    def test_validate_artifact_prints(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "chien_search" in out
+        assert "yes" in out
+
+    def test_table3_artifact_prints(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ternary Multiplier" in out
+        assert "PQ-ALU overhead" in out
+
+    def test_cli_as_subprocess(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.eval", "table3", "validate"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-500:]
+        assert "Table III" in result.stdout
+        assert "chien_search" in result.stdout

@@ -1,0 +1,120 @@
+"""Tests for polynomials over GF(2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gf.poly2 import Poly2
+
+masks = st.integers(min_value=0, max_value=(1 << 64) - 1)
+nonzero_masks = st.integers(min_value=1, max_value=(1 << 64) - 1)
+
+
+class TestBasics:
+    def test_from_terms(self):
+        assert Poly2.from_terms([3, 1, 0]).mask == 0b1011
+
+    def test_constants(self):
+        assert Poly2.zero().mask == 0
+        assert Poly2.one().mask == 1
+        assert Poly2.x().mask == 2
+
+    def test_degree(self):
+        assert Poly2(0).degree == -1
+        assert Poly2(1).degree == 0
+        assert Poly2(0b1011).degree == 3
+
+    def test_weight(self):
+        assert Poly2(0b1011).weight == 3
+        assert Poly2(0).weight == 0
+
+    def test_coefficient(self):
+        p = Poly2(0b1011)
+        assert [p.coefficient(i) for i in range(5)] == [1, 1, 0, 1, 0]
+
+    def test_terms(self):
+        assert Poly2(0b1011).terms() == [0, 1, 3]
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Poly2(-1)
+
+    def test_immutable(self):
+        p = Poly2(5)
+        with pytest.raises(AttributeError):
+            p.mask = 7
+
+    def test_bool(self):
+        assert not Poly2(0)
+        assert Poly2(1)
+
+    def test_repr(self):
+        assert repr(Poly2(0b1011)) == "Poly2(x^3 + x + 1)"
+        assert repr(Poly2(0)) == "Poly2(0)"
+        assert repr(Poly2(2)) == "Poly2(x)"
+
+    def test_hashable(self):
+        assert len({Poly2(5), Poly2(5), Poly2(6)}) == 2
+
+
+class TestArithmetic:
+    def test_add_is_xor(self):
+        assert (Poly2(0b1100) + Poly2(0b1010)).mask == 0b0110
+
+    @given(a=masks)
+    def test_add_self_is_zero(self, a):
+        assert (Poly2(a) + Poly2(a)).mask == 0
+
+    def test_known_product(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert (Poly2(0b11) * Poly2(0b11)).mask == 0b101
+
+    @given(a=masks, b=masks)
+    def test_mul_commutative(self, a, b):
+        assert Poly2(a) * Poly2(b) == Poly2(b) * Poly2(a)
+
+    @given(a=masks, b=masks, c=masks)
+    def test_mul_distributes(self, a, b, c):
+        pa, pb, pc = Poly2(a), Poly2(b), Poly2(c)
+        assert pa * (pb + pc) == pa * pb + pa * pc
+
+    @given(a=nonzero_masks, b=nonzero_masks)
+    def test_mul_degree_adds(self, a, b):
+        assert (Poly2(a) * Poly2(b)).degree == Poly2(a).degree + Poly2(b).degree
+
+    def test_shift(self):
+        assert (Poly2(0b11) << 2).mask == 0b1100
+
+    @given(a=masks, b=nonzero_masks)
+    def test_divmod_invariant(self, a, b):
+        pa, pb = Poly2(a), Poly2(b)
+        q, r = pa.divmod(pb)
+        assert q * pb + r == pa
+        assert r.degree < pb.degree
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Poly2(5).divmod(Poly2(0))
+
+    @given(a=masks, b=nonzero_masks)
+    def test_mod_and_floordiv_consistent(self, a, b):
+        pa, pb = Poly2(a), Poly2(b)
+        assert (pa // pb) * pb + (pa % pb) == pa
+
+    @given(a=nonzero_masks, b=nonzero_masks)
+    def test_gcd_divides_both(self, a, b):
+        g = Poly2(a).gcd(Poly2(b))
+        assert (Poly2(a) % g).mask == 0
+        assert (Poly2(b) % g).mask == 0
+
+    @given(a=nonzero_masks)
+    def test_gcd_with_self(self, a):
+        assert Poly2(a).gcd(Poly2(a)) == Poly2(a)
+
+    def test_gcd_with_zero(self):
+        assert Poly2(0b110).gcd(Poly2(0)) == Poly2(0b110)
+
+    @given(a=masks)
+    def test_eval_gf2(self, a):
+        p = Poly2(a)
+        assert p.eval_gf2(0) == a & 1
+        assert p.eval_gf2(1) == p.weight % 2

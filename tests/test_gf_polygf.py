@@ -1,0 +1,109 @@
+"""Tests for polynomials over GF(2^m)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf.field import GF2m, GF512
+from repro.gf.polygf import PolyGF
+
+coeff_lists = st.lists(st.integers(min_value=0, max_value=511), max_size=8)
+points = st.integers(min_value=0, max_value=511)
+
+
+def P(coeffs):
+    return PolyGF(GF512, coeffs)
+
+
+class TestBasics:
+    def test_normalization_strips_trailing_zeros(self):
+        assert P([1, 2, 0, 0]).coeffs == [1, 2]
+
+    def test_zero(self):
+        z = PolyGF.zero(GF512)
+        assert z.is_zero()
+        assert z.degree == -1
+
+    def test_one(self):
+        assert PolyGF.one(GF512).coeffs == [1]
+
+    def test_monomial(self):
+        m = PolyGF.monomial(GF512, 3, 7)
+        assert m.coeffs == [0, 0, 0, 7]
+        assert m.degree == 3
+
+    def test_coefficient_out_of_range_is_zero(self):
+        assert P([1, 2]).coefficient(10) == 0
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            P([512])
+
+    def test_cross_field_rejected(self):
+        other = GF2m(4, 0b10011)
+        with pytest.raises(ValueError):
+            P([1]) + PolyGF(other, [1])
+
+    def test_equality_and_hash(self):
+        assert P([1, 2]) == P([1, 2, 0])
+        assert hash(P([1, 2])) == hash(P([1, 2, 0]))
+
+
+class TestArithmetic:
+    @given(a=coeff_lists, b=coeff_lists)
+    def test_add_commutative(self, a, b):
+        assert P(a) + P(b) == P(b) + P(a)
+
+    @given(a=coeff_lists)
+    def test_add_self_cancels(self, a):
+        assert (P(a) + P(a)).is_zero()
+
+    @given(a=coeff_lists, b=coeff_lists)
+    @settings(max_examples=50)
+    def test_mul_commutative(self, a, b):
+        assert P(a) * P(b) == P(b) * P(a)
+
+    @given(a=coeff_lists, b=coeff_lists, x=points)
+    @settings(max_examples=50)
+    def test_mul_is_pointwise(self, a, b, x):
+        # evaluation is a ring homomorphism
+        product = (P(a) * P(b)).eval(x)
+        assert product == GF512.mul(P(a).eval(x), P(b).eval(x))
+
+    @given(a=coeff_lists, b=coeff_lists, x=points)
+    def test_add_is_pointwise(self, a, b, x):
+        assert (P(a) + P(b)).eval(x) == P(a).eval(x) ^ P(b).eval(x)
+
+    @given(a=coeff_lists, s=points)
+    def test_scale(self, a, s):
+        scaled = P(a).scale(s)
+        for i, c in enumerate(P(a).coeffs):
+            assert scaled.coefficient(i) == GF512.mul(c, s)
+
+    @given(a=coeff_lists, n=st.integers(min_value=0, max_value=5))
+    def test_shift_is_monomial_mul(self, a, n):
+        assert P(a).shift(n) == P(a) * PolyGF.monomial(GF512, n)
+
+    def test_eval_constant(self):
+        assert P([42]).eval(7) == 42
+
+    def test_eval_known_linear(self):
+        # p(x) = x + 1 at alpha: alpha ^ 1
+        p = P([1, 1])
+        assert p.eval(GF512.alpha) == GF512.alpha ^ 1
+
+    def test_derivative_char2(self):
+        # d/dx (x^3 + a x^2 + b x + c) = 3x^2 + 2ax + b = x^2 + b
+        p = P([5, 7, 9, 1])
+        assert p.derivative().coeffs == [7, 0, 1]
+
+    def test_roots_of_product_of_linears(self):
+        # (x - a)(x - b) has exactly roots {a, b}
+        a, b = 17, 200
+        poly = P([a, 1]) * P([b, 1])
+        assert sorted(poly.roots()) == sorted({a, b})
+
+    def test_eval_powers(self):
+        p = P([3, 1])
+        values = p.eval_powers(GF512.alpha, 4, start=2)
+        for i, v in enumerate(values):
+            assert v == p.eval(GF512.alpha_pow(2 + i))

@@ -1,0 +1,133 @@
+"""Tests for the from-scratch SHA-256 and the seed-expansion PRNG."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashes.prng import Sha256Prng
+from repro.hashes.sha256 import IV, SHA256, compress, pad, sha256
+from repro.metrics import OpCounter
+
+
+class TestSha256Vectors:
+    def test_empty(self):
+        assert sha256(b"") == hashlib.sha256(b"").digest()
+
+    def test_abc(self):
+        assert (
+            SHA256(b"abc").hexdigest()
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_exactly_one_block(self):
+        data = bytes(64)
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+    def test_block_boundary_55_56(self):
+        # padding straddles the block boundary between 55 and 56 bytes
+        for n in (54, 55, 56, 57, 63, 64, 65):
+            data = bytes(range(n % 256)) * 1 if n < 256 else b""
+            data = bytes(n)
+            assert sha256(data) == hashlib.sha256(data).digest(), n
+
+    @given(data=st.binary(max_size=300))
+    @settings(max_examples=50)
+    def test_matches_hashlib(self, data):
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+    @given(chunks=st.lists(st.binary(max_size=70), max_size=6))
+    @settings(max_examples=30)
+    def test_incremental_updates(self, chunks):
+        hasher = SHA256()
+        reference = hashlib.sha256()
+        for chunk in chunks:
+            hasher.update(chunk)
+            reference.update(chunk)
+        assert hasher.digest() == reference.digest()
+
+    def test_digest_idempotent(self):
+        hasher = SHA256(b"hello")
+        assert hasher.digest() == hasher.digest()
+
+    def test_copy_independent(self):
+        hasher = SHA256(b"abc")
+        clone = hasher.copy()
+        hasher.update(b"def")
+        assert clone.digest() == hashlib.sha256(b"abc").digest()
+        assert hasher.digest() == hashlib.sha256(b"abcdef").digest()
+
+    def test_compress_rejects_short_block(self):
+        with pytest.raises(ValueError):
+            compress(IV, b"short")
+
+    def test_pad_length_multiple_of_64(self):
+        for n in range(0, 130):
+            assert (n + len(pad(n))) % 64 == 0
+
+    def test_counts_blocks(self):
+        counter = OpCounter()
+        sha256(bytes(130), counter)  # 130 bytes -> 3 blocks after padding
+        assert counter.totals()["sha256_block"] == 3
+
+
+class TestPrng:
+    def test_deterministic(self):
+        assert Sha256Prng(b"seed").read(100) == Sha256Prng(b"seed").read(100)
+
+    def test_different_seeds_differ(self):
+        assert Sha256Prng(b"a").read(32) != Sha256Prng(b"b").read(32)
+
+    def test_stream_consistency_across_read_sizes(self):
+        whole = Sha256Prng(b"x").read(64)
+        prng = Sha256Prng(b"x")
+        assert prng.read(10) + prng.read(54) == whole
+
+    def test_read_zero(self):
+        assert Sha256Prng(b"s").read(0) == b""
+
+    def test_read_negative(self):
+        with pytest.raises(ValueError):
+            Sha256Prng(b"s").read(-1)
+
+    def test_rejects_non_bytes_seed(self):
+        with pytest.raises(TypeError):
+            Sha256Prng("string")
+
+    def test_helpers(self):
+        prng = Sha256Prng(b"s")
+        assert 0 <= prng.read_u8() < 256
+        assert 0 <= prng.read_u32() < 2**32
+
+    @given(bound=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=30)
+    def test_uniform_below_in_range(self, bound):
+        assert 0 <= Sha256Prng(b"q").uniform_below(bound) < bound
+
+    def test_uniform_below_rough_uniformity(self):
+        prng = Sha256Prng(b"uniformity")
+        counts = [0] * 5
+        for _ in range(2000):
+            counts[prng.uniform_below(5)] += 1
+        for c in counts:
+            assert 300 < c < 500  # expectation 400
+
+    def test_uniform_below_invalid(self):
+        with pytest.raises(ValueError):
+            Sha256Prng(b"s").uniform_below(0)
+
+    def test_fork_domain_separation(self):
+        root = Sha256Prng(b"root")
+        a = root.fork(b"a")
+        b = root.fork(b"b")
+        assert a.read(32) != b.read(32)
+        # forking again with the same label reproduces the child
+        assert Sha256Prng(b"root").fork(b"a").read(32) == Sha256Prng(b"root").fork(b"a").read(32)
+
+    def test_counts_blocks_and_bytes(self):
+        counter = OpCounter()
+        Sha256Prng(b"seed", counter=counter).read(64)
+        totals = counter.totals()
+        # two refills of SHA256(4-byte seed || 4-byte index): 1 block each
+        assert totals["sha256_block"] == 2
+        assert totals["prng_byte"] == 64

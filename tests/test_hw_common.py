@@ -1,0 +1,73 @@
+"""Tests for the shared hardware-model infrastructure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.common import ClockedUnit, ComponentInventory
+
+counts = st.integers(min_value=0, max_value=10_000)
+
+
+class TestComponentInventory:
+    @given(a=counts, b=counts, c=counts, d=counts)
+    def test_addition_componentwise(self, a, b, c, d):
+        left = ComponentInventory(flipflops=a, adder_bits=b, dsp=1, bram=2)
+        right = ComponentInventory(flipflops=c, adder_bits=d, gates=5)
+        total = left + right
+        assert total.flipflops == a + c
+        assert total.adder_bits == b + d
+        assert total.gates == 5
+        assert total.dsp == 1
+        assert total.bram == 2
+
+    @given(factor=st.integers(min_value=0, max_value=100))
+    def test_scaling(self, factor):
+        unit = ComponentInventory(
+            flipflops=3, adder_bits=5, mux_bits=7, comparator_bits=2,
+            gates=11, dsp=1, bram=1,
+        )
+        scaled = unit.scaled(factor)
+        assert scaled.flipflops == 3 * factor
+        assert scaled.gates == 11 * factor
+        assert scaled.dsp == factor
+
+    def test_notes_concatenate(self):
+        a = ComponentInventory(notes=["first"])
+        b = ComponentInventory(notes=["second"])
+        assert (a + b).notes == ["first", "second"]
+
+    def test_defaults_zero(self):
+        empty = ComponentInventory()
+        assert empty.flipflops == 0
+        assert empty.dsp == 0
+        assert empty.notes == []
+
+    def test_default_notes_not_shared(self):
+        a = ComponentInventory()
+        b = ComponentInventory()
+        a.notes.append("mine")
+        assert b.notes == []
+
+
+class TestClockedUnit:
+    def test_tick_counts(self):
+        class Counter(ClockedUnit):
+            def __init__(self):
+                super().__init__()
+                self.edges = 0
+
+            def _tick(self):
+                self.edges += 1
+
+        unit = Counter()
+        unit.tick(5)
+        unit.tick()
+        assert unit.cycle_count == 6
+        assert unit.edges == 6
+        unit.reset_cycles()
+        assert unit.cycle_count == 0
+        assert unit.edges == 6  # datapath state survives a counter reset
+
+    def test_base_tick_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ClockedUnit().tick()

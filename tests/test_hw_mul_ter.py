@@ -1,0 +1,213 @@
+"""Tests for the MUL TER hardware model (Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.mau import ModularArithmeticUnit
+from repro.hw.mul_ter import MulTerUnit
+from repro.ring.poly import PolyRing
+from repro.ring.splitting import split_mul_high
+from repro.ring.ternary import TernaryPoly
+
+
+class TestMau:
+    def test_add_mode(self):
+        mau = ModularArithmeticUnit()
+        assert mau.compute(200, 100, 1) == 49  # 300 mod 251
+
+    def test_sub_mode(self):
+        mau = ModularArithmeticUnit()
+        assert mau.compute(10, 20, -1) == 241
+
+    def test_forward_mode(self):
+        assert ModularArithmeticUnit().compute(77, 123, 0) == 77
+
+    @given(acc=st.integers(0, 250), op=st.integers(0, 250),
+           mode=st.sampled_from([-1, 0, 1]))
+    def test_matches_modular_arithmetic(self, acc, op, mode):
+        result = ModularArithmeticUnit().compute(acc, op, mode)
+        assert result == (acc + mode * op) % 251
+
+    def test_rejects_unreduced_inputs(self):
+        with pytest.raises(ValueError):
+            ModularArithmeticUnit().compute(251, 0, 1)
+        with pytest.raises(ValueError):
+            ModularArithmeticUnit().compute(0, 300, 1)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            ModularArithmeticUnit().compute(1, 1, 2)
+
+    def test_rejects_narrow_width(self):
+        with pytest.raises(ValueError):
+            ModularArithmeticUnit(q=251, width=7)
+
+    def test_inventory_has_no_dsp(self):
+        inv = ModularArithmeticUnit().inventory()
+        assert inv.dsp == 0
+        assert inv.adder_bits > 0
+
+
+class TestMulTerCorrectness:
+    @given(seed=st.integers(0, 500), n=st.sampled_from([4, 8, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_negacyclic_matches_golden(self, seed, n):
+        rng = np.random.default_rng(seed)
+        unit = MulTerUnit(n)
+        t = rng.integers(-1, 2, n).astype(np.int64)
+        g = rng.integers(0, 251, n).astype(np.int64)
+        got = unit.multiply(t, g, negacyclic=True)
+        want = PolyRing(n).mul(np.mod(t, 251), g)
+        assert np.array_equal(got, want)
+
+    @given(seed=st.integers(0, 500), n=st.sampled_from([4, 8, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_cyclic_matches_golden(self, seed, n):
+        rng = np.random.default_rng(seed)
+        unit = MulTerUnit(n)
+        t = rng.integers(-1, 2, n).astype(np.int64)
+        g = rng.integers(0, 251, n).astype(np.int64)
+        got = unit.multiply(t, g, negacyclic=False)
+        want = PolyRing(n, negacyclic=False).mul(np.mod(t, 251), g)
+        assert np.array_equal(got, want)
+
+    def test_full_length_512(self):
+        rng = np.random.default_rng(1)
+        unit = MulTerUnit(512)
+        t = rng.integers(-1, 2, 512).astype(np.int64)
+        g = rng.integers(0, 251, 512).astype(np.int64)
+        assert np.array_equal(
+            unit.multiply(t, g, True), PolyRing(512).mul(np.mod(t, 251), g)
+        )
+
+    def test_unit_reusable(self):
+        rng = np.random.default_rng(2)
+        unit = MulTerUnit(16)
+        for _ in range(3):
+            t = rng.integers(-1, 2, 16).astype(np.int64)
+            g = rng.integers(0, 251, 16).astype(np.int64)
+            assert np.array_equal(
+                unit.multiply(t, g, True), PolyRing(16).mul(np.mod(t, 251), g)
+            )
+
+    def test_drives_1024_split(self):
+        rng = np.random.default_rng(3)
+        unit = MulTerUnit(512)
+        ring = PolyRing(1024)
+        t = TernaryPoly(rng.integers(-1, 2, 1024).astype(np.int8))
+        g = ring.random(rng)
+        got = split_mul_high(t, g, mul512=unit.as_mul512())
+        assert np.array_equal(got, ring.mul(t.to_zq(), g))
+
+
+class TestMulTerSchedule:
+    def test_transaction_cycle_count(self):
+        unit = MulTerUnit(512)
+        unit.multiply(
+            np.zeros(512, dtype=np.int64), np.zeros(512, dtype=np.int64), True
+        )
+        # ceil(512/5) input + 512 compute + ceil(512/4) output
+        assert unit.cycle_count == 103 + 512 + 128
+
+    def test_transfer_counts(self):
+        unit = MulTerUnit(512)
+        assert unit.input_transfers == 103
+        assert unit.output_transfers == 128
+        assert unit.compute_cycles == 512
+
+    def test_compute_exactly_n_cycles(self):
+        unit = MulTerUnit(64)
+        unit.start(conv_n=True)
+        assert unit.run_to_completion() == 64
+
+    def test_read_while_running_fails(self):
+        unit = MulTerUnit(8)
+        unit.start(conv_n=True)
+        with pytest.raises(RuntimeError):
+            unit.read_result(0)
+
+    def test_load_validation(self):
+        unit = MulTerUnit(8)
+        with pytest.raises(ValueError):
+            unit.load_coefficients(0, [300], [0])  # unreduced
+        with pytest.raises(ValueError):
+            unit.load_coefficients(0, [1], [2])  # non-ternary
+        with pytest.raises(ValueError):
+            unit.load_coefficients(6, [1, 1, 1], [0, 0, 0])  # overflow
+        with pytest.raises(ValueError):
+            unit.load_coefficients(0, [1] * 6, [0] * 6)  # too many
+
+    def test_read_validation(self):
+        unit = MulTerUnit(8)
+        with pytest.raises(ValueError):
+            unit.read_result(8)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            MulTerUnit(1)
+
+
+class TestRegisterTransferSchedule:
+    """Cycle-by-cycle verification of the Fig. 2 register behaviour."""
+
+    def test_n2_trace(self):
+        """Hand-computed trace for n = 2, negacyclic.
+
+        a = [a0, a1] = [1, -1], b = [b0, b1] = [10, 20].
+        Cycle 0 (a0 = +1, no lanes negated): out = [10, 20];
+        shift left -> r = [20, 10].
+        Cycle 1 (a1 = -1, lane 1 negated -> +b1): out = [20-10, 10+20]
+        = [10, 30]; shift -> r = [30, 10].
+        Golden: c0 = a0*b0 - a1*b1 = 10+20 = 30; c1 = a0*b1 + a1*b0
+        = 20-10 = 10.
+        """
+        unit = MulTerUnit(2)
+        unit.load_coefficients(0, [10, 20], [1, -1])
+        unit.start(conv_n=True)
+        unit.tick()
+        assert list(unit.registers) == [20, 10]
+        unit.tick()
+        assert list(unit.registers) == [30, 10]
+        golden = PolyRing(2).mul(np.array([1, 250]), np.array([10, 20]))
+        assert list(golden) == [30, 10]
+
+    def test_zero_coefficient_forwards(self):
+        """A zero ternary coefficient only rotates the register bank."""
+        unit = MulTerUnit(4)
+        unit.load_coefficients(0, [5, 6, 7, 8], [0, 0, 0, 0])
+        unit.start(conv_n=True)
+        unit.registers[:] = [1, 2, 3, 4]
+        unit.tick()
+        assert list(unit.registers) == [2, 3, 4, 1]
+
+    def test_idle_ticks_keep_state(self):
+        unit = MulTerUnit(4)
+        unit.registers[:] = [9, 9, 9, 9]
+        unit.tick(3)  # I/O clocks while not running
+        assert list(unit.registers) == [9, 9, 9, 9]
+
+    def test_running_flag_lifecycle(self):
+        unit = MulTerUnit(4)
+        unit.start(conv_n=False)
+        assert unit._running
+        unit.tick(4)
+        assert not unit._running
+
+
+class TestMulTerInventory:
+    def test_register_budget_matches_paper(self):
+        """Table III: the ternary multiplier holds 9,305 registers."""
+        inv = MulTerUnit(512).inventory()
+        assert abs(inv.flipflops - 9_305) / 9_305 < 0.02
+
+    def test_no_dsp_no_bram(self):
+        inv = MulTerUnit(512).inventory()
+        assert inv.dsp == 0
+        assert inv.bram == 0
+
+    def test_scales_linearly(self):
+        small = MulTerUnit(256).inventory()
+        large = MulTerUnit(1024).inventory()
+        assert 3.5 < large.flipflops / small.flipflops < 4.5
+        assert 3.5 < large.adder_bits / small.adder_bits < 4.5

@@ -1,0 +1,106 @@
+"""Tests for the NTT and Keccak accelerator models."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.area import AreaModel
+from repro.hw.keccak_accel import KeccakUnit
+from repro.hw.ntt_accel import NttAccelUnit
+from repro.ring.poly import PolyRing
+
+
+class TestNttAccel:
+    def test_forward_inverse_roundtrip(self):
+        unit = NttAccelUnit(64)
+        rng = np.random.default_rng(0)
+        poly = rng.integers(0, 12289, 64)
+        assert np.array_equal(unit.inverse(unit.forward(poly)), poly)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_multiply_matches_schoolbook(self, seed):
+        unit = NttAccelUnit(64)
+        ring = PolyRing(64, q=12289)
+        rng = np.random.default_rng(seed)
+        a, b = ring.random(rng), ring.random(rng)
+        assert np.array_equal(unit.multiply(a, b), ring.mul(a, b))
+
+    def test_transform_cycle_schedule(self):
+        unit = NttAccelUnit(1024)
+        # 2*5120 butterflies + 2*1024*5 bus + 64 control
+        assert unit.transform_cycles == 2 * 5120 + 2 * 1024 * 5 + 64
+
+    def test_transform_cycles_near_paper(self):
+        """[8] reports 24,609 cycles per NTT (incl. driver software)."""
+        unit = NttAccelUnit(1024)
+        assert 0.7 < unit.transform_cycles / 24_609 < 1.1
+
+    def test_cycle_counter_accumulates(self):
+        unit = NttAccelUnit(64)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 12289, 64)
+        unit.forward(a)
+        unit.forward(a)
+        assert unit.cycle_count == 2 * unit.transform_cycles
+
+    def test_multiply_cycles(self):
+        unit = NttAccelUnit(64)
+        rng = np.random.default_rng(2)
+        a, b = rng.integers(0, 12289, 64), rng.integers(0, 12289, 64)
+        unit.multiply(a, b)
+        pointwise = 64 + 2 * 64 * 5
+        assert unit.cycle_count == 3 * unit.transform_cycles + pointwise
+
+    def test_inventory_matches_table3(self):
+        est = AreaModel().estimate(NttAccelUnit().inventory())
+        assert est.dsps == 26
+        assert est.brams == 1
+        assert 0.5 < est.luts / 886 < 2.0
+        assert 0.5 < est.registers / 618 < 2.0
+
+
+class TestKeccakAccel:
+    @given(data=st.binary(max_size=400), n=st.integers(1, 128))
+    @settings(max_examples=15, deadline=None)
+    def test_shake_matches_hashlib(self, data, n):
+        assert KeccakUnit().shake(data, n) == hashlib.shake_128(data).digest(n)
+
+    def test_permutation_cycles(self):
+        assert KeccakUnit().cycles_per_permutation == 24
+
+    def test_transaction_cycles_single_block(self):
+        unit = KeccakUnit()
+        unit.shake(b"abc", 32)
+        # reset 1 + 42 write transfers + 24 absorb + 24 squeeze
+        assert unit.cycle_count == 1 + 42 + 24 + 24
+
+    def test_write_validation(self):
+        unit = KeccakUnit()
+        with pytest.raises(ValueError):
+            unit.write_bytes(0, b"12345")
+        with pytest.raises(ValueError):
+            unit.write_bytes(166, b"1234")
+
+    def test_multi_block_squeeze(self):
+        unit = KeccakUnit()
+        out = unit.shake(b"seed", 400)
+        assert out == hashlib.shake_128(b"seed").digest(400)
+
+    def test_inventory_matches_table3_scale(self):
+        """Table III: [8]'s Keccak core is 10,435 LUTs / 4,225 FF."""
+        est = AreaModel().estimate(KeccakUnit().inventory())
+        assert 0.6 < est.luts / 10_435 < 1.5
+        assert 0.7 < est.registers / 4_225 < 1.3
+        assert est.dsps == 0
+        assert est.brams == 0
+
+    def test_keccak_10x_larger_than_sha256(self):
+        from repro.hw.sha256_accel import Sha256Unit
+
+        model = AreaModel()
+        keccak = model.estimate(KeccakUnit().inventory())
+        sha = model.estimate(Sha256Unit().inventory())
+        assert keccak.luts > 8 * sha.luts  # the paper's area argument

@@ -1,0 +1,139 @@
+"""Tests for the SHA256 accelerator, Barrett unit, and area model."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.area import (
+    AreaEstimate,
+    AreaModel,
+    NEWHOPE_KECCAK_ACCELERATOR,
+    NEWHOPE_NTT_ACCELERATOR,
+)
+from repro.hw.barrett import BarrettUnit
+from repro.hw.sha256_accel import Sha256Unit
+
+
+class TestSha256Unit:
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=25)
+    def test_matches_hashlib(self, data):
+        assert Sha256Unit().digest_message(data) == hashlib.sha256(data).digest()
+
+    def test_multi_block(self):
+        data = bytes(range(256)) * 2
+        assert Sha256Unit().digest_message(data) == hashlib.sha256(data).digest()
+
+    def test_cycles_per_block(self):
+        assert Sha256Unit().cycles_per_block == 65
+
+    def test_transaction_cycles_one_block(self):
+        unit = Sha256Unit()
+        unit.digest_message(b"")  # empty message: one padded block
+        # reset + 16 writes + 65 compression + 8 reads
+        assert unit.cycle_count == 1 + 16 + 65 + 8
+
+    def test_write_validation(self):
+        unit = Sha256Unit()
+        with pytest.raises(ValueError):
+            unit.write_bytes(0, b"12345")
+        with pytest.raises(ValueError):
+            unit.write_bytes(62, b"1234")
+
+    def test_read_validation(self):
+        with pytest.raises(ValueError):
+            Sha256Unit().read_digest_word(8)
+
+    def test_reset_between_messages(self):
+        unit = Sha256Unit()
+        unit.digest_message(b"first")
+        assert unit.digest_message(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_inventory_matches_table3_scale(self):
+        """Table III: SHA256 core ~1.5k registers."""
+        inv = Sha256Unit().inventory()
+        assert abs(inv.flipflops - 1_556) / 1_556 < 0.05
+        assert inv.dsp == 0
+        assert inv.bram == 0
+
+
+class TestBarrett:
+    @given(v=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200)
+    def test_matches_modulo(self, v):
+        assert BarrettUnit().reduce(v) == v % 251
+
+    def test_boundary_values(self):
+        unit = BarrettUnit()
+        for v in (0, 250, 251, 252, 502, 2**32 - 1):
+            assert unit.reduce(v) == v % 251
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BarrettUnit().reduce(-1)
+        with pytest.raises(ValueError):
+            BarrettUnit().reduce(2**32)
+
+    def test_single_cycle(self):
+        unit = BarrettUnit()
+        unit.reduce(12345)
+        unit.reduce(99999)
+        assert unit.cycle_count == 2
+
+    def test_two_dsps(self):
+        """Table III: the Barrett unit holds the only two DSP slices."""
+        inv = BarrettUnit().inventory()
+        assert inv.dsp == 2
+        assert inv.flipflops == 0  # purely combinational
+
+
+class TestAreaModel:
+    def test_table3_shape(self):
+        report = AreaModel().pq_alu_report()
+        mul_ter = report["Ternary Multiplier"]
+        gf = report["GF-Multipliers"]
+        sha = report["SHA256"]
+        barrett = report["Modulo (Barrett)"]
+        # the orderings Table III establishes
+        assert mul_ter.luts > 10 * sha.luts > 10 * gf.luts
+        assert mul_ter.registers > sha.registers > gf.registers
+        assert barrett.dsps == 2
+        assert all(e.brams == 0 for e in report.values())
+
+    def test_mul_ter_estimate_close_to_paper(self):
+        est = AreaModel().pq_alu_report()["Ternary Multiplier"]
+        assert abs(est.luts - 31_465) / 31_465 < 0.10
+        assert abs(est.registers - 9_305) / 9_305 < 0.02
+
+    def test_pq_alu_overhead_close_to_abstract(self):
+        """Abstract: 32,617 LUTs, 11,019 registers, two DSP slices."""
+        overhead = AreaModel().pq_alu_overhead()
+        assert abs(overhead.luts - 32_617) / 32_617 < 0.10
+        assert abs(overhead.registers - 11_019) / 11_019 < 0.05
+        assert overhead.dsps == 2
+        assert overhead.brams == 0
+
+    def test_full_report_includes_platform_rows(self):
+        report = AreaModel().full_report()
+        assert report["Peripherals/Memory"].brams == 32
+        assert report["NTT accelerator [8]"] == NEWHOPE_NTT_ACCELERATOR
+        assert report["Keccak accelerator [8]"] == NEWHOPE_KECCAK_ACCELERATOR
+
+    def test_core_total_close_to_paper(self):
+        total = AreaModel().full_report()["RISC-V core total"]
+        assert abs(total.luts - 53_819) / 53_819 < 0.05
+        assert abs(total.registers - 13_928) / 13_928 < 0.02
+        assert total.dsps == 10
+
+    def test_ablation_area_scales(self):
+        model = AreaModel()
+        small = model.pq_alu_overhead(mul_ter_length=256)
+        large = model.pq_alu_overhead(mul_ter_length=1024)
+        assert small.luts < large.luts
+        assert small.registers < large.registers
+
+    def test_estimate_addition(self):
+        a = AreaEstimate(1, 2, 3, 4)
+        b = AreaEstimate(10, 20, 30, 40)
+        assert a + b == AreaEstimate(11, 22, 33, 44)

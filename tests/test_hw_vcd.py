@@ -1,0 +1,118 @@
+"""Tests for the VCD waveform export."""
+
+import numpy as np
+import pytest
+
+from repro.gf.field import GF512
+from repro.hw.vcd import (
+    VcdWriter,
+    dump_mul_gf_trace,
+    dump_mul_ter_trace,
+    parse_vcd,
+)
+from repro.ring.poly import PolyRing
+
+
+class TestWriter:
+    def test_header_structure(self):
+        writer = VcdWriter("unit")
+        writer.add_signal("clk", 1)
+        writer.add_signal("bus", 8)
+        writer.begin()
+        text = writer.render()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1" in text
+        assert "$var wire 8" in text
+        assert "$enddefinitions $end" in text
+
+    def test_only_changes_recorded(self):
+        writer = VcdWriter("unit")
+        sig = writer.add_signal("s", 4)
+        writer.begin()
+        writer.step(0, {sig: 5})
+        writer.step(1, {sig: 5})  # no change
+        writer.step(2, {sig: 7})
+        trace = parse_vcd(writer.render())
+        assert trace.timeline("s") == [(0, 5), (2, 7)]
+
+    def test_declare_after_begin_rejected(self):
+        writer = VcdWriter("unit")
+        writer.begin()
+        with pytest.raises(RuntimeError):
+            writer.add_signal("late", 1)
+
+    def test_step_before_begin_rejected(self):
+        writer = VcdWriter("unit")
+        sig = writer.add_signal("s", 1)
+        with pytest.raises(RuntimeError):
+            writer.step(0, {sig: 1})
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            VcdWriter("unit").add_signal("s", 0)
+
+    def test_identifiers_unique(self):
+        writer = VcdWriter("unit")
+        idents = {writer.add_signal(f"s{i}", 1) for i in range(200)}
+        assert len(idents) == 200
+
+    def test_roundtrip_values(self):
+        writer = VcdWriter("unit")
+        wide = writer.add_signal("wide", 16)
+        writer.begin()
+        for t, v in enumerate((0, 0xFFFF, 0x1234)):
+            writer.step(t, {wide: v})
+        trace = parse_vcd(writer.render())
+        assert trace.value_at("wide", 0) == 0
+        assert trace.value_at("wide", 1) == 0xFFFF
+        assert trace.value_at("wide", 2) == 0x1234
+
+
+class TestMulGfTrace:
+    def test_trace_matches_model(self, tmp_path):
+        a, b = 0b101010101, 0b110011001
+        path = dump_mul_gf_trace(a, b, tmp_path / "mul_gf.vcd")
+        trace = parse_vcd(path.read_text())
+        # the c register's final value is the field product
+        final_c = trace.timeline("c")[-1][1]
+        assert final_c == GF512.mul(a, b)
+        # en drops after exactly 9 cycles (time axis: 2 ticks per cycle)
+        en_changes = trace.timeline("en")
+        assert en_changes[-1] == (18, 0)
+
+    def test_intermediate_values_follow_shift_add(self, tmp_path):
+        a, b = 3, 0b100000000  # single top bit: first cycle injects a
+        path = dump_mul_gf_trace(a, b, tmp_path / "t.vcd")
+        trace = parse_vcd(path.read_text())
+        assert trace.value_at("c", 2) == a  # after cycle 1
+
+
+class TestMulTerTrace:
+    def test_trace_matches_model(self, tmp_path):
+        rng = np.random.default_rng(0)
+        n = 16
+        t = rng.integers(-1, 2, n).astype(np.int64)
+        g = rng.integers(0, 251, n).astype(np.int64)
+        path = dump_mul_ter_trace(t, g, tmp_path / "mul_ter.vcd")
+        trace = parse_vcd(path.read_text())
+        golden = PolyRing(n).mul(np.mod(t, 251), g)
+        # the final values of c0..c3 are the first four coefficients
+        for i in range(4):
+            assert trace.timeline(f"c{i}")[-1][1] == golden[i]
+
+    def test_cntr_counts_up(self, tmp_path):
+        n = 8
+        t = np.ones(n, dtype=np.int64)
+        g = np.arange(n, dtype=np.int64)
+        path = dump_mul_ter_trace(t, g, tmp_path / "c.vcd")
+        trace = parse_vcd(path.read_text())
+        cntr_values = [v for _, v in trace.timeline("cntr")]
+        assert cntr_values == list(range(n + 1))
+
+    def test_running_deasserts_at_end(self, tmp_path):
+        n = 8
+        t = np.zeros(n, dtype=np.int64)
+        g = np.zeros(n, dtype=np.int64)
+        path = dump_mul_ter_trace(t, g, tmp_path / "r.vcd")
+        trace = parse_vcd(path.read_text())
+        assert trace.timeline("running")[-1][1] == 0

@@ -1,0 +1,88 @@
+"""Tests for Karatsuba multiplication (the Sec. IV-A future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosim.costs import REFERENCE_COSTS, price
+from repro.metrics import OpCounter
+from repro.ring.karatsuba import (
+    base_multiplications,
+    karatsuba_full,
+    karatsuba_ring_mul,
+)
+from repro.ring.poly import PolyRing
+
+
+class TestCorrectness:
+    @given(seed=st.integers(0, 1000), n=st.sampled_from([8, 32, 64, 128]))
+    @settings(max_examples=25, deadline=None)
+    def test_full_product_matches_convolution(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 251, n)
+        b = rng.integers(0, 251, n)
+        got = karatsuba_full(a, b, threshold=8)
+        want = np.mod(np.convolve(a, b), 251)
+        assert np.array_equal(got, want)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_ring_mul_matches_golden(self, seed):
+        ring = PolyRing(128)
+        rng = np.random.default_rng(seed)
+        a, b = ring.random(rng), ring.random(rng)
+        assert np.array_equal(karatsuba_ring_mul(ring, a, b), ring.mul(a, b))
+
+    def test_odd_length_falls_back(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 251, 33)
+        b = rng.integers(0, 251, 33)
+        assert np.array_equal(
+            karatsuba_full(a, b, threshold=8), np.mod(np.convolve(a, b), 251)
+        )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            karatsuba_full(np.zeros(8), np.zeros(4))
+
+    def test_lac_sizes(self):
+        for n in (512, 1024):
+            ring = PolyRing(n)
+            rng = np.random.default_rng(n)
+            a, b = ring.random(rng), ring.random(rng)
+            assert np.array_equal(karatsuba_ring_mul(ring, a, b), ring.mul(a, b))
+
+
+class TestComplexity:
+    def test_base_multiplication_recurrence(self):
+        # 3^levels scaling below the threshold
+        assert base_multiplications(64, threshold=32) == 3 * 32 * 32
+        assert base_multiplications(128, threshold=32) == 9 * 32 * 32
+
+    def test_saves_over_schoolbook(self):
+        for n in (512, 1024):
+            assert base_multiplications(n) < n * n / 2
+
+    def test_counted_cycles_beat_schoolbook_counts(self):
+        ring = PolyRing(256)
+        rng = np.random.default_rng(1)
+        a, b = ring.random(rng), ring.random(rng)
+        karatsuba_counter = OpCounter()
+        karatsuba_ring_mul(ring, a, b, karatsuba_counter)
+        karatsuba_cycles = price(karatsuba_counter, REFERENCE_COSTS)
+        # general schoolbook would cost n^2 * (mul 1 + modq 6 + mem ~8)
+        schoolbook_general = 256 * 256 * 15
+        assert karatsuba_cycles < schoolbook_general
+
+    def test_threshold_respected(self):
+        counter_small = OpCounter()
+        counter_large = OpCounter()
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 251, 64)
+        b = rng.integers(0, 251, 64)
+        karatsuba_full(a, b, counter=counter_small, threshold=8)
+        karatsuba_full(a, b, counter=counter_large, threshold=64)
+        # threshold=64 is pure schoolbook: more multiplications
+        assert (
+            counter_large.totals()["mul"] > counter_small.totals()["mul"]
+        )

@@ -1,0 +1,129 @@
+"""Tests for message encoding, threshold decoding and compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lac.encoding import MessageCodec
+from repro.lac.params import ALL_PARAMS, LAC_128, LAC_192, LAC_256
+
+
+@pytest.fixture(params=ALL_PARAMS, ids=str)
+def codec(request):
+    return MessageCodec(request.param)
+
+
+class TestEncode:
+    def test_amplitude(self, codec):
+        encoded = codec.encode(b"\xff" * 32)
+        used = encoded[: codec.params.v_slots]
+        assert set(np.unique(used)) <= {0, codec.params.half_q}
+
+    def test_unused_slots_zero(self, codec):
+        encoded = codec.encode(b"\xaa" * 32)
+        assert not encoded[codec.params.v_slots :].any()
+
+    def test_d2_duplicates(self):
+        codec = MessageCodec(LAC_256)
+        encoded = codec.encode(bytes(range(32)))
+        cw = codec.params.codeword_bits
+        assert np.array_equal(encoded[:cw], encoded[cw : 2 * cw])
+
+    def test_wrong_message_size(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(b"short")
+
+
+class TestThresholdDecode:
+    def test_clean_roundtrip(self, codec):
+        message = bytes(range(32))
+        encoded = codec.encode(message)
+        bits = codec.threshold_decode(encoded[: codec.params.v_slots])
+        decoded = codec.decode(encoded[: codec.params.v_slots])
+        assert decoded.message == message
+        assert decoded.channel_errors == 0
+        assert bits.size == codec.params.codeword_bits
+
+    @given(noise_amp=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_small_noise_thresholds_correctly(self, noise_amp):
+        codec = MessageCodec(LAC_128)
+        params = codec.params
+        message = b"\x5a" * 32
+        encoded = codec.encode(message)[: params.v_slots]
+        rng = np.random.default_rng(noise_amp)
+        noise = rng.integers(-noise_amp, noise_amp + 1, params.v_slots)
+        noisy = np.mod(encoded + noise, params.q)
+        bits = codec.threshold_decode(noisy)
+        clean_bits = codec.threshold_decode(encoded)
+        # noise below q/4 = 62 can never flip a threshold decision
+        assert np.array_equal(bits, clean_bits)
+
+    def test_wrong_size_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.threshold_decode(np.zeros(10))
+
+    def test_d2_survives_one_large_half(self):
+        # D2 combines two observations: one badly corrupted slot out of
+        # a pair still decodes if its twin is clean enough
+        codec = MessageCodec(LAC_256)
+        params = codec.params
+        message = b"\x33" * 32
+        encoded = codec.encode(message)[: params.v_slots]
+        noisy = encoded.copy()
+        cw = params.codeword_bits
+        # push 8 first-half slots to the decision boundary
+        noisy[:8] = np.mod(noisy[:8] + 55, params.q)
+        bits = codec.threshold_decode(noisy)
+        assert np.array_equal(bits, codec.threshold_decode(encoded))
+
+
+class TestFullDecode:
+    def test_bch_cleans_channel_errors(self, codec):
+        params = codec.params
+        message = b"\x77" * 32
+        encoded = codec.encode(message)[: params.v_slots]
+        noisy = encoded.copy()
+        rng = np.random.default_rng(1)
+        # flip a few coefficients completely (guaranteed bit errors),
+        # choosing distinct codeword bits
+        bad_bits = rng.choice(params.codeword_bits, size=3, replace=False)
+        for b in bad_bits:
+            noisy[b] = np.mod(noisy[b] + params.half_q, params.q)
+            if params.d2:
+                twin = b + params.codeword_bits
+                noisy[twin] = np.mod(noisy[twin] + params.half_q, params.q)
+        decoded = codec.decode(noisy)
+        assert decoded.message == message
+        assert decoded.channel_errors == 3
+        assert decoded.bch_result.success
+
+    def test_non_ct_decoder_path(self):
+        codec = MessageCodec(LAC_192)
+        encoded = codec.encode(b"\x01" * 32)[: codec.params.v_slots]
+        decoded = codec.decode(encoded, constant_time=False)
+        assert decoded.message == b"\x01" * 32
+
+
+class TestCompression:
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+    def test_error_bound(self, params):
+        codec = MessageCodec(params)
+        values = np.arange(params.v_slots) % params.q
+        compressed = codec.compress_v(values)
+        restored = codec.decompress_v(compressed)
+        error = np.abs(restored - values)
+        assert error.max() <= 8
+
+    def test_compressed_range(self):
+        codec = MessageCodec(LAC_128)
+        values = np.arange(codec.params.v_slots) % 251
+        compressed = codec.compress_v(values)
+        assert compressed.max() <= 15
+        assert compressed.dtype == np.uint8
+
+    def test_decompressed_in_zq(self):
+        codec = MessageCodec(LAC_128)
+        compressed = np.arange(16, dtype=np.uint8).repeat(25)
+        restored = codec.decompress_v(compressed)
+        assert restored.max() < 251

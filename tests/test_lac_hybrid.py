@@ -1,0 +1,140 @@
+"""Tests for the hybrid (KEM-DEM) encryption layer and key serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lac import ALL_PARAMS, LAC_128, LacKem
+from repro.lac.hybrid import (
+    HybridCiphertext,
+    HybridDecryptionError,
+    LacHybrid,
+)
+from repro.lac.kem import KemSecretKey
+
+SEED = bytes(range(64))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    hybrid = LacHybrid(LAC_128)
+    pair = hybrid.kem.keygen(seed=SEED)
+    return hybrid, pair
+
+
+class TestSealOpen:
+    def test_roundtrip(self, setup):
+        hybrid, pair = setup
+        message = b"the quick brown fox jumps over the lazy dog"
+        sealed = hybrid.seal(pair.public_key, message)
+        assert hybrid.open(pair.secret_key, sealed) == message
+
+    def test_empty_message(self, setup):
+        hybrid, pair = setup
+        sealed = hybrid.seal(pair.public_key, b"")
+        assert hybrid.open(pair.secret_key, sealed) == b""
+
+    @given(message=st.binary(max_size=2000))
+    @settings(max_examples=8, deadline=None)
+    def test_arbitrary_lengths(self, message):
+        hybrid = LacHybrid(LAC_128)
+        pair = hybrid.kem.keygen(seed=SEED)
+        sealed = hybrid.seal(pair.public_key, message)
+        assert hybrid.open(pair.secret_key, sealed) == message
+
+    def test_fresh_randomness_per_seal(self, setup):
+        hybrid, pair = setup
+        a = hybrid.seal(pair.public_key, b"same message")
+        b = hybrid.seal(pair.public_key, b"same message")
+        assert a.to_bytes() != b.to_bytes()
+
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+    def test_all_parameter_sets(self, params):
+        hybrid = LacHybrid(params)
+        pair = hybrid.kem.keygen(seed=SEED)
+        sealed = hybrid.seal(pair.public_key, b"level test")
+        assert hybrid.open(pair.secret_key, sealed) == b"level test"
+
+
+class TestTamperRejection:
+    def _sealed(self, setup):
+        hybrid, pair = setup
+        return hybrid, pair, hybrid.seal(pair.public_key, b"integrity matters")
+
+    def test_body_tamper(self, setup):
+        hybrid, pair, sealed = self._sealed(setup)
+        bad = HybridCiphertext(
+            sealed.params, sealed.kem_ciphertext, sealed.nonce,
+            sealed.body[:-1] + bytes([sealed.body[-1] ^ 1]), sealed.tag,
+        )
+        with pytest.raises(HybridDecryptionError):
+            hybrid.open(pair.secret_key, bad)
+
+    def test_tag_tamper(self, setup):
+        hybrid, pair, sealed = self._sealed(setup)
+        bad = HybridCiphertext(
+            sealed.params, sealed.kem_ciphertext, sealed.nonce,
+            sealed.body, bytes(32),
+        )
+        with pytest.raises(HybridDecryptionError):
+            hybrid.open(pair.secret_key, bad)
+
+    def test_kem_part_tamper(self, setup):
+        """Tampered KEM part -> decoy secret -> MAC failure (one path)."""
+        hybrid, pair, sealed = self._sealed(setup)
+        blob = bytearray(sealed.to_bytes())
+        blob[0] = (blob[0] + 1) % 251
+        bad = HybridCiphertext.from_bytes(LAC_128, bytes(blob))
+        with pytest.raises(HybridDecryptionError):
+            hybrid.open(pair.secret_key, bad)
+
+    def test_nonce_tamper(self, setup):
+        hybrid, pair, sealed = self._sealed(setup)
+        bad = HybridCiphertext(
+            sealed.params, sealed.kem_ciphertext,
+            bytes(12), sealed.body, sealed.tag,
+        )
+        with pytest.raises(HybridDecryptionError):
+            hybrid.open(pair.secret_key, bad)
+
+
+class TestWireFormat:
+    def test_roundtrip(self, setup):
+        hybrid, pair = setup
+        sealed = hybrid.seal(pair.public_key, b"wire format")
+        blob = sealed.to_bytes()
+        restored = HybridCiphertext.from_bytes(LAC_128, blob)
+        assert hybrid.open(pair.secret_key, restored) == b"wire format"
+
+    def test_overhead_is_fixed(self, setup):
+        hybrid, pair = setup
+        sealed = hybrid.seal(pair.public_key, bytes(100))
+        overhead = len(sealed.to_bytes()) - 100
+        assert overhead == LAC_128.ciphertext_bytes + 12 + 32
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            HybridCiphertext.from_bytes(LAC_128, bytes(10))
+
+
+class TestKemKeySerialization:
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+    def test_secret_key_roundtrip(self, params):
+        kem = LacKem(params)
+        pair = kem.keygen(seed=SEED)
+        blob = pair.secret_key.to_bytes()
+        restored = KemSecretKey.from_bytes(params, blob)
+        # the restored key decapsulates
+        enc = kem.encaps(pair.public_key, message=bytes(32))
+        assert kem.decaps(restored, enc.ciphertext) == enc.shared_secret
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            KemSecretKey.from_bytes(LAC_128, bytes(10))
+
+    def test_restored_fields(self):
+        kem = LacKem(LAC_128)
+        pair = kem.keygen(seed=SEED)
+        restored = KemSecretKey.from_bytes(LAC_128, pair.secret_key.to_bytes())
+        assert restored.z == pair.secret_key.z
+        assert restored.pk_digest == pair.secret_key.pk_digest
+        assert restored.sk.s == pair.secret_key.sk.s

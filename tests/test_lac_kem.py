@@ -1,0 +1,128 @@
+"""Tests for the CCA-secure LAC KEM."""
+
+import numpy as np
+import pytest
+
+from repro.lac.kem import LacKem
+from repro.lac.params import ALL_PARAMS, LAC_128
+from repro.lac.pke import Ciphertext
+from repro.metrics import OpCounter
+
+SEED = bytes(range(64))
+
+
+@pytest.fixture(params=ALL_PARAMS, ids=str)
+def kem(request):
+    return LacKem(request.param)
+
+
+class TestRoundtrip:
+    def test_encaps_decaps(self, kem):
+        pair = kem.keygen(seed=SEED)
+        enc = kem.encaps(pair.public_key, message=b"\x21" * 32)
+        assert kem.decaps(pair.secret_key, enc.ciphertext) == enc.shared_secret
+
+    def test_random_message_roundtrip(self, kem):
+        pair = kem.keygen(seed=SEED)
+        enc = kem.encaps(pair.public_key)  # OS randomness
+        assert kem.decaps(pair.secret_key, enc.ciphertext) == enc.shared_secret
+
+    def test_shared_secret_length(self, kem):
+        pair = kem.keygen(seed=SEED)
+        enc = kem.encaps(pair.public_key, message=bytes(32))
+        assert len(enc.shared_secret) == 32
+
+    def test_deterministic_from_message(self, kem):
+        pair = kem.keygen(seed=SEED)
+        a = kem.encaps(pair.public_key, message=b"m" * 32)
+        b = kem.encaps(pair.public_key, message=b"m" * 32)
+        assert a.shared_secret == b.shared_secret
+        assert a.ciphertext.to_bytes() == b.ciphertext.to_bytes()
+
+    def test_different_messages_different_secrets(self, kem):
+        pair = kem.keygen(seed=SEED)
+        a = kem.encaps(pair.public_key, message=b"a" * 32)
+        b = kem.encaps(pair.public_key, message=b"b" * 32)
+        assert a.shared_secret != b.shared_secret
+
+
+class TestImplicitRejection:
+    def test_tampered_u(self, kem):
+        pair = kem.keygen(seed=SEED)
+        enc = kem.encaps(pair.public_key, message=b"\x44" * 32)
+        blob = bytearray(enc.ciphertext.to_bytes())
+        blob[0] = (blob[0] + 1) % 251
+        bad = Ciphertext.from_bytes(kem.params, bytes(blob))
+        rejected = kem.decaps(pair.secret_key, bad)
+        assert rejected != enc.shared_secret
+        assert len(rejected) == 32
+
+    def test_tampered_v(self, kem):
+        pair = kem.keygen(seed=SEED)
+        enc = kem.encaps(pair.public_key, message=b"\x55" * 32)
+        blob = bytearray(enc.ciphertext.to_bytes())
+        blob[-1] ^= 0xF0
+        bad = Ciphertext.from_bytes(kem.params, bytes(blob))
+        assert kem.decaps(pair.secret_key, bad) != enc.shared_secret
+
+    def test_rejection_deterministic(self, kem):
+        pair = kem.keygen(seed=SEED)
+        enc = kem.encaps(pair.public_key, message=b"\x66" * 32)
+        blob = bytearray(enc.ciphertext.to_bytes())
+        blob[1] = (blob[1] + 7) % 251
+        bad = Ciphertext.from_bytes(kem.params, bytes(blob))
+        assert kem.decaps(pair.secret_key, bad) == kem.decaps(pair.secret_key, bad)
+
+    def test_wrong_secret_key_rejects(self, kem):
+        pair = kem.keygen(seed=SEED)
+        other = kem.keygen(seed=bytes(64))
+        enc = kem.encaps(pair.public_key, message=b"\x77" * 32)
+        assert kem.decaps(other.secret_key, enc.ciphertext) != enc.shared_secret
+
+
+class TestKeygen:
+    def test_deterministic(self, kem):
+        a = kem.keygen(seed=SEED)
+        b = kem.keygen(seed=SEED)
+        assert np.array_equal(a.public_key.b, b.public_key.b)
+        assert a.secret_key.z == b.secret_key.z
+
+    def test_random_default(self, kem):
+        a = kem.keygen()
+        b = kem.keygen()
+        assert not np.array_equal(a.public_key.b, b.public_key.b)
+
+    def test_short_seed_rejected(self, kem):
+        with pytest.raises(ValueError):
+            kem.keygen(seed=bytes(16))
+
+    def test_pk_digest_cached_consistent(self, kem):
+        pair = kem.keygen(seed=SEED)
+        assert pair.secret_key.pk_digest == pair.public_key.digest() or True
+        # the KEM binds its own domain-separated digest; re-derive it
+        from repro.lac.kem import _hash3
+
+        assert pair.secret_key.pk_digest == _hash3(
+            pair.public_key.to_bytes(), b"", b"pk"
+        )
+
+
+class TestCounterIntegration:
+    def test_phases_recorded(self):
+        kem = LacKem(LAC_128)
+        counter = OpCounter()
+        pair = kem.keygen(seed=SEED, counter=counter)
+        assert counter.phase_counts("gen_a")
+        assert counter.phase_counts("sample_poly")
+        assert counter.phase_counts("kem_glue")
+
+    def test_decaps_counts_reencryption(self):
+        kem = LacKem(LAC_128)
+        pair = kem.keygen(seed=SEED)
+        enc = kem.encaps(pair.public_key, message=bytes(32))
+        counter = OpCounter()
+        kem.decaps(pair.secret_key, enc.ciphertext, counter)
+        # decapsulation re-encrypts: GenA and sampling must appear
+        assert counter.phase_counts("gen_a")
+        assert counter.phase_counts("sample_poly")
+        assert counter.phase_counts("chien")  # and the BCH decode ran

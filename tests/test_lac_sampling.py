@@ -1,0 +1,112 @@
+"""Tests for GenA and the fixed-weight sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashes.prng import Sha256Prng
+from repro.lac.params import ALL_PARAMS, LAC_128, LAC_256
+from repro.lac.sampling import (
+    gen_a,
+    sample_secret_and_error,
+    sample_ternary_fixed_weight,
+)
+from repro.metrics import OpCounter
+
+
+class TestGenA:
+    def test_deterministic(self):
+        a1 = gen_a(b"\x01" * 32, LAC_128)
+        a2 = gen_a(b"\x01" * 32, LAC_128)
+        assert np.array_equal(a1, a2)
+
+    def test_seed_sensitivity(self):
+        assert not np.array_equal(gen_a(b"\x01" * 32, LAC_128), gen_a(b"\x02" * 32, LAC_128))
+
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+    def test_shape_and_range(self, params):
+        a = gen_a(bytes(32), params)
+        assert a.size == params.n
+        assert a.min() >= 0
+        assert a.max() < params.q
+
+    def test_rejection_leaves_no_bias_above_q(self):
+        # all 256 byte values appear in the stream; only < q survive
+        a = gen_a(b"bias-test" + bytes(23), LAC_256)
+        assert a.max() <= 250
+
+    def test_roughly_uniform(self):
+        a = gen_a(b"uniform" + bytes(25), LAC_256)
+        # mean of U[0,250] is 125; the 1024-sample mean should be close
+        assert 115 < a.mean() < 135
+
+    def test_counts_hash_work(self):
+        counter = OpCounter()
+        gen_a(bytes(32), LAC_128, counter)
+        totals = counter.totals()
+        assert totals["sha256_block"] >= 16  # >= 512 bytes expanded
+        assert totals["prng_byte"] >= LAC_128.n
+
+
+class TestFixedWeightSampler:
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+    def test_exact_weight(self, params):
+        poly = sample_ternary_fixed_weight(Sha256Prng(bytes(32)), params)
+        assert poly.n == params.n
+        assert poly.weight == params.h
+
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+    def test_balanced_signs(self, params):
+        poly = sample_ternary_fixed_weight(Sha256Prng(b"x" * 32), params)
+        plus = int(np.count_nonzero(poly.coeffs == 1))
+        minus = int(np.count_nonzero(poly.coeffs == -1))
+        assert plus == params.h // 2
+        assert minus == params.h // 2
+
+    def test_deterministic(self):
+        a = sample_ternary_fixed_weight(Sha256Prng(b"s" * 32), LAC_128)
+        b = sample_ternary_fixed_weight(Sha256Prng(b"s" * 32), LAC_128)
+        assert a == b
+
+    @given(seed=st.binary(min_size=4, max_size=8))
+    @settings(max_examples=10, deadline=None)
+    def test_weight_invariant_any_seed(self, seed):
+        poly = sample_ternary_fixed_weight(Sha256Prng(seed), LAC_128)
+        assert poly.weight == LAC_128.h
+
+    def test_positions_spread(self):
+        # no systematic clustering: both halves of the ring get mass
+        poly = sample_ternary_fixed_weight(Sha256Prng(b"spread" + bytes(26)), LAC_256)
+        lo = int(np.count_nonzero(poly.coeffs[:512]))
+        hi = int(np.count_nonzero(poly.coeffs[512:]))
+        assert lo > 100 and hi > 100
+
+    def test_sample_cost_ordering_matches_paper(self):
+        """Sample-poly cost: LAC-192 < LAC-128 < LAC-256 (Table II)."""
+        from repro.cosim.costs import REFERENCE_COSTS, price
+        from repro.lac.params import LAC_192
+
+        costs = {}
+        for params in (LAC_128, LAC_192, LAC_256):
+            counter = OpCounter()
+            prng = Sha256Prng(bytes(32), counter=counter)
+            sample_ternary_fixed_weight(prng, params, counter)
+            costs[params.name] = price(counter, REFERENCE_COSTS)
+        assert costs["LAC-192"] < costs["LAC-128"] < costs["LAC-256"]
+
+
+class TestSampleSecretAndError:
+    def test_independent_polys(self):
+        polys = sample_secret_and_error(bytes(32), LAC_128, 3)
+        assert len(polys) == 3
+        assert polys[0] != polys[1]
+        assert polys[1] != polys[2]
+
+    def test_deterministic(self):
+        a = sample_secret_and_error(b"k" * 32, LAC_128, 2)
+        b = sample_secret_and_error(b"k" * 32, LAC_128, 2)
+        assert a == b
+
+    def test_all_have_fixed_weight(self):
+        for poly in sample_secret_and_error(b"w" * 32, LAC_256, 3):
+            assert poly.weight == LAC_256.h

@@ -1,0 +1,83 @@
+"""Tests for the operation counter."""
+
+from repro.metrics import NULL_COUNTER, OpCounter, ensure_counter
+
+
+class TestOpCounter:
+    def test_counts_in_top_phase(self):
+        c = OpCounter()
+        c.count("alu", 3)
+        assert c.phases["_top"]["alu"] == 3
+
+    def test_phase_attribution(self):
+        c = OpCounter()
+        with c.phase("syndrome"):
+            c.count("load", 2)
+        c.count("load")
+        assert c.phase_counts("syndrome")["load"] == 2
+        assert c.phases["_top"]["load"] == 1
+
+    def test_nested_phases(self):
+        c = OpCounter()
+        with c.phase("outer"):
+            c.count("alu")
+            with c.phase("inner"):
+                c.count("alu", 5)
+            c.count("alu")
+        assert c.phase_counts("outer")["alu"] == 2
+        assert c.phase_counts("inner")["alu"] == 5
+
+    def test_phase_reentry_accumulates(self):
+        c = OpCounter()
+        for _ in range(3):
+            with c.phase("p"):
+                c.count("store")
+        assert c.phase_counts("p")["store"] == 3
+
+    def test_totals(self):
+        c = OpCounter()
+        with c.phase("a"):
+            c.count("x", 2)
+        with c.phase("b"):
+            c.count("x", 3)
+        assert c.totals()["x"] == 5
+
+    def test_unknown_phase_is_empty(self):
+        assert OpCounter().phase_counts("nope") == {}
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        with a.phase("p"):
+            a.count("x")
+        with b.phase("p"):
+            b.count("x", 4)
+        b.count("y")
+        a.merge(b)
+        assert a.phase_counts("p")["x"] == 5
+        assert a.phases["_top"]["y"] == 1
+
+    def test_phase_restored_after_exception(self):
+        c = OpCounter()
+        try:
+            with c.phase("p"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        c.count("alu")
+        assert c.phases["_top"]["alu"] == 1
+
+
+class TestNullCounter:
+    def test_discards(self):
+        NULL_COUNTER.count("alu", 100)
+        assert NULL_COUNTER.totals() == {}
+
+    def test_phase_is_noop(self):
+        with NULL_COUNTER.phase("x"):
+            NULL_COUNTER.count("y")
+        assert NULL_COUNTER.totals() == {}
+
+    def test_ensure_counter(self):
+        assert ensure_counter(None) is NULL_COUNTER
+        c = OpCounter()
+        assert ensure_counter(c) is c

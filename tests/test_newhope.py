@@ -1,0 +1,163 @@
+"""Tests for the NewHope baseline (the [8] comparison point)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashes.keccak import ShakePrng
+from repro.metrics import OpCounter
+from repro.newhope import (
+    NEWHOPE_512,
+    NEWHOPE_1024,
+    NewHopeCpaKem,
+    NewHopePke,
+)
+from repro.newhope.sampling import gen_a, sample_binomial, sample_noise_polys
+
+SEED = bytes(range(32))
+
+
+@pytest.fixture(params=[NEWHOPE_512, NEWHOPE_1024], ids=str)
+def params(request):
+    return request.param
+
+
+class TestParams:
+    def test_level_v_wire_sizes_match_paper(self):
+        # Sec. VI-B: NewHope pk 1824 / sk 1792 / ct 2176 bytes
+        assert NEWHOPE_1024.public_key_bytes == 1824
+        assert NEWHOPE_1024.secret_key_bytes == 1792
+        assert NEWHOPE_1024.ciphertext_bytes == 2176
+
+    def test_redundancy(self):
+        assert NEWHOPE_512.redundancy == 2
+        assert NEWHOPE_1024.redundancy == 4
+
+    def test_lac_wins_on_sizes(self):
+        from repro.lac.params import LAC_256
+
+        assert LAC_256.public_key_bytes < NEWHOPE_1024.public_key_bytes
+        assert LAC_256.secret_key_bytes < NEWHOPE_1024.secret_key_bytes
+        assert LAC_256.ciphertext_bytes < NEWHOPE_1024.ciphertext_bytes
+
+
+class TestSampling:
+    def test_gen_a_uniform_range(self, params):
+        a = gen_a(SEED, params)
+        assert a.size == params.n
+        assert 0 <= a.min() and a.max() < params.q
+
+    def test_gen_a_deterministic(self, params):
+        assert np.array_equal(gen_a(SEED, params), gen_a(SEED, params))
+
+    def test_binomial_range(self, params):
+        poly = sample_binomial(ShakePrng(SEED), params)
+        centered = np.where(poly > params.q // 2, poly - params.q, poly)
+        assert centered.min() >= -params.k
+        assert centered.max() <= params.k
+
+    def test_binomial_statistics(self):
+        poly = sample_binomial(ShakePrng(b"stats" + bytes(27)), NEWHOPE_1024)
+        centered = np.where(poly > 12289 // 2, poly - 12289, poly)
+        # mean ~0, variance ~k/2 = 4
+        assert abs(centered.mean()) < 0.5
+        assert 3.0 < centered.var() < 5.2
+
+    def test_binomial_constant_schedule(self):
+        a, b = OpCounter(), OpCounter()
+        sample_binomial(ShakePrng(b"1" * 32, counter=a), NEWHOPE_1024, a)
+        sample_binomial(ShakePrng(b"2" * 32, counter=b), NEWHOPE_1024, b)
+        assert a.totals() == b.totals()
+
+    def test_noise_polys_independent(self):
+        polys = sample_noise_polys(SEED, NEWHOPE_512, 3)
+        assert len(polys) == 3
+        assert not np.array_equal(polys[0], polys[1])
+
+    def test_k8_required(self):
+        import dataclasses
+
+        bad = dataclasses.replace(NEWHOPE_512, k=4)
+        with pytest.raises(ValueError):
+            sample_binomial(ShakePrng(SEED), bad)
+
+
+class TestPke:
+    def test_roundtrip(self, params):
+        pke = NewHopePke(params)
+        keys = pke.keygen(SEED)
+        message = bytes(range(32))
+        ct = pke.encrypt(keys.seed_a, keys.b_hat, message, coins=b"c" * 32)
+        assert pke.decrypt(keys, ct) == message
+
+    @given(message=st.binary(min_size=32, max_size=32))
+    @settings(max_examples=6, deadline=None)
+    def test_arbitrary_messages(self, message):
+        pke = NewHopePke(NEWHOPE_1024)
+        keys = pke.keygen(SEED)
+        ct = pke.encrypt(keys.seed_a, keys.b_hat, message, coins=b"r" * 32)
+        assert pke.decrypt(keys, ct) == message
+
+    def test_deterministic_encryption(self, params):
+        pke = NewHopePke(params)
+        keys = pke.keygen(SEED)
+        a = pke.encrypt(keys.seed_a, keys.b_hat, bytes(32), coins=b"z" * 32)
+        b = pke.encrypt(keys.seed_a, keys.b_hat, bytes(32), coins=b"z" * 32)
+        assert np.array_equal(a.u_hat, b.u_hat)
+        assert np.array_equal(a.v_compressed, b.v_compressed)
+
+    def test_encode_decode_clean(self, params):
+        pke = NewHopePke(params)
+        message = b"\xa5" * 32
+        assert pke.decode(pke.encode(message)) == message
+
+    def test_compression_bound(self, params):
+        pke = NewHopePke(params)
+        values = np.arange(params.n) % params.q
+        restored = pke.decompress_v(pke.compress_v(values))
+        error = np.minimum(
+            np.abs(restored - values), params.q - np.abs(restored - values)
+        )
+        assert error.max() <= params.q // (1 << params.v_bits) + 1
+
+    def test_wrong_message_size(self, params):
+        pke = NewHopePke(params)
+        keys = pke.keygen(SEED)
+        with pytest.raises(ValueError):
+            pke.encrypt(keys.seed_a, keys.b_hat, b"short", coins=b"c" * 32)
+
+    def test_wrong_seed_size(self, params):
+        with pytest.raises(ValueError):
+            NewHopePke(params).keygen(b"short")
+
+
+class TestKem:
+    def test_roundtrip(self, params):
+        kem = NewHopeCpaKem(params)
+        keys = kem.keygen(SEED)
+        ct, shared = kem.encaps(keys, message=b"\x11" * 32)
+        assert kem.decaps(keys, ct) == shared
+
+    def test_random_message(self, params):
+        kem = NewHopeCpaKem(params)
+        keys = kem.keygen(SEED)
+        ct, shared = kem.encaps(keys)
+        assert kem.decaps(keys, ct) == shared
+        assert len(shared) == 32
+
+    def test_different_messages_different_keys(self, params):
+        kem = NewHopeCpaKem(params)
+        keys = kem.keygen(SEED)
+        _, s1 = kem.encaps(keys, message=b"a" * 32)
+        _, s2 = kem.encaps(keys, message=b"b" * 32)
+        assert s1 != s2
+
+    def test_counter_phases(self):
+        kem = NewHopeCpaKem(NEWHOPE_1024)
+        counter = OpCounter()
+        keys = kem.keygen(SEED, counter)
+        assert counter.phase_counts("gen_a")
+        assert counter.phase_counts("sample_poly")
+        # the software transformer records nothing inside the ntt phase,
+        # but the phase itself must have been entered
+        assert "ntt" in counter.phases

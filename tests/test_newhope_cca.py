@@ -1,0 +1,104 @@
+"""Tests for the CCA-secure NewHope KEM (the fairness extension)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import OpCounter
+from repro.newhope import NEWHOPE_512, NEWHOPE_1024
+from repro.newhope.cca import NewHopeCcaKem
+from repro.newhope.cpa import NewHopeCiphertext
+
+SEED = bytes(range(64))
+
+
+@pytest.fixture(params=[NEWHOPE_512, NEWHOPE_1024], ids=str)
+def kem(request):
+    return NewHopeCcaKem(request.param)
+
+
+class TestRoundtrip:
+    def test_encaps_decaps(self, kem):
+        sk = kem.keygen(seed=SEED)
+        ct, shared = kem.encaps(sk, message=b"\x42" * 32)
+        assert kem.decaps(sk, ct) == shared
+
+    def test_random_message(self, kem):
+        sk = kem.keygen(seed=SEED)
+        ct, shared = kem.encaps(sk)
+        assert kem.decaps(sk, ct) == shared
+
+    def test_deterministic(self, kem):
+        sk = kem.keygen(seed=SEED)
+        a = kem.encaps(sk, message=b"m" * 32)
+        b = kem.encaps(sk, message=b"m" * 32)
+        assert a[1] == b[1]
+        assert np.array_equal(a[0].u_hat, b[0].u_hat)
+
+    def test_short_seed_rejected(self, kem):
+        with pytest.raises(ValueError):
+            kem.keygen(seed=bytes(16))
+
+
+class TestImplicitRejection:
+    def test_tampered_u_rejected(self, kem):
+        sk = kem.keygen(seed=SEED)
+        ct, shared = kem.encaps(sk, message=b"\x13" * 32)
+        bad = NewHopeCiphertext(
+            kem.params,
+            np.mod(ct.u_hat + 1, kem.params.q),
+            ct.v_compressed,
+        )
+        rejected = kem.decaps(sk, bad)
+        assert rejected != shared
+        assert len(rejected) == 32
+
+    def test_tampered_v_rejected(self, kem):
+        sk = kem.keygen(seed=SEED)
+        ct, shared = kem.encaps(sk, message=b"\x17" * 32)
+        v = ct.v_compressed.copy()
+        v[0] ^= 0x7
+        bad = NewHopeCiphertext(kem.params, ct.u_hat, v)
+        assert kem.decaps(sk, bad) != shared
+
+    def test_rejection_deterministic(self, kem):
+        sk = kem.keygen(seed=SEED)
+        ct, _ = kem.encaps(sk, message=b"\x19" * 32)
+        v = ct.v_compressed.copy()
+        v[1] ^= 0x3
+        bad = NewHopeCiphertext(kem.params, ct.u_hat, v)
+        assert kem.decaps(sk, bad) == kem.decaps(sk, bad)
+
+
+class TestCcaCost:
+    def test_decaps_reencrypts(self):
+        """The FO fairness point: CCA decapsulation pays an encryption."""
+        kem = NewHopeCcaKem(NEWHOPE_1024)
+        sk = kem.keygen(seed=SEED)
+        ct, _ = kem.encaps(sk, message=bytes(32))
+        counter = OpCounter()
+        kem.decaps(sk, ct, counter)
+        # re-encryption regenerates a and samples three noise polys
+        assert counter.phase_counts("gen_a")
+        assert counter.phase_counts("sample_poly")
+
+    def test_cca_decaps_costlier_than_cpa(self):
+        """Quantifies the gap the paper flags between its CCA LAC row
+        and [8]'s CPA NewHope row."""
+        from repro.cosim.costs import NEWHOPE_COSTS, price
+        from repro.newhope.cpa import NewHopeCpaKem
+
+        cpa = NewHopeCpaKem(NEWHOPE_1024)
+        cca = NewHopeCcaKem(NEWHOPE_1024)
+        cpa_keys = cpa.keygen(SEED[:32])
+        cca_sk = cca.keygen(seed=SEED)
+
+        cpa_ct, cpa_ss = cpa.encaps(cpa_keys, message=bytes(32))
+        cca_ct, cca_ss = cca.encaps(cca_sk, message=bytes(32))
+
+        cpa_counter, cca_counter = OpCounter(), OpCounter()
+        assert cpa.decaps(cpa_keys, cpa_ct, cpa_counter) == cpa_ss
+        assert cca.decaps(cca_sk, cca_ct, cca_counter) == cca_ss
+        cpa_cycles = price(cpa_counter, NEWHOPE_COSTS)
+        cca_cycles = price(cca_counter, NEWHOPE_COSTS)
+        # the re-encryption multiplies decapsulation cost several-fold
+        assert cca_cycles > 3 * cpa_cycles

@@ -1,0 +1,126 @@
+"""Tests for the Number Theoretic Transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ring.ntt import (
+    NEWHOPE_Q,
+    NttContext,
+    find_primitive_2n_root,
+    get_context,
+)
+from repro.ring.poly import PolyRing
+
+
+class TestRootFinding:
+    def test_psi_has_order_2n(self):
+        for n in (8, 256, 1024):
+            psi = find_primitive_2n_root(n, NEWHOPE_Q)
+            assert pow(psi, n, NEWHOPE_Q) == NEWHOPE_Q - 1
+            assert pow(psi, 2 * n, NEWHOPE_Q) == 1
+
+    def test_rejects_incompatible_modulus(self):
+        with pytest.raises(ValueError, match="divisible"):
+            find_primitive_2n_root(1024, 251)  # 250 not divisible by 2048
+
+    def test_rejects_composite(self):
+        # q = 49 = 7^2 is composite but 48 is divisible by 2n = 16
+        with pytest.raises(ValueError, match="prime"):
+            find_primitive_2n_root(8, 49)
+
+
+class TestTransform:
+    @pytest.mark.parametrize("n", [4, 16, 128, 1024])
+    def test_roundtrip(self, n):
+        ctx = NttContext(n)
+        rng = np.random.default_rng(n)
+        poly = rng.integers(0, NEWHOPE_Q, n)
+        assert np.array_equal(ctx.inverse(ctx.forward(poly)), poly)
+
+    @given(seed=st.integers(0, 10_000), n=st.sampled_from([8, 64, 256]))
+    @settings(max_examples=20, deadline=None)
+    def test_multiply_matches_schoolbook(self, seed, n):
+        ctx = get_context(n)
+        ring = PolyRing(n, q=NEWHOPE_Q)
+        rng = np.random.default_rng(seed)
+        a, b = ring.random(rng), ring.random(rng)
+        assert np.array_equal(ctx.multiply(a, b), ring.mul(a, b))
+
+    def test_negacyclic_wrap(self):
+        # x * x^(n-1) = -1 in Z_q[x]/(x^n + 1)
+        n = 16
+        ctx = get_context(n)
+        x = np.zeros(n, dtype=np.int64); x[1] = 1
+        xn1 = np.zeros(n, dtype=np.int64); xn1[n - 1] = 1
+        product = ctx.multiply(x, xn1)
+        assert product[0] == NEWHOPE_Q - 1
+        assert not product[1:].any()
+
+    def test_forward_is_linear(self):
+        ctx = get_context(64)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, NEWHOPE_Q, 64)
+        b = rng.integers(0, NEWHOPE_Q, 64)
+        lhs = ctx.forward(np.mod(a + b, NEWHOPE_Q))
+        rhs = np.mod(ctx.forward(a) + ctx.forward(b), NEWHOPE_Q)
+        assert np.array_equal(lhs, rhs)
+
+    def test_constant_transforms_to_constant_times_psi(self):
+        ctx = get_context(8)
+        one = np.zeros(8, dtype=np.int64); one[0] = 1
+        # NTT of the constant 1 (psi-twisted) evaluates to all ones
+        # times psi^0 = 1 at every point
+        assert np.array_equal(ctx.forward(one), np.ones(8, dtype=np.int64))
+
+    def test_pointwise(self):
+        ctx = get_context(8)
+        a = np.arange(8)
+        b = np.arange(8) + 3
+        assert np.array_equal(ctx.pointwise(a, b), a * b % NEWHOPE_Q)
+
+    def test_size_validation(self):
+        ctx = get_context(8)
+        with pytest.raises(ValueError):
+            ctx.forward(np.zeros(4))
+        with pytest.raises(ValueError):
+            ctx.inverse(np.zeros(16))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            NttContext(12)
+
+    def test_butterfly_count(self):
+        assert get_context(1024).butterflies_per_transform == 512 * 10
+
+    def test_context_cache(self):
+        assert get_context(64) is get_context(64)
+
+
+class TestOtherModuli:
+    """The NTT substrate is general, not NewHope-specific."""
+
+    def test_kyber_modulus(self):
+        # Kyber's q = 3329 supports negacyclic NTTs up to n = 128
+        # (3328 = 2^8 * 13)
+        ctx = NttContext(128, q=3329)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3329, 128)
+        b = rng.integers(0, 3329, 128)
+        ring = PolyRing(128, q=3329)
+        assert np.array_equal(ctx.multiply(a, b), ring.mul(a, b))
+
+    def test_dilithium_modulus(self):
+        # Dilithium's q = 8380417 (2^13 * 1023 * ... ; q-1 divisible by 2^13)
+        ctx = NttContext(256, q=8380417)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 8380417, 256)
+        b = rng.integers(0, 8380417, 256)
+        ring = PolyRing(256, q=8380417)
+        assert np.array_equal(ctx.multiply(a, b), ring.mul(a, b))
+
+    def test_lac_modulus_has_no_ntt(self):
+        # the structural reason LAC avoids the NTT: 250 = 2 * 5^3 has
+        # almost no power-of-two torsion
+        with pytest.raises(ValueError):
+            NttContext(512, q=251)

@@ -1,0 +1,144 @@
+"""Tests for the coefficient ring R_n = Z_q[x]/(x^n +/- 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ring.poly import LAC_Q, PolyRing
+
+
+def ring_elements(n, q=LAC_Q):
+    return st.lists(
+        st.integers(min_value=0, max_value=q - 1), min_size=n, max_size=n
+    ).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestBasics:
+    def test_q_is_251(self):
+        assert LAC_Q == 251
+
+    def test_element_reduces(self):
+        ring = PolyRing(4)
+        assert list(ring.element([252, -1, 0, 500])) == [1, 250, 0, 249]
+
+    def test_element_wrong_size(self):
+        with pytest.raises(ValueError):
+            PolyRing(4).element([1, 2, 3])
+
+    def test_is_element(self):
+        ring = PolyRing(4)
+        assert ring.is_element(np.array([0, 1, 2, 250]))
+        assert not ring.is_element(np.array([0, 1, 2, 251]))
+        assert not ring.is_element(np.array([0, 1, 2]))
+
+    def test_zero(self):
+        assert not PolyRing(8).zero().any()
+
+    def test_random_in_range(self):
+        ring = PolyRing(64)
+        sample = ring.random(np.random.default_rng(0))
+        assert ring.is_element(sample)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PolyRing(0)
+        with pytest.raises(ValueError):
+            PolyRing(4, q=1)
+
+    def test_equality_hash(self):
+        assert PolyRing(8) == PolyRing(8)
+        assert PolyRing(8) != PolyRing(8, negacyclic=False)
+        assert hash(PolyRing(8)) == hash(PolyRing(8))
+
+
+class TestAddSub:
+    @given(a=ring_elements(8), b=ring_elements(8))
+    def test_add_sub_roundtrip(self, a, b):
+        ring = PolyRing(8)
+        assert np.array_equal(ring.sub(ring.add(a, b), b), a)
+
+    @given(a=ring_elements(8))
+    def test_neg(self, a):
+        ring = PolyRing(8)
+        assert not ring.add(a, ring.neg(a)).any()
+
+    @given(a=ring_elements(8), b=ring_elements(8))
+    def test_add_commutes(self, a, b):
+        ring = PolyRing(8)
+        assert np.array_equal(ring.add(a, b), ring.add(b, a))
+
+
+class TestMultiplication:
+    @given(a=ring_elements(8), b=ring_elements(8))
+    @settings(max_examples=30)
+    def test_fast_matches_schoolbook_negacyclic(self, a, b):
+        ring = PolyRing(8)
+        assert np.array_equal(ring.mul(a, b), ring.mul_schoolbook(a, b))
+
+    @given(a=ring_elements(8), b=ring_elements(8))
+    @settings(max_examples=30)
+    def test_fast_matches_schoolbook_cyclic(self, a, b):
+        ring = PolyRing(8, negacyclic=False)
+        assert np.array_equal(ring.mul(a, b), ring.mul_schoolbook(a, b))
+
+    def test_x_times_x_n_minus_1_wraps_negatively(self):
+        # x * x^(n-1) = x^n = -1 in the negacyclic ring
+        ring = PolyRing(4)
+        x = ring.element([0, 1, 0, 0])
+        xn1 = ring.element([0, 0, 0, 1])
+        assert list(ring.mul(x, xn1)) == [250, 0, 0, 0]
+
+    def test_x_times_x_n_minus_1_wraps_positively(self):
+        ring = PolyRing(4, negacyclic=False)
+        x = ring.element([0, 1, 0, 0])
+        xn1 = ring.element([0, 0, 0, 1])
+        assert list(ring.mul(x, xn1)) == [1, 0, 0, 0]
+
+    @given(a=ring_elements(8), b=ring_elements(8), c=ring_elements(8))
+    @settings(max_examples=20)
+    def test_mul_distributes_over_add(self, a, b, c):
+        ring = PolyRing(8)
+        left = ring.mul(a, ring.add(b, c))
+        right = ring.add(ring.mul(a, b), ring.mul(a, c))
+        assert np.array_equal(left, right)
+
+    @given(a=ring_elements(8), b=ring_elements(8))
+    @settings(max_examples=20)
+    def test_mul_commutes(self, a, b):
+        ring = PolyRing(8)
+        assert np.array_equal(ring.mul(a, b), ring.mul(b, a))
+
+    @given(a=ring_elements(8))
+    def test_one_is_identity(self, a):
+        ring = PolyRing(8)
+        one = ring.element([1] + [0] * 7)
+        assert np.array_equal(ring.mul(a, one), a)
+
+    def test_mul_full_no_reduction(self):
+        ring = PolyRing(4)
+        a = ring.element([1, 1, 0, 0])
+        b = ring.element([1, 0, 1, 0])
+        full = ring.mul_full(a, b)
+        assert full.size == 7
+        assert np.array_equal(ring.reduce_full(full), ring.mul(a, b))
+
+    @given(a=ring_elements(8))
+    def test_scalar_mul(self, a):
+        ring = PolyRing(8)
+        assert np.array_equal(ring.scalar_mul(a, 3), ring.element(a * 3))
+
+    def test_reduce_full_short_product(self):
+        ring = PolyRing(8)
+        short = np.array([1, 2, 3], dtype=np.int64)
+        reduced = ring.reduce_full(short)
+        assert list(reduced[:3]) == [1, 2, 3]
+        assert not reduced[3:].any()
+
+    def test_lac_sizes(self):
+        # the actual LAC rings multiply correctly at full size
+        for n in (512, 1024):
+            ring = PolyRing(n)
+            rng = np.random.default_rng(n)
+            a, b = ring.random(rng), ring.random(rng)
+            c = ring.mul(a, b)
+            assert ring.is_element(c)

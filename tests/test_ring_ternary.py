@@ -1,0 +1,140 @@
+"""Tests for ternary polynomials and the addition-only multiplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import OpCounter
+from repro.ring.poly import PolyRing
+from repro.ring.ternary import (
+    TernaryPoly,
+    ternary_mul,
+    ternary_mul_truncated,
+    ternary_to_zq,
+    zq_to_centered,
+)
+
+
+def ternary_arrays(n):
+    return st.lists(
+        st.integers(min_value=-1, max_value=1), min_size=n, max_size=n
+    ).map(lambda xs: np.array(xs, dtype=np.int8))
+
+
+class TestTernaryPoly:
+    def test_accepts_valid(self):
+        t = TernaryPoly([-1, 0, 1, 1])
+        assert t.n == 4
+        assert t.weight == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TernaryPoly([0, 2])
+        with pytest.raises(ValueError):
+            TernaryPoly([-2, 0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            TernaryPoly(np.zeros((2, 2), dtype=np.int8))
+
+    def test_to_zq(self):
+        t = TernaryPoly([-1, 0, 1])
+        assert list(t.to_zq()) == [250, 0, 1]
+
+    def test_from_zq_roundtrip(self):
+        t = TernaryPoly([-1, 0, 1, -1])
+        assert TernaryPoly.from_zq(t.to_zq()) == t
+
+    def test_from_zq_rejects_general(self):
+        with pytest.raises(ValueError):
+            TernaryPoly.from_zq(np.array([5]))
+
+    def test_equality(self):
+        assert TernaryPoly([1, 0]) == TernaryPoly([1, 0])
+        assert TernaryPoly([1, 0]) != TernaryPoly([0, 1])
+
+
+class TestConversions:
+    @given(values=ternary_arrays(16))
+    def test_centered_roundtrip(self, values):
+        zq = ternary_to_zq(values)
+        assert np.array_equal(zq_to_centered(zq), values.astype(np.int64))
+
+    def test_centered_range(self):
+        centered = zq_to_centered(np.arange(251))
+        assert centered.min() == -125
+        assert centered.max() == 125
+
+
+class TestTernaryMul:
+    @given(t=ternary_arrays(16), g_seed=st.integers(0, 1000))
+    @settings(max_examples=25)
+    def test_matches_schoolbook_negacyclic(self, t, g_seed):
+        ring = PolyRing(16)
+        g = ring.random(np.random.default_rng(g_seed))
+        tern = TernaryPoly(t)
+        expected = ring.mul_schoolbook(tern.to_zq(), g)
+        assert np.array_equal(ternary_mul(ring, tern, g), expected)
+
+    @given(t=ternary_arrays(16), g_seed=st.integers(0, 1000))
+    @settings(max_examples=15)
+    def test_matches_schoolbook_cyclic(self, t, g_seed):
+        ring = PolyRing(16, negacyclic=False)
+        g = ring.random(np.random.default_rng(g_seed))
+        tern = TernaryPoly(t)
+        expected = ring.mul_schoolbook(tern.to_zq(), g)
+        assert np.array_equal(ternary_mul(ring, tern, g), expected)
+
+    def test_size_mismatch(self):
+        ring = PolyRing(8)
+        with pytest.raises(ValueError):
+            ternary_mul(ring, TernaryPoly([1] * 4), np.zeros(8, dtype=np.int64))
+
+    def test_weight_independent_op_counts(self):
+        # the annotated loop models the constant-time reference schedule
+        ring = PolyRing(32)
+        g = ring.random(np.random.default_rng(0))
+        dense = OpCounter()
+        sparse = OpCounter()
+        ternary_mul(ring, TernaryPoly(np.ones(32, dtype=np.int8)), g, dense)
+        ternary_mul(ring, TernaryPoly(np.zeros(32, dtype=np.int8)), g, sparse)
+        assert dense.totals() == sparse.totals()
+
+    def test_quadratic_op_scaling(self):
+        ring_small, ring_big = PolyRing(16), PolyRing(32)
+        g16 = ring_small.random(np.random.default_rng(1))
+        g32 = ring_big.random(np.random.default_rng(1))
+        c_small, c_big = OpCounter(), OpCounter()
+        ternary_mul(ring_small, TernaryPoly(np.ones(16, dtype=np.int8)), g16, c_small)
+        ternary_mul(ring_big, TernaryPoly(np.ones(32, dtype=np.int8)), g32, c_big)
+        assert c_big.totals()["alu"] == 4 * c_small.totals()["alu"]
+
+
+class TestTruncatedMul:
+    @given(t=ternary_arrays(16), slots=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=15)
+    def test_matches_full_prefix(self, t, slots):
+        ring = PolyRing(16)
+        g = ring.random(np.random.default_rng(5))
+        tern = TernaryPoly(t)
+        full = ternary_mul(ring, tern, g)
+        truncated = ternary_mul_truncated(ring, tern, g, slots)
+        assert np.array_equal(truncated, full[:slots])
+
+    def test_charges_proportional_work(self):
+        ring = PolyRing(32)
+        g = ring.random(np.random.default_rng(2))
+        tern = TernaryPoly(np.ones(32, dtype=np.int8))
+        half, full = OpCounter(), OpCounter()
+        ternary_mul_truncated(ring, tern, g, 16, half)
+        ternary_mul_truncated(ring, tern, g, 32, full)
+        assert half.totals()["alu"] < full.totals()["alu"]
+
+    def test_invalid_slots(self):
+        ring = PolyRing(8)
+        tern = TernaryPoly(np.zeros(8, dtype=np.int8))
+        g = ring.zero()
+        with pytest.raises(ValueError):
+            ternary_mul_truncated(ring, tern, g, 0)
+        with pytest.raises(ValueError):
+            ternary_mul_truncated(ring, tern, g, 9)

@@ -1,0 +1,243 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.assembler import Assembler, AssemblerError
+from repro.riscv.cpu import Cpu
+from repro.riscv.encoding import decode
+from repro.riscv.memory import Memory
+
+
+def run_program(source, memory_size=1 << 16, max_instructions=1_000_000):
+    program = Assembler().assemble(source)
+    cpu = Cpu(Memory(memory_size))
+    cpu.memory.write_bytes(program.base, program.image)
+    cpu.reset(pc=program.entry())
+    result = cpu.run(max_instructions)
+    return cpu, result
+
+
+def first_instr(source):
+    program = Assembler().assemble(source)
+    return decode(int.from_bytes(program.image[:4], "little"))
+
+
+class TestBasicAssembly:
+    def test_simple_program(self):
+        cpu, result = run_program("""
+        _start:
+            li a0, 5
+            li a1, 7
+            add a0, a0, a1
+            ecall
+        """)
+        assert result.exit_code == 12
+
+    def test_labels_and_branches(self):
+        cpu, result = run_program("""
+        _start:
+            li a0, 0
+            li t0, 4
+        loop:
+            addi a0, a0, 10
+            addi t0, t0, -1
+            bnez t0, loop
+            ecall
+        """)
+        assert result.exit_code == 40
+
+    def test_backward_and_forward_labels(self):
+        cpu, result = run_program("""
+        _start:
+            j skip
+            li a0, 111
+            ecall
+        skip:
+            li a0, 222
+            ecall
+        """)
+        assert result.exit_code == 222
+
+    def test_comments(self):
+        cpu, result = run_program("""
+        _start:             # hash comment
+            li a0, 9        // slash comment
+            ecall
+        """)
+        assert result.exit_code == 9
+
+    def test_abi_and_numeric_registers_equivalent(self):
+        a = Assembler().assemble("add a0, sp, ra")
+        b = Assembler().assemble("add x10, x2, x1")
+        assert a.image == b.image
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            Assembler().assemble("x:\nnop\nx:\nnop")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError, match="unknown"):
+            Assembler().assemble("frobnicate a0, a1")
+
+    def test_unresolved_symbol(self):
+        with pytest.raises(AssemblerError, match="resolve"):
+            Assembler().assemble("j nowhere")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="register"):
+            Assembler().assemble("add a0, a1, q7")
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert first_instr("nop").mnemonic == "addi"
+
+    def test_mv(self):
+        instr = first_instr("mv a0, a1")
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.imm) == ("addi", 10, 11, 0)
+
+    def test_li_small(self):
+        cpu, result = run_program("li a0, -7\necall")
+        assert result.exit_code == (-7) & 0xFFFFFFFF
+
+    @given(value=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_li_roundtrip_any_32bit(self, value):
+        cpu, result = run_program(f"li a0, {value}\necall")
+        assert result.exit_code == value & 0xFFFFFFFF
+
+    def test_not_neg(self):
+        cpu, result = run_program("""
+            li a1, 5
+            not a2, a1
+            neg a3, a1
+            xor a0, a2, a3
+            ecall
+        """)
+        assert result.exit_code == ((~5) ^ (-5)) & 0xFFFFFFFF
+
+    def test_seqz_snez(self):
+        cpu, result = run_program("""
+            li t0, 0
+            seqz a0, t0
+            snez a1, t0
+            slli a1, a1, 1
+            or a0, a0, a1
+            ecall
+        """)
+        assert result.exit_code == 1
+
+    def test_ret_and_call(self):
+        cpu, result = run_program("""
+        _start:
+            call helper
+            addi a0, a0, 1
+            ecall
+        helper:
+            li a0, 41
+            ret
+        """)
+        assert result.exit_code == 42
+
+    def test_branch_aliases(self):
+        cpu, result = run_program("""
+            li t0, 5
+            li t1, 3
+            li a0, 0
+            bgt t0, t1, good
+            ecall
+        good:
+            li a0, 1
+            ble t1, t0, done
+            li a0, 2
+        done:
+            ecall
+        """)
+        assert result.exit_code == 1
+
+
+class TestDataDirectives:
+    def test_word(self):
+        cpu, result = run_program("""
+        _start:
+            la a1, data
+            lw a0, 0(a1)
+            ecall
+        data:
+            .word 0x12345678
+        """)
+        assert result.exit_code == 0x12345678
+
+    def test_byte_and_half(self):
+        cpu, result = run_program("""
+        _start:
+            la a1, data
+            lbu a0, 0(a1)
+            lhu a2, 2(a1)
+            add a0, a0, a2
+            ecall
+        data:
+            .byte 0x11, 0x22
+            .half 0x3344
+        """)
+        assert result.exit_code == 0x11 + 0x3344
+
+    def test_space_and_align(self):
+        program = Assembler().assemble("""
+        _start:
+            nop
+        buf:
+            .space 3
+            .align 2
+        after:
+            .word 1
+        """)
+        assert program.symbols["after"] % 4 == 0
+        assert program.symbols["after"] >= program.symbols["buf"] + 3
+
+    def test_equ(self):
+        cpu, result = run_program("""
+        .equ MAGIC, 123
+        _start:
+            li a0, MAGIC
+            ecall
+        """)
+        assert result.exit_code == 123
+
+    def test_equ_usable_in_offsets(self):
+        cpu, result = run_program("""
+        .equ BASE, 0x100
+        _start:
+            li a1, BASE
+            li t0, 77
+            sw t0, 4(a1)
+            lw a0, 4(a1)
+            ecall
+        """)
+        assert result.exit_code == 77
+
+
+class TestBaseAddress:
+    def test_nonzero_base(self):
+        program = Assembler(base=0x400).assemble("_start:\nnop\necall")
+        assert program.base == 0x400
+        assert program.entry() == 0x400
+        cpu = Cpu(Memory(1 << 16))
+        cpu.memory.write_bytes(program.base, program.image)
+        cpu.reset(pc=program.entry())
+        assert cpu.run().reason == "ecall"
+
+    def test_la_with_nonzero_base(self):
+        program = Assembler(base=0x1000).assemble("""
+        _start:
+            la a0, target
+            ecall
+        target:
+            .word 0
+        """)
+        cpu = Cpu(Memory(1 << 16))
+        cpu.memory.write_bytes(program.base, program.image)
+        cpu.reset(pc=program.entry())
+        result = cpu.run()
+        assert result.exit_code == program.symbols["target"]

@@ -1,0 +1,221 @@
+"""Tests for the RV32C compressed instruction extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.compressed import (
+    decode_compressed,
+    encode_compressed,
+    is_compressed,
+)
+from repro.riscv.cpu import Cpu
+from repro.riscv.encoding import EncodingError, Instruction
+from repro.riscv.memory import Memory
+
+cregs = st.integers(min_value=8, max_value=15)
+regs_nonzero = st.integers(min_value=1, max_value=31)
+
+
+class TestDetection:
+    def test_full_width_parcels(self):
+        assert not is_compressed(0x0013)  # low bits 11
+        assert not is_compressed(0xFFFF & 0x73)
+
+    def test_compressed_parcels(self):
+        assert is_compressed(0x0001)  # c.nop
+        assert is_compressed(0x4502)
+
+
+class TestKnownExpansions:
+    """Golden values cross-checked with the RVC specification."""
+
+    def test_c_nop(self):
+        assert decode_compressed(0x0001) == Instruction("addi", rd=0, rs1=0, imm=0)
+
+    def test_c_li(self):
+        # c.li a0, 5 -> 0x4515
+        assert decode_compressed(0x4515) == Instruction("addi", rd=10, rs1=0, imm=5)
+
+    def test_c_li_negative(self):
+        # c.li a0, -1 -> 0x557d
+        assert decode_compressed(0x557D) == Instruction("addi", rd=10, rs1=0, imm=-1)
+
+    def test_c_mv(self):
+        # c.mv a0, a1 -> 0x852e
+        assert decode_compressed(0x852E) == Instruction("add", rd=10, rs1=0, rs2=11)
+
+    def test_c_add(self):
+        # c.add a0, a1 -> 0x952e
+        assert decode_compressed(0x952E) == Instruction("add", rd=10, rs1=10, rs2=11)
+
+    def test_c_addi(self):
+        # c.addi a0, 1 -> 0x0505
+        assert decode_compressed(0x0505) == Instruction("addi", rd=10, rs1=10, imm=1)
+
+    def test_c_sub(self):
+        # c.sub a0, a1 -> 0x8d0d
+        assert decode_compressed(0x8D0D) == Instruction("sub", rd=10, rs1=10, rs2=11)
+
+    def test_c_lwsp(self):
+        # c.lwsp a0, 0(sp) -> 0x4502
+        assert decode_compressed(0x4502) == Instruction("lw", rd=10, rs1=2, imm=0)
+
+    def test_c_swsp(self):
+        # c.swsp a0, 0(sp) -> 0xc02a
+        assert decode_compressed(0xC02A) == Instruction("sw", rs1=2, rs2=10, imm=0)
+
+    def test_c_jr(self):
+        # c.jr ra -> 0x8082 (the canonical `ret`)
+        assert decode_compressed(0x8082) == Instruction("jalr", rd=0, rs1=1, imm=0)
+
+    def test_c_ebreak(self):
+        assert decode_compressed(0x9002) == Instruction("ebreak")
+
+    def test_illegal_zero_parcel(self):
+        with pytest.raises(EncodingError):
+            decode_compressed(0x0000)
+
+
+class TestRoundtrip:
+    @given(rd=regs_nonzero, imm=st.integers(-32, 31))
+    def test_c_li(self, rd, imm):
+        instr = Instruction("addi", rd=rd, rs1=0, imm=imm)
+        parcel = encode_compressed(instr)
+        assert parcel is not None
+        assert decode_compressed(parcel) == instr
+
+    @given(rd=st.integers(0, 31), imm=st.integers(-32, 31))
+    def test_c_addi(self, rd, imm):
+        if rd == 0 and imm != 0:
+            return
+        instr = Instruction("addi", rd=rd, rs1=rd, imm=imm)
+        parcel = encode_compressed(instr)
+        assert parcel is not None
+        assert decode_compressed(parcel) == instr
+
+    @given(rd=cregs, rs2=cregs,
+           m=st.sampled_from(["sub", "xor", "or", "and"]))
+    def test_c_arith(self, rd, rs2, m):
+        instr = Instruction(m, rd=rd, rs1=rd, rs2=rs2)
+        parcel = encode_compressed(instr)
+        assert parcel is not None
+        assert decode_compressed(parcel) == instr
+
+    @given(rd=cregs, rs1=cregs, imm=st.integers(0, 31).map(lambda x: x * 4))
+    def test_c_lw_sw(self, rd, rs1, imm):
+        lw = Instruction("lw", rd=rd, rs1=rs1, imm=imm)
+        sw = Instruction("sw", rs1=rs1, rs2=rd, imm=imm)
+        assert decode_compressed(encode_compressed(lw)) == lw
+        assert decode_compressed(encode_compressed(sw)) == sw
+
+    @given(rd=regs_nonzero, imm=st.integers(0, 63).map(lambda x: x * 4))
+    def test_c_lwsp_swsp(self, rd, imm):
+        lwsp = Instruction("lw", rd=rd, rs1=2, imm=imm)
+        swsp = Instruction("sw", rs1=2, rs2=rd, imm=imm)
+        assert decode_compressed(encode_compressed(lwsp)) == lwsp
+        assert decode_compressed(encode_compressed(swsp)) == swsp
+
+    @given(imm=st.integers(-1024, 1023).map(lambda x: x * 2),
+           rd=st.sampled_from([0, 1]))
+    def test_c_j_jal(self, imm, rd):
+        instr = Instruction("jal", rd=rd, imm=imm)
+        parcel = encode_compressed(instr)
+        assert parcel is not None
+        assert decode_compressed(parcel) == instr
+
+    @given(rs1=cregs, imm=st.integers(-128, 127).map(lambda x: x * 2),
+           m=st.sampled_from(["beq", "bne"]))
+    def test_c_branches(self, rs1, imm, m):
+        instr = Instruction(m, rs1=rs1, rs2=0, imm=imm)
+        parcel = encode_compressed(instr)
+        assert parcel is not None
+        assert decode_compressed(parcel) == instr
+
+    @given(rd=cregs, shamt=st.integers(1, 31),
+           m=st.sampled_from(["srli", "srai"]))
+    def test_c_shifts(self, rd, shamt, m):
+        instr = Instruction(m, rd=rd, rs1=rd, imm=shamt)
+        assert decode_compressed(encode_compressed(instr)) == instr
+
+    def test_no_compressed_form(self):
+        # three-address add has no RVC encoding
+        assert encode_compressed(Instruction("add", rd=5, rs1=6, rs2=7)) is None
+        # unaligned load offset
+        assert encode_compressed(Instruction("lw", rd=8, rs1=8, imm=2)) is None
+
+
+class TestExecution:
+    def _run_parcels(self, parcels, setup=None):
+        cpu = Cpu(Memory(1 << 16))
+        blob = b"".join(p.to_bytes(2, "little") for p in parcels)
+        cpu.memory.write_bytes(0, blob)
+        cpu.reset(pc=0)
+        if setup:
+            setup(cpu)
+        return cpu, cpu.run()
+
+    def test_compressed_program(self):
+        # c.li a0, 5 ; c.addi a0, 10 ; c.ebreak
+        parcels = [
+            encode_compressed(Instruction("addi", rd=10, rs1=0, imm=5)),
+            encode_compressed(Instruction("addi", rd=10, rs1=10, imm=10)),
+            encode_compressed(Instruction("ebreak")),
+        ]
+        cpu, result = self._run_parcels(parcels)
+        assert result.exit_code == 15
+        assert result.instructions == 3
+
+    def test_pc_advances_by_two(self):
+        parcels = [
+            encode_compressed(Instruction("addi", rd=10, rs1=0, imm=1)),
+            encode_compressed(Instruction("ebreak")),
+        ]
+        cpu, _ = self._run_parcels(parcels)
+        assert cpu.pc == 2  # halted at the second parcel
+
+    def test_mixed_width_stream(self):
+        from repro.riscv.encoding import encode
+
+        # c.li a0, 7 ; (32-bit) addi a0, a0, 100 ; c.ebreak
+        blob = (
+            encode_compressed(Instruction("addi", rd=10, rs1=0, imm=7)).to_bytes(2, "little")
+            + encode(Instruction("addi", rd=10, rs1=10, imm=100)).to_bytes(4, "little")
+            + encode_compressed(Instruction("ebreak")).to_bytes(2, "little")
+        )
+        cpu = Cpu(Memory(1 << 16))
+        cpu.memory.write_bytes(0, blob)
+        cpu.reset(pc=0)
+        result = cpu.run()
+        assert result.exit_code == 107
+
+    def test_compressed_branch_taken(self):
+        # c.li s0(? use a0=x10 not creg)... use x8 (s0): c.li only rd != 0
+        parcels = [
+            encode_compressed(Instruction("addi", rd=8, rs1=0, imm=0)),   # x8 = 0
+            encode_compressed(Instruction("beq", rs1=8, rs2=0, imm=4)),   # skip next
+            encode_compressed(Instruction("addi", rd=8, rs1=8, imm=1)),   # skipped
+            encode_compressed(Instruction("addi", rd=8, rs1=8, imm=2)),
+            encode_compressed(Instruction("add", rd=10, rs1=0, rs2=8)),  # c.mv a0, s0
+            encode_compressed(Instruction("ebreak")),
+        ]
+        cpu, result = self._run_parcels(parcels)
+        assert result.exit_code == 2
+
+    def test_compressed_jump_and_link(self):
+        # c.jal +6 (skip two parcels), then target adds and halts
+        parcels = [
+            encode_compressed(Instruction("jal", rd=1, imm=6)),
+            encode_compressed(Instruction("addi", rd=10, rs1=0, imm=9)),   # skipped
+            encode_compressed(Instruction("addi", rd=10, rs1=0, imm=8)),   # skipped
+            encode_compressed(Instruction("addi", rd=10, rs1=0, imm=1)),
+            encode_compressed(Instruction("ebreak")),
+        ]
+        cpu, result = self._run_parcels(parcels)
+        assert result.exit_code == 1
+        assert cpu.regs[1] == 2  # link register holds pc + 2
+
+    def test_code_density(self):
+        """The C extension's point: the same kernel in fewer bytes."""
+        full = 3 * 4  # three 32-bit instructions
+        compressed = 3 * 2
+        assert compressed == full // 2

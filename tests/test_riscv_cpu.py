@@ -1,0 +1,252 @@
+"""Tests for the RV32IM instruction-set simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.assembler import Assembler
+from repro.riscv.cpu import Cpu, CpuError
+from repro.riscv.memory import Memory, MemoryError_
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+s32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+def run(source, **kwargs):
+    program = Assembler().assemble(source)
+    cpu = Cpu(Memory(1 << 16))
+    cpu.memory.write_bytes(program.base, program.image)
+    cpu.reset(pc=program.entry())
+    return cpu, cpu.run(**kwargs)
+
+
+def compute(setup, op):
+    """Run `op` after register setup and return a0."""
+    _, result = run(f"{setup}\n{op}\necall")
+    return result.exit_code
+
+
+class TestAluSemantics:
+    @given(a=s32, b=s32)
+    @settings(max_examples=30, deadline=None)
+    def test_add(self, a, b):
+        got = compute(f"li t0, {a}\nli t1, {b}", "add a0, t0, t1")
+        assert got == (a + b) & 0xFFFFFFFF
+
+    @given(a=s32, b=s32)
+    @settings(max_examples=30, deadline=None)
+    def test_sub(self, a, b):
+        got = compute(f"li t0, {a}\nli t1, {b}", "sub a0, t0, t1")
+        assert got == (a - b) & 0xFFFFFFFF
+
+    @given(a=s32, b=s32)
+    @settings(max_examples=20, deadline=None)
+    def test_slt(self, a, b):
+        got = compute(f"li t0, {a}\nli t1, {b}", "slt a0, t0, t1")
+        assert got == (1 if a < b else 0)
+
+    @given(a=u32, b=u32)
+    @settings(max_examples=20, deadline=None)
+    def test_sltu(self, a, b):
+        got = compute(f"li t0, {a - 2**31}\nli t1, {b - 2**31}", "sltu a0, t0, t1")
+        assert got == (1 if (a - 2**31) % 2**32 < (b - 2**31) % 2**32 else 0)
+
+    @given(a=s32, shamt=st.integers(0, 31))
+    @settings(max_examples=20, deadline=None)
+    def test_shifts(self, a, shamt):
+        ua = a & 0xFFFFFFFF
+        assert compute(f"li t0, {a}", f"slli a0, t0, {shamt}") == (ua << shamt) & 0xFFFFFFFF
+        assert compute(f"li t0, {a}", f"srli a0, t0, {shamt}") == ua >> shamt
+        assert compute(f"li t0, {a}", f"srai a0, t0, {shamt}") == (a >> shamt) & 0xFFFFFFFF
+
+    @given(a=s32, b=s32)
+    @settings(max_examples=15, deadline=None)
+    def test_logic(self, a, b):
+        setup = f"li t0, {a}\nli t1, {b}"
+        assert compute(setup, "and a0, t0, t1") == (a & b) & 0xFFFFFFFF
+        assert compute(setup, "or a0, t0, t1") == (a | b) & 0xFFFFFFFF
+        assert compute(setup, "xor a0, t0, t1") == (a ^ b) & 0xFFFFFFFF
+
+    def test_x0_hardwired_zero(self):
+        _, result = run("li t0, 99\nadd x0, t0, t0\nmv a0, x0\necall")
+        assert result.exit_code == 0
+
+
+class TestMulDiv:
+    @given(a=s32, b=s32)
+    @settings(max_examples=25, deadline=None)
+    def test_mul(self, a, b):
+        got = compute(f"li t0, {a}\nli t1, {b}", "mul a0, t0, t1")
+        assert got == (a * b) & 0xFFFFFFFF
+
+    @given(a=s32, b=s32)
+    @settings(max_examples=25, deadline=None)
+    def test_mulh(self, a, b):
+        got = compute(f"li t0, {a}\nli t1, {b}", "mulh a0, t0, t1")
+        assert got == ((a * b) >> 32) & 0xFFFFFFFF
+
+    @given(a=s32, b=s32.filter(lambda x: x != 0))
+    @settings(max_examples=25, deadline=None)
+    def test_div_rem_invariant(self, a, b):
+        q = compute(f"li t0, {a}\nli t1, {b}", "div a0, t0, t1")
+        r = compute(f"li t0, {a}\nli t1, {b}", "rem a0, t0, t1")
+        sq = q - 2**32 if q >= 2**31 else q
+        sr = r - 2**32 if r >= 2**31 else r
+        if not (a == -(2**31) and b == -1):  # overflow case below
+            assert sq * b + sr == a
+
+    def test_div_by_zero(self):
+        assert compute("li t0, 7\nli t1, 0", "div a0, t0, t1") == 0xFFFFFFFF
+        assert compute("li t0, 7\nli t1, 0", "divu a0, t0, t1") == 0xFFFFFFFF
+        assert compute("li t0, 7\nli t1, 0", "rem a0, t0, t1") == 7
+        assert compute("li t0, 7\nli t1, 0", "remu a0, t0, t1") == 7
+
+    def test_div_overflow(self):
+        setup = f"li t0, {-(2**31)}\nli t1, -1"
+        assert compute(setup, "div a0, t0, t1") == 2**31
+        assert compute(setup, "rem a0, t0, t1") == 0
+
+    @given(a=u32, b=st.integers(1, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_divu_remu(self, a, b):
+        setup = f"li t0, {a - 2**31}\nli t1, {b - 2**31}"
+        ua, ub = (a - 2**31) % 2**32, (b - 2**31) % 2**32
+        if ub == 0:
+            return
+        assert compute(setup, "divu a0, t0, t1") == ua // ub
+        assert compute(setup, "remu a0, t0, t1") == ua % ub
+
+
+class TestMemoryAccess:
+    def test_store_load_word(self):
+        _, result = run("""
+            li t0, 0x8000
+            li t1, -559038737   # 0xDEADBEEF
+            sw t1, 0(t0)
+            lw a0, 0(t0)
+            ecall
+        """)
+        assert result.exit_code == 0xDEADBEEF
+
+    def test_byte_sign_extension(self):
+        _, result = run("""
+            li t0, 0x8000
+            li t1, 0x80
+            sb t1, 0(t0)
+            lb a0, 0(t0)
+            ecall
+        """)
+        assert result.exit_code == 0xFFFFFF80
+
+    def test_byte_zero_extension(self):
+        _, result = run("""
+            li t0, 0x8000
+            li t1, 0x80
+            sb t1, 0(t0)
+            lbu a0, 0(t0)
+            ecall
+        """)
+        assert result.exit_code == 0x80
+
+    def test_halfword(self):
+        _, result = run("""
+            li t0, 0x8000
+            li t1, 0x8001
+            sh t1, 0(t0)
+            lh a0, 0(t0)
+            lhu a1, 0(t0)
+            ecall
+        """)
+        assert result.exit_code == 0xFFFF8001
+
+    def test_little_endian_layout(self):
+        _, result = run("""
+            li t0, 0x8000
+            li t1, 0x11223344
+            sw t1, 0(t0)
+            lbu a0, 0(t0)
+            ecall
+        """)
+        assert result.exit_code == 0x44
+
+    def test_out_of_range_access(self):
+        cpu = Cpu(Memory(64))
+        with pytest.raises(MemoryError_):
+            cpu.memory.load_word(100)
+
+
+class TestControlFlow:
+    def test_all_branch_conditions(self):
+        _, result = run("""
+            li a0, 0
+            li t0, -1
+            li t1, 1
+            blt t0, t1, b1      # signed: -1 < 1
+            ecall
+        b1: bltu t1, t0, b2     # unsigned: 1 < 0xFFFFFFFF
+            ecall
+        b2: bge t1, t0, b3      # signed: 1 >= -1
+            ecall
+        b3: bgeu t0, t1, b4     # unsigned
+            ecall
+        b4: beq t0, t0, b5
+            ecall
+        b5: bne t0, t1, done
+            ecall
+        done:
+            li a0, 1
+            ecall
+        """)
+        assert result.exit_code == 1
+
+    def test_jalr_returns(self):
+        _, result = run("""
+        _start:
+            jal ra, sub
+            addi a0, a0, 100
+            ecall
+        sub:
+            li a0, 1
+            jalr x0, ra, 0
+        """)
+        assert result.exit_code == 101
+
+    def test_auipc(self):
+        _, result = run("auipc a0, 0\necall")
+        assert result.exit_code == 0  # first instruction at pc 0
+
+    def test_instruction_limit(self):
+        _, result = run("loop: j loop", max_instructions=100)
+        assert result.reason == "limit"
+        assert result.instructions == 100
+
+    def test_step_after_halt_raises(self):
+        cpu, result = run("ecall")
+        with pytest.raises(CpuError):
+            cpu.step()
+
+
+class TestCycleModel:
+    def test_load_costs_two(self):
+        cpu, _ = run("li t0, 0x8000\nlw a0, 0(t0)\necall")
+        # li expands to lui+addi (2) + lw (2) + ecall (1)
+        assert cpu.cycles == 5
+
+    def test_taken_branch_costs_three(self):
+        cpu, _ = run("beq x0, x0, t\nt:\necall")
+        assert cpu.cycles == 3 + 1
+
+    def test_not_taken_branch_costs_one(self):
+        cpu, _ = run("bne x0, x0, t\nt:\necall")
+        assert cpu.cycles == 1 + 1
+
+    def test_div_costs_35(self):
+        cpu, _ = run("li t0, 100\nli t1, 7\ndiv a0, t0, t1\necall")
+        assert cpu.cycles == 1 + 1 + 35 + 1
+
+    def test_mul_costs_one(self):
+        cpu, _ = run("li t0, 3\nli t1, 7\nmul a0, t0, t1\necall")
+        assert cpu.cycles == 4
+
+    def test_instret_counts_instructions(self):
+        cpu, result = run("nop\nnop\nnop\necall")
+        assert result.instructions == 4

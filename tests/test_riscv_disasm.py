@@ -1,0 +1,120 @@
+"""Tests for the disassembler (round-trip with the assembler)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.assembler import Assembler
+from repro.riscv.disasm import disassemble, disassemble_word, format_instruction
+from repro.riscv.encoding import Instruction, SPECS, encode
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def _reassemble(text: str) -> int:
+    program = Assembler().assemble(text)
+    assert program.size == 4
+    return int.from_bytes(program.image, "little")
+
+
+class TestRoundtrip:
+    @given(rd=regs, rs1=regs, rs2=regs,
+           m=st.sampled_from([n for n, s in SPECS.items() if s.fmt == "R"]))
+    @settings(max_examples=60)
+    def test_r_type(self, rd, rs1, rs2, m):
+        word = encode(Instruction(m, rd=rd, rs1=rs1, rs2=rs2))
+        assert _reassemble(disassemble_word(word)) == word
+
+    @given(rd=regs, rs1=regs, imm=st.integers(-2048, 2047),
+           m=st.sampled_from(["addi", "xori", "lw", "lbu", "jalr"]))
+    @settings(max_examples=40)
+    def test_i_type(self, rd, rs1, imm, m):
+        word = encode(Instruction(m, rd=rd, rs1=rs1, imm=imm))
+        assert _reassemble(disassemble_word(word)) == word
+
+    @given(rs1=regs, rs2=regs, imm=st.integers(-2048, 2047),
+           m=st.sampled_from(["sb", "sw"]))
+    @settings(max_examples=30)
+    def test_s_type(self, rs1, rs2, imm, m):
+        word = encode(Instruction(m, rs1=rs1, rs2=rs2, imm=imm))
+        assert _reassemble(disassemble_word(word)) == word
+
+    @given(rs1=regs, rs2=regs,
+           imm=st.integers(-1024, 1023).map(lambda x: 2 * x),
+           m=st.sampled_from(["beq", "bltu"]))
+    @settings(max_examples=30)
+    def test_b_type(self, rs1, rs2, imm, m):
+        word = encode(Instruction(m, rs1=rs1, rs2=rs2, imm=imm))
+        assert _reassemble(disassemble_word(word)) == word
+
+    @given(rd=regs, imm=st.integers(0, (1 << 20) - 1))
+    @settings(max_examples=20)
+    def test_u_type(self, rd, imm):
+        word = encode(Instruction("lui", rd=rd, imm=imm))
+        assert _reassemble(disassemble_word(word)) == word
+
+    def test_system(self):
+        for m in ("ecall", "ebreak"):
+            word = encode(Instruction(m))
+            assert _reassemble(disassemble_word(word)) == word
+
+    def test_pq_instructions(self):
+        for m in ("pq.mul_ter", "pq.mul_chien", "pq.sha256", "pq.modq"):
+            word = encode(Instruction(m, rd=5, rs1=6, rs2=7))
+            assert _reassemble(disassemble_word(word)) == word
+
+
+class TestListing:
+    def test_whole_program(self):
+        source = """
+        _start:
+            li a0, 10
+            li t0, 0
+        loop:
+            add t0, t0, a0
+            addi a0, a0, -1
+            bnez a0, loop
+            mv a0, t0
+            ecall
+        """
+        program = Assembler().assemble(source)
+        listing = disassemble(program.image, base=program.base)
+        assert len(listing) == 7
+        assert listing[0].endswith("addi a0, zero, 10")
+        assert "ecall" in listing[-1]
+
+    def test_addresses_in_listing(self):
+        program = Assembler(base=0x100).assemble("nop\nnop\necall")
+        listing = disassemble(program.image, base=0x100)
+        assert listing[0].startswith("0x00000100:")
+        assert listing[2].startswith("0x00000108:")
+
+    def test_data_rendered_as_words(self):
+        listing = disassemble(b"\xff\xff\xff\xff", include_addresses=False)
+        assert listing[0].startswith(".word") or listing[0].startswith(".half")
+
+    def test_compressed_stream(self):
+        from repro.riscv.compressed import encode_compressed
+
+        parcel = encode_compressed(Instruction("addi", rd=10, rs1=0, imm=5))
+        listing = disassemble(parcel.to_bytes(2, "little"), include_addresses=False)
+        assert listing == ["c: addi a0, zero, 5"]
+
+    def test_trailing_half_word(self):
+        program = Assembler().assemble("nop")
+        listing = disassemble(program.image + b"\x13\x00", include_addresses=False)
+        assert len(listing) == 2
+        assert listing[1].startswith(".half")
+
+
+class TestFormat:
+    def test_abi_names_used(self):
+        text = format_instruction(Instruction("add", rd=10, rs1=2, rs2=1))
+        assert text == "add a0, sp, ra"
+
+    def test_load_syntax(self):
+        text = format_instruction(Instruction("lw", rd=5, rs1=8, imm=-4))
+        assert text == "lw t0, -4(s0)"
+
+    def test_store_syntax(self):
+        text = format_instruction(Instruction("sw", rs1=2, rs2=10, imm=16))
+        assert text == "sw a0, 16(sp)"

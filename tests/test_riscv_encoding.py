@@ -1,0 +1,168 @@
+"""Tests for RISC-V instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.riscv.encoding import (
+    EncodingError,
+    Instruction,
+    PQ_OPCODE,
+    SPECS,
+    decode,
+    encode,
+    sign_extend,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+class TestKnownEncodings:
+    """Golden values cross-checked against the RISC-V specification."""
+
+    def test_nop(self):
+        assert encode(Instruction("addi", rd=0, rs1=0, imm=0)) == 0x00000013
+
+    def test_addi(self):
+        # addi x1, x2, 3
+        assert encode(Instruction("addi", rd=1, rs1=2, imm=3)) == 0x00310093
+
+    def test_add(self):
+        # add x3, x1, x2
+        assert encode(Instruction("add", rd=3, rs1=1, rs2=2)) == 0x002081B3
+
+    def test_sub(self):
+        # sub x3, x1, x2
+        assert encode(Instruction("sub", rd=3, rs1=1, rs2=2)) == 0x402081B3
+
+    def test_lw(self):
+        # lw x5, 8(x6)
+        assert encode(Instruction("lw", rd=5, rs1=6, imm=8)) == 0x00832283
+
+    def test_sw(self):
+        # sw x5, 8(x6)
+        assert encode(Instruction("sw", rs1=6, rs2=5, imm=8)) == 0x00532423
+
+    def test_beq(self):
+        # beq x1, x2, +8
+        assert encode(Instruction("beq", rs1=1, rs2=2, imm=8)) == 0x00208463
+
+    def test_jal(self):
+        # jal x1, +2048... use +16 for a clean value: jal x1, 16
+        assert encode(Instruction("jal", rd=1, imm=16)) == 0x010000EF
+
+    def test_lui(self):
+        assert encode(Instruction("lui", rd=7, imm=0x12345)) == 0x123453B7
+
+    def test_ebreak(self):
+        assert encode(Instruction("ebreak")) == 0x00100073
+
+    def test_ecall(self):
+        assert encode(Instruction("ecall")) == 0x00000073
+
+    def test_mul(self):
+        # mul x3, x1, x2 (funct7 = 1)
+        assert encode(Instruction("mul", rd=3, rs1=1, rs2=2)) == 0x022081B3
+
+    def test_pq_opcode(self):
+        word = encode(Instruction("pq.modq", rd=1, rs1=2))
+        assert word & 0x7F == PQ_OPCODE
+        assert (word >> 12) & 0x7 == 3  # funct3 selects the Barrett unit
+
+    def test_pq_funct3_assignment(self):
+        """Fig. 6: funct3 0..3 select MUL TER, MUL CHIEN, SHA256, MODq."""
+        for funct3, mnemonic in enumerate(
+            ["pq.mul_ter", "pq.mul_chien", "pq.sha256", "pq.modq"]
+        ):
+            word = encode(Instruction(mnemonic, rd=1, rs1=2, rs2=3))
+            assert (word >> 12) & 0x7 == funct3
+            assert word & 0x7F == 0x77
+
+
+class TestRoundtrip:
+    @given(rd=regs, rs1=regs, rs2=regs,
+           mnemonic=st.sampled_from([m for m, s in SPECS.items() if s.fmt == "R"]))
+    def test_r_type(self, rd, rs1, rs2, mnemonic):
+        instr = Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        assert decode(encode(instr)) == instr
+
+    @given(rd=regs, rs1=regs, imm=st.integers(-2048, 2047),
+           mnemonic=st.sampled_from(
+               ["addi", "slti", "sltiu", "xori", "ori", "andi",
+                "lb", "lh", "lw", "lbu", "lhu", "jalr"]))
+    def test_i_type(self, rd, rs1, imm, mnemonic):
+        instr = Instruction(mnemonic, rd=rd, rs1=rs1, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @given(rd=regs, rs1=regs, shamt=st.integers(0, 31),
+           mnemonic=st.sampled_from(["slli", "srli", "srai"]))
+    def test_shift(self, rd, rs1, shamt, mnemonic):
+        instr = Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt)
+        assert decode(encode(instr)) == instr
+
+    @given(rs1=regs, rs2=regs, imm=st.integers(-2048, 2047),
+           mnemonic=st.sampled_from(["sb", "sh", "sw"]))
+    def test_s_type(self, rs1, rs2, imm, mnemonic):
+        instr = Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @given(rs1=regs, rs2=regs,
+           imm=st.integers(-2048, 2047).map(lambda x: x * 2),
+           mnemonic=st.sampled_from(["beq", "bne", "blt", "bge", "bltu", "bgeu"]))
+    def test_b_type(self, rs1, rs2, imm, mnemonic):
+        instr = Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @given(rd=regs, imm=st.integers(0, (1 << 20) - 1),
+           mnemonic=st.sampled_from(["lui", "auipc"]))
+    def test_u_type(self, rd, imm, mnemonic):
+        instr = Instruction(mnemonic, rd=rd, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @given(rd=regs, imm=st.integers(-(1 << 19), (1 << 19) - 1).map(lambda x: x * 2))
+    def test_j_type(self, rd, imm):
+        instr = Instruction("jal", rd=rd, imm=imm)
+        assert decode(encode(instr)) == instr
+
+
+class TestValidation:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("bogus"))
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=0, rs2=0, imm=3))
+
+    def test_bad_register(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=32, rs1=0, rs2=0))
+
+    def test_bad_shift_amount(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("slli", rd=1, rs1=1, imm=32))
+
+    def test_decode_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0x0000007B)
+
+    def test_decode_unknown_funct7(self):
+        # add pattern with invalid funct7
+        with pytest.raises(EncodingError):
+            decode(0x402081B3 | (0x10 << 25))
+
+
+class TestSignExtend:
+    @given(value=st.integers(0, 0xFFF))
+    def test_12_bit(self, value):
+        extended = sign_extend(value, 12)
+        assert extended % (1 << 12) == value
+        assert -2048 <= extended <= 2047
+
+    def test_known(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x800, 12) == -2048
+        assert sign_extend(0x7FF, 12) == 2047

@@ -1,0 +1,142 @@
+"""Tests for the memory-mapped platform (UART, timer)."""
+
+import pytest
+
+from repro.riscv import Assembler, Cpu
+from repro.riscv.memory import MemoryError_
+from repro.riscv.platform import (
+    CycleTimer,
+    MmioMemory,
+    TIMER_BASE,
+    UART_BASE,
+    Uart,
+    make_platform,
+)
+
+
+def run_on_platform(source):
+    memory, uart, attach_timer = make_platform()
+    cpu = Cpu(memory)
+    attach_timer(cpu)
+    program = Assembler().assemble(source)
+    memory.write_bytes(program.base, program.image)
+    cpu.reset(pc=program.entry())
+    result = cpu.run()
+    return cpu, uart, result
+
+
+class TestUart:
+    def test_hello_from_machine_code(self):
+        cpu, uart, result = run_on_platform(f"""
+        .equ UART, {UART_BASE}
+        _start:
+            li   s0, UART
+            la   s1, message
+        loop:
+            lbu  t0, 0(s1)
+            beqz t0, done
+        wait:
+            lw   t1, 4(s0)      # status: ready?
+            beqz t1, wait
+            sb   t0, 0(s0)      # transmit
+            addi s1, s1, 1
+            j    loop
+        done:
+            ecall
+        message:
+            .byte 72, 69, 76, 76, 79, 33, 0   # "HELLO!"
+        """)
+        assert uart.text == "HELLO!"
+
+    def test_status_always_ready(self):
+        uart = Uart()
+        assert uart.read(4, 4) == 1
+
+    def test_non_data_writes_ignored(self):
+        uart = Uart()
+        uart.write(4, 0xFF, 4)
+        assert uart.output == bytearray()
+
+    def test_binary_output(self):
+        uart = Uart()
+        for b in (0, 127, 255):
+            uart.write(0, b, 1)
+        assert bytes(uart.output) == bytes([0, 127, 255])
+
+
+class TestTimer:
+    def test_machine_code_reads_cycles(self):
+        cpu, uart, result = run_on_platform(f"""
+        .equ TIMER, {TIMER_BASE}
+        _start:
+            li   s0, TIMER
+            lw   s1, 0(s0)      # cycles before
+            nop
+            nop
+            nop
+            lw   s2, 0(s0)      # cycles after
+            sub  a0, s2, s1
+            ecall
+        """)
+        # 3 nops + the second load's own cycles
+        assert result.exit_code == 3 + 2
+
+    def test_matches_rdcycle(self):
+        cpu, uart, result = run_on_platform(f"""
+        .equ TIMER, {TIMER_BASE}
+        _start:
+            li   s0, TIMER
+            lw   s1, 0(s0)
+            rdcycle s2
+            sub  a0, s2, s1     # csr read happens 1 instr later
+            ecall
+        """)
+        # the CSR view and the bus view agree up to the pipeline delta:
+        # the timer load samples before its own 2 cycles are charged
+        assert result.exit_code == 2
+
+    def test_high_word(self):
+        timer = CycleTimer(lambda: (5 << 32) | 7)
+        assert timer.read(0, 4) == 7
+        assert timer.read(4, 4) == 5
+
+    def test_read_only(self):
+        memory, uart, attach_timer = make_platform()
+        cpu = Cpu(memory)
+        timer = attach_timer(cpu)
+        memory.store(TIMER_BASE, 12345, 4)
+        assert timer.read(0, 4) == cpu.cycles  # unaffected
+
+
+class TestMmioMemory:
+    def test_ram_outside_windows(self):
+        memory = MmioMemory(1 << 16)
+        memory.attach(0x8000, Uart())
+        memory.store_word(0x100, 0xDEAD)
+        assert memory.load_word(0x100) == 0xDEAD
+
+    def test_overlapping_windows_rejected(self):
+        memory = MmioMemory(1 << 16)
+        memory.attach(0x8000, Uart())
+        with pytest.raises(ValueError, match="overlap"):
+            memory.attach(0x8004, Uart())
+
+    def test_access_crossing_window_boundary(self):
+        memory = MmioMemory(1 << 20)
+        memory.attach(0x8000, Uart())  # 8-byte window
+        with pytest.raises(MemoryError_, match="boundary"):
+            memory.load(0x8006, 4)
+
+    def test_device_read_masked_to_width(self):
+        class Wide:
+            WINDOW = 4
+
+            def read(self, offset, width):
+                return 0x12345678
+
+            def write(self, offset, value, width):
+                pass
+
+        memory = MmioMemory(1 << 16)
+        memory.attach(0x8000, Wide())
+        assert memory.load(0x8000, 1) == 0x78

@@ -1,0 +1,176 @@
+"""Tests for the PQ-ALU instruction protocol (Sec. V)."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.pq_alu import (
+    FUNCT3_MODQ,
+    FUNCT3_MUL_CHIEN,
+    FUNCT3_MUL_TER,
+    FUNCT3_SHA256,
+    PqAlu,
+    PqAluError,
+)
+from repro.gf.field import GF512
+from repro.ring.poly import PolyRing
+
+
+class TestModq:
+    @given(v=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_reduction(self, v):
+        alu = PqAlu()
+        value, busy = alu.execute(FUNCT3_MODQ, v, 0)
+        assert value == v % 251
+        assert busy == 0
+
+
+class TestMulTerProtocol:
+    def _multiply_via_instructions(self, alu, ternary, general, conv_n=True):
+        """Drive the full transfer protocol through execute()."""
+        n = alu.mul_ter.length
+        for base in range(0, n, 5):
+            stop = min(base + 5, n)
+            rs1, rs2 = PqAlu.pack_mul_ter_input(
+                base // 5,
+                [int(x) for x in general[base:stop]],
+                [int(x) for x in ternary[base:stop]],
+            )
+            alu.execute(FUNCT3_MUL_TER, rs1, rs2)
+        rs1, rs2 = PqAlu.pack_mul_ter_start(conv_n)
+        _, busy = alu.execute(FUNCT3_MUL_TER, rs1, rs2)
+        assert busy == n  # the compute stall
+        out = np.zeros(n, dtype=np.int64)
+        for group in range(-(-n // 4)):
+            rs1, rs2 = PqAlu.pack_mul_ter_read(group)
+            word, _ = alu.execute(FUNCT3_MUL_TER, rs1, rs2)
+            for lane in range(min(4, n - 4 * group)):
+                out[4 * group + lane] = (word >> (8 * lane)) & 0xFF
+        return out
+
+    def test_full_transaction(self):
+        rng = np.random.default_rng(0)
+        alu = PqAlu(mul_ter_length=32)
+        ternary = rng.integers(-1, 2, 32).astype(np.int64)
+        general = rng.integers(0, 251, 32).astype(np.int64)
+        got = self._multiply_via_instructions(alu, ternary, general)
+        want = PolyRing(32).mul(np.mod(ternary, 251), general)
+        assert np.array_equal(got, want)
+
+    def test_positive_convolution_mode(self):
+        rng = np.random.default_rng(1)
+        alu = PqAlu(mul_ter_length=16)
+        ternary = rng.integers(-1, 2, 16).astype(np.int64)
+        general = rng.integers(0, 251, 16).astype(np.int64)
+        got = self._multiply_via_instructions(alu, ternary, general, conv_n=False)
+        want = PolyRing(16, negacyclic=False).mul(np.mod(ternary, 251), general)
+        assert np.array_equal(got, want)
+
+    def test_pack_unpack_ternary_codes(self):
+        rs1, rs2 = PqAlu.pack_mul_ter_input(3, [1, 2, 3, 4, 5], [1, -1, 0, 1, -1])
+        alu = PqAlu(mul_ter_length=32)
+        alu.execute(FUNCT3_MUL_TER, rs1, rs2)
+        assert list(alu.mul_ter.general_buffer[15:20]) == [1, 2, 3, 4, 5]
+        assert list(alu.mul_ter.ternary_buffer[15:20]) == [1, -1, 0, 1, -1]
+
+    def test_invalid_mode(self):
+        with pytest.raises(PqAluError):
+            PqAlu().execute(FUNCT3_MUL_TER, 0, 7 << 28)
+
+    def test_transfer_past_buffer(self):
+        alu = PqAlu(mul_ter_length=16)
+        rs1, rs2 = PqAlu.pack_mul_ter_input(100, [0] * 5, [0] * 5)
+        with pytest.raises(PqAluError):
+            alu.execute(FUNCT3_MUL_TER, rs1, rs2)
+
+
+class TestChienProtocol:
+    def test_step_through_instructions(self):
+        alu = PqAlu()
+        # evaluate sum lambda_k alpha^{ik} for one group
+        lambdas = [3, 7, 11, 13]
+        constants = [GF512.alpha_pow(k) for k in range(1, 5)]
+        left = [constants[0], lambdas[0], constants[1], lambdas[1]]
+        right = [constants[2], lambdas[2], constants[3], lambdas[3]]
+        alu.execute(FUNCT3_MUL_CHIEN, *PqAlu.pack_chien_load(left, right=False))
+        alu.execute(FUNCT3_MUL_CHIEN, *PqAlu.pack_chien_load(right, right=True))
+        value, busy = alu.execute(FUNCT3_MUL_CHIEN, *PqAlu.pack_chien_step())
+        assert busy == 10
+        expected = 0
+        for k, lam in enumerate(lambdas, start=1):
+            expected ^= GF512.mul(lam, GF512.alpha_pow(k))
+        assert value == expected
+
+    def test_feedback_across_steps(self):
+        alu = PqAlu()
+        lambdas = [3, 7, 11, 13]
+        left = [GF512.alpha_pow(1), lambdas[0], GF512.alpha_pow(2), lambdas[1]]
+        right = [GF512.alpha_pow(3), lambdas[2], GF512.alpha_pow(4), lambdas[3]]
+        alu.execute(FUNCT3_MUL_CHIEN, *PqAlu.pack_chien_load(left, right=False))
+        alu.execute(FUNCT3_MUL_CHIEN, *PqAlu.pack_chien_load(right, right=True))
+        alu.execute(FUNCT3_MUL_CHIEN, *PqAlu.pack_chien_step())
+        second, _ = alu.execute(FUNCT3_MUL_CHIEN, *PqAlu.pack_chien_step())
+        expected = 0
+        for k, lam in enumerate(lambdas, start=1):
+            expected ^= GF512.mul(lam, GF512.alpha_pow(2 * k))
+        assert second == expected
+
+    def test_invalid_mode(self):
+        with pytest.raises(PqAluError):
+            PqAlu().execute(FUNCT3_MUL_CHIEN, 0, 9 << 28)
+
+
+class TestSha256Protocol:
+    def test_digest_via_instructions(self):
+        alu = PqAlu()
+        block = bytes(range(64))
+        alu.execute(FUNCT3_SHA256, *PqAlu.pack_sha_reset())
+        for offset in range(0, 64, 4):
+            rs1, rs2 = PqAlu.pack_sha_write(offset, block[offset : offset + 4])
+            alu.execute(FUNCT3_SHA256, rs1, rs2)
+        _, busy = alu.execute(FUNCT3_SHA256, *PqAlu.pack_sha_hash())
+        assert busy == 65
+        words = []
+        for i in range(8):
+            word, _ = alu.execute(FUNCT3_SHA256, *PqAlu.pack_sha_read(i))
+            words.append(word.to_bytes(4, "big"))
+        from repro.hashes.sha256 import IV, compress
+
+        assert b"".join(words) == b"".join(
+            w.to_bytes(4, "big") for w in compress(IV, block)
+        )
+
+    def test_invalid_mode(self):
+        with pytest.raises(PqAluError):
+            PqAlu().execute(FUNCT3_SHA256, 0, 5 << 28)
+
+    def test_bad_funct3(self):
+        with pytest.raises(PqAluError):
+            PqAlu().execute(7, 0, 0)
+
+
+class TestPackingHelpers:
+    def test_pack_mul_ter_input_validates(self):
+        with pytest.raises(PqAluError):
+            PqAlu.pack_mul_ter_input(0, [1] * 6, [0] * 6)
+        with pytest.raises(PqAluError):
+            PqAlu.pack_mul_ter_input(0, [1, 2], [0])
+
+    def test_pack_chien_load_validates(self):
+        with pytest.raises(PqAluError):
+            PqAlu.pack_chien_load([1, 2, 3], right=False)
+
+    def test_pack_sha_write_validates(self):
+        with pytest.raises(PqAluError):
+            PqAlu.pack_sha_write(0, b"12345")
+
+    def test_partial_final_transfer(self):
+        # 512 is not a multiple of 5: the last transfer carries 2 pairs
+        rs1, rs2 = PqAlu.pack_mul_ter_input(102, [9, 8], [1, -1])
+        alu = PqAlu()
+        alu.execute(FUNCT3_MUL_TER, rs1, rs2)
+        assert list(alu.mul_ter.general_buffer[510:512]) == [9, 8]
+        assert list(alu.mul_ter.ternary_buffer[510:512]) == [1, -1]

@@ -1,0 +1,98 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.riscv import Assembler, Cpu, Memory
+from repro.riscv.trace import Tracer
+
+
+def traced(source, **run_kwargs):
+    program = Assembler().assemble(source)
+    cpu = Cpu(Memory(1 << 16))
+    cpu.memory.write_bytes(0, program.image)
+    cpu.reset(pc=program.entry())
+    tracer = Tracer(cpu)
+    result = tracer.run(**run_kwargs)
+    return tracer, result
+
+
+SOURCE = """
+_start:
+    li   a0, 3
+    li   t0, 0
+loop:
+    add  t0, t0, a0
+    addi a0, a0, -1
+    bnez a0, loop
+    mv   a0, t0
+    ecall
+"""
+
+
+class TestTracing:
+    def test_entry_per_instruction(self):
+        tracer, result = traced(SOURCE)
+        assert result.exit_code == 6
+        assert len(tracer.entries) == result.instructions
+
+    def test_cycles_sum(self):
+        tracer, result = traced(SOURCE)
+        assert sum(e.cycles for e in tracer.entries) == result.cycles
+        assert tracer.entries[-1].total_cycles == result.cycles
+
+    def test_addresses_and_text(self):
+        tracer, _ = traced(SOURCE)
+        assert tracer.entries[0].pc == 0
+        assert tracer.entries[0].text == "addi a0, zero, 3"
+        assert tracer.entries[-1].text == "ecall"
+
+    def test_writeback_recorded(self):
+        tracer, _ = traced(SOURCE)
+        first = tracer.entries[0]
+        assert first.rd == 10
+        assert first.rd_value == 3
+
+    def test_stores_have_no_writeback(self):
+        tracer, _ = traced("""
+            li t0, 0x8000
+            sw t0, 0(t0)
+            ecall
+        """)
+        store_entry = next(e for e in tracer.entries if e.text.startswith("sw"))
+        assert store_entry.rd is None
+
+    def test_format_renders(self):
+        tracer, _ = traced(SOURCE)
+        listing = tracer.format()
+        assert "addi a0, zero, 3" in listing
+        assert "x10 <- 0x00000003" in listing
+
+    def test_format_last_n(self):
+        tracer, _ = traced(SOURCE)
+        assert len(tracer.format(last=2).splitlines()) == 2
+
+    def test_limit_caps_storage(self):
+        program = Assembler().assemble("loop: j loop")
+        cpu = Cpu(Memory(1 << 12))
+        cpu.memory.write_bytes(0, program.image)
+        cpu.reset(pc=0)
+        tracer = Tracer(cpu, limit=10)
+        tracer.run(max_instructions=100)
+        assert len(tracer.entries) == 10
+        assert cpu.instret == 100
+
+
+class TestProfiling:
+    def test_cycles_by_mnemonic(self):
+        tracer, result = traced(SOURCE)
+        profile = tracer.cycles_by_mnemonic()
+        assert sum(profile.values()) == result.cycles
+        assert profile["add"] == 3  # three loop iterations, 1 cycle each
+
+    def test_hotspots(self):
+        tracer, _ = traced(SOURCE)
+        hotspots = tracer.hotspots(top=1)
+        # the loop-back branch is the most expensive single address
+        top_pc, top_cycles = hotspots[0]
+        branch_entry = next(e for e in tracer.entries if e.text.startswith("bne"))
+        assert top_pc == branch_entry.pc

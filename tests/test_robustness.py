@@ -1,0 +1,175 @@
+"""Robustness and failure-injection tests.
+
+A production library must fail loudly on malformed input and never
+crash on hostile data: fuzzed deserialization, garbage codewords,
+random instruction words, accelerator protocol misuse.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bch.code import LAC_BCH_128_256
+from repro.bch.ct_decoder import ConstantTimeBCHDecoder
+from repro.bch.decoder import BCHDecoder
+from repro.lac import LAC_128, LacKem
+from repro.lac.pke import Ciphertext, PublicKey, SecretKey
+from repro.riscv.cpu import Cpu
+from repro.riscv.encoding import EncodingError, decode
+from repro.riscv.memory import Memory, MemoryError_
+
+
+class TestDeserializationFuzz:
+    @given(blob=st.binary(min_size=0, max_size=600))
+    @settings(max_examples=30, deadline=None)
+    def test_public_key_from_bytes_never_crashes(self, blob):
+        try:
+            pk = PublicKey.from_bytes(LAC_128, blob)
+        except ValueError:
+            return
+        # accepted blobs must round-trip
+        assert pk.to_bytes() == blob
+
+    @given(blob=st.binary(min_size=0, max_size=800))
+    @settings(max_examples=30, deadline=None)
+    def test_ciphertext_from_bytes_never_crashes(self, blob):
+        try:
+            ct = Ciphertext.from_bytes(LAC_128, blob)
+        except ValueError:
+            return
+        assert ct.to_bytes() == blob
+
+    @given(blob=st.binary(min_size=512, max_size=512))
+    @settings(max_examples=20, deadline=None)
+    def test_secret_key_from_bytes(self, blob):
+        try:
+            sk = SecretKey.from_bytes(LAC_128, blob)
+        except ValueError:
+            return
+        assert sk.to_bytes() == blob
+
+
+class TestHostileCiphertexts:
+    def test_decaps_random_valid_format_ciphertexts(self):
+        """Random well-formed ciphertexts decapsulate to *some* key."""
+        kem = LacKem(LAC_128)
+        pair = kem.keygen(seed=bytes(64))
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            u = rng.integers(0, 251, LAC_128.n)
+            v = rng.integers(0, 16, LAC_128.v_slots).astype(np.uint8)
+            hostile = Ciphertext(LAC_128, u, v)
+            key = kem.decaps(pair.secret_key, hostile)
+            assert len(key) == 32
+
+    def test_decoder_on_garbage(self):
+        """All-ones and random words never crash either decoder."""
+        code = LAC_BCH_128_256
+        rng = np.random.default_rng(1)
+        words = [
+            np.ones(code.n, dtype=np.uint8),
+            rng.integers(0, 2, code.n).astype(np.uint8),
+        ]
+        for word in words:
+            for decoder in (BCHDecoder(code), ConstantTimeBCHDecoder(code)):
+                result = decoder.decode(word.copy())
+                assert result.message.size == code.k
+                # garbage is overwhelmingly uncorrectable; the submission
+                # decoder must flag it rather than claim success silently
+                assert isinstance(result.success, bool)
+
+    def test_random_word_rarely_decodes(self):
+        """A random 400-bit word is essentially never within distance t."""
+        code = LAC_BCH_128_256
+        rng = np.random.default_rng(2)
+        failures = 0
+        for _ in range(5):
+            word = rng.integers(0, 2, code.n).astype(np.uint8)
+            if not BCHDecoder(code).decode(word).success:
+                failures += 1
+        assert failures == 5
+
+
+class TestIssRobustness:
+    @given(word=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_never_crashes(self, word):
+        try:
+            instr = decode(word)
+        except EncodingError:
+            return
+        assert instr.mnemonic
+
+    def test_out_of_range_fetch_raises(self):
+        cpu = Cpu(Memory(64))
+        cpu.reset(pc=63)  # the 2-byte fetch itself overruns memory
+        with pytest.raises(MemoryError_):
+            cpu.step()
+
+    def test_zeroed_memory_is_illegal_instruction(self):
+        # the all-zero parcel is defined illegal by the C extension
+        cpu = Cpu(Memory(64))
+        cpu.reset(pc=0)
+        with pytest.raises(EncodingError):
+            cpu.step()
+
+    def test_out_of_range_store_raises(self):
+        from repro.riscv.assembler import Assembler
+
+        program = Assembler().assemble("""
+            li t0, 0x100000
+            sw t0, 0(t0)
+        """)
+        cpu = Cpu(Memory(1 << 16))
+        cpu.memory.write_bytes(0, program.image)
+        cpu.reset(pc=0)
+        with pytest.raises(MemoryError_):
+            cpu.run()
+
+    def test_illegal_instruction_raises(self):
+        cpu = Cpu(Memory(1 << 12))
+        cpu.memory.store_word(0, 0x0000007B)  # unknown opcode, bits 11
+        cpu.reset(pc=0)
+        with pytest.raises(EncodingError):
+            cpu.step()
+
+    def test_pq_protocol_misuse_from_machine_code(self):
+        """Reading MUL TER results mid-computation is a hardware fault;
+        the simulator surfaces it as an exception."""
+        from repro.riscv.assembler import Assembler
+
+        # start the multiplier... then read before it finishes: the
+        # start instruction stalls to completion in our model, so to
+        # provoke the fault we poke the unit directly mid-flight
+        cpu = Cpu(Memory(1 << 12))
+        cpu.pq_alu.mul_ter.start(conv_n=True)
+        with pytest.raises(RuntimeError):
+            cpu.pq_alu.mul_ter.read_result(0)
+
+    def test_runaway_program_hits_limit(self):
+        from repro.riscv.assembler import Assembler
+
+        program = Assembler().assemble("loop: j loop")
+        cpu = Cpu(Memory(1 << 12))
+        cpu.memory.write_bytes(0, program.image)
+        cpu.reset(pc=0)
+        result = cpu.run(max_instructions=1000)
+        assert result.reason == "limit"
+
+
+class TestTable1T8Variant:
+    """Table I regenerated for LAC-192's BCH(511,439,8) code."""
+
+    def test_t8_table(self):
+        from repro.bch.code import LAC_BCH_192
+        from repro.eval.table1 import generate_table1
+
+        rows = generate_table1(code=LAC_BCH_192)
+        subm0, subm8, ct0, ct8 = rows
+        # the same leak, at t = 8 scale
+        assert subm8.error_locator > 5 * subm0.error_locator
+        assert (ct0.syndrome, ct0.error_locator, ct0.chien, ct0.decode) == (
+            ct8.syndrome, ct8.error_locator, ct8.chien, ct8.decode
+        )
+        # Table II's const-BCH column for LAC-192: 220,181 cycles
+        assert 0.8 < ct0.decode / 220_181 < 1.3
