@@ -1,0 +1,87 @@
+"""Batched message encoding: matrix BCH encode + ring embedding.
+
+Systematic BCH encoding is GF(2)-linear: the parity of a message is
+the XOR of the parities of its set bits, i.e. ``parity = m @ P (mod 2)``
+for the k-by-(n-k) matrix P whose row j is the remainder of
+``x^{parity_bits + j}`` modulo the generator polynomial.  One uint8
+matmul therefore encodes a whole batch of messages — bit-identical to
+the shift-register model in :class:`repro.bch.encoder.BCHEncoder` (a
+tested invariant), at a fraction of the per-message cost.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bch.code import BCHCode
+from repro.bitutils import bytes_to_bits, mask_to_bits
+from repro.gf.poly2 import Poly2
+from repro.lac.params import LacParams
+
+
+@lru_cache(maxsize=None)
+def parity_matrix(code: BCHCode) -> np.ndarray:
+    """The k-by-parity_bits GF(2) parity generator matrix of ``code``.
+
+    Row j is ``x^{parity_bits + j} mod g(x)`` as a bit row; built once
+    per code and cached (the build does k polynomial reductions).
+    """
+    rows = [
+        mask_to_bits(
+            (Poly2(1 << (code.parity_bits + j)) % code.generator).mask,
+            code.parity_bits,
+        )
+        for j in range(code.k)
+    ]
+    matrix = np.array(rows, dtype=np.uint8)
+    matrix.setflags(write=False)
+    return matrix
+
+
+@lru_cache(maxsize=None)
+def _parity_matrix_f64(code: BCHCode) -> np.ndarray:
+    matrix = parity_matrix(code).astype(np.float64)
+    matrix.setflags(write=False)
+    return matrix
+
+
+def bch_encode_many(code: BCHCode, message_bits: np.ndarray) -> np.ndarray:
+    """Encode a (B, k) bit matrix into a (B, n) codeword matrix."""
+    message_bits = np.atleast_2d(np.asarray(message_bits, dtype=np.uint8))
+    if message_bits.shape[1] != code.k:
+        raise ValueError(f"messages must be {code.k} bits wide")
+    # float64 matmul goes through BLAS; column sums are at most k < 2^53
+    # so the product is exact before the parity reduction
+    parity = (
+        np.rint(message_bits.astype(np.float64) @ _parity_matrix_f64(code))
+        .astype(np.uint8)
+        & 1
+    )
+    out = np.empty((message_bits.shape[0], code.n), dtype=np.uint8)
+    out[:, : code.parity_bits] = parity
+    out[:, code.parity_bits :] = message_bits
+    return out
+
+
+def encode_many(params: LacParams, messages: list[bytes]) -> np.ndarray:
+    """Embed a batch of 32-byte messages into stacked ring elements.
+
+    Returns a (B, n) int64 matrix: codeword bits scaled to floor(q/2),
+    duplicated at offset ``codeword_bits`` for D2 parameter sets, zero
+    elsewhere — row-for-row identical to
+    :meth:`repro.lac.encoding.MessageCodec.encode`.
+    """
+    for message in messages:
+        if len(message) != params.message_bytes:
+            raise ValueError(f"messages must be {params.message_bytes} bytes")
+    bits = np.stack([bytes_to_bits(m, params.bch.k) for m in messages])
+    codewords = bch_encode_many(params.bch, bits)
+
+    out = np.zeros((len(messages), params.n), dtype=np.int64)
+    cw_len = params.codeword_bits
+    out[:, :cw_len] = codewords.astype(np.int64) * params.half_q
+    if params.d2:
+        out[:, cw_len : 2 * cw_len] = out[:, :cw_len]
+    return out

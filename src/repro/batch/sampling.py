@@ -1,0 +1,183 @@
+"""Vectorized polynomial sampling for the batch engine.
+
+The scalar samplers in :mod:`repro.lac.sampling` are the cycle-model
+reference: they draw from the PRNG byte-by-byte so the operation
+counter observes every rejection.  The batch engine replaces the Python
+draw loop with numpy bulk operations while consuming the *same*
+candidate stream, so the sampled polynomials are bit-identical (a
+tested invariant).
+
+The key observation that makes the fixed-weight sampler vectorizable:
+the scalar loop accepts a candidate index exactly when its slot is
+still unoccupied, and slots only ever fill with values that appeared
+*earlier* in the candidate stream — so the accepted indices are
+precisely the first occurrences of distinct values, in stream order.
+``np.unique(..., return_index=True)`` recovers them in one pass.
+
+The bulk reader over-consumes the PRNG relative to the scalar loop
+(it squeezes candidates in blocks).  That is safe here because every
+sampler in LAC runs on a *throwaway* domain-separated child stream
+(:meth:`repro.hashes.prng.Sha256Prng.fork`) that nothing else reads
+afterwards; the helpers below must only ever be handed such streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.hashes.prng import Sha256Prng
+from repro.lac.params import LacParams
+from repro.lac.sampling import sample_ternary_fixed_weight
+from repro.ring.ternary import TernaryPoly
+
+#: little-endian 32-bit block counters, precomputed for the squeeze loop
+_LE32 = tuple(i.to_bytes(4, "little") for i in range(64))
+
+
+def sample_ternary_fixed_weight_vec(
+    prng: Sha256Prng, params: LacParams
+) -> TernaryPoly:
+    """Vectorized fixed-weight sampler, bit-identical to the scalar one.
+
+    Requires a power-of-two ring size (true for every LAC parameter
+    set); other sizes fall back to the scalar reference sampler.
+    ``prng`` must be a throwaway child stream (see module docstring).
+    """
+    n, h = params.n, params.h
+    if n & (n - 1):
+        return sample_ternary_fixed_weight(prng, params)
+
+    candidates = np.empty(0, dtype=np.int64)
+    # expected draws are n*ln(n/(n-h)); h plus half again covers the
+    # common case in one squeeze, the loop tops up on unlucky streams
+    want = h + max(h // 2, 32)
+    while True:
+        raw = np.frombuffer(prng.read(2 * want), dtype="<u2").astype(np.int64)
+        candidates = np.concatenate([candidates, raw & (n - 1)])
+        _, first_index = np.unique(candidates, return_index=True)
+        if first_index.size >= h:
+            break
+        want = max(h // 4, 32)
+
+    accepted = candidates[np.sort(first_index)[:h]]
+    coeffs = np.zeros(n, dtype=np.int8)
+    coeffs[accepted[: h // 2]] = 1
+    coeffs[accepted[h // 2 :]] = -1
+    return TernaryPoly(coeffs)
+
+
+def sample_secret_and_error_vec(
+    seed: bytes, params: LacParams, how_many: int
+) -> list[TernaryPoly]:
+    """Vectorized twin of :func:`repro.lac.sampling.sample_secret_and_error`.
+
+    Identical domain separation (child stream per polynomial), identical
+    outputs; no operation counting.
+    """
+    root = Sha256Prng(seed)
+    return [
+        sample_ternary_fixed_weight_vec(
+            root.fork(b"poly" + index.to_bytes(2, "little")), params
+        )
+        for index in range(how_many)
+    ]
+
+
+def sample_secret_rows(
+    seeds: list[bytes], params: LacParams, how_many: int
+) -> np.ndarray:
+    """All secret/error polynomials of a whole batch as one signed matrix.
+
+    Returns a ``(len(seeds) * how_many, n)`` int8 matrix whose row
+    ``b * how_many + j`` equals
+    ``sample_secret_and_error(seeds[b], ...)[j]`` from the scalar
+    reference (a tested invariant).  The per-polynomial work collapses
+    into one raw-SHA-256 squeeze loop for every candidate block of the
+    batch plus a handful of row-wise numpy passes; no per-polynomial
+    Python objects are built.
+
+    The first-occurrence selection runs on a fixed per-row candidate
+    window; rows whose window holds fewer than ``h`` distinct indices
+    (rare by construction) are redone through the per-polynomial
+    sampler, which tops the stream up exactly like the scalar loop.
+    """
+    n, h = params.n, params.h
+    rows = len(seeds) * how_many
+    if n & (n - 1):
+        out = np.empty((rows, n), dtype=np.int8)
+        for b, seed in enumerate(seeds):
+            for j, poly in enumerate(sample_secret_and_error_vec(seed, params, how_many)):
+                out[b * how_many + j] = poly.coeffs
+        return out
+
+    # enough candidates that a window shortfall is rare (expected
+    # distinct count comfortably exceeds h); shortfalls fall back below
+    blocks = -(-2 * (h + max(h // 2, 32)) // 32)
+    per_row = blocks * 16  # uint16 candidates per squeezed row
+
+    labels = [b"poly" + j.to_bytes(2, "little") for j in range(how_many)]
+    counters = _LE32[:blocks]
+    buf = bytearray()
+    for seed in seeds:
+        for label in labels:
+            base = hashlib.sha256(hashlib.sha256(seed + label).digest())
+            for counter in counters:
+                hasher = base.copy()
+                hasher.update(counter)
+                buf += hasher.digest()
+
+    cands = (
+        np.frombuffer(bytes(buf), dtype="<u2").reshape(rows, per_row).astype(np.int64)
+        & (n - 1)
+    )
+    # first occurrences of distinct values per row: pack (value, stream
+    # position) into one word, sort, keep each value's first position
+    combined = (cands << 16) | np.arange(per_row, dtype=np.int64)
+    combined.sort(axis=1)
+    values = combined >> 16
+    keep = np.empty((rows, per_row), dtype=bool)
+    keep[:, 0] = True
+    np.not_equal(values[:, 1:], values[:, :-1], out=keep[:, 1:])
+    positions = np.where(keep, combined & 0xFFFF, 1 << 30)
+    positions.sort(axis=1)
+    selected = positions[:, :h]
+
+    bad = selected[:, -1] >= (1 << 30)  # row had < h distinct values
+    taken = np.take_along_axis(cands, np.minimum(selected, per_row - 1), axis=1)
+
+    out = np.zeros((rows, n), dtype=np.int8)
+    row_index = np.arange(rows)[:, None]
+    out[row_index, taken[:, : h // 2]] = 1
+    out[row_index, taken[:, h // 2 :]] = -1
+    if np.any(bad):
+        for r in np.nonzero(bad)[0]:
+            b, j = divmod(int(r), how_many)
+            root = Sha256Prng(seeds[b])
+            child = root.fork(labels[j])
+            out[r] = sample_ternary_fixed_weight_vec(child, params).coeffs
+    return out
+
+
+def gen_a_vec(seed: bytes, params: LacParams) -> np.ndarray:
+    """Vectorized GenA: bulk rejection sampling of uniform Z_q values.
+
+    Bit-identical to :func:`repro.lac.sampling.gen_a` — the accepted
+    bytes are the stream bytes below q, in order — but filters whole
+    squeezed blocks with numpy instead of branching per byte.  Unlike
+    the fixed-weight sampler this never over-consumes: it reads the
+    same chunk sizes as the scalar loop, so it is stream-compatible
+    even on shared PRNGs.
+    """
+    n, q = params.n, params.q
+    prng = Sha256Prng(seed)
+    out = np.empty(n, dtype=np.int64)
+    filled = 0
+    while filled < n:
+        chunk = np.frombuffer(prng.read(max(n - filled, 32)), dtype=np.uint8)
+        accepted = chunk[chunk < q]
+        take = min(accepted.size, n - filled)
+        out[filled : filled + take] = accepted[:take]
+        filled += take
+    return out

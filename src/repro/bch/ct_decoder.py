@@ -35,11 +35,31 @@ def _mask_select(mask: int, if_true: int, if_false: int) -> int:
 
 
 class ConstantTimeBCHDecoder:
-    """Constant-time BCH decoder (Walters & Roy, IACR ePrint 2019/155 style)."""
+    """Constant-time BCH decoder (Walters & Roy, IACR ePrint 2019/155 style).
 
-    def __init__(self, code: BCHCode):
+    Two execution engines share the same mathematics:
+
+    * the *annotated* scalar schedule (always used when a real
+      :class:`~repro.metrics.OpCounter` is attached) — the cycle/golden
+      model whose operation counts reproduce Table I;
+    * a *vectorized* numpy fast path for purely functional runs, which
+      evaluates the syndrome accumulation and the Chien search over all
+      probe positions at once through the GF(2^9) table arrays
+      (:meth:`repro.gf.field.GF2m.mul_vec` and friends).  It is
+      bit-identical to the scalar schedule (asserted by the test suite)
+      and roughly an order of magnitude faster in wall-clock terms.
+
+    ``vectorized=False`` pins the scalar engine even on uncounted runs
+    (used by the benchmark harness to measure the speedup honestly).
+    """
+
+    def __init__(self, code: BCHCode, vectorized: bool = True):
         self.code = code
         self.field = code.field
+        self.vectorized = vectorized
+
+    def _use_vectorized(self, counter: OpCounter) -> bool:
+        return self.vectorized and isinstance(counter, NullCounter)
 
     def _ct_mul(self, counter: OpCounter):
         """The constant-time multiply for this run.
@@ -97,6 +117,25 @@ class ConstantTimeBCHDecoder:
     # ------------------------------------------------------------------
 
     def _syndromes(self, received: np.ndarray, counter: OpCounter) -> list[int]:
+        if self._use_vectorized(counter):
+            return self._syndromes_vec(received)
+        return self._syndromes_scalar(received, counter)
+
+    def _syndromes_vec(self, received: np.ndarray) -> list[int]:
+        """All 2t syndromes in one table gather (fast path, no counting).
+
+        Computes exactly the masked dense accumulation of the scalar
+        schedule: term ``alpha^(i*j)`` is multiplied by the received bit
+        (0 or 1) and XOR-folded over every transmitted position.
+        """
+        code, field = self.code, self.field
+        positions = np.arange(code.n, dtype=np.int64)
+        orders = np.arange(1, 2 * code.t + 1, dtype=np.int64)
+        terms = field.alpha_pow_vec(positions[:, None] * orders[None, :])
+        masked = terms * received.astype(np.int64)[:, None]
+        return [int(s) for s in np.bitwise_xor.reduce(masked, axis=0)]
+
+    def _syndromes_scalar(self, received: np.ndarray, counter: OpCounter) -> list[int]:
         code, field = self.code, self.field
         two_t = 2 * code.t
         syndromes = [0] * two_t
@@ -183,6 +222,49 @@ class ConstantTimeBCHDecoder:
     # ------------------------------------------------------------------
 
     def _chien_flip(
+        self,
+        working: np.ndarray,
+        locator: list[int],
+        counter: OpCounter,
+        window: str,
+    ) -> tuple[int, int]:
+        if self._use_vectorized(counter):
+            return self._chien_flip_vec(working, locator, window)
+        return self._chien_flip_scalar(working, locator, counter, window)
+
+    def _chien_flip_vec(
+        self,
+        working: np.ndarray,
+        locator: list[int],
+        window: str,
+    ) -> tuple[int, int]:
+        """Chien search over the whole probe window at once (fast path).
+
+        The scalar schedule steps ``terms[j] = lambda_j * alpha^(l*j)``
+        one probe at a time; evaluating the closed form directly over
+        the full exponent range gives the identical root set in two
+        table gathers and one XOR reduction.
+        """
+        code, field = self.code, self.field
+        t = code.t
+        start, stop = code.chien_window(window)
+        probes = np.arange(start, stop + 1, dtype=np.int64)
+        orders = np.arange(1, t + 1, dtype=np.int64)
+        lambdas = np.array(locator[1 : t + 1], dtype=np.int64)
+        terms = field.mul_vec(
+            lambdas[None, :],
+            field.alpha_pow_vec(probes[:, None] * orders[None, :]),
+        )
+        values = locator[0] ^ np.bitwise_xor.reduce(terms, axis=1)
+        is_root = values == 0
+        roots_found = int(np.count_nonzero(is_root))
+        positions = (code.n_full - probes) % code.n_full
+        flip = is_root & (positions < code.n)
+        flips = int(np.count_nonzero(flip))
+        working[positions[flip]] ^= 1
+        return flips, roots_found
+
+    def _chien_flip_scalar(
         self,
         working: np.ndarray,
         locator: list[int],

@@ -15,8 +15,10 @@ matching the accounting of the reference implementation.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.hashes.sha256 import SHA256, sha256
-from repro.metrics import OpCounter, ensure_counter
+from repro.metrics import NullCounter, OpCounter, ensure_counter
 
 
 class Sha256Prng:
@@ -37,15 +39,32 @@ class Sha256Prng:
             raise TypeError("seed must be bytes")
         self.seed = bytes(seed)
         self._counter = ensure_counter(counter)
+        self._fast = isinstance(self._counter, NullCounter)
         self._block_index = 0
-        self._pool = b""
+        self._pool = bytearray()
+        self._offset = 0
+        #: SHA-256 state with the seed already absorbed, cloned per
+        #: squeeze block so the seed is hashed exactly once instead of
+        #: being re-absorbed on every refill (lazy: first squeeze).  A
+        #: raw ``hashlib`` object on the uncounted fast path, the
+        #: block-accounted from-scratch hasher otherwise.
+        self._base = None
 
-    def _refill(self) -> None:
-        block = self.seed + self._block_index.to_bytes(4, "little")
-        # sha256() dispatches to hashlib on the uncounted fast path and
-        # to the from-scratch (block-accounted) compression otherwise
-        self._pool += sha256(block, counter=self._counter)
-        self._block_index += 1
+    def _squeeze(self, blocks: int) -> None:
+        """Append ``blocks`` counter-mode output blocks to the pool."""
+        if self._base is None:
+            self._base = (
+                hashlib.sha256(self.seed)
+                if self._fast
+                else SHA256(self.seed, counter=self._counter)
+            )
+        base, pool = self._base, self._pool
+        stop = self._block_index + blocks
+        for index in range(self._block_index, stop):
+            hasher = base.copy()
+            hasher.update(index.to_bytes(4, "little"))
+            pool += hasher.digest()
+        self._block_index = stop
 
     def read(self, n: int) -> bytes:
         """Return the next ``n`` bytes of the stream.
@@ -58,9 +77,14 @@ class Sha256Prng:
         """
         if n < 0:
             raise ValueError("cannot read a negative number of bytes")
-        while len(self._pool) < n:
-            self._refill()
-        out, self._pool = self._pool[:n], self._pool[n:]
+        deficit = n - (len(self._pool) - self._offset)
+        if deficit > 0:
+            self._squeeze(-(-deficit // 32))
+        out = bytes(self._pool[self._offset : self._offset + n])
+        self._offset += n
+        if self._offset >= 4096:
+            del self._pool[: self._offset]
+            self._offset = 0
         self._counter.count("prng_byte", n)
         return out
 
@@ -87,6 +111,8 @@ class Sha256Prng:
 
     def fork(self, label: bytes) -> "Sha256Prng":
         """A domain-separated child stream (seed' = SHA256(seed || label))."""
+        if self._fast:
+            return Sha256Prng(hashlib.sha256(self.seed + label).digest())
         hasher = SHA256(counter=self._counter)
         hasher.update(self.seed)
         hasher.update(label)

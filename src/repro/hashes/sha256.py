@@ -89,21 +89,32 @@ class SHA256:
     The optional ``counter`` records one ``sha256_block`` operation per
     compression, which the cycle model prices at the software cost of
     a compression on the RISC-V core.
+
+    When nothing is being counted the instance delegates to the C
+    implementation in ``hashlib`` (bit-identical — a tested invariant);
+    with a counter attached the from-scratch compression runs so every
+    block is accounted.  ``copy()`` preserves whichever engine is
+    active, so pre-absorbed states (the PRNG's incremental squeeze) stay
+    cheap on the fast path and correctly accounted on the counted path.
     """
 
     digest_size = 32
     block_size = 64
 
     def __init__(self, data: bytes = b"", counter: OpCounter | None = None):
+        self._counter = ensure_counter(counter)
+        self._fast = hashlib.sha256() if isinstance(self._counter, NullCounter) else None
         self._state = IV
         self._buffer = b""
         self._length = 0
-        self._counter = ensure_counter(counter)
         if data:
             self.update(data)
 
     def update(self, data: bytes) -> "SHA256":
         """Absorb more message bytes; returns self for chaining."""
+        if self._fast is not None:
+            self._fast.update(data)
+            return self
         self._buffer += data
         self._length += len(data)
         while len(self._buffer) >= 64:
@@ -114,6 +125,8 @@ class SHA256:
 
     def digest(self) -> bytes:
         """The 32-byte digest of everything absorbed so far."""
+        if self._fast is not None:
+            return self._fast.digest()
         state = self._state
         tail = self._buffer + pad(self._length)
         blocks_done = 0
@@ -130,10 +143,14 @@ class SHA256:
     def copy(self) -> "SHA256":
         """An independent clone of the current hash state."""
         clone = SHA256()
+        clone._counter = self._counter
+        if self._fast is not None:
+            clone._fast = self._fast.copy()
+        else:
+            clone._fast = None
         clone._state = self._state
         clone._buffer = self._buffer
         clone._length = self._length
-        clone._counter = self._counter
         return clone
 
 

@@ -145,6 +145,45 @@ class LacKem:
 
     # ------------------------------------------------------------------
 
+    def encaps_many(
+        self,
+        pk: PublicKey,
+        messages: list[bytes] | None = None,
+        count: int | None = None,
+        workers: int | None = None,
+    ) -> list["EncapsResult"]:
+        """Encapsulate a whole batch under ``pk`` (vectorized fast path).
+
+        Stacks the batch into 2-D arrays and runs batched negacyclic
+        multiplication, matrix BCH encoding and vectorized sampling
+        (:mod:`repro.batch`); ``GenA`` and the public-key digest are
+        computed once per batch.  Output is positionally bit-identical
+        to calling :meth:`encaps` in a loop with the same messages.
+        ``workers`` optionally fans sub-batches out across a thread
+        pool.  Cycle accounting is not available on the batch path —
+        use the scalar method with a counter for that.
+        """
+        from repro.batch import encaps_many as _encaps_many
+
+        return _encaps_many(self, pk, messages=messages, count=count, workers=workers)
+
+    def decaps_many(
+        self,
+        keys: KemSecretKey,
+        ciphertexts: list[Ciphertext],
+        workers: int | None = None,
+    ) -> list[bytes]:
+        """Decapsulate a whole batch (vectorized fast path).
+
+        The counterpart of :meth:`encaps_many`; positionally identical
+        to looping :meth:`decaps`, including implicit rejection.
+        """
+        from repro.batch import decaps_many as _decaps_many
+
+        return _decaps_many(self, keys, ciphertexts, workers=workers)
+
+    # ------------------------------------------------------------------
+
     def decaps(
         self,
         keys: KemSecretKey,

@@ -51,7 +51,7 @@ class PublicKey:
 
     def to_bytes(self) -> bytes:
         """Wire format: seed_a || b (one byte per coefficient)."""
-        return self.seed_a + bytes(int(x) for x in self.b)
+        return self.seed_a + self.b.astype(np.uint8).tobytes()
 
     @classmethod
     def from_bytes(cls, params: LacParams, blob: bytes) -> "PublicKey":
@@ -78,7 +78,7 @@ class SecretKey:
 
     def to_bytes(self) -> bytes:
         """Wire format: s mod q, one byte per coefficient."""
-        return bytes(int(x) % self.params.q for x in self.s.coeffs)
+        return self.s.to_zq(self.params.q).astype(np.uint8).tobytes()
 
     @classmethod
     def from_bytes(cls, params: LacParams, blob: bytes) -> "SecretKey":
@@ -104,7 +104,7 @@ class Ciphertext:
                 "wire serialization packs nibbles; experimental v_bits "
                 "variants are in-memory only"
             )
-        u_bytes = bytes(int(x) for x in self.u)
+        u_bytes = self.u.astype(np.uint8).tobytes()
         packed = np.zeros((params.v_slots + 1) // 2, dtype=np.uint8)
         v = self.v_compressed
         packed[:] = v[0::2]

@@ -113,6 +113,78 @@ class PolyRing:
         """Fast reduced multiplication (convolve + wrap), vectorized."""
         return self.reduce_full(np.convolve(a, b))
 
+    def mul_many(self, stacked: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Reduced products of a whole stack of ring elements at once.
+
+        ``stacked`` is a 2-D array whose rows are ring elements (values
+        may be signed, e.g. ternary coefficients in {-1, 0, 1}; the
+        result is always reduced into [0, q)).  ``b`` is either a single
+        ring element applied to every row or a matching 2-D stack for
+        row-wise products.  Either side may also have a single row that
+        broadcasts against the other.
+
+        The products run as one batched FFT of length 2n (negacyclic or
+        cyclic wrap applied afterwards).  Float rounding is verified
+        against a 0.25 integrality margin — far above the error floor
+        for q = 251 operands — and the method falls back to the exact
+        per-row ``np.convolve`` path if the margin is ever violated, so
+        results are always bit-identical to :meth:`mul`.
+        """
+        n, q = self.n, self.q
+        stacked = np.atleast_2d(np.asarray(stacked, dtype=np.int64))
+        b = np.asarray(b, dtype=np.int64)
+        if stacked.shape[-1] != n or b.shape[-1] != n:
+            raise ValueError("operands must be full-length ring elements")
+        if b.ndim not in (1, 2):
+            raise ValueError("b must be one ring element or a stack of them")
+        length = 2 * n
+        fa = np.fft.rfft(stacked, length, axis=-1)
+        fb = np.fft.rfft(b, length, axis=-1)
+        full = np.fft.irfft(fa * fb, length, axis=-1)
+        rounded = np.rint(full)
+        if np.max(np.abs(full - rounded)) > 0.25:  # pragma: no cover - guard
+            rows = np.broadcast_arrays(
+                stacked, b if b.ndim == 2 else b[None, :]
+            )
+            return np.stack([self.mul(x, y) for x, y in zip(*rows)])
+        full_int = rounded.astype(np.int64)
+        sign = -1 if self.negacyclic else 1
+        # linear convolution occupies 2n-1 slots; slot 2n-1 is zero, so
+        # the wrap is a plain halves add/subtract
+        return np.mod(full_int[..., :n] + sign * full_int[..., n:], q)
+
+    def mul_many_multi(
+        self, stacked: np.ndarray, operands: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Products of one stack against several operands, sharing the FFT.
+
+        Equivalent to ``[self.mul_many(stacked, b) for b in operands]``
+        but the (large) forward FFT of ``stacked`` is computed once and
+        reused for every operand — the dominant cost when the stack is a
+        whole batch and the operands are single ring elements (e.g. the
+        KEM's ``s * a`` and ``s * b`` against the same secret stack).
+        """
+        n, q = self.n, self.q
+        stacked = np.atleast_2d(np.asarray(stacked, dtype=np.int64))
+        if stacked.shape[-1] != n:
+            raise ValueError("operands must be full-length ring elements")
+        length = 2 * n
+        fa = np.fft.rfft(stacked, length, axis=-1)
+        sign = -1 if self.negacyclic else 1
+        out = []
+        for b in operands:
+            b = np.asarray(b, dtype=np.int64)
+            if b.shape[-1] != n or b.ndim not in (1, 2):
+                raise ValueError("operands must be full-length ring elements")
+            full = np.fft.irfft(fa * np.fft.rfft(b, length, axis=-1), length, axis=-1)
+            rounded = np.rint(full)
+            if np.max(np.abs(full - rounded)) > 0.25:  # pragma: no cover - guard
+                out.append(self.mul_many(stacked, b))
+                continue
+            full_int = rounded.astype(np.int64)
+            out.append(np.mod(full_int[..., :n] + sign * full_int[..., n:], q))
+        return out
+
     def scalar_mul(self, a: np.ndarray, s: int) -> np.ndarray:
         """Multiply every coefficient by an integer scalar mod q."""
         return np.mod(a * s, self.q)

@@ -1,0 +1,170 @@
+"""Batch engine parity tests: the vectorized fast path must be
+bit-identical to looping the scalar KEM across all LAC parameter sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.encode import bch_encode_many, encode_many
+from repro.batch.sampling import (
+    gen_a_vec,
+    sample_secret_and_error_vec,
+    sample_secret_rows,
+    sample_ternary_fixed_weight_vec,
+)
+from repro.bch.encoder import BCHEncoder
+from repro.hashes.prng import Sha256Prng
+from repro.lac.encoding import MessageCodec
+from repro.lac.kem import LacKem
+from repro.lac.params import ALL_PARAMS, LAC_128, LAC_192, LAC_256
+from repro.lac.pke import Ciphertext
+from repro.lac.sampling import gen_a, sample_secret_and_error
+
+
+@pytest.fixture(params=ALL_PARAMS, ids=lambda p: p.name)
+def params(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def kems():
+    cache = {}
+
+    def get(params):
+        if params.name not in cache:
+            kem = LacKem(params)
+            pair = kem.keygen(bytes(range(32)) * 2 + b"\x01" * 32)
+            cache[params.name] = (kem, pair)
+        return cache[params.name]
+
+    return get
+
+
+def _messages(params, count):
+    return [bytes([i & 0xFF, 0x5A]) * (params.message_bytes // 2) for i in range(count)]
+
+
+class TestSamplingParity:
+    def test_fixed_weight_matches_scalar(self, params):
+        from repro.lac.sampling import sample_ternary_fixed_weight
+
+        for label in (b"x", b"y", b"z"):
+            # same child stream into both samplers: outputs must agree
+            fast = sample_ternary_fixed_weight_vec(
+                Sha256Prng(b"seed").fork(label), params
+            )
+            slow = sample_ternary_fixed_weight(
+                Sha256Prng(b"seed").fork(label), params
+            )
+            assert np.array_equal(fast.coeffs, slow.coeffs)
+            assert fast.weight == params.h
+
+    def test_secret_and_error_matches_scalar(self, params):
+        seed = b"\x42" * 32
+        fast = sample_secret_and_error_vec(seed, params, 3)
+        slow = sample_secret_and_error(seed, params, how_many=3)
+        for f, s in zip(fast, slow):
+            assert np.array_equal(f.coeffs, s.coeffs)
+
+    def test_secret_rows_matches_scalar(self, params):
+        seeds = [bytes([i]) * 32 for i in range(8)]
+        rows = sample_secret_rows(seeds, params, 3)
+        assert rows.shape == (24, params.n)
+        for b, seed in enumerate(seeds):
+            ref = sample_secret_and_error(seed, params, how_many=3)
+            for j in range(3):
+                assert np.array_equal(rows[b * 3 + j], ref[j].coeffs)
+
+    def test_gen_a_matches_scalar(self, params):
+        seed = b"\x17" * params.seed_bytes
+        assert np.array_equal(gen_a_vec(seed, params), gen_a(seed, params))
+
+
+class TestEncodeParity:
+    def test_bch_encode_many_matches_encoder(self, params):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, (16, params.bch.k), dtype=np.uint8)
+        batch = bch_encode_many(params.bch, bits)
+        encoder = BCHEncoder(params.bch)
+        for row, expected in zip(batch, (encoder.encode(b) for b in bits)):
+            assert np.array_equal(row, expected)
+
+    def test_encode_many_matches_codec(self, params):
+        messages = _messages(params, 8)
+        codec = MessageCodec(params)
+        batch = encode_many(params, messages)
+        for row, message in zip(batch, messages):
+            assert np.array_equal(row, codec.encode(message))
+
+
+class TestKemParity:
+    def test_encaps_many_matches_scalar_loop(self, params, kems):
+        kem, pair = kems(params)
+        messages = _messages(params, 16)
+        batch = kem.encaps_many(pair.public_key, messages)
+        for message, result in zip(messages, batch):
+            scalar = kem.encaps(pair.public_key, message)
+            assert scalar.ciphertext.to_bytes() == result.ciphertext.to_bytes()
+            assert scalar.shared_secret == result.shared_secret
+
+    def test_decaps_many_matches_scalar_loop(self, params, kems):
+        kem, pair = kems(params)
+        messages = _messages(params, 16)
+        cts = [r.ciphertext for r in kem.encaps_many(pair.public_key, messages)]
+        batch = kem.decaps_many(pair.secret_key, cts)
+        assert batch == [kem.decaps(pair.secret_key, ct) for ct in cts]
+
+    def test_roundtrip_shared_secrets(self, params, kems):
+        kem, pair = kems(params)
+        results = kem.encaps_many(pair.public_key, count=8)
+        shared = kem.decaps_many(
+            pair.secret_key, [r.ciphertext for r in results]
+        )
+        assert shared == [r.shared_secret for r in results]
+
+    def test_implicit_rejection_matches_scalar(self, params, kems):
+        kem, pair = kems(params)
+        message = _messages(params, 1)[0]
+        good = kem.encaps(pair.public_key, message).ciphertext
+        tampered = Ciphertext(
+            params, np.mod(good.u + 1, params.q), good.v_compressed
+        )
+        batch = kem.decaps_many(pair.secret_key, [good, tampered])
+        assert batch[0] == kem.decaps(pair.secret_key, good)
+        assert batch[1] == kem.decaps(pair.secret_key, tampered)
+        assert batch[0] != batch[1]
+
+    def test_workers_fan_out_preserves_order(self, kems):
+        kem, pair = kems(LAC_128)
+        messages = _messages(LAC_128, 12)
+        serial = kem.encaps_many(pair.public_key, messages)
+        threaded = kem.encaps_many(pair.public_key, messages, workers=3)
+        assert [r.shared_secret for r in serial] == [
+            r.shared_secret for r in threaded
+        ]
+        cts = [r.ciphertext for r in serial]
+        assert kem.decaps_many(pair.secret_key, cts, workers=3) == kem.decaps_many(
+            pair.secret_key, cts
+        )
+
+    def test_empty_batch(self, kems):
+        kem, pair = kems(LAC_128)
+        assert kem.encaps_many(pair.public_key, []) == []
+        assert kem.decaps_many(pair.secret_key, []) == []
+
+    def test_argument_validation(self, kems):
+        kem, pair = kems(LAC_128)
+        with pytest.raises(ValueError):
+            kem.encaps_many(pair.public_key)  # neither messages nor count
+        with pytest.raises(ValueError):
+            kem.encaps_many(pair.public_key, [b"short"])
+        with pytest.raises(ValueError):
+            kem.encaps_many(
+                pair.public_key, _messages(LAC_128, 2), count=3
+            )
+
+    def test_count_generates_random_messages(self, kems):
+        kem, pair = kems(LAC_128)
+        results = kem.encaps_many(pair.public_key, count=4)
+        assert len(results) == 4
+        assert len({r.shared_secret for r in results}) == 4

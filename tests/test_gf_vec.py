@@ -1,0 +1,96 @@
+"""Property tests for the vectorized GF(2^m) operations.
+
+The array ops (``mul_vec``/``pow_vec``/``inv_vec``/``alpha_pow_vec``)
+must agree element-for-element with the scalar table-lookup arithmetic
+they accelerate, including all the zero-operand special cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf.field import GF2m, LAC_PRIMITIVE_POLY
+
+
+@pytest.fixture(scope="module")
+def field():
+    return GF2m(9, LAC_PRIMITIVE_POLY)
+
+
+elements = st.integers(min_value=0, max_value=511)
+
+
+class TestVectorizedOps:
+    @given(a=st.lists(elements, min_size=1, max_size=64),
+           b=st.lists(elements, min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_mul_vec_matches_scalar(self, field, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        expected = [field.mul(x, y) for x, y in zip(a, b)]
+        assert field.mul_vec(a, b).tolist() == expected
+
+    @given(a=st.lists(elements, min_size=1, max_size=64),
+           e=st.integers(min_value=0, max_value=1022))
+    @settings(max_examples=50, deadline=None)
+    def test_pow_vec_matches_scalar(self, field, a, e):
+        expected = [field.pow(x, e) for x in a]
+        assert field.pow_vec(a, e).tolist() == expected
+
+    @given(a=st.lists(st.integers(min_value=1, max_value=511),
+                      min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_inv_vec_matches_scalar(self, field, a):
+        expected = [field.inv(x) for x in a]
+        assert field.inv_vec(a).tolist() == expected
+
+    @given(exps=st.lists(st.integers(min_value=-2000, max_value=2000),
+                         min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_alpha_pow_vec_matches_scalar(self, field, exps):
+        expected = [field.alpha_pow(e) for e in exps]
+        assert field.alpha_pow_vec(exps).tolist() == expected
+
+    def test_mul_vec_broadcasts(self, field):
+        column = np.arange(1, 5)[:, None]
+        row = np.arange(1, 4)[None, :]
+        out = field.mul_vec(column, row)
+        assert out.shape == (4, 3)
+        assert out[2, 1] == field.mul(3, 2)
+
+    def test_mul_vec_zero_absorbs(self, field):
+        a = np.array([0, 5, 0, 511])
+        b = np.array([7, 0, 0, 1])
+        assert field.mul_vec(a, b).tolist() == [0, 0, 0, 511]
+
+    def test_pow_vec_zero_cases(self, field):
+        # 0**0 == 1 and 0**positive == 0, matching the scalar pow
+        assert field.pow_vec([0, 0], 0).tolist() == [field.pow(0, 0)] * 2
+        assert field.pow_vec([0, 3], 5).tolist() == [0, field.pow(3, 5)]
+
+    def test_pow_vec_negative_exponent_of_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.pow_vec([1, 0], -1)
+
+    def test_inv_vec_rejects_zero(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv_vec([3, 0, 5])
+
+
+class TestTableSharing:
+    def test_tables_built_once_per_field(self):
+        # two instances of the same field share the identical ndarray
+        a = GF2m(9, LAC_PRIMITIVE_POLY)
+        b = GF2m(9, LAC_PRIMITIVE_POLY)
+        assert a.exp_table is b.exp_table
+        assert a.log_table is b.log_table
+
+    def test_tables_read_only(self, field):
+        with pytest.raises(ValueError):
+            field.exp_table[0] = 1
+        with pytest.raises(ValueError):
+            field.log_table[1] = 0
+
+    def test_exp_table_consistent_with_scalar(self, field):
+        for i in range(0, 2 * field.group_order, 37):
+            assert int(field.exp_table[i]) == field.alpha_pow(i)

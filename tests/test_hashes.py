@@ -131,3 +131,56 @@ class TestPrng:
         # two refills of SHA256(4-byte seed || 4-byte index): 1 block each
         assert totals["sha256_block"] == 2
         assert totals["prng_byte"] == 64
+
+
+class TestPrngRegression:
+    """The incremental-state refill must not change the output stream."""
+
+    @staticmethod
+    def _reference_stream(seed: bytes, nbytes: int) -> bytes:
+        # the documented definition: SHA256(seed || LE32(i)) blocks
+        out = b""
+        index = 0
+        while len(out) < nbytes:
+            out += hashlib.sha256(seed + index.to_bytes(4, "little")).digest()
+            index += 1
+        return out[:nbytes]
+
+    @given(seed=st.binary(min_size=1, max_size=200),
+           nbytes=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40)
+    def test_stream_matches_definition(self, seed, nbytes):
+        assert Sha256Prng(seed).read(nbytes) == self._reference_stream(seed, nbytes)
+
+    def test_long_seed_stream_matches_definition(self):
+        # seeds longer than one compression block exercise the cloned
+        # pre-absorbed state across a block boundary
+        seed = bytes(range(200))
+        assert Sha256Prng(seed).read(2048) == self._reference_stream(seed, 2048)
+
+    def test_counted_and_fast_streams_identical(self):
+        seed = b"stream-parity" * 11  # 143 bytes, > 2 blocks
+        fast = Sha256Prng(seed).read(512)
+        counted = Sha256Prng(seed, counter=OpCounter()).read(512)
+        assert fast == counted
+
+    def test_seed_absorbed_once(self):
+        # 100-byte seed: absorbing it costs one compression (done once);
+        # each of the 10 output blocks then costs exactly one more.  The
+        # old re-absorb-per-refill behaviour would have counted 20.
+        counter = OpCounter()
+        Sha256Prng(bytes(100), counter=counter).read(320)
+        assert counter.totals()["sha256_block"] == 1 + 10
+
+    def test_fork_fast_path_matches_counted(self):
+        fast_child = Sha256Prng(b"root").fork(b"label")
+        counted_child = Sha256Prng(b"root", counter=OpCounter()).fork(b"label")
+        assert fast_child.read(64) == counted_child.read(64)
+
+    def test_interleaved_reads_preserve_stream(self):
+        whole = Sha256Prng(b"interleave").read(5000)
+        prng = Sha256Prng(b"interleave")
+        pieces = []
+        for size in (1, 31, 32, 33, 4000, 903):
+            pieces.append(prng.read(size))
+        assert b"".join(pieces) == whole

@@ -142,3 +142,69 @@ class TestMultiplication:
             a, b = ring.random(rng), ring.random(rng)
             c = ring.mul(a, b)
             assert ring.is_element(c)
+
+
+class TestBatchedMultiplication:
+    @pytest.mark.parametrize("negacyclic", [True, False])
+    def test_mul_many_matches_mul(self, negacyclic):
+        ring = PolyRing(64, negacyclic=negacyclic)
+        rng = np.random.default_rng(7)
+        stacked = np.stack([ring.random(rng) for _ in range(5)])
+        b = ring.random(rng)
+        out = ring.mul_many(stacked, b)
+        for row, expected in zip(out, (ring.mul(a, b) for a in stacked)):
+            assert np.array_equal(row, expected)
+
+    def test_mul_many_rowwise_operand(self):
+        ring = PolyRing(32)
+        rng = np.random.default_rng(8)
+        stacked = np.stack([ring.random(rng) for _ in range(4)])
+        bs = np.stack([ring.random(rng) for _ in range(4)])
+        out = ring.mul_many(stacked, bs)
+        for row, a, b in zip(out, stacked, bs):
+            assert np.array_equal(row, ring.mul(a, b))
+
+    def test_mul_many_signed_ternary_rows(self):
+        # the KEM passes signed {-1,0,1} secrets straight through
+        ring = PolyRing(512)
+        rng = np.random.default_rng(9)
+        ternary = rng.integers(-1, 2, (3, 512), dtype=np.int64)
+        b = ring.random(rng)
+        out = ring.mul_many(ternary, b)
+        for row, t in zip(out, ternary):
+            assert np.array_equal(row, ring.mul(np.mod(t, ring.q), b))
+
+    def test_mul_many_broadcasts_single_row(self):
+        ring = PolyRing(32)
+        rng = np.random.default_rng(10)
+        one_row = ring.random(rng)[None, :]
+        bs = np.stack([ring.random(rng) for _ in range(3)])
+        out = ring.mul_many(one_row, bs)
+        for row, b in zip(out, bs):
+            assert np.array_equal(row, ring.mul(one_row[0], b))
+
+    def test_mul_many_multi_shares_fft(self):
+        ring = PolyRing(128)
+        rng = np.random.default_rng(11)
+        stacked = np.stack([ring.random(rng) for _ in range(6)])
+        operands = [ring.random(rng), ring.random(rng)]
+        outs = ring.mul_many_multi(stacked, operands)
+        for out, b in zip(outs, operands):
+            assert np.array_equal(out, ring.mul_many(stacked, b))
+
+    def test_mul_many_rejects_bad_width(self):
+        ring = PolyRing(16)
+        with pytest.raises(ValueError):
+            ring.mul_many(np.zeros((2, 15), dtype=np.int64), np.zeros(16, dtype=np.int64))
+        with pytest.raises(ValueError):
+            ring.mul_many_multi(np.zeros((2, 16), dtype=np.int64), [np.zeros(15, dtype=np.int64)])
+
+    def test_lac_size_batch(self):
+        for n in (512, 1024):
+            ring = PolyRing(n)
+            rng = np.random.default_rng(n + 1)
+            stacked = np.stack([ring.random(rng) for _ in range(3)])
+            b = ring.random(rng)
+            out = ring.mul_many(stacked, b)
+            for row, a in zip(out, stacked):
+                assert np.array_equal(row, ring.mul(a, b))
