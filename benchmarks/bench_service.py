@@ -1,0 +1,218 @@
+"""Service load benchmark: concurrent clients vs the sequential KEM.
+
+Starts an in-process :class:`repro.serve.KemService`, fires N
+concurrent protocol clients at it (default 64, each pipelining
+encapsulations against one hosted LAC key), and compares the sustained
+throughput against sequential single-shot ``LacKem.encaps`` on the
+same machine — the serving claim of this repo's ROADMAP: micro-batching
+keeps the vectorized kernels fed even though every caller sends one
+operation at a time.
+
+Results — per parameter set: sequential and served ops/s, speedup, the
+achieved batch-size distribution and service-time percentiles straight
+from the service's own ``INFO`` metrics — are printed and written to
+``BENCH_service.json`` at the repository root.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI
+
+``--smoke`` keeps the 64-way concurrency (the speedup depends on it)
+but trims request counts and parameter sets so the job finishes in
+seconds.  ``--baseline BENCH_service.json`` additionally fails if the
+measured served throughput drops more than 30% below the committed
+numbers for any common parameter set — the CI regression gate.
+
+See ``docs/SERVICE.md`` for the architecture being measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.lac.kem import LacKem
+from repro.lac.params import ALL_PARAMS, LAC_256
+from repro.serve import AsyncKemClient, KemService
+
+#: acceptance floor: served throughput under 64 concurrent clients
+#: must beat sequential scalar encaps by at least this factor at LAC-256
+MIN_SERVICE_SPEEDUP = 5.0
+
+#: --baseline gate: fail when served ops/s drop below this fraction
+#: of the committed numbers
+BASELINE_FLOOR = 0.70
+
+
+def bench_sequential(params, ops: int) -> float:
+    """Sequential single-shot scalar encaps throughput (ops/s)."""
+    kem = LacKem(params)
+    pair = kem.keygen(b"\x2a" * (params.seed_bytes + 32))
+    kem.encaps(pair.public_key)  # warm caches outside the timed window
+    start = time.perf_counter()
+    for _ in range(ops):
+        kem.encaps(pair.public_key)
+    return ops / (time.perf_counter() - start)
+
+
+async def _client_worker(client: AsyncKemClient, key_id: int, requests: int) -> None:
+    for _ in range(requests):
+        await client.encaps(key_id)
+
+
+async def bench_service(
+    params, clients: int, requests: int, max_batch: int, max_wait_us: float
+) -> dict:
+    """Served encaps throughput under ``clients`` concurrent callers."""
+    service = KemService(max_batch=max_batch, max_wait_us=max_wait_us)
+    await service.start()
+    key_id = service.add_keypair(params)
+    pool = []
+    for _ in range(clients):
+        reader, writer = await service.connect()
+        client = AsyncKemClient(reader, writer)
+        client.register_key(key_id, params)
+        pool.append(client)
+
+    # one warm-up wave so thread-pool spin-up stays out of the window
+    await asyncio.gather(*[c.encaps(key_id) for c in pool])
+
+    total_ops = clients * requests
+    start = time.perf_counter()
+    await asyncio.gather(
+        *[_client_worker(c, key_id, requests) for c in pool]
+    )
+    elapsed = time.perf_counter() - start
+
+    info = await pool[0].info()
+    for client in pool:
+        await client.aclose()
+    await service.shutdown()
+
+    encaps_latency = info["latency_us"].get("ENCAPS", {})
+    return {
+        "params": params.name,
+        "clients": clients,
+        "requests_per_client": requests,
+        "service_ops_per_s": total_ops / elapsed,
+        "service_ms_per_op": elapsed / total_ops * 1e3,
+        "batch_sizes": info["batch_sizes"],
+        "mean_batch_size": info["mean_batch_size"],
+        "flushes": info["flushes"],
+        "latency_p50_us": encaps_latency.get("p50_us"),
+        "latency_p99_us": encaps_latency.get("p99_us"),
+        "ewma_gap_us": info["service"]["ewma_gap_us"],
+    }
+
+
+def run(
+    clients: int,
+    requests: int,
+    seq_ops: int,
+    max_batch: int,
+    max_wait_us: float,
+    smoke: bool,
+    output: Path,
+    baseline: Path | None,
+) -> dict:
+    """Measure every parameter set, write the report, enforce floors."""
+    param_sets = (LAC_256,) if smoke else ALL_PARAMS
+    rows = []
+    for params in param_sets:
+        sequential = bench_sequential(params, seq_ops)
+        row = asyncio.run(
+            bench_service(params, clients, requests, max_batch, max_wait_us)
+        )
+        row["sequential_ops_per_s"] = sequential
+        row["speedup"] = row["service_ops_per_s"] / sequential
+        rows.append(row)
+
+    report = {
+        "benchmark": "async KEM service vs sequential scalar encaps",
+        "smoke": smoke,
+        "clients": clients,
+        "max_batch": max_batch,
+        "max_wait_us": max_wait_us,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "service": rows,
+    }
+
+    print(
+        f"{'set':8} {'sequential':>12} {'served':>12} {'speedup':>8} "
+        f"{'mean batch':>11} {'p99 (us)':>9}"
+    )
+    for row in rows:
+        print(
+            f"{row['params']:8} {row['sequential_ops_per_s']:6.0f} ops/s "
+            f"{row['service_ops_per_s']:6.0f} ops/s {row['speedup']:7.1f}x "
+            f"{row['mean_batch_size']:10.1f} {row['latency_p99_us']:9.0f}"
+        )
+
+    failures = []
+    for row in rows:
+        if row["params"] == LAC_256.name and row["speedup"] < MIN_SERVICE_SPEEDUP:
+            failures.append(
+                f"{row['params']}: service speedup {row['speedup']:.1f}x "
+                f"< {MIN_SERVICE_SPEEDUP:.0f}x"
+            )
+    if baseline is not None and baseline.exists():
+        committed = {
+            row["params"]: row
+            for row in json.loads(baseline.read_text())["service"]
+        }
+        for row in rows:
+            old = committed.get(row["params"])
+            if old is None:
+                continue
+            floor = BASELINE_FLOOR * old["service_ops_per_s"]
+            if row["service_ops_per_s"] < floor:
+                failures.append(
+                    f"{row['params']}: served {row['service_ops_per_s']:.0f} ops/s "
+                    f"is below {BASELINE_FLOOR:.0%} of the committed "
+                    f"{old['service_ops_per_s']:.0f} ops/s"
+                )
+    report["pass"] = not failures
+    report["failures"] = failures
+
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    if failures:
+        raise SystemExit("service floors not met:\n  " + "\n  ".join(failures))
+    return report
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=64,
+                        help="concurrent protocol clients (default 64)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default 24, smoke 8)")
+    parser.add_argument("--seq-ops", type=int, default=None,
+                        help="sequential baseline operations (default 150, smoke 40)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="scheduler flush-on-size threshold (default 64)")
+    parser.add_argument("--max-wait-us", type=float, default=2000.0,
+                        help="scheduler deadline upper bound (default 2000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: LAC-256 only, fewer requests")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_service.json to regression-check against")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_service.json")
+    args = parser.parse_args()
+    requests = args.requests if args.requests is not None else (8 if args.smoke else 24)
+    seq_ops = args.seq_ops if args.seq_ops is not None else (40 if args.smoke else 150)
+    run(
+        args.clients, requests, seq_ops, args.max_batch, args.max_wait_us,
+        args.smoke, args.output, args.baseline,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,13 +20,20 @@ Amortization wins on top of vectorization:
 
 An optional ``workers`` argument fans sub-batches out across a
 ``concurrent.futures`` thread pool; the numpy/hashlib kernels drop the
-GIL, so this overlaps the array work of neighbouring sub-batches.
+GIL, so this overlaps the array work of neighbouring sub-batches.  The
+pool is the process-wide :func:`shared_executor` (created lazily,
+reused across calls — spawning threads per call costs more than the
+fan-out saves at serving batch sizes); callers that manage their own
+lifecycle, such as the :mod:`repro.serve` scheduler, can inject any
+``Executor`` instead.
 """
 
 from __future__ import annotations
 
+import os
 import secrets
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Sequence
 
 import numpy as np
@@ -138,8 +145,44 @@ def _decaps_chunk(
     return shared
 
 
-def _fan_out(chunk_fn, items, workers):
-    """Run ``chunk_fn`` over sub-batches on a thread pool, order-preserving."""
+#: Thread count for the lazily created shared pool.  Capped: the
+#: kernels are memory-bandwidth-bound well before 32 threads.
+SHARED_EXECUTOR_WORKERS = min(32, (os.cpu_count() or 4))
+
+_shared_executor: ThreadPoolExecutor | None = None
+_shared_executor_lock = threading.Lock()
+
+
+def shared_executor() -> ThreadPoolExecutor:
+    """The process-wide thread pool for batched KEM fan-out.
+
+    Created on first use with :data:`SHARED_EXECUTOR_WORKERS` threads
+    and reused for the life of the process — both by ``workers=N``
+    calls to :func:`encaps_many`/:func:`decaps_many` and by the
+    :mod:`repro.serve` scheduler, which dispatches whole micro-batches
+    onto it.  Reuse matters: a fresh ``ThreadPoolExecutor`` per call
+    (the pre-serve behaviour) pays thread spawn/join on every batch,
+    which ``benchmarks/bench_throughput.py`` records as the
+    ``executor_reuse_speedup``.
+    """
+    global _shared_executor
+    if _shared_executor is None:
+        with _shared_executor_lock:
+            if _shared_executor is None:
+                _shared_executor = ThreadPoolExecutor(
+                    max_workers=SHARED_EXECUTOR_WORKERS,
+                    thread_name_prefix="repro-batch",
+                )
+    return _shared_executor
+
+
+def _fan_out(chunk_fn, items, workers, executor: Executor | None = None):
+    """Run ``chunk_fn`` over sub-batches on a thread pool, order-preserving.
+
+    ``workers`` fixes the number of sub-batches; the threads come from
+    ``executor`` when given, else from the shared pool.  ``workers``
+    of ``None``/``<= 1`` (or a trivial batch) stays serial.
+    """
     if workers is None or workers <= 1 or len(items) <= 1:
         return chunk_fn(items)
     workers = min(workers, len(items))
@@ -149,10 +192,10 @@ def _fan_out(chunk_fn, items, workers):
         for i in range(workers)
         if bounds[i] < bounds[i + 1]
     ]
+    pool = executor if executor is not None else shared_executor()
     out = []
-    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-        for part in pool.map(chunk_fn, chunks):
-            out.extend(part)
+    for part in pool.map(chunk_fn, chunks):
+        out.extend(part)
     return out
 
 
@@ -167,13 +210,15 @@ def encaps_many(
     messages: Sequence[bytes] | None = None,
     count: int | None = None,
     workers: int | None = None,
+    executor: Executor | None = None,
 ) -> list[EncapsResult]:
     """Encapsulate a batch of shared secrets under one public key.
 
     Either pass explicit ``messages`` (tests/KATs, batch size = its
     length) or a ``count`` of OS-random messages.  Results are
     positionally identical to calling :meth:`LacKem.encaps` in a loop
-    with the same messages.
+    with the same messages.  ``executor`` overrides the shared pool
+    used for ``workers`` fan-out.
     """
     if messages is None:
         if count is None:
@@ -191,7 +236,9 @@ def encaps_many(
             )
     if not messages:
         return []
-    return _fan_out(lambda ms: _encaps_chunk(kem, pk, ms), messages, workers)
+    return _fan_out(
+        lambda ms: _encaps_chunk(kem, pk, ms), messages, workers, executor
+    )
 
 
 def decaps_many(
@@ -199,16 +246,18 @@ def decaps_many(
     keys: KemSecretKey,
     ciphertexts: Sequence[Ciphertext],
     workers: int | None = None,
+    executor: Executor | None = None,
 ) -> list[bytes]:
     """Decapsulate a batch of ciphertexts under one secret key.
 
     Results are positionally identical to calling
     :meth:`LacKem.decaps` in a loop (including implicit rejection of
-    malformed ciphertexts).
+    malformed ciphertexts).  ``executor`` overrides the shared pool
+    used for ``workers`` fan-out.
     """
     ciphertexts = list(ciphertexts)
     if not ciphertexts:
         return []
     return _fan_out(
-        lambda cts: _decaps_chunk(kem, keys, cts), ciphertexts, workers
+        lambda cts: _decaps_chunk(kem, keys, cts), ciphertexts, workers, executor
     )

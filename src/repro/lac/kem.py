@@ -151,6 +151,7 @@ class LacKem:
         messages: list[bytes] | None = None,
         count: int | None = None,
         workers: int | None = None,
+        executor=None,
     ) -> list["EncapsResult"]:
         """Encapsulate a whole batch under ``pk`` (vectorized fast path).
 
@@ -159,28 +160,38 @@ class LacKem:
         (:mod:`repro.batch`); ``GenA`` and the public-key digest are
         computed once per batch.  Output is positionally bit-identical
         to calling :meth:`encaps` in a loop with the same messages.
-        ``workers`` optionally fans sub-batches out across a thread
-        pool.  Cycle accounting is not available on the batch path —
-        use the scalar method with a counter for that.
+        ``workers`` optionally fans sub-batches out across the shared
+        thread pool (or an injected ``executor`` — the hook the
+        :mod:`repro.serve` micro-batch scheduler uses).  Cycle
+        accounting is not available on the batch path — use the scalar
+        method with a counter for that.
         """
         from repro.batch import encaps_many as _encaps_many
 
-        return _encaps_many(self, pk, messages=messages, count=count, workers=workers)
+        return _encaps_many(
+            self, pk, messages=messages, count=count, workers=workers,
+            executor=executor,
+        )
 
     def decaps_many(
         self,
         keys: KemSecretKey,
         ciphertexts: list[Ciphertext],
         workers: int | None = None,
+        executor=None,
     ) -> list[bytes]:
         """Decapsulate a whole batch (vectorized fast path).
 
         The counterpart of :meth:`encaps_many`; positionally identical
         to looping :meth:`decaps`, including implicit rejection.
+        ``executor`` overrides the shared fan-out pool, as for
+        :meth:`encaps_many`.
         """
         from repro.batch import decaps_many as _decaps_many
 
-        return _decaps_many(self, keys, ciphertexts, workers=workers)
+        return _decaps_many(
+            self, keys, ciphertexts, workers=workers, executor=executor
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""``repro.serve`` — serving the batched KEM to concurrent clients.
+
+PR 1 made single-key batches fast (``LacKem.encaps_many`` /
+``decaps_many``, 11–14x); this package makes those kernels reachable
+from *independent concurrent callers*, the way an accelerated PQC
+primitive sits behind a host interface in the paper's co-design: a
+length-prefixed binary protocol (:mod:`repro.serve.protocol`), an
+adaptive micro-batch scheduler that coalesces requests per (op, key)
+(:mod:`repro.serve.scheduler`), an asyncio server with bounded-queue
+backpressure, per-request timeouts and graceful drain
+(:mod:`repro.serve.server`), async and sync clients
+(:mod:`repro.serve.client`), and serving metrics exported through the
+``INFO`` op (:mod:`repro.serve.metrics`).
+
+See ``docs/SERVICE.md`` for the protocol spec and tuning guide, and
+``benchmarks/bench_service.py`` for measured end-to-end throughput.
+"""
+
+from repro.serve.client import (
+    AsyncKemClient,
+    BadRequest,
+    KemClient,
+    KeyNotFound,
+    RequestTimedOut,
+    ServiceBusy,
+    ServiceClosed,
+    ServiceDraining,
+    ServiceError,
+)
+from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+from repro.serve.protocol import Frame, Op, ProtocolError, Status
+from repro.serve.scheduler import (
+    AdaptiveDeadlinePolicy,
+    Batch,
+    MicroBatchScheduler,
+)
+from repro.serve.server import HostedKey, KemService, ThreadedService
+
+__all__ = [
+    "AsyncKemClient",
+    "AdaptiveDeadlinePolicy",
+    "BadRequest",
+    "Batch",
+    "Frame",
+    "HostedKey",
+    "KemClient",
+    "KemService",
+    "KeyNotFound",
+    "LatencyHistogram",
+    "MicroBatchScheduler",
+    "Op",
+    "ProtocolError",
+    "RequestTimedOut",
+    "ServiceBusy",
+    "ServiceClosed",
+    "ServiceDraining",
+    "ServiceError",
+    "ServiceMetrics",
+    "Status",
+    "ThreadedService",
+]

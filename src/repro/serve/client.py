@@ -1,0 +1,322 @@
+"""Clients for the KEM service: asyncio (multiplexing) and blocking.
+
+:class:`AsyncKemClient` pipelines many in-flight requests over one
+connection — each request gets a fresh 4-byte id, a background reader
+task matches responses back to their futures, so 64 concurrent
+``encaps`` calls need one socket, not 64.  :class:`KemClient` is the
+synchronous counterpart for scripts and examples: one blocking socket,
+one outstanding request at a time.
+
+Both speak the frames of :mod:`repro.serve.protocol` and translate
+non-OK statuses into typed exceptions (:class:`ServiceBusy` for
+backpressure rejects, :class:`RequestTimedOut`, …), so callers can
+implement retry policies without looking at status bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.lac.params import LacParams
+from repro.lac.pke import PublicKey
+from repro.serve.protocol import (
+    PARAM_NONE,
+    Frame,
+    Op,
+    Status,
+    id_for_params,
+    pack_decaps_request,
+    pack_encaps_request,
+    read_frame,
+    recv_frame,
+    send_frame,
+    unpack_encaps_response,
+    unpack_keygen_response,
+    write_frame,
+)
+
+
+class ServiceError(Exception):
+    """A non-OK response from the service (carries the status)."""
+
+    status = Status.INTERNAL
+
+    def __init__(self, message: str) -> None:
+        super().__init__(f"{self.status.name}: {message}")
+
+
+class ServiceBusy(ServiceError):
+    """Rejected by backpressure: the request was never queued."""
+
+    status = Status.BUSY
+
+
+class RequestTimedOut(ServiceError):
+    """Accepted but not served within the per-request timeout."""
+
+    status = Status.TIMEOUT
+
+
+class ServiceDraining(ServiceError):
+    """The service is shutting down and takes no new work."""
+
+    status = Status.SHUTTING_DOWN
+
+
+class BadRequest(ServiceError):
+    """The service rejected the request as malformed."""
+
+    status = Status.BAD_REQUEST
+
+
+class KeyNotFound(ServiceError):
+    """The referenced key id is not hosted by the service."""
+
+    status = Status.NOT_FOUND
+
+
+class ServiceClosed(ServiceError):
+    """The connection dropped with requests still in flight."""
+
+    status = Status.INTERNAL
+
+
+_ERRORS: dict[Status, type[ServiceError]] = {
+    cls.status: cls
+    for cls in (ServiceBusy, RequestTimedOut, ServiceDraining, BadRequest, KeyNotFound)
+}
+
+
+def raise_for_status(frame: Frame) -> Frame:
+    """Return OK frames; raise the typed error for anything else."""
+    if frame.status is Status.OK:
+        return frame
+    message = frame.payload.decode(errors="replace")
+    raise _ERRORS.get(frame.status, ServiceError)(message)
+
+
+class _KeyRegistry:
+    """key id -> parameter set, learned from keygen or registered."""
+
+    def __init__(self) -> None:
+        self._params: dict[int, LacParams] = {}
+
+    def register(self, key_id: int, params: LacParams) -> None:
+        self._params[key_id] = params
+
+    def params(self, key_id: int) -> LacParams:
+        try:
+            return self._params[key_id]
+        except KeyError:
+            raise KeyNotFound(
+                f"key {key_id} unknown to this client; register_key() it"
+            ) from None
+
+
+class AsyncKemClient:
+    """A pipelined asyncio client over one service connection.
+
+    Create from streams (``KemService.connect`` or
+    ``asyncio.open_connection``), then call :meth:`keygen`,
+    :meth:`encaps`, :meth:`decaps`, :meth:`info` freely — including
+    concurrently from many tasks.  Close with :meth:`aclose`.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._keys = _KeyRegistry()
+        self._read_task: asyncio.Task | None = None
+
+    @classmethod
+    async def open_tcp(cls, host: str, port: int) -> "AsyncKemClient":
+        """Connect to a TCP service endpoint."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    def register_key(self, key_id: int, params: LacParams) -> None:
+        """Teach the client a hosted key's parameter set (for keys it
+        did not create itself, e.g. pre-provisioned server keys)."""
+        self._keys.register(key_id, params)
+
+    # ------------------------------------------------------------------
+
+    async def request(
+        self, op: Op, param_id: int = PARAM_NONE, payload: bytes = b""
+    ) -> Frame:
+        """Send one frame and await its matching response (any status)."""
+        if self._read_task is None:
+            self._read_task = asyncio.create_task(self._read_loop())
+        request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        write_frame(self._writer, Frame(op, request_id, param_id, payload=payload))
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        error: Exception = ServiceClosed("connection closed")
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except Exception as exc:  # noqa: BLE001 - surfaced via futures
+            error = exc
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+
+    async def keygen(
+        self, params: LacParams, seed: bytes | None = None
+    ) -> tuple[int, PublicKey]:
+        """Generate and host a key pair; returns (key id, public key)."""
+        frame = raise_for_status(
+            await self.request(Op.KEYGEN, id_for_params(params), seed or b"")
+        )
+        key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
+        self._keys.register(key_id, params)
+        return key_id, PublicKey.from_bytes(params, pk_bytes)
+
+    async def encaps(
+        self, key_id: int, message: bytes | None = None
+    ) -> tuple[bytes, bytes]:
+        """Encapsulate against a hosted key; returns (ct bytes, secret)."""
+        params = self._keys.params(key_id)
+        frame = raise_for_status(
+            await self.request(
+                Op.ENCAPS, id_for_params(params), pack_encaps_request(key_id, message)
+            )
+        )
+        return unpack_encaps_response(params, frame.payload)
+
+    async def decaps(self, key_id: int, ciphertext: bytes) -> bytes:
+        """Decapsulate a ciphertext; returns the 32-byte shared secret."""
+        params = self._keys.params(key_id)
+        frame = raise_for_status(
+            await self.request(
+                Op.DECAPS, id_for_params(params), pack_decaps_request(key_id, ciphertext)
+            )
+        )
+        return frame.payload
+
+    async def info(self, text: bool = False) -> dict | str:
+        """Fetch service metrics (dict, or the ``/metrics`` text dump)."""
+        frame = raise_for_status(
+            await self.request(Op.INFO, payload=b"text" if text else b"")
+        )
+        return frame.payload.decode() if text else json.loads(frame.payload)
+
+    async def aclose(self) -> None:
+        """Close the connection and stop the reader task."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+
+
+class KemClient:
+    """The blocking client: one socket, one request in flight.
+
+    Connect with a socket from
+    :meth:`~repro.serve.server.ThreadedService.connect` or
+    :meth:`KemClient.open_tcp`.  Usable as a context manager.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._next_id = 0
+        self._keys = _KeyRegistry()
+
+    @classmethod
+    def open_tcp(cls, host: str, port: int) -> "KemClient":
+        """Connect to a TCP service endpoint."""
+        return cls(socket.create_connection((host, port)))
+
+    def register_key(self, key_id: int, params: LacParams) -> None:
+        """Teach the client a hosted key's parameter set."""
+        self._keys.register(key_id, params)
+
+    def request(
+        self, op: Op, param_id: int = PARAM_NONE, payload: bytes = b""
+    ) -> Frame:
+        """Send one frame and block for its response (any status)."""
+        request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        send_frame(self._sock, Frame(op, request_id, param_id, payload=payload))
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise ServiceClosed("connection closed mid-request")
+            if frame.request_id == request_id:
+                return frame
+
+    def keygen(
+        self, params: LacParams, seed: bytes | None = None
+    ) -> tuple[int, PublicKey]:
+        """Generate and host a key pair; returns (key id, public key)."""
+        frame = raise_for_status(
+            self.request(Op.KEYGEN, id_for_params(params), seed or b"")
+        )
+        key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
+        self._keys.register(key_id, params)
+        return key_id, PublicKey.from_bytes(params, pk_bytes)
+
+    def encaps(
+        self, key_id: int, message: bytes | None = None
+    ) -> tuple[bytes, bytes]:
+        """Encapsulate against a hosted key; returns (ct bytes, secret)."""
+        params = self._keys.params(key_id)
+        frame = raise_for_status(
+            self.request(
+                Op.ENCAPS, id_for_params(params), pack_encaps_request(key_id, message)
+            )
+        )
+        return unpack_encaps_response(params, frame.payload)
+
+    def decaps(self, key_id: int, ciphertext: bytes) -> bytes:
+        """Decapsulate a ciphertext; returns the 32-byte shared secret."""
+        params = self._keys.params(key_id)
+        frame = raise_for_status(
+            self.request(
+                Op.DECAPS, id_for_params(params), pack_decaps_request(key_id, ciphertext)
+            )
+        )
+        return frame.payload
+
+    def info(self, text: bool = False) -> dict | str:
+        """Fetch service metrics (dict, or the ``/metrics`` text dump)."""
+        frame = raise_for_status(
+            self.request(Op.INFO, payload=b"text" if text else b"")
+        )
+        return frame.payload.decode() if text else json.loads(frame.payload)
+
+    def close(self) -> None:
+        """Close the socket."""
+        self._sock.close()
+
+    def __enter__(self) -> "KemClient":
+        """Context-manager entry (no-op)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close on exit."""
+        self.close()

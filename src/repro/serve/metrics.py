@@ -1,0 +1,218 @@
+"""Service metrics: counters, gauges and latency/batch histograms.
+
+Follows the conventions of :mod:`repro.metrics` — free-form metric
+names, no central registration, recording is cheap enough to leave on
+— but measures the *serving* layer rather than modelled cycles:
+request counts per (op, status), queue depth, in-flight batches, the
+batch-size distribution the scheduler actually achieved, and
+log-bucketed service-time histograms with p50/p99 estimates.
+
+Two export formats, both served by the protocol's ``INFO`` op:
+
+* :meth:`ServiceMetrics.snapshot` — a JSON-friendly dict (machine
+  consumption: benchmarks, tests, dashboards);
+* :meth:`ServiceMetrics.render_text` — a ``# HELP``-style plain-text
+  dump in the spirit of a ``/metrics`` endpoint.
+
+All mutators take an internal lock: the scheduler records from the
+event loop while batch workers record from executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram over microseconds.
+
+    Bucket ``i`` counts observations in ``[2**i, 2**(i+1))`` µs (bucket
+    0 also absorbs sub-microsecond values).  Quantiles are estimated at
+    bucket upper bounds — coarse, but monotone, allocation-free and
+    plenty for p50/p99 serving dashboards.
+    """
+
+    #: Buckets span 1 µs .. ~67 s; everything slower lands in the top bucket.
+    BUCKETS = 26
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.BUCKETS
+        self.total = 0
+        self.sum_us = 0.0
+
+    def observe(self, micros: float) -> None:
+        """Record one observation (in microseconds)."""
+        micros = max(micros, 0.0)
+        bucket = max(0, int(micros).bit_length() - 1) if micros >= 1 else 0
+        self.counts[min(bucket, self.BUCKETS - 1)] += 1
+        self.total += 1
+        self.sum_us += micros
+
+    def quantile(self, q: float) -> float:
+        """Upper bound (µs) of the bucket holding the ``q`` quantile."""
+        if not self.total:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return float(2 ** (i + 1))
+        return float(2**self.BUCKETS)
+
+    def mean(self) -> float:
+        """Exact mean of the observations (µs)."""
+        return self.sum_us / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (count, mean, p50/p99, populated buckets)."""
+        return {
+            "count": self.total,
+            "mean_us": round(self.mean(), 3),
+            "p50_us": self.quantile(0.50),
+            "p99_us": self.quantile(0.99),
+            "buckets_us": {
+                str(2 ** (i + 1)): c for i, c in enumerate(self.counts) if c
+            },
+        }
+
+
+class ServiceMetrics:
+    """The service's metric registry (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: requests received, keyed by op name
+        self.requests: Counter = Counter()
+        #: responses sent, keyed by (op name, status name)
+        self.responses: Counter = Counter()
+        #: flushes, keyed by what triggered them ("size"/"deadline"/"drain")
+        self.flushes: Counter = Counter()
+        #: batch-size distribution actually dispatched, keyed by size
+        self.batch_sizes: Counter = Counter()
+        self.latency: dict[str, LatencyHistogram] = {}
+        self.queue_depth = 0
+        self.inflight_batches = 0
+        #: high-watermark of queue depth over the service lifetime
+        self.queue_depth_peak = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_request(self, op: str) -> None:
+        """Count one received request."""
+        with self._lock:
+            self.requests[op] += 1
+
+    def record_response(self, op: str, status: str) -> None:
+        """Count one sent response."""
+        with self._lock:
+            self.responses[op, status] += 1
+
+    def record_batch(self, op: str, size: int, trigger: str) -> None:
+        """Count one dispatched batch and what flushed it."""
+        with self._lock:
+            self.batch_sizes[size] += 1
+            self.flushes[trigger] += 1
+
+    def observe_latency(self, op: str, micros: float) -> None:
+        """Record one request's queue-to-response service time (µs)."""
+        with self._lock:
+            histogram = self.latency.get(op)
+            if histogram is None:
+                histogram = self.latency[op] = LatencyHistogram()
+            histogram.observe(micros)
+
+    def adjust_queue_depth(self, delta: int) -> None:
+        """Move the queued-requests gauge (tracks its peak too)."""
+        with self._lock:
+            self.queue_depth += delta
+            self.queue_depth_peak = max(self.queue_depth_peak, self.queue_depth)
+
+    def adjust_inflight(self, delta: int) -> None:
+        """Move the in-flight-batches gauge."""
+        with self._lock:
+            self.inflight_batches += delta
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dict of every metric (served by ``INFO``)."""
+        with self._lock:
+            batches = sum(self.batch_sizes.values())
+            ops = sum(size * count for size, count in self.batch_sizes.items())
+            return {
+                "requests": dict(self.requests),
+                "responses": {
+                    f"{op}:{status}": count
+                    for (op, status), count in self.responses.items()
+                },
+                "flushes": dict(self.flushes),
+                "batch_sizes": {
+                    str(size): count
+                    for size, count in sorted(self.batch_sizes.items())
+                },
+                "mean_batch_size": round(ops / batches, 3) if batches else 0.0,
+                "queue_depth": self.queue_depth,
+                "queue_depth_peak": self.queue_depth_peak,
+                "inflight_batches": self.inflight_batches,
+                "latency_us": {
+                    op: histogram.to_dict()
+                    for op, histogram in sorted(self.latency.items())
+                },
+            }
+
+    def render_text(self) -> str:
+        """A ``/metrics``-style plain-text dump of the snapshot."""
+        snap = self.snapshot()
+        lines = [
+            "# HELP kem_requests_total requests received, by op",
+            "# TYPE kem_requests_total counter",
+        ]
+        for op, count in sorted(snap["requests"].items()):
+            lines.append(f'kem_requests_total{{op="{op}"}} {count}')
+        lines += [
+            "# HELP kem_responses_total responses sent, by op and status",
+            "# TYPE kem_responses_total counter",
+        ]
+        for key, count in sorted(snap["responses"].items()):
+            op, status = key.split(":")
+            lines.append(
+                f'kem_responses_total{{op="{op}",status="{status}"}} {count}'
+            )
+        lines += [
+            "# HELP kem_batch_flushes_total dispatched batches, by trigger",
+            "# TYPE kem_batch_flushes_total counter",
+        ]
+        for trigger, count in sorted(snap["flushes"].items()):
+            lines.append(f'kem_batch_flushes_total{{trigger="{trigger}"}} {count}')
+        lines += [
+            "# HELP kem_batch_size dispatched batch sizes",
+            "# TYPE kem_batch_size histogram",
+        ]
+        for size, count in snap["batch_sizes"].items():
+            lines.append(f'kem_batch_size_bucket{{le="{size}"}} {count}')
+        lines.append(f'kem_batch_size_mean {snap["mean_batch_size"]}')
+        lines += [
+            "# HELP kem_queue_depth requests currently queued",
+            "# TYPE kem_queue_depth gauge",
+            f"kem_queue_depth {snap['queue_depth']}",
+            f"kem_queue_depth_peak {snap['queue_depth_peak']}",
+            "# HELP kem_inflight_batches batches currently executing",
+            "# TYPE kem_inflight_batches gauge",
+            f"kem_inflight_batches {snap['inflight_batches']}",
+        ]
+        for op, histogram in snap["latency_us"].items():
+            lines += [
+                f"# HELP kem_latency_us_{op} service time (queue to response)",
+                f"# TYPE kem_latency_us_{op} summary",
+                f"kem_latency_us_{op}_count {histogram['count']}",
+                f"kem_latency_us_{op}_mean {histogram['mean_us']}",
+                f'kem_latency_us_{op}{{quantile="0.5"}} {histogram["p50_us"]}',
+                f'kem_latency_us_{op}{{quantile="0.99"}} {histogram["p99_us"]}',
+            ]
+        return "\n".join(lines) + "\n"

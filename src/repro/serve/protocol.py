@@ -1,0 +1,289 @@
+"""Wire protocol of the KEM service: length-prefixed binary frames.
+
+Every message — request or response — is one frame:
+
+::
+
+    offset  size  field
+    0       2     magic   b"LK"
+    2       1     version (currently 1)
+    3       1     op      (Op: KEYGEN/ENCAPS/DECAPS/INFO)
+    4       1     status  (Status; always OK in requests)
+    5       1     param   (parameter-set id, PARAM_NONE for INFO)
+    6       4     request id, big-endian (echoed in the response)
+    10      4     payload length, big-endian
+    14      ...   payload
+
+The 4-byte request id lets one connection multiplex many in-flight
+requests: responses carry the id of the request they answer and may
+arrive in any order (the micro-batch scheduler freely reorders across
+connections).  Payload layouts per op:
+
+========  ==========================================  =====================
+op        request payload                             OK-response payload
+========  ==========================================  =====================
+KEYGEN    optional seed (``seed_bytes + 32``, or      key id (4) || public
+          empty for OS randomness)                    key bytes
+ENCAPS    key id (4) || optional fixed message        ciphertext bytes ||
+          (``message_bytes``, tests/KATs only)        shared secret (32)
+DECAPS    key id (4) || ciphertext bytes              shared secret (32)
+INFO      empty (JSON snapshot) or ``b"text"``        UTF-8 metrics dump
+========  ==========================================  =====================
+
+Error responses (any non-OK :class:`Status`) carry a UTF-8 diagnostic
+string as payload.  All sizes are fixed by the parameter set, so the
+payloads need no internal framing.
+
+This module is transport-agnostic: the same frames travel over asyncio
+TCP streams, over an in-process socketpair (the test/benchmark
+transport), or over a plain blocking socket (the sync client).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.lac.params import ALL_PARAMS, LacParams
+
+#: First two bytes of every frame.
+MAGIC = b"LK"
+
+#: Protocol version carried in byte 2.
+VERSION = 1
+
+#: Upper bound on payload size; a frame announcing more is rejected
+#: before any allocation (malformed peers must not balloon memory).
+MAX_PAYLOAD = 1 << 20
+
+#: ``param`` byte for ops that are not tied to a parameter set (INFO).
+PARAM_NONE = 0xFF
+
+_HEADER = struct.Struct(">2sBBBBII")
+
+#: Size of the fixed frame header in bytes.
+HEADER_SIZE = _HEADER.size
+
+_KEY_ID = struct.Struct(">I")
+
+
+class Op(IntEnum):
+    """Operation selector (byte 3 of the header)."""
+
+    KEYGEN = 1
+    ENCAPS = 2
+    DECAPS = 3
+    INFO = 4
+
+
+class Status(IntEnum):
+    """Response status (byte 4 of the header; OK in requests)."""
+
+    OK = 0
+    #: Rejected by backpressure: pending work is beyond the service's
+    #: high-watermark.  The request was *not* queued; retry later.
+    BUSY = 1
+    BAD_REQUEST = 2
+    #: Queued but not served within the per-request timeout.
+    TIMEOUT = 3
+    #: The service is draining; no new work is accepted.
+    SHUTTING_DOWN = 4
+    INTERNAL = 5
+    #: Unknown key id.
+    NOT_FOUND = 6
+
+
+class ProtocolError(Exception):
+    """A malformed frame (bad magic/version/op/length or short payload)."""
+
+
+#: Parameter-set ids on the wire, in ascending security order.
+PARAM_IDS: dict[str, int] = {p.name: i for i, p in enumerate(ALL_PARAMS)}
+
+
+def id_for_params(params: LacParams) -> int:
+    """The wire id of a parameter set."""
+    return PARAM_IDS[params.name]
+
+
+def params_for_id(param_id: int) -> LacParams:
+    """The parameter set behind a wire id (raises on unknown ids)."""
+    if not 0 <= param_id < len(ALL_PARAMS):
+        raise ProtocolError(f"unknown parameter-set id {param_id}")
+    return ALL_PARAMS[param_id]
+
+
+@dataclass
+class Frame:
+    """One protocol message (either direction)."""
+
+    op: Op
+    request_id: int
+    param_id: int = PARAM_NONE
+    status: Status = Status.OK
+    payload: bytes = field(default=b"", repr=False)
+
+    def to_bytes(self) -> bytes:
+        """Serialize header + payload."""
+        if len(self.payload) > MAX_PAYLOAD:
+            raise ProtocolError(f"payload of {len(self.payload)} bytes too large")
+        return _HEADER.pack(
+            MAGIC,
+            VERSION,
+            int(self.op),
+            int(self.status),
+            self.param_id,
+            self.request_id,
+            len(self.payload),
+        ) + self.payload
+
+
+def parse_header(header: bytes) -> tuple[Frame, int]:
+    """Decode a 14-byte header into a payload-less frame + payload length.
+
+    Raises :class:`ProtocolError` on bad magic, version, op, status or
+    an oversized announced payload.
+    """
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(f"header must be {HEADER_SIZE} bytes")
+    magic, version, op, status, param_id, request_id, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported version {version}")
+    try:
+        op = Op(op)
+        status = Status(status)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from None
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"announced payload of {length} bytes too large")
+    return Frame(op, request_id, param_id, status), length
+
+
+def decode_frame(buf: bytes) -> tuple[Frame, int]:
+    """Decode one frame from the head of ``buf``.
+
+    Returns ``(frame, bytes_consumed)``; raises :class:`ProtocolError`
+    if ``buf`` does not hold a complete frame (stream transports use
+    the incremental readers instead).
+    """
+    if len(buf) < HEADER_SIZE:
+        raise ProtocolError("truncated header")
+    frame, length = parse_header(buf[:HEADER_SIZE])
+    end = HEADER_SIZE + length
+    if len(buf) < end:
+        raise ProtocolError("truncated payload")
+    frame.payload = bytes(buf[HEADER_SIZE:end])
+    return frame, end
+
+
+# ---------------------------------------------------------------------------
+# stream transports
+# ---------------------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on garbage or a mid-frame disconnect.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from None
+    frame, length = parse_header(header)
+    if length:
+        try:
+            frame.payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid-payload") from None
+    return frame
+
+
+def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
+    """Queue one frame on an asyncio stream (caller drains)."""
+    writer.write(frame.to_bytes())
+
+
+def recv_frame(sock: socket.socket) -> Frame | None:
+    """Blocking twin of :func:`read_frame` for the sync client."""
+    header = _recv_exactly(sock, HEADER_SIZE, eof_ok=True)
+    if header is None:
+        return None
+    frame, length = parse_header(header)
+    if length:
+        frame.payload = _recv_exactly(sock, length)
+    return frame
+
+
+def send_frame(sock: socket.socket, frame: Frame) -> None:
+    """Blocking send of one whole frame."""
+    sock.sendall(frame.to_bytes())
+
+
+def _recv_exactly(sock: socket.socket, n: int, eof_ok: bool = False) -> bytes | None:
+    parts: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# payload packing/unpacking
+# ---------------------------------------------------------------------------
+
+
+def pack_key_id(key_id: int) -> bytes:
+    """Big-endian 4-byte key id."""
+    return _KEY_ID.pack(key_id)
+
+
+def unpack_key_id(payload: bytes) -> tuple[int, bytes]:
+    """Split a payload into its leading key id and the remainder."""
+    if len(payload) < _KEY_ID.size:
+        raise ProtocolError("payload too short for a key id")
+    return _KEY_ID.unpack_from(payload)[0], payload[_KEY_ID.size:]
+
+
+def pack_encaps_request(key_id: int, message: bytes | None = None) -> bytes:
+    """ENCAPS request payload: key id plus an optional fixed message."""
+    return pack_key_id(key_id) + (message or b"")
+
+
+def unpack_encaps_response(params: LacParams, payload: bytes) -> tuple[bytes, bytes]:
+    """Split an ENCAPS OK-payload into (ciphertext bytes, shared secret)."""
+    expected = params.ciphertext_bytes + 32
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"ENCAPS response must be {expected} bytes, got {len(payload)}"
+        )
+    return payload[: params.ciphertext_bytes], payload[params.ciphertext_bytes:]
+
+
+def pack_decaps_request(key_id: int, ciphertext: bytes) -> bytes:
+    """DECAPS request payload: key id plus the ciphertext bytes."""
+    return pack_key_id(key_id) + ciphertext
+
+
+def unpack_keygen_response(params: LacParams, payload: bytes) -> tuple[int, bytes]:
+    """Split a KEYGEN OK-payload into (key id, public-key bytes)."""
+    key_id, pk = unpack_key_id(payload)
+    if len(pk) != params.public_key_bytes:
+        raise ProtocolError(
+            f"KEYGEN response pk must be {params.public_key_bytes} bytes"
+        )
+    return key_id, pk

@@ -1,0 +1,618 @@
+"""The asyncio KEM service: transports, batching, backpressure, drain.
+
+:class:`KemService` hosts LAC key pairs and serves ``KEYGEN`` /
+``ENCAPS`` / ``DECAPS`` / ``INFO`` requests over the frame protocol of
+:mod:`repro.serve.protocol`.  The interesting part is what happens
+between a request arriving and its response leaving:
+
+1. the connection handler validates the frame cheaply on the event
+   loop (sizes, key ids) and rejects early with ``BAD_REQUEST`` /
+   ``NOT_FOUND``;
+2. admission control: during drain every request gets
+   ``SHUTTING_DOWN``; beyond ``high_watermark`` pending requests it
+   gets ``BUSY`` *without being queued* — the bounded queue is the
+   backpressure contract;
+3. accepted requests enter the
+   :class:`~repro.serve.scheduler.MicroBatchScheduler`, keyed by
+   ``(op, key id)``;
+4. full batches (flush-on-size) dispatch immediately; a single timer
+   task wakes at the scheduler's earliest adaptive deadline for the
+   rest (flush-on-deadline);
+5. a dispatch runs on the shared :func:`repro.batch.shared_executor`
+   thread pool: expired entries are answered ``TIMEOUT`` unexecuted,
+   the rest go through ``LacKem.encaps_many`` / ``decaps_many`` (or a
+   keygen loop), and the responses fan back out to their connections
+   with per-request ids;
+6. :meth:`KemService.shutdown` stops admission, drains every queue
+   through the same dispatch path, awaits in-flight batches, then
+   closes transports — no accepted request is ever dropped.
+
+Transports: ``serve_tcp`` (asyncio TCP), ``connect`` (an in-process
+``socketpair`` — what the tests and the benchmark use; same frames, no
+network stack), and ``connect_socket`` (the blocking end for the sync
+client).  :class:`ThreadedService` runs the whole service on a
+background event-loop thread so synchronous code — examples, notebooks
+— can use it without touching asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import secrets
+import socket
+import threading
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.batch import shared_executor
+from repro.lac.kem import KemKeyPair, LacKem
+from repro.lac.params import LacParams
+from repro.lac.pke import Ciphertext
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.protocol import (
+    PARAM_NONE,
+    Frame,
+    Op,
+    ProtocolError,
+    Status,
+    id_for_params,
+    pack_key_id,
+    params_for_id,
+    read_frame,
+    unpack_key_id,
+    write_frame,
+)
+from repro.serve.scheduler import AdaptiveDeadlinePolicy, Batch, MicroBatchScheduler
+
+_Respond = Callable[[Frame], Awaitable[None]]
+
+
+@dataclass
+class HostedKey:
+    """A key pair hosted by the service, addressable by ``key_id``."""
+
+    key_id: int
+    params: LacParams
+    kem: LacKem
+    pair: KemKeyPair
+
+
+@dataclass
+class _Entry:
+    """One accepted request parked in the scheduler."""
+
+    frame: Frame
+    respond: _Respond
+    enqueued_at: float
+    key: HostedKey | None = None  # ENCAPS/DECAPS
+    params: LacParams | None = None  # KEYGEN
+    message: bytes | None = None  # ENCAPS (None = server-random)
+    seed: bytes | None = None  # KEYGEN
+    ct_bytes: bytes | None = None  # DECAPS
+
+
+class KemService:
+    """An async LAC KEM service with adaptive micro-batching.
+
+    Construct, ``await start()``, attach transports, ``await
+    shutdown()``.  All tuning knobs are constructor arguments:
+
+    ``max_batch``
+        flush-on-size threshold (matches the batch kernels' sweet
+        spot, default 64);
+    ``max_wait_us`` / ``min_wait_us``
+        bounds of the adaptive flush deadline
+        (:class:`~repro.serve.scheduler.AdaptiveDeadlinePolicy`);
+    ``high_watermark``
+        pending-request bound beyond which new work is rejected
+        ``BUSY`` (the bounded queue);
+    ``request_timeout``
+        seconds an accepted request may wait before its batch runs;
+        expired requests are answered ``TIMEOUT`` without executing
+        (``None`` disables);
+    ``executor``
+        where batches execute — defaults to the process-wide
+        :func:`repro.batch.shared_executor`;
+    ``kernel_workers``
+        optional intra-batch fan-out: each dispatched batch is split
+        across this many threads of a service-owned pool (separate
+        from the dispatch pool, so the two levels cannot deadlock);
+    ``clock``
+        injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 64,
+        max_wait_us: float = 2000.0,
+        min_wait_us: float = 50.0,
+        high_watermark: int = 4096,
+        request_timeout: float | None = 30.0,
+        executor: Executor | None = None,
+        kernel_workers: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.metrics = ServiceMetrics()
+        self.high_watermark = high_watermark
+        self.request_timeout = request_timeout
+        self.kernel_workers = kernel_workers
+        self._clock = clock
+        self._scheduler = MicroBatchScheduler(
+            max_batch=max_batch,
+            policy=AdaptiveDeadlinePolicy(
+                max_wait_us=max_wait_us, min_wait_us=min_wait_us
+            ),
+        )
+        self._executor = executor
+        self._kernel_pool: ThreadPoolExecutor | None = None
+        self._keys: dict[int, HostedKey] = {}
+        self._next_key_id = 1
+        self._kems: dict[str, LacKem] = {}
+        self._pending = 0
+        self._draining = False
+        self._started = False
+        self._started_at = 0.0
+        self._wake: asyncio.Event | None = None
+        self._flusher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._tcp_servers: list[asyncio.base_events.Server] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "KemService":
+        """Start the flush timer; must run inside the serving loop."""
+        if self._started:
+            return self
+        if self._executor is None:
+            self._executor = shared_executor()
+        if self.kernel_workers and self.kernel_workers > 1:
+            self._kernel_pool = ThreadPoolExecutor(
+                max_workers=self.kernel_workers, thread_name_prefix="repro-serve-k"
+            )
+        self._wake = asyncio.Event()
+        self._flusher = asyncio.create_task(self._flush_loop())
+        self._started = True
+        self._started_at = self._clock()
+        return self
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admission, serve the backlog, close.
+
+        Every request accepted before the call still receives its
+        response (or a ``TIMEOUT``); requests arriving afterwards get
+        ``SHUTTING_DOWN``.
+        """
+        if not self._started:
+            return
+        self._draining = True
+        for batch in self._scheduler.drain():
+            self._launch_dispatch(batch)
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+        for server in self._tcp_servers:
+            server.close()
+            await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._kernel_pool is not None:
+            self._kernel_pool.shutdown(wait=False)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # key hosting
+    # ------------------------------------------------------------------
+
+    def kem_for(self, params: LacParams) -> LacKem:
+        """The service's cached :class:`LacKem` for one parameter set."""
+        kem = self._kems.get(params.name)
+        if kem is None:
+            kem = self._kems[params.name] = LacKem(params)
+        return kem
+
+    def add_keypair(
+        self,
+        params: LacParams,
+        pair: KemKeyPair | None = None,
+        seed: bytes | None = None,
+    ) -> int:
+        """Host a key pair (generating one unless given); returns its id."""
+        kem = self.kem_for(params)
+        if pair is None:
+            pair = kem.keygen(seed)
+        key_id = self._next_key_id
+        self._next_key_id += 1
+        self._keys[key_id] = HostedKey(key_id, params, kem, pair)
+        return key_id
+
+    def hosted_key(self, key_id: int) -> HostedKey | None:
+        """Look up a hosted key (``None`` when unknown)."""
+        return self._keys.get(key_id)
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet answered (the bounded queue)."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Listen on TCP; returns the ``asyncio.Server`` (``port 0`` = ephemeral)."""
+        server = await asyncio.start_server(self._on_connection, host, port)
+        self._tcp_servers.append(server)
+        return server
+
+    async def connect(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Open an in-process connection (socketpair); returns client streams."""
+        client_sock = await self.connect_socket()
+        return await asyncio.open_connection(sock=client_sock)
+
+    async def connect_socket(self) -> socket.socket:
+        """Open an in-process connection; returns the client's raw socket.
+
+        The blocking end for :class:`repro.serve.client.KemClient`;
+        the server end is handled on this event loop.
+        """
+        server_sock, client_sock = socket.socketpair()
+        reader, writer = await asyncio.open_connection(sock=server_sock)
+        task = asyncio.create_task(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        return client_sock
+
+    async def _on_connection(self, reader, writer) -> None:
+        await self._handle_connection(reader, writer)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        lock = asyncio.Lock()
+
+        async def respond(frame: Frame) -> None:
+            async with lock:
+                try:
+                    write_frame(writer, frame)
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass  # peer went away; nothing to tell it
+
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                await self._handle_frame(frame, respond)
+        except (ProtocolError, ConnectionError, asyncio.CancelledError):
+            pass  # garbage or disconnect: drop the connection
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    def _error(self, request: Frame, status: Status, message: str) -> Frame:
+        self.metrics.record_response(request.op.name, status.name)
+        return Frame(
+            request.op,
+            request.request_id,
+            request.param_id,
+            status,
+            message.encode(),
+        )
+
+    async def _handle_frame(self, frame: Frame, respond: _Respond) -> None:
+        op = frame.op
+        self.metrics.record_request(op.name)
+        if op is Op.INFO:
+            await respond(self._info_response(frame))
+            self.metrics.record_response(op.name, Status.OK.name)
+            return
+        if self._draining:
+            await respond(self._error(frame, Status.SHUTTING_DOWN, "draining"))
+            return
+        if self._pending >= self.high_watermark:
+            await respond(
+                self._error(
+                    frame, Status.BUSY, f"{self._pending} requests pending"
+                )
+            )
+            return
+        try:
+            entry = self._parse_request(frame, respond)
+        except ProtocolError as exc:
+            await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
+            return
+        except KeyError as exc:
+            await respond(self._error(frame, Status.NOT_FOUND, str(exc)))
+            return
+        self._accept(op, entry)
+
+    def _parse_request(self, frame: Frame, respond: _Respond) -> _Entry:
+        now = self._clock()
+        op, payload = frame.op, frame.payload
+        if op is Op.KEYGEN:
+            params = params_for_id(frame.param_id)
+            if payload and len(payload) != params.seed_bytes + 32:
+                raise ProtocolError(
+                    f"KEYGEN seed must be {params.seed_bytes + 32} bytes or empty"
+                )
+            return _Entry(
+                frame, respond, now, params=params, seed=payload or None
+            )
+        key_id, rest = unpack_key_id(payload)
+        key = self._keys.get(key_id)
+        if key is None:
+            raise KeyError(f"unknown key id {key_id}")
+        if frame.param_id != id_for_params(key.params):
+            raise ProtocolError(
+                f"key {key_id} is {key.params.name}, not parameter id "
+                f"{frame.param_id}"
+            )
+        if op is Op.ENCAPS:
+            if rest and len(rest) != key.params.message_bytes:
+                raise ProtocolError(
+                    f"message must be {key.params.message_bytes} bytes or empty"
+                )
+            return _Entry(frame, respond, now, key=key, message=rest or None)
+        if op is Op.DECAPS:
+            if len(rest) != key.params.ciphertext_bytes:
+                raise ProtocolError(
+                    f"ciphertext must be {key.params.ciphertext_bytes} bytes"
+                )
+            return _Entry(frame, respond, now, key=key, ct_bytes=rest)
+        raise ProtocolError(f"unsupported op {op.name}")
+
+    def _accept(self, op: Op, entry: _Entry) -> None:
+        self._pending += 1
+        self.metrics.adjust_queue_depth(+1)
+        batch_key = (
+            (op, entry.key.key_id) if entry.key is not None
+            else (op, entry.params.name)
+        )
+        batch = self._scheduler.submit(batch_key, entry, self._clock())
+        if batch is not None:
+            self._launch_dispatch(batch)
+        elif self._wake is not None:
+            self._wake.set()  # deadline set may have changed
+
+    # ------------------------------------------------------------------
+    # flushing and dispatch
+    # ------------------------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        while True:
+            for batch in self._scheduler.poll(self._clock()):
+                self._launch_dispatch(batch)
+            deadline = self._scheduler.next_deadline()
+            timeout = (
+                None if deadline is None
+                else max(0.0, deadline - self._clock())
+            )
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+
+    def _launch_dispatch(self, batch: Batch) -> None:
+        self.metrics.adjust_queue_depth(-len(batch.entries))
+        self.metrics.record_batch(
+            batch.key[0].name, len(batch.entries), batch.trigger
+        )
+        task = asyncio.create_task(self._dispatch(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _dispatch(self, batch: Batch) -> None:
+        op: Op = batch.key[0]
+        now = self._clock()
+        live: list[_Entry] = []
+        for entry in batch.entries:
+            if (
+                self.request_timeout is not None
+                and now - entry.enqueued_at > self.request_timeout
+            ):
+                await self._finish(
+                    entry,
+                    Status.TIMEOUT,
+                    f"queued {now - entry.enqueued_at:.3f}s".encode(),
+                )
+            else:
+                live.append(entry)
+        if not live:
+            return
+        loop = asyncio.get_running_loop()
+        self.metrics.adjust_inflight(+1)
+        try:
+            payloads = await loop.run_in_executor(
+                self._executor, self._run_batch, op, live
+            )
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for entry in live:
+                await self._finish(entry, Status.INTERNAL, str(exc).encode())
+            return
+        finally:
+            self.metrics.adjust_inflight(-1)
+        if op is Op.KEYGEN:
+            payloads = [
+                pack_key_id(self.add_keypair(e.params, pair)) + pk_bytes
+                for e, (pair, pk_bytes) in zip(live, payloads)
+            ]
+        for entry, payload in zip(live, payloads):
+            await self._finish(entry, Status.OK, payload)
+
+    def _run_batch(self, op: Op, entries: list[_Entry]) -> list:
+        """Execute one batch on an executor thread; returns raw payloads."""
+        if op is Op.KEYGEN:
+            out = []
+            for entry in entries:
+                pair = self.kem_for(entry.params).keygen(entry.seed)
+                out.append((pair, pair.public_key.to_bytes()))
+            return out
+        key = entries[0].key
+        kem, pair = key.kem, key.pair
+        if op is Op.ENCAPS:
+            messages = [
+                e.message
+                if e.message is not None
+                else secrets.token_bytes(key.params.message_bytes)
+                for e in entries
+            ]
+            results = kem.encaps_many(
+                pair.public_key,
+                messages,
+                workers=self.kernel_workers,
+                executor=self._kernel_pool,
+            )
+            return [
+                r.ciphertext.to_bytes() + r.shared_secret for r in results
+            ]
+        ciphertexts = [
+            Ciphertext.from_bytes(key.params, e.ct_bytes) for e in entries
+        ]
+        return kem.decaps_many(
+            pair.secret_key,
+            ciphertexts,
+            workers=self.kernel_workers,
+            executor=self._kernel_pool,
+        )
+
+    async def _finish(self, entry: _Entry, status: Status, payload: bytes) -> None:
+        self._pending -= 1
+        frame = entry.frame
+        self.metrics.record_response(frame.op.name, status.name)
+        self.metrics.observe_latency(
+            frame.op.name, (self._clock() - entry.enqueued_at) * 1e6
+        )
+        await entry.respond(
+            Frame(frame.op, frame.request_id, frame.param_id, status, payload)
+        )
+
+    # ------------------------------------------------------------------
+    # INFO
+    # ------------------------------------------------------------------
+
+    def _info_response(self, frame: Frame) -> Frame:
+        if frame.payload == b"text":
+            payload = self.metrics.render_text().encode()
+        else:
+            snap = self.metrics.snapshot()
+            snap["service"] = {
+                "uptime_s": round(self._clock() - self._started_at, 3),
+                "draining": self._draining,
+                "pending": self._pending,
+                "hosted_keys": len(self._keys),
+                "max_batch": self._scheduler.max_batch,
+                "max_wait_us": self._scheduler.policy.max_wait_us,
+                "min_wait_us": self._scheduler.policy.min_wait_us,
+                "ewma_gap_us": self._scheduler.policy.ewma_gap_us,
+                "high_watermark": self.high_watermark,
+                "request_timeout_s": self.request_timeout,
+            }
+            payload = json.dumps(snap).encode()
+        return Frame(Op.INFO, frame.request_id, PARAM_NONE, Status.OK, payload)
+
+
+class ThreadedService:
+    """A :class:`KemService` on a background event-loop thread.
+
+    The adapter for synchronous worlds (examples, notebooks, the sync
+    client): ``start()`` spins up the loop and service, ``connect()``
+    hands back blocking-socket connections, ``stop()`` drains and
+    joins.  Also usable as a context manager.
+    """
+
+    def __init__(self, **service_kwargs) -> None:
+        self._service_kwargs = service_kwargs
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self.service: KemService | None = None
+
+    def start(self) -> "ThreadedService":
+        """Start the loop thread and the service on it."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self.service = KemService(**self._service_kwargs)
+        self._loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.run_until_complete(self.service.shutdown())
+        self._loop.close()
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def connect(self) -> socket.socket:
+        """A new in-process connection as a blocking client socket."""
+        return self._call(self.service.connect_socket())
+
+    def add_keypair(self, params: LacParams, seed: bytes | None = None) -> int:
+        """Host a key pair on the service thread; returns its id."""
+
+        async def _add() -> int:
+            return self.service.add_keypair(params, seed=seed)
+
+        return self._call(_add())
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Start a TCP listener; returns the bound port."""
+
+        async def _serve() -> int:
+            server = await self.service.serve_tcp(host, port)
+            return server.sockets[0].getsockname()[1]
+
+        return self._call(_serve())
+
+    def stop(self) -> None:
+        """Drain the service and join the loop thread."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedService":
+        """Start on entry."""
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        """Stop on exit."""
+        self.stop()

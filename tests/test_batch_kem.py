@@ -168,3 +168,87 @@ class TestKemParity:
         results = kem.encaps_many(pair.public_key, count=4)
         assert len(results) == 4
         assert len({r.shared_secret for r in results}) == 4
+
+
+class TestEdgeBatchSizes:
+    """Batch sizes 0 and 1 across every parameter set: the degenerate
+    shapes a serving layer routinely produces (empty flush, lone
+    deadline-expired request)."""
+
+    def test_batch_size_zero(self, params, kems):
+        kem, pair = kems(params)
+        assert kem.encaps_many(pair.public_key, []) == []
+        assert kem.encaps_many(pair.public_key, [], workers=4) == []
+        assert kem.encaps_many(pair.public_key, count=0) == []
+        assert kem.decaps_many(pair.secret_key, []) == []
+        assert kem.decaps_many(pair.secret_key, [], workers=4) == []
+
+    def test_batch_size_one_matches_scalar(self, params, kems):
+        kem, pair = kems(params)
+        message = _messages(params, 1)[0]
+        scalar = kem.encaps(pair.public_key, message)
+        (batch,) = kem.encaps_many(pair.public_key, [message])
+        assert batch.ciphertext.to_bytes() == scalar.ciphertext.to_bytes()
+        assert batch.shared_secret == scalar.shared_secret
+        assert kem.decaps_many(pair.secret_key, [batch.ciphertext]) == [
+            kem.decaps(pair.secret_key, scalar.ciphertext)
+        ]
+
+    def test_batch_size_one_with_workers(self, params, kems):
+        # workers > batch must degrade to the serial path, not crash
+        kem, pair = kems(params)
+        message = _messages(params, 1)[0]
+        (result,) = kem.encaps_many(pair.public_key, [message], workers=8)
+        assert result.shared_secret == kem.encaps(
+            pair.public_key, message
+        ).shared_secret
+
+    def test_count_one(self, params, kems):
+        kem, pair = kems(params)
+        (result,) = kem.encaps_many(pair.public_key, count=1)
+        assert kem.decaps_many(pair.secret_key, [result.ciphertext]) == [
+            result.shared_secret
+        ]
+
+
+class TestSharedExecutor:
+    """The fan-out pool is module-level and reused (PR 2 satellite)."""
+
+    def test_shared_executor_is_singleton(self):
+        from repro.batch import shared_executor
+
+        assert shared_executor() is shared_executor()
+
+    def test_injected_executor_is_used(self, kems):
+        from concurrent.futures import ThreadPoolExecutor
+
+        calls = []
+
+        class SpyExecutor(ThreadPoolExecutor):
+            def map(self, fn, *iterables, **kwargs):
+                chunks = [list(it) for it in iterables]
+                calls.append(len(chunks[0]))
+                return super().map(fn, *chunks, **kwargs)
+
+        kem, pair = kems(LAC_128)
+        messages = _messages(LAC_128, 8)
+        with SpyExecutor(max_workers=2) as pool:
+            threaded = kem.encaps_many(
+                pair.public_key, messages, workers=2, executor=pool
+            )
+        assert calls == [2]  # two sub-batches went through the spy
+        serial = kem.encaps_many(pair.public_key, messages)
+        assert [r.shared_secret for r in threaded] == [
+            r.shared_secret for r in serial
+        ]
+
+    def test_workers_without_executor_uses_shared_pool(self, kems):
+        # repeated calls must not leak/spawn fresh pools; outputs stay
+        # identical to the serial path
+        kem, pair = kems(LAC_128)
+        messages = _messages(LAC_128, 6)
+        first = kem.encaps_many(pair.public_key, messages, workers=3)
+        second = kem.encaps_many(pair.public_key, messages, workers=3)
+        assert [r.shared_secret for r in first] == [
+            r.shared_secret for r in second
+        ]

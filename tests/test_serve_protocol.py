@@ -1,0 +1,133 @@
+"""Frame-level tests of the service wire protocol."""
+
+import pytest
+
+from repro.lac.params import ALL_PARAMS, LAC_128, LAC_256
+from repro.serve.protocol import (
+    HEADER_SIZE,
+    MAX_PAYLOAD,
+    PARAM_NONE,
+    Frame,
+    Op,
+    ProtocolError,
+    Status,
+    decode_frame,
+    id_for_params,
+    pack_decaps_request,
+    pack_encaps_request,
+    params_for_id,
+    parse_header,
+    unpack_encaps_response,
+    unpack_key_id,
+    unpack_keygen_response,
+)
+
+
+class TestFrameRoundtrip:
+    def test_empty_payload(self):
+        frame = Frame(Op.INFO, request_id=7)
+        decoded, consumed = decode_frame(frame.to_bytes())
+        assert consumed == HEADER_SIZE
+        assert decoded == frame
+
+    def test_payload_roundtrip(self):
+        frame = Frame(
+            Op.ENCAPS, 0xDEADBEEF, id_for_params(LAC_256), Status.OK, b"\x01" * 37
+        )
+        blob = frame.to_bytes()
+        decoded, consumed = decode_frame(blob + b"trailing")
+        assert consumed == len(blob)
+        assert decoded == frame
+
+    def test_status_roundtrip(self):
+        for status in Status:
+            frame = Frame(Op.DECAPS, 1, status=status, payload=b"why")
+            assert decode_frame(frame.to_bytes())[0].status is status
+
+    def test_request_id_is_echo_field(self):
+        for rid in (0, 1, 0xFFFFFFFF):
+            assert decode_frame(Frame(Op.KEYGEN, rid).to_bytes())[0].request_id == rid
+
+
+class TestMalformedFrames:
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="truncated header"):
+            decode_frame(b"LK\x01")
+
+    def test_truncated_payload(self):
+        blob = Frame(Op.INFO, 1, payload=b"abcdef").to_bytes()
+        with pytest.raises(ProtocolError, match="truncated payload"):
+            decode_frame(blob[:-1])
+
+    def test_bad_magic(self):
+        blob = bytearray(Frame(Op.INFO, 1).to_bytes())
+        blob[:2] = b"XX"
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(Frame(Op.INFO, 1).to_bytes())
+        blob[2] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(blob))
+
+    def test_bad_op(self):
+        blob = bytearray(Frame(Op.INFO, 1).to_bytes())
+        blob[3] = 200
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(blob))
+
+    def test_oversized_announced_payload(self):
+        blob = bytearray(Frame(Op.INFO, 1).to_bytes())
+        blob[10:14] = (MAX_PAYLOAD + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="too large"):
+            parse_header(bytes(blob[:HEADER_SIZE]))
+
+    def test_oversized_outgoing_payload(self):
+        with pytest.raises(ProtocolError, match="too large"):
+            Frame(Op.INFO, 1, payload=b"x" * (MAX_PAYLOAD + 1)).to_bytes()
+
+
+class TestParamIds:
+    def test_roundtrip_all_sets(self):
+        for params in ALL_PARAMS:
+            assert params_for_id(id_for_params(params)) is params
+
+    def test_ids_are_stable_wire_values(self):
+        # wire compatibility: ids are positional in ALL_PARAMS
+        assert [id_for_params(p) for p in ALL_PARAMS] == [0, 1, 2]
+
+    def test_unknown_id_rejected(self):
+        for bad in (3, 17, PARAM_NONE):
+            with pytest.raises(ProtocolError, match="unknown"):
+                params_for_id(bad)
+
+
+class TestPayloadPacking:
+    def test_encaps_request(self):
+        payload = pack_encaps_request(42, b"m" * 32)
+        key_id, rest = unpack_key_id(payload)
+        assert (key_id, rest) == (42, b"m" * 32)
+        assert unpack_key_id(pack_encaps_request(7))[1] == b""
+
+    def test_decaps_request(self):
+        key_id, ct = unpack_key_id(pack_decaps_request(9, b"\x05" * 11))
+        assert (key_id, ct) == (9, b"\x05" * 11)
+
+    def test_key_id_too_short(self):
+        with pytest.raises(ProtocolError, match="key id"):
+            unpack_key_id(b"\x00")
+
+    def test_encaps_response_split(self):
+        ct = b"\xaa" * LAC_128.ciphertext_bytes
+        ss = b"\xbb" * 32
+        assert unpack_encaps_response(LAC_128, ct + ss) == (ct, ss)
+        with pytest.raises(ProtocolError, match="ENCAPS response"):
+            unpack_encaps_response(LAC_128, ct + ss + b"x")
+
+    def test_keygen_response_split(self):
+        pk = b"\xcc" * LAC_128.public_key_bytes
+        key_id, pk_out = unpack_keygen_response(LAC_128, b"\x00\x00\x00\x05" + pk)
+        assert (key_id, pk_out) == (5, pk)
+        with pytest.raises(ProtocolError, match="pk must be"):
+            unpack_keygen_response(LAC_128, b"\x00\x00\x00\x05" + pk[:-1])
