@@ -19,9 +19,11 @@ See ``docs/SERVICE.md`` for the protocol spec and tuning guide, and
 from repro.serve.client import (
     AsyncKemClient,
     BadRequest,
+    DeadlineExceeded,
     KemClient,
     KeyNotFound,
     RequestTimedOut,
+    RetryPolicy,
     ServiceBusy,
     ServiceClosed,
     ServiceDraining,
@@ -41,6 +43,7 @@ __all__ = [
     "AdaptiveDeadlinePolicy",
     "BadRequest",
     "Batch",
+    "DeadlineExceeded",
     "Frame",
     "HostedKey",
     "KemClient",
@@ -51,6 +54,7 @@ __all__ = [
     "Op",
     "ProtocolError",
     "RequestTimedOut",
+    "RetryPolicy",
     "ServiceBusy",
     "ServiceClosed",
     "ServiceDraining",

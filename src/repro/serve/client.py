@@ -11,13 +11,30 @@ Both speak the frames of :mod:`repro.serve.protocol` and translate
 non-OK statuses into typed exceptions (:class:`ServiceBusy` for
 backpressure rejects, :class:`RequestTimedOut`, …), so callers can
 implement retry policies without looking at status bytes.
+
+Both also implement one *built-in* retry policy — pass a
+:class:`RetryPolicy` (and usually a ``reconnect`` factory) and the
+clients transparently survive ``BUSY`` windows, per-request timeouts,
+injected ``INTERNAL`` failures and dropped connections with capped
+exponential backoff plus jitter.  The retry contract mirrors the ops'
+semantics: ``KEYGEN``/``ENCAPS``/``INFO`` are idempotent from the
+caller's perspective and retried freely; ``DECAPS`` is **never retried
+unless** ``retry_decaps=True`` — resubmitting a ciphertext is a policy
+decision (it doubles any side-channel exposure of the secret-key path),
+so the caller must opt in.  See ``docs/SERVICE.md`` for the full
+failure-semantics table.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass
+from typing import TypeVar
 
 from repro.lac.params import LacParams
 from repro.lac.pke import PublicKey
@@ -25,6 +42,7 @@ from repro.serve.protocol import (
     PARAM_NONE,
     Frame,
     Op,
+    ProtocolError,
     Status,
     id_for_params,
     pack_decaps_request,
@@ -36,6 +54,8 @@ from repro.serve.protocol import (
     unpack_keygen_response,
     write_frame,
 )
+
+_T = TypeVar("_T")
 
 
 class ServiceError(Exception):
@@ -83,10 +103,90 @@ class ServiceClosed(ServiceError):
     status = Status.INTERNAL
 
 
+class DeadlineExceeded(ServiceError):
+    """A client-side per-attempt deadline expired before the response.
+
+    Raised by the retry machinery (``RetryPolicy.attempt_timeout_s``),
+    never by the server — a hung or partitioned service surfaces as
+    this instead of an indefinite wait.
+    """
+
+    status = Status.TIMEOUT
+
+
 _ERRORS: dict[Status, type[ServiceError]] = {
     cls.status: cls
     for cls in (ServiceBusy, RequestTimedOut, ServiceDraining, BadRequest, KeyNotFound)
 }
+
+#: Transport-shaped failures: the connection (not the request) is the
+#: problem, so a retry needs a ``reconnect`` factory to be meaningful.
+_CONNECTION_ERRORS = (ServiceClosed, DeadlineExceeded, ProtocolError, OSError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries: capped exponential backoff with jitter.
+
+    Attempt ``k`` (0-based) that fails retryably sleeps
+    ``min(max_delay_s, base_delay_s * 2**k)``, scaled down by up to
+    ``jitter`` (a fraction in ``[0, 1]``; 0 = deterministic, 0.5 =
+    each backoff uniformly in [50%, 100%] of nominal) before the next
+    try — the standard recipe that keeps retry storms from
+    synchronizing against a busy service.
+
+    What is retried:
+
+    * non-OK responses whose status is in ``retry_statuses``
+      (``BUSY``, ``TIMEOUT`` and ``INTERNAL`` by default — all three
+      mean "the request did not execute to completion, try again");
+    * connection failures (:class:`ServiceClosed`,
+      :class:`DeadlineExceeded`, ``ProtocolError``, ``OSError``) —
+      these additionally trigger the client's ``reconnect`` factory,
+      and are **not** retried when the client has none (a dead or
+      desynchronized connection cannot be retried in place);
+    * never ``BAD_REQUEST`` / ``NOT_FOUND`` (resending a malformed
+      request cannot help);
+    * ``DECAPS`` only when ``retry_decaps=True``: decapsulation
+      touches the secret-key path, so resubmission is an explicit
+      caller decision, not a transport default.
+
+    ``attempt_timeout_s`` bounds each attempt; an attempt that exceeds
+    it fails with :class:`DeadlineExceeded` (and counts as a
+    connection failure, since an unanswered request leaves unknown
+    state on the wire).
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    attempt_timeout_s: float | None = 10.0
+    retry_statuses: frozenset[Status] = frozenset(
+        {Status.BUSY, Status.TIMEOUT, Status.INTERNAL}
+    )
+    retry_decaps: bool = False
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """The sleep before the retry that follows failed ``attempt``."""
+        delay = min(self.max_delay_s, self.base_delay_s * (2.0**attempt))
+        if self.jitter > 0.0:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def should_retry(
+        self, op: Op, exc: Exception, attempt: int, can_reconnect: bool
+    ) -> bool:
+        """Whether ``exc`` on 0-based ``attempt`` of ``op`` warrants a retry."""
+        if attempt + 1 >= self.max_attempts:
+            return False
+        if op is Op.DECAPS and not self.retry_decaps:
+            return False
+        if isinstance(exc, _CONNECTION_ERRORS):
+            return can_reconnect
+        if isinstance(exc, ServiceError):
+            return exc.status in self.retry_statuses
+        return False
 
 
 def raise_for_status(frame: Frame) -> Frame:
@@ -115,6 +215,12 @@ class _KeyRegistry:
             ) from None
 
 
+#: Async reconnect factory: yields fresh (reader, writer) streams.
+AsyncReconnect = Callable[
+    [], Awaitable[tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+]
+
+
 class AsyncKemClient:
     """A pipelined asyncio client over one service connection.
 
@@ -122,23 +228,55 @@ class AsyncKemClient:
     ``asyncio.open_connection``), then call :meth:`keygen`,
     :meth:`encaps`, :meth:`decaps`, :meth:`info` freely — including
     concurrently from many tasks.  Close with :meth:`aclose`.
+
+    Resilience is opt-in: pass ``retry=RetryPolicy(...)`` to survive
+    ``BUSY``/``TIMEOUT``/``INTERNAL`` responses, and additionally a
+    ``reconnect`` factory (e.g. ``service.connect``) to survive dropped
+    or corrupted connections — in-flight requests on a replaced
+    connection fail over to fresh attempts transparently.
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        retry: RetryPolicy | None = None,
+        reconnect: AsyncReconnect | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
-        self._pending: dict[int, asyncio.Future] = {}
+        self._retry = retry
+        self._reconnect_factory = reconnect
+        self._rng = rng if rng is not None else random.Random()
+        self._pending: dict[int, asyncio.Future[Frame]] = {}
         self._next_id = 0
         self._keys = _KeyRegistry()
-        self._read_task: asyncio.Task | None = None
+        self._read_task: asyncio.Task[None] | None = None
+        self._conn_gen = 0
+        self._reconnect_lock = asyncio.Lock()
 
     @classmethod
-    async def open_tcp(cls, host: str, port: int) -> "AsyncKemClient":
-        """Connect to a TCP service endpoint."""
+    async def open_tcp(
+        cls,
+        host: str,
+        port: int,
+        retry: RetryPolicy | None = None,
+        auto_reconnect: bool = False,
+    ) -> AsyncKemClient:
+        """Connect to a TCP service endpoint.
+
+        With ``auto_reconnect=True`` the client re-dials the same
+        endpoint when the connection fails mid-retry.
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+
+        async def redial() -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+            return await asyncio.open_connection(host, port)
+
+        return cls(
+            reader, writer, retry=retry, reconnect=redial if auto_reconnect else None
+        )
 
     def register_key(self, key_id: int, params: LacParams) -> None:
         """Teach the client a hosted key's parameter set (for keys it
@@ -151,31 +289,109 @@ class AsyncKemClient:
         self, op: Op, param_id: int = PARAM_NONE, payload: bytes = b""
     ) -> Frame:
         """Send one frame and await its matching response (any status)."""
-        if self._read_task is None:
-            self._read_task = asyncio.create_task(self._read_loop())
+        if self._read_task is None or self._read_task.done():
+            # (re)start the reader: bound to the *current* connection's
+            # stream and pending-map so a later reconnect cannot cross
+            # generations
+            self._read_task = asyncio.create_task(
+                self._read_loop(self._reader, self._pending)
+            )
+        pending = self._pending
         request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
-        write_frame(self._writer, Frame(op, request_id, param_id, payload=payload))
-        await self._writer.drain()
-        return await future
+        future: asyncio.Future[Frame] = asyncio.get_running_loop().create_future()
+        pending[request_id] = future
+        try:
+            write_frame(self._writer, Frame(op, request_id, param_id, payload=payload))
+            await self._writer.drain()
+            return await future
+        finally:
+            pending.pop(request_id, None)
+            if not future.done():
+                future.cancel()
+            elif not future.cancelled():
+                future.exception()  # retrieved: no GC warning if unawaited
 
-    async def _read_loop(self) -> None:
+    async def _read_loop(
+        self,
+        reader: asyncio.StreamReader,
+        pending: dict[int, asyncio.Future[Frame]],
+    ) -> None:
         error: Exception = ServiceClosed("connection closed")
         try:
             while True:
-                frame = await read_frame(self._reader)
+                frame = await read_frame(reader)
                 if frame is None:
                     break
-                future = self._pending.pop(frame.request_id, None)
+                future = pending.pop(frame.request_id, None)
                 if future is not None and not future.done():
                     future.set_result(frame)
         except Exception as exc:  # noqa: BLE001 - surfaced via futures
             error = exc
-        for future in self._pending.values():
+        for future in pending.values():
             if not future.done():
                 future.set_exception(error)
-        self._pending.clear()
+        pending.clear()
+
+    async def _reconnect(self, seen_gen: int) -> None:
+        """Replace the connection (once per failure generation).
+
+        Concurrent requests that all observed the same dead connection
+        race into this; only the first actually reconnects — the rest
+        see the bumped generation and reuse the fresh streams.
+        """
+        assert self._reconnect_factory is not None
+        async with self._reconnect_lock:
+            if self._conn_gen != seen_gen:
+                return  # a sibling request already reconnected
+            old_writer, old_task = self._writer, self._read_task
+            old_pending = self._pending
+            self._pending = {}
+            self._read_task = None
+            self._reader, self._writer = await self._reconnect_factory()
+            self._conn_gen += 1
+            if old_task is not None:
+                old_task.cancel()
+                try:
+                    await old_task
+                except asyncio.CancelledError:
+                    pass
+            old_writer.close()
+            try:
+                await old_writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            stale = ServiceClosed("connection replaced during reconnect")
+            for future in old_pending.values():
+                if not future.done():
+                    future.set_exception(stale)
+            old_pending.clear()
+
+    async def _call_with_retry(
+        self, op: Op, attempt: Callable[[], Awaitable[_T]]
+    ) -> _T:
+        policy = self._retry
+        if policy is None:
+            return await attempt()
+        attempt_no = 0
+        while True:
+            seen_gen = self._conn_gen
+            try:
+                if policy.attempt_timeout_s is not None:
+                    return await asyncio.wait_for(attempt(), policy.attempt_timeout_s)
+                return await attempt()
+            except asyncio.TimeoutError:
+                exc: Exception = DeadlineExceeded(
+                    f"no response within {policy.attempt_timeout_s}s"
+                )
+            except Exception as caught:  # noqa: BLE001 - policy decides
+                exc = caught
+            can_reconnect = self._reconnect_factory is not None
+            if not policy.should_retry(op, exc, attempt_no, can_reconnect):
+                raise exc
+            if can_reconnect and isinstance(exc, _CONNECTION_ERRORS):
+                await self._reconnect(seen_gen)
+            await asyncio.sleep(policy.backoff_s(attempt_no, self._rng))
+            attempt_no += 1
 
     # ------------------------------------------------------------------
 
@@ -183,41 +399,67 @@ class AsyncKemClient:
         self, params: LacParams, seed: bytes | None = None
     ) -> tuple[int, PublicKey]:
         """Generate and host a key pair; returns (key id, public key)."""
-        frame = raise_for_status(
-            await self.request(Op.KEYGEN, id_for_params(params), seed or b"")
-        )
-        key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
-        self._keys.register(key_id, params)
-        return key_id, PublicKey.from_bytes(params, pk_bytes)
+
+        async def attempt() -> tuple[int, PublicKey]:
+            frame = raise_for_status(
+                await self.request(Op.KEYGEN, id_for_params(params), seed or b"")
+            )
+            key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
+            self._keys.register(key_id, params)
+            return key_id, PublicKey.from_bytes(params, pk_bytes)
+
+        return await self._call_with_retry(Op.KEYGEN, attempt)
 
     async def encaps(
         self, key_id: int, message: bytes | None = None
     ) -> tuple[bytes, bytes]:
         """Encapsulate against a hosted key; returns (ct bytes, secret)."""
         params = self._keys.params(key_id)
-        frame = raise_for_status(
-            await self.request(
-                Op.ENCAPS, id_for_params(params), pack_encaps_request(key_id, message)
+
+        async def attempt() -> tuple[bytes, bytes]:
+            frame = raise_for_status(
+                await self.request(
+                    Op.ENCAPS,
+                    id_for_params(params),
+                    pack_encaps_request(key_id, message),
+                )
             )
-        )
-        return unpack_encaps_response(params, frame.payload)
+            return unpack_encaps_response(params, frame.payload)
+
+        return await self._call_with_retry(Op.ENCAPS, attempt)
 
     async def decaps(self, key_id: int, ciphertext: bytes) -> bytes:
-        """Decapsulate a ciphertext; returns the 32-byte shared secret."""
+        """Decapsulate a ciphertext; returns the 32-byte shared secret.
+
+        Not retried unless the policy sets ``retry_decaps=True``.
+        """
         params = self._keys.params(key_id)
-        frame = raise_for_status(
-            await self.request(
-                Op.DECAPS, id_for_params(params), pack_decaps_request(key_id, ciphertext)
+
+        async def attempt() -> bytes:
+            frame = raise_for_status(
+                await self.request(
+                    Op.DECAPS,
+                    id_for_params(params),
+                    pack_decaps_request(key_id, ciphertext),
+                )
             )
-        )
-        return frame.payload
+            return frame.payload
+
+        return await self._call_with_retry(Op.DECAPS, attempt)
 
     async def info(self, text: bool = False) -> dict | str:
         """Fetch service metrics (dict, or the ``/metrics`` text dump)."""
-        frame = raise_for_status(
-            await self.request(Op.INFO, payload=b"text" if text else b"")
-        )
-        return frame.payload.decode() if text else json.loads(frame.payload)
+
+        async def attempt() -> dict | str:
+            frame = raise_for_status(
+                await self.request(Op.INFO, payload=b"text" if text else b"")
+            )
+            if text:
+                return frame.payload.decode()
+            snapshot: dict = json.loads(frame.payload)
+            return snapshot
+
+        return await self._call_with_retry(Op.INFO, attempt)
 
     async def aclose(self) -> None:
         """Close the connection and stop the reader task."""
@@ -234,23 +476,62 @@ class AsyncKemClient:
                 pass
 
 
+#: Blocking reconnect factory: yields a fresh connected socket.
+SyncReconnect = Callable[[], socket.socket]
+
+
 class KemClient:
     """The blocking client: one socket, one request in flight.
 
     Connect with a socket from
     :meth:`~repro.serve.server.ThreadedService.connect` or
     :meth:`KemClient.open_tcp`.  Usable as a context manager.
+
+    Resilience mirrors :class:`AsyncKemClient`: pass ``retry`` (and a
+    ``reconnect`` factory for connection failures — after a socket
+    timeout or mid-frame drop the byte stream cannot be trusted, so
+    the client always replaces the socket rather than resynchronizing).
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        retry: RetryPolicy | None = None,
+        reconnect: SyncReconnect | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self._sock = sock
+        self._retry = retry
+        self._reconnect_factory = reconnect
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
         self._next_id = 0
         self._keys = _KeyRegistry()
+        self._apply_timeout()
 
     @classmethod
-    def open_tcp(cls, host: str, port: int) -> "KemClient":
-        """Connect to a TCP service endpoint."""
-        return cls(socket.create_connection((host, port)))
+    def open_tcp(
+        cls,
+        host: str,
+        port: int,
+        retry: RetryPolicy | None = None,
+        auto_reconnect: bool = False,
+    ) -> KemClient:
+        """Connect to a TCP service endpoint (optionally re-dialing)."""
+
+        def redial() -> socket.socket:
+            return socket.create_connection((host, port))
+
+        return cls(
+            socket.create_connection((host, port)),
+            retry=retry,
+            reconnect=redial if auto_reconnect else None,
+        )
+
+    def _apply_timeout(self) -> None:
+        if self._retry is not None and self._retry.attempt_timeout_s is not None:
+            self._sock.settimeout(self._retry.attempt_timeout_s)
 
     def register_key(self, key_id: int, params: LacParams) -> None:
         """Teach the client a hosted key's parameter set."""
@@ -269,51 +550,100 @@ class KemClient:
             if frame.request_id == request_id:
                 return frame
 
+    def _call_with_retry(self, op: Op, attempt: Callable[[], _T]) -> _T:
+        policy = self._retry
+        if policy is None:
+            return attempt()
+        attempt_no = 0
+        while True:
+            try:
+                return attempt()
+            except socket.timeout:
+                exc: Exception = DeadlineExceeded(
+                    f"no response within {policy.attempt_timeout_s}s"
+                )
+            except Exception as caught:  # noqa: BLE001 - policy decides
+                exc = caught
+            can_reconnect = self._reconnect_factory is not None
+            if not policy.should_retry(op, exc, attempt_no, can_reconnect):
+                raise exc
+            if can_reconnect and isinstance(exc, _CONNECTION_ERRORS):
+                assert self._reconnect_factory is not None
+                self._sock.close()
+                self._sock = self._reconnect_factory()
+                self._apply_timeout()
+            self._sleep(policy.backoff_s(attempt_no, self._rng))
+            attempt_no += 1
+
     def keygen(
         self, params: LacParams, seed: bytes | None = None
     ) -> tuple[int, PublicKey]:
         """Generate and host a key pair; returns (key id, public key)."""
-        frame = raise_for_status(
-            self.request(Op.KEYGEN, id_for_params(params), seed or b"")
-        )
-        key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
-        self._keys.register(key_id, params)
-        return key_id, PublicKey.from_bytes(params, pk_bytes)
 
-    def encaps(
-        self, key_id: int, message: bytes | None = None
-    ) -> tuple[bytes, bytes]:
+        def attempt() -> tuple[int, PublicKey]:
+            frame = raise_for_status(
+                self.request(Op.KEYGEN, id_for_params(params), seed or b"")
+            )
+            key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
+            self._keys.register(key_id, params)
+            return key_id, PublicKey.from_bytes(params, pk_bytes)
+
+        return self._call_with_retry(Op.KEYGEN, attempt)
+
+    def encaps(self, key_id: int, message: bytes | None = None) -> tuple[bytes, bytes]:
         """Encapsulate against a hosted key; returns (ct bytes, secret)."""
         params = self._keys.params(key_id)
-        frame = raise_for_status(
-            self.request(
-                Op.ENCAPS, id_for_params(params), pack_encaps_request(key_id, message)
+
+        def attempt() -> tuple[bytes, bytes]:
+            frame = raise_for_status(
+                self.request(
+                    Op.ENCAPS,
+                    id_for_params(params),
+                    pack_encaps_request(key_id, message),
+                )
             )
-        )
-        return unpack_encaps_response(params, frame.payload)
+            return unpack_encaps_response(params, frame.payload)
+
+        return self._call_with_retry(Op.ENCAPS, attempt)
 
     def decaps(self, key_id: int, ciphertext: bytes) -> bytes:
-        """Decapsulate a ciphertext; returns the 32-byte shared secret."""
+        """Decapsulate a ciphertext; returns the 32-byte shared secret.
+
+        Not retried unless the policy sets ``retry_decaps=True``.
+        """
         params = self._keys.params(key_id)
-        frame = raise_for_status(
-            self.request(
-                Op.DECAPS, id_for_params(params), pack_decaps_request(key_id, ciphertext)
+
+        def attempt() -> bytes:
+            frame = raise_for_status(
+                self.request(
+                    Op.DECAPS,
+                    id_for_params(params),
+                    pack_decaps_request(key_id, ciphertext),
+                )
             )
-        )
-        return frame.payload
+            return frame.payload
+
+        return self._call_with_retry(Op.DECAPS, attempt)
 
     def info(self, text: bool = False) -> dict | str:
         """Fetch service metrics (dict, or the ``/metrics`` text dump)."""
-        frame = raise_for_status(
-            self.request(Op.INFO, payload=b"text" if text else b"")
-        )
-        return frame.payload.decode() if text else json.loads(frame.payload)
+
+        def attempt() -> dict | str:
+            frame = raise_for_status(
+                self.request(Op.INFO, payload=b"text" if text else b"")
+            )
+            if text:
+                return frame.payload.decode()
+            snapshot: dict = json.loads(frame.payload)
+            return snapshot
+
+        return self._call_with_retry(Op.INFO, attempt)
 
     def close(self) -> None:
         """Close the socket."""
         self._sock.close()
 
-    def __enter__(self) -> "KemClient":
+    def __enter__(self) -> KemClient:
         """Context-manager entry (no-op)."""
         return self
 

@@ -84,13 +84,19 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         #: requests received, keyed by op name
-        self.requests: Counter = Counter()
+        self.requests: Counter[str] = Counter()
         #: responses sent, keyed by (op name, status name)
-        self.responses: Counter = Counter()
+        self.responses: Counter[tuple[str, str]] = Counter()
         #: flushes, keyed by what triggered them ("size"/"deadline"/"drain")
-        self.flushes: Counter = Counter()
+        self.flushes: Counter[str] = Counter()
         #: batch-size distribution actually dispatched, keyed by size
-        self.batch_sizes: Counter = Counter()
+        self.batch_sizes: Counter[int] = Counter()
+        #: injected faults, keyed by (site, kind) — fed by the fault
+        #: plan's observer hook, so it accounts for every fired fault
+        self.faults: Counter[tuple[str, str]] = Counter()
+        #: connections torn down abnormally, keyed by reason
+        #: ("protocol:<reason>", "disconnect", "internal", …)
+        self.conn_errors: Counter[str] = Counter()
         self.latency: dict[str, LatencyHistogram] = {}
         self.queue_depth = 0
         self.inflight_batches = 0
@@ -116,6 +122,16 @@ class ServiceMetrics:
         with self._lock:
             self.batch_sizes[size] += 1
             self.flushes[trigger] += 1
+
+    def record_fault(self, site: str, kind: str) -> None:
+        """Count one injected fault (the fault plan's observer hook)."""
+        with self._lock:
+            self.faults[site, kind] += 1
+
+    def record_conn_error(self, reason: str) -> None:
+        """Count one abnormally terminated connection."""
+        with self._lock:
+            self.conn_errors[reason] += 1
 
     def observe_latency(self, op: str, micros: float) -> None:
         """Record one request's queue-to-response service time (µs)."""
@@ -152,6 +168,11 @@ class ServiceMetrics:
                     for (op, status), count in self.responses.items()
                 },
                 "flushes": dict(self.flushes),
+                "faults": {
+                    f"{site}:{kind}": count
+                    for (site, kind), count in sorted(self.faults.items())
+                },
+                "connection_errors": dict(self.conn_errors),
                 "batch_sizes": {
                     str(size): count
                     for size, count in sorted(self.batch_sizes.items())
@@ -181,9 +202,22 @@ class ServiceMetrics:
         ]
         for key, count in sorted(snap["responses"].items()):
             op, status = key.split(":")
+            lines.append(f'kem_responses_total{{op="{op}",status="{status}"}} {count}')
+        lines += [
+            "# HELP kem_injected_faults_total fault-plan fires, by site and kind",
+            "# TYPE kem_injected_faults_total counter",
+        ]
+        for key, count in sorted(snap["faults"].items()):
+            site, kind = key.split(":")
             lines.append(
-                f'kem_responses_total{{op="{op}",status="{status}"}} {count}'
+                f'kem_injected_faults_total{{site="{site}",kind="{kind}"}} {count}'
             )
+        lines += [
+            "# HELP kem_connection_errors_total abnormal connection teardowns",
+            "# TYPE kem_connection_errors_total counter",
+        ]
+        for reason, count in sorted(snap["connection_errors"].items()):
+            lines.append(f'kem_connection_errors_total{{reason="{reason}"}} {count}')
         lines += [
             "# HELP kem_batch_flushes_total dispatched batches, by trigger",
             "# TYPE kem_batch_flushes_total counter",

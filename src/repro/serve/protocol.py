@@ -46,6 +46,7 @@ import socket
 import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
+from typing import Protocol
 
 from repro.lac.params import ALL_PARAMS, LacParams
 
@@ -97,7 +98,48 @@ class Status(IntEnum):
 
 
 class ProtocolError(Exception):
-    """A malformed frame (bad magic/version/op/length or short payload)."""
+    """A malformed frame (bad magic/version/op/length or short payload).
+
+    ``reason`` is a short machine-readable tag (``"bad-magic"``,
+    ``"bad-version"``, ``"bad-enum"``, ``"oversized"``,
+    ``"truncated"``, or the generic ``"malformed"``) — the server keys
+    its connection-error counters on it, so operators can tell framing
+    corruption from peers that simply hang up mid-frame.
+    """
+
+    def __init__(self, message: str, reason: str = "malformed") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class FrameReader(Protocol):
+    """The read surface the frame codec needs (asyncio streams and the
+    fault-injection wrappers of :mod:`repro.faults.transport` both
+    provide it)."""
+
+    async def readexactly(self, n: int) -> bytes:
+        """Read exactly ``n`` bytes or raise ``IncompleteReadError``."""
+        ...
+
+
+class FrameWriter(Protocol):
+    """The write surface the server holds per connection."""
+
+    def write(self, data: bytes) -> None:
+        """Queue bytes on the transport."""
+        ...
+
+    async def drain(self) -> None:
+        """Flush the transport's write buffer."""
+        ...
+
+    def close(self) -> None:
+        """Start closing the transport."""
+        ...
+
+    async def wait_closed(self) -> None:
+        """Await the transport's teardown."""
+        ...
 
 
 #: Parameter-set ids on the wire, in ascending security order.
@@ -129,7 +171,9 @@ class Frame:
     def to_bytes(self) -> bytes:
         """Serialize header + payload."""
         if len(self.payload) > MAX_PAYLOAD:
-            raise ProtocolError(f"payload of {len(self.payload)} bytes too large")
+            raise ProtocolError(
+                f"payload of {len(self.payload)} bytes too large", "oversized"
+            )
         return _HEADER.pack(
             MAGIC,
             VERSION,
@@ -148,19 +192,21 @@ def parse_header(header: bytes) -> tuple[Frame, int]:
     an oversized announced payload.
     """
     if len(header) != HEADER_SIZE:
-        raise ProtocolError(f"header must be {HEADER_SIZE} bytes")
+        raise ProtocolError(f"header must be {HEADER_SIZE} bytes", "truncated")
     magic, version, op, status, param_id, request_id, length = _HEADER.unpack(header)
     if magic != MAGIC:
-        raise ProtocolError(f"bad magic {magic!r}")
+        raise ProtocolError(f"bad magic {magic!r}", "bad-magic")
     if version != VERSION:
-        raise ProtocolError(f"unsupported version {version}")
+        raise ProtocolError(f"unsupported version {version}", "bad-version")
     try:
         op = Op(op)
         status = Status(status)
     except ValueError as exc:
-        raise ProtocolError(str(exc)) from None
+        raise ProtocolError(str(exc), "bad-enum") from None
     if length > MAX_PAYLOAD:
-        raise ProtocolError(f"announced payload of {length} bytes too large")
+        raise ProtocolError(
+            f"announced payload of {length} bytes too large", "oversized"
+        )
     return Frame(op, request_id, param_id, status), length
 
 
@@ -172,11 +218,11 @@ def decode_frame(buf: bytes) -> tuple[Frame, int]:
     the incremental readers instead).
     """
     if len(buf) < HEADER_SIZE:
-        raise ProtocolError("truncated header")
+        raise ProtocolError("truncated header", "truncated")
     frame, length = parse_header(buf[:HEADER_SIZE])
     end = HEADER_SIZE + length
     if len(buf) < end:
-        raise ProtocolError("truncated payload")
+        raise ProtocolError("truncated payload", "truncated")
     frame.payload = bytes(buf[HEADER_SIZE:end])
     return frame, end
 
@@ -186,7 +232,7 @@ def decode_frame(buf: bytes) -> tuple[Frame, int]:
 # ---------------------------------------------------------------------------
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
+async def read_frame(reader: FrameReader) -> Frame | None:
     """Read one frame from an asyncio stream.
 
     Returns ``None`` on a clean EOF at a frame boundary; raises
@@ -197,17 +243,17 @@ async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
-        raise ProtocolError("connection closed mid-header") from None
+        raise ProtocolError("connection closed mid-header", "truncated") from None
     frame, length = parse_header(header)
     if length:
         try:
             frame.payload = await reader.readexactly(length)
         except asyncio.IncompleteReadError:
-            raise ProtocolError("connection closed mid-payload") from None
+            raise ProtocolError("connection closed mid-payload", "truncated") from None
     return frame
 
 
-def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
+def write_frame(writer: FrameWriter, frame: Frame) -> None:
     """Queue one frame on an asyncio stream (caller drains)."""
     writer.write(frame.to_bytes())
 
@@ -236,7 +282,7 @@ def _recv_exactly(sock: socket.socket, n: int, eof_ok: bool = False) -> bytes | 
         if not chunk:
             if eof_ok and remaining == n:
                 return None
-            raise ProtocolError("connection closed mid-frame")
+            raise ProtocolError("connection closed mid-frame", "truncated")
         parts.append(chunk)
         remaining -= len(chunk)
     return b"".join(parts)

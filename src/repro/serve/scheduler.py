@@ -32,8 +32,9 @@ request never stalls more than one bounded beat.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any
 
 
 def _clamp(value: float, lo: float, hi: float) -> float:
@@ -166,9 +167,7 @@ class MicroBatchScheduler:
     def poll(self, now: float) -> list[Batch]:
         """Flush every queue whose deadline has passed."""
         due = [key for key, q in self._queues.items() if q.deadline <= now]
-        return [
-            Batch(key, self._queues.pop(key).entries, "deadline") for key in due
-        ]
+        return [Batch(key, self._queues.pop(key).entries, "deadline") for key in due]
 
     def next_deadline(self) -> float | None:
         """Earliest pending deadline (seconds), ``None`` when idle."""

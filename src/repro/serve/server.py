@@ -43,11 +43,25 @@ import secrets
 import socket
 import threading
 import time
+from collections.abc import Awaitable, Callable, Coroutine
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Awaitable, Callable
+from typing import Any, TypeVar
 
 from repro.batch import shared_executor
+
+# Only ``repro.faults.plan`` is imported at module level: it has no
+# dependency on ``repro.serve``, while ``repro.faults.transport`` does
+# (the frame header size), so the latter is imported lazily inside
+# ``_handle_connection`` to keep the import graph acyclic.
+from repro.faults.plan import (
+    KIND_STALL,
+    KIND_TIMEOUT,
+    SITE_ADMISSION,
+    SITE_KERNEL,
+    FaultPlan,
+    InjectedFault,
+)
 from repro.lac.kem import KemKeyPair, LacKem
 from repro.lac.params import LacParams
 from repro.lac.pke import Ciphertext
@@ -55,6 +69,8 @@ from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
     PARAM_NONE,
     Frame,
+    FrameReader,
+    FrameWriter,
     Op,
     ProtocolError,
     Status,
@@ -68,6 +84,8 @@ from repro.serve.protocol import (
 from repro.serve.scheduler import AdaptiveDeadlinePolicy, Batch, MicroBatchScheduler
 
 _Respond = Callable[[Frame], Awaitable[None]]
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -121,7 +139,14 @@ class KemService:
         across this many threads of a service-owned pool (separate
         from the dispatch pool, so the two levels cannot deadlock);
     ``clock``
-        injectable monotonic clock (tests pass a fake).
+        injectable monotonic clock (tests pass a fake);
+    ``fault_plan``
+        optional :class:`repro.faults.FaultPlan` — the chaos hook.
+        When set, the service draws faults at the transport
+        (delay/drop/truncate/corrupt per frame), at admission (forced
+        ``BUSY``/``TIMEOUT`` windows) and inside batch workers
+        (stall/raise), and every fired fault is counted in
+        ``metrics.faults``.
     """
 
     def __init__(
@@ -134,11 +159,13 @@ class KemService:
         executor: Executor | None = None,
         kernel_workers: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.metrics = ServiceMetrics()
         self.high_watermark = high_watermark
         self.request_timeout = request_timeout
         self.kernel_workers = kernel_workers
+        self.fault_plan = fault_plan
         self._clock = clock
         self._scheduler = MicroBatchScheduler(
             max_batch=max_batch,
@@ -156,17 +183,17 @@ class KemService:
         self._started = False
         self._started_at = 0.0
         self._wake: asyncio.Event | None = None
-        self._flusher: asyncio.Task | None = None
-        self._inflight: set[asyncio.Task] = set()
-        self._conn_tasks: set[asyncio.Task] = set()
-        self._writers: set[asyncio.StreamWriter] = set()
+        self._flusher: asyncio.Task[None] | None = None
+        self._inflight: set[asyncio.Task[None]] = set()
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._writers: set[FrameWriter] = set()
         self._tcp_servers: list[asyncio.base_events.Server] = []
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
-    async def start(self) -> "KemService":
+    async def start(self) -> KemService:
         """Start the flush timer; must run inside the serving loop."""
         if self._started:
             return self
@@ -176,6 +203,10 @@ class KemService:
             self._kernel_pool = ThreadPoolExecutor(
                 max_workers=self.kernel_workers, thread_name_prefix="repro-serve-k"
             )
+        if self.fault_plan is not None and self.fault_plan.observer is None:
+            # every fault the plan fires is mirrored into the metrics,
+            # so /metrics accounts for the whole chaos schedule
+            self.fault_plan.observer = self.metrics.record_fault
         self._wake = asyncio.Event()
         self._flusher = asyncio.create_task(self._flush_loop())
         self._started = True
@@ -254,7 +285,9 @@ class KemService:
     # transports
     # ------------------------------------------------------------------
 
-    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.base_events.Server:
         """Listen on TCP; returns the ``asyncio.Server`` (``port 0`` = ephemeral)."""
         server = await asyncio.start_server(self._on_connection, host, port)
         self._tcp_servers.append(server)
@@ -280,7 +313,9 @@ class KemService:
         task.add_done_callback(self._conn_tasks.discard)
         return client_sock
 
-    async def _on_connection(self, reader, writer) -> None:
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         await self._handle_connection(reader, writer)
 
     # ------------------------------------------------------------------
@@ -288,8 +323,12 @@ class KemService:
     # ------------------------------------------------------------------
 
     async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self, reader: FrameReader, writer: FrameWriter
     ) -> None:
+        if self.fault_plan is not None:
+            from repro.faults.transport import wrap_connection
+
+            reader, writer = wrap_connection(reader, writer, self.fault_plan)
         self._writers.add(writer)
         lock = asyncio.Lock()
 
@@ -306,9 +345,25 @@ class KemService:
                 frame = await read_frame(reader)
                 if frame is None:
                     break
-                await self._handle_frame(frame, respond)
-        except (ProtocolError, ConnectionError, asyncio.CancelledError):
-            pass  # garbage or disconnect: drop the connection
+                try:
+                    await self._handle_frame(frame, respond)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # noqa: BLE001 - isolate the connection
+                    # a handler bug poisons this request, not the
+                    # connection loop — answer INTERNAL and carry on
+                    self.metrics.record_conn_error("handler-internal")
+                    await respond(self._error(frame, Status.INTERNAL, "internal error"))
+        except ProtocolError as exc:
+            # framing is gone: count why, then drop the connection —
+            # the stream cannot be resynchronized mid-garbage
+            self.metrics.record_conn_error(f"protocol:{exc.reason}")
+        except ConnectionError:
+            self.metrics.record_conn_error("disconnect")
+        except asyncio.CancelledError:
+            pass
+        except Exception:  # noqa: BLE001 - never kill the accept loop
+            self.metrics.record_conn_error("internal")
         finally:
             self._writers.discard(writer)
             writer.close()
@@ -334,6 +389,14 @@ class KemService:
             await respond(self._info_response(frame))
             self.metrics.record_response(op.name, Status.OK.name)
             return
+        if self.fault_plan is not None:
+            spec = self.fault_plan.draw(SITE_ADMISSION)
+            if spec is not None:
+                status = Status.TIMEOUT if spec.kind == KIND_TIMEOUT else Status.BUSY
+                await respond(
+                    self._error(frame, status, f"injected fault: {spec.kind}")
+                )
+                return
         if self._draining:
             await respond(self._error(frame, Status.SHUTTING_DOWN, "draining"))
             return
@@ -363,9 +426,7 @@ class KemService:
                 raise ProtocolError(
                     f"KEYGEN seed must be {params.seed_bytes + 32} bytes or empty"
                 )
-            return _Entry(
-                frame, respond, now, params=params, seed=payload or None
-            )
+            return _Entry(frame, respond, now, params=params, seed=payload or None)
         key_id, rest = unpack_key_id(payload)
         key = self._keys.get(key_id)
         if key is None:
@@ -407,25 +468,22 @@ class KemService:
     # ------------------------------------------------------------------
 
     async def _flush_loop(self) -> None:
+        wake = self._wake
+        assert wake is not None  # set by start() before the task spawns
         while True:
             for batch in self._scheduler.poll(self._clock()):
                 self._launch_dispatch(batch)
             deadline = self._scheduler.next_deadline()
-            timeout = (
-                None if deadline is None
-                else max(0.0, deadline - self._clock())
-            )
+            timeout = None if deadline is None else max(0.0, deadline - self._clock())
             try:
-                await asyncio.wait_for(self._wake.wait(), timeout)
+                await asyncio.wait_for(wake.wait(), timeout)
             except asyncio.TimeoutError:
                 pass
-            self._wake.clear()
+            wake.clear()
 
     def _launch_dispatch(self, batch: Batch) -> None:
         self.metrics.adjust_queue_depth(-len(batch.entries))
-        self.metrics.record_batch(
-            batch.key[0].name, len(batch.entries), batch.trigger
-        )
+        self.metrics.record_batch(batch.key[0].name, len(batch.entries), batch.trigger)
         task = asyncio.create_task(self._dispatch(batch))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
@@ -454,22 +512,37 @@ class KemService:
             payloads = await loop.run_in_executor(
                 self._executor, self._run_batch, op, live
             )
+            if op is Op.KEYGEN:
+                payloads = [
+                    pack_key_id(self.add_keypair(e.params, pair)) + pk_bytes
+                    for e, (pair, pk_bytes) in zip(live, payloads, strict=True)
+                ]
         except Exception as exc:  # noqa: BLE001 - fan the failure out
             for entry in live:
                 await self._finish(entry, Status.INTERNAL, str(exc).encode())
             return
         finally:
             self.metrics.adjust_inflight(-1)
-        if op is Op.KEYGEN:
-            payloads = [
-                pack_key_id(self.add_keypair(e.params, pair)) + pk_bytes
-                for e, (pair, pk_bytes) in zip(live, payloads)
-            ]
-        for entry, payload in zip(live, payloads):
+        if len(payloads) != len(live):
+            # a kernel returning the wrong count must not strand
+            # requests (they would leak out of the pending gauge)
+            for entry in live:
+                await self._finish(
+                    entry, Status.INTERNAL, b"batch result count mismatch"
+                )
+            return
+        for entry, payload in zip(live, payloads, strict=True):
             await self._finish(entry, Status.OK, payload)
 
-    def _run_batch(self, op: Op, entries: list[_Entry]) -> list:
+    def _run_batch(self, op: Op, entries: list[_Entry]) -> list[Any]:
         """Execute one batch on an executor thread; returns raw payloads."""
+        if self.fault_plan is not None:
+            spec = self.fault_plan.draw(SITE_KERNEL)
+            if spec is not None:
+                if spec.kind == KIND_STALL:
+                    time.sleep(spec.delay_s)
+                else:
+                    raise InjectedFault("injected kernel fault")
         if op is Op.KEYGEN:
             out = []
             for entry in entries:
@@ -491,12 +564,8 @@ class KemService:
                 workers=self.kernel_workers,
                 executor=self._kernel_pool,
             )
-            return [
-                r.ciphertext.to_bytes() + r.shared_secret for r in results
-            ]
-        ciphertexts = [
-            Ciphertext.from_bytes(key.params, e.ct_bytes) for e in entries
-        ]
+            return [r.ciphertext.to_bytes() + r.shared_secret for r in results]
+        ciphertexts = [Ciphertext.from_bytes(key.params, e.ct_bytes) for e in entries]
         return kem.decaps_many(
             pair.secret_key,
             ciphertexts,
@@ -549,14 +618,14 @@ class ThreadedService:
     joins.  Also usable as a context manager.
     """
 
-    def __init__(self, **service_kwargs) -> None:
+    def __init__(self, **service_kwargs: Any) -> None:
         self._service_kwargs = service_kwargs
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self.service: KemService | None = None
 
-    def start(self) -> "ThreadedService":
+    def start(self) -> ThreadedService:
         """Start the loop thread and the service on it."""
         if self._thread is not None:
             return self
@@ -577,18 +646,23 @@ class ThreadedService:
         self._loop.run_until_complete(self.service.shutdown())
         self._loop.close()
 
-    def _call(self, coro):
+    def _call(self, coro: Coroutine[Any, Any, _T]) -> _T:
+        assert self._loop is not None, "start() the service first"
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _service(self) -> KemService:
+        assert self.service is not None, "start() the service first"
+        return self.service
 
     def connect(self) -> socket.socket:
         """A new in-process connection as a blocking client socket."""
-        return self._call(self.service.connect_socket())
+        return self._call(self._service().connect_socket())
 
     def add_keypair(self, params: LacParams, seed: bytes | None = None) -> int:
         """Host a key pair on the service thread; returns its id."""
 
         async def _add() -> int:
-            return self.service.add_keypair(params, seed=seed)
+            return self._service().add_keypair(params, seed=seed)
 
         return self._call(_add())
 
@@ -596,23 +670,24 @@ class ThreadedService:
         """Start a TCP listener; returns the bound port."""
 
         async def _serve() -> int:
-            server = await self.service.serve_tcp(host, port)
-            return server.sockets[0].getsockname()[1]
+            server = await self._service().serve_tcp(host, port)
+            port_: int = server.sockets[0].getsockname()[1]
+            return port_
 
         return self._call(_serve())
 
     def stop(self) -> None:
         """Drain the service and join the loop thread."""
-        if self._thread is None:
+        if self._thread is None or self._loop is None:
             return
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join()
         self._thread = None
 
-    def __enter__(self) -> "ThreadedService":
+    def __enter__(self) -> ThreadedService:
         """Start on entry."""
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         """Stop on exit."""
         self.stop()

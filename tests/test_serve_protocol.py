@@ -1,4 +1,10 @@
-"""Frame-level tests of the service wire protocol."""
+"""Frame-level tests of the service wire protocol, plus a
+malformed-frame corpus driven through a live server: every corpus
+entry must surface as a typed, reason-tagged error — counted in the
+connection-error metrics — and must never leak an exception out of
+the accept loop or poison other connections."""
+
+import asyncio
 
 import pytest
 
@@ -17,6 +23,7 @@ from repro.serve.protocol import (
     pack_encaps_request,
     params_for_id,
     parse_header,
+    read_frame,
     unpack_encaps_response,
     unpack_key_id,
     unpack_keygen_response,
@@ -131,3 +138,139 @@ class TestPayloadPacking:
         assert (key_id, pk_out) == (5, pk)
         with pytest.raises(ProtocolError, match="pk must be"):
             unpack_keygen_response(LAC_128, b"\x00\x00\x00\x05" + pk[:-1])
+
+
+# ---------------------------------------------------------------------------
+# malformed-frame corpus
+# ---------------------------------------------------------------------------
+
+
+def _mutated(index: int, value: bytes) -> bytes:
+    blob = bytearray(Frame(Op.INFO, 1).to_bytes())
+    blob[index : index + len(value)] = value
+    return bytes(blob)
+
+
+#: (label, wire bytes, expected ProtocolError.reason).  Every entry is
+#: an unrecoverable framing fault: the server must drop the connection
+#: and count ``protocol:<reason>``.
+FRAMING_CORPUS = [
+    ("garbage-header", b"\xde\xad\xbe\xef" * 3 + b"\xde\xad", "bad-magic"),
+    ("bad-version", _mutated(2, b"\x63"), "bad-version"),
+    ("unknown-opcode", _mutated(3, b"\xc8"), "bad-enum"),
+    ("unknown-status", _mutated(4, b"\xc8"), "bad-enum"),
+    (
+        "oversized-length",
+        _mutated(10, (MAX_PAYLOAD + 1).to_bytes(4, "big")),
+        "oversized",
+    ),
+    # cut inside the 4-byte length prefix, then EOF
+    ("truncated-length-prefix", Frame(Op.INFO, 1).to_bytes()[:12], "truncated"),
+]
+
+
+class TestCorpusReasons:
+    """The decoder tags every corpus entry with its machine reason."""
+
+    @pytest.mark.parametrize(
+        "blob,reason",
+        [(blob, reason) for _, blob, reason in FRAMING_CORPUS],
+        ids=[label for label, _, _ in FRAMING_CORPUS],
+    )
+    def test_reason_tag(self, blob, reason):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(blob)
+            reader.feed_eof()
+            with pytest.raises(ProtocolError) as excinfo:
+                await read_frame(reader)
+            assert excinfo.value.reason == reason
+
+        asyncio.run(main())
+
+    def test_default_reason_is_malformed(self):
+        assert ProtocolError("x").reason == "malformed"
+
+
+class TestServerMalformedIsolation:
+    """A poisoned client is dropped, counted, and never takes the
+    service (or other connections) down with it."""
+
+    @pytest.mark.parametrize(
+        "blob,reason",
+        [(blob, reason) for _, blob, reason in FRAMING_CORPUS],
+        ids=[label for label, _, _ in FRAMING_CORPUS],
+    )
+    def test_connection_dropped_and_counted(self, blob, reason):
+        from repro.serve import AsyncKemClient, KemService
+
+        async def main():
+            svc = await KemService(max_batch=1).start()
+            reader, writer = await svc.connect()
+            writer.write(blob)
+            if len(blob) < HEADER_SIZE:
+                writer.write_eof()  # truncation needs the EOF to land
+            await writer.drain()
+            # server must close this connection (not hang, not crash)
+            tail = await asyncio.wait_for(reader.read(), timeout=5)
+            assert tail == b""
+            writer.close()
+            assert (
+                svc.metrics.snapshot()["connection_errors"].get(
+                    f"protocol:{reason}"
+                )
+                == 1
+            )
+            # the accept loop survived: a fresh connection is served
+            client = AsyncKemClient(*(await svc.connect()))
+            assert isinstance(await client.info(), dict)
+            await client.aclose()
+            await svc.shutdown()
+
+        asyncio.run(main())
+
+    def test_garbage_payload_is_typed_bad_request(self):
+        # a well-framed request with nonsense payload: answered with
+        # BAD_REQUEST, connection stays usable
+        from repro.serve import AsyncKemClient, BadRequest, KemService
+
+        async def main():
+            svc = await KemService(max_batch=1).start()
+            client = AsyncKemClient(*(await svc.connect()))
+            frame = await client.request(
+                Op.ENCAPS, id_for_params(LAC_128), b"\x01\x02"
+            )
+            assert frame.status is Status.BAD_REQUEST
+            with pytest.raises(BadRequest):
+                from repro.serve.client import raise_for_status
+
+                raise_for_status(frame)
+            # same connection still serves valid requests
+            assert isinstance(await client.info(), dict)
+            snap = svc.metrics.snapshot()
+            assert snap["responses"].get("ENCAPS:BAD_REQUEST") == 1
+            assert snap["connection_errors"] == {}
+            await client.aclose()
+            await svc.shutdown()
+
+        asyncio.run(main())
+
+    def test_poisoned_peer_does_not_affect_others(self):
+        from repro.serve import AsyncKemClient, KemService
+
+        async def main():
+            svc = await KemService(max_batch=1).start()
+            healthy = AsyncKemClient(*(await svc.connect()))
+            _, poison_writer = await svc.connect()
+            poison_writer.write(b"\x00" * 64)
+            await poison_writer.drain()
+            poison_writer.close()
+            # the healthy connection is untouched by the teardown
+            from repro.lac.params import LAC_128 as params
+
+            key_id, _pk = await healthy.keygen(params, bytes(range(64)))
+            assert isinstance(key_id, int)
+            await healthy.aclose()
+            await svc.shutdown()
+
+        asyncio.run(main())
