@@ -64,16 +64,25 @@ async def _client_worker(client: AsyncKemClient, key_id: int, requests: int) -> 
 
 
 async def bench_service(
-    params, clients: int, requests: int, max_batch: int, max_wait_us: float
+    params, clients: int, requests: int, max_batch: int, max_wait_us: float,
+    tracer=None, client_tracer=None,
 ) -> dict:
-    """Served encaps throughput under ``clients`` concurrent callers."""
-    service = KemService(max_batch=max_batch, max_wait_us=max_wait_us)
+    """Served encaps throughput under ``clients`` concurrent callers.
+
+    ``tracer`` / ``client_tracer`` are optional
+    :class:`repro.trace.Tracer` instances for the service and the
+    client pool — ``benchmarks/trace_report.py`` reuses this loop with
+    both enabled to collect a span dump under real load.
+    """
+    service = KemService(
+        max_batch=max_batch, max_wait_us=max_wait_us, tracer=tracer
+    )
     await service.start()
     key_id = service.add_keypair(params)
     pool = []
     for _ in range(clients):
         reader, writer = await service.connect()
-        client = AsyncKemClient(reader, writer)
+        client = AsyncKemClient(reader, writer, tracer=client_tracer)
         client.register_key(key_id, params)
         pool.append(client)
 

@@ -1,0 +1,183 @@
+"""End-to-end latency attribution for the KEM service, from trace spans.
+
+Runs the same concurrent-client load as ``bench_service.py`` (default
+64 pipelined protocol clients) with tracing enabled on both the
+service and the clients, dumps every span as JSON Lines, and prints
+the per-stage attribution table of :mod:`repro.trace.report` — the
+serving analogue of the paper's Table II per-stage cycle breakdown::
+
+    PYTHONPATH=src python benchmarks/trace_report.py             # full
+    PYTHONPATH=src python benchmarks/trace_report.py --smoke     # CI
+
+The table shows, for each serving stage (``admission`` → ``queue`` →
+``dispatch`` → ``kernel`` → ``reply``), exact p50/p95/p99 durations
+and the stage's share of total request time.  Because the server's
+stage spans telescope, the run **self-checks**: stage durations must
+sum to within 10% of the measured end-to-end request time (they sum
+exactly by construction; real drift would mean dropped spans or an
+instrumentation regression) and the run fails otherwise.
+
+``--overhead`` additionally measures the same load untraced and
+reports the throughput ratio — the "near-zero cost when disabled"
+claim, checked against real numbers.
+
+Outputs: the span dump (``BENCH_trace.jsonl``) and a JSON summary
+(``BENCH_trace.json``) at the repository root.
+
+See ``docs/OBSERVABILITY.md`` for the span model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+from pathlib import Path
+
+from bench_service import bench_service
+from repro.lac.params import ALL_PARAMS, LAC_256
+from repro.trace import (
+    InMemoryRecorder,
+    Tracer,
+    format_stage_table,
+    stage_breakdown,
+)
+
+#: Acceptance bound: summed stage time must land within this fraction
+#: of summed end-to-end request time.
+COVERAGE_TOLERANCE = 0.10
+
+
+def run_traced(
+    params, clients: int, requests: int, max_batch: int, max_wait_us: float
+) -> tuple[dict, list[dict]]:
+    """One traced load run; returns (throughput row, span dicts)."""
+    server_rec = InMemoryRecorder()
+    client_rec = InMemoryRecorder()
+    row = asyncio.run(
+        bench_service(
+            params, clients, requests, max_batch, max_wait_us,
+            tracer=Tracer(recorder=server_rec),
+            client_tracer=Tracer(recorder=client_rec),
+        )
+    )
+    spans = server_rec.to_dicts() + client_rec.to_dicts()
+    if server_rec.dropped or client_rec.dropped:
+        print(
+            f"WARNING: recorder dropped "
+            f"{server_rec.dropped + client_rec.dropped} spans - "
+            "stage shares below are computed from a truncated dump"
+        )
+    return row, spans
+
+
+def run(
+    clients: int,
+    requests: int,
+    max_batch: int,
+    max_wait_us: float,
+    smoke: bool,
+    overhead: bool,
+    output: Path,
+    spans_output: Path,
+) -> dict:
+    """Trace one load run per parameter set; print and write the report."""
+    param_sets = (LAC_256,) if smoke else ALL_PARAMS
+    rows = []
+    all_spans: list[dict] = []
+    failures: list[str] = []
+    for params in param_sets:
+        traced_row, spans = run_traced(
+            params, clients, requests, max_batch, max_wait_us
+        )
+        all_spans.extend(spans)
+        breakdown = stage_breakdown(spans)
+        print(f"\n=== {params.name}: {clients} clients x {requests} requests ===")
+        print(format_stage_table(breakdown))
+        coverage = breakdown["coverage"]
+        if abs(coverage - 1.0) > COVERAGE_TOLERANCE:
+            failures.append(
+                f"{params.name}: stage coverage {coverage:.1%} is outside "
+                f"100% +/- {COVERAGE_TOLERANCE:.0%} of end-to-end time"
+            )
+        row = {
+            "params": params.name,
+            "traced_ops_per_s": traced_row["service_ops_per_s"],
+            "coverage": coverage,
+            "requests": breakdown["requests"],
+            "stages": [s.to_dict() for s in breakdown["stages"]],
+        }
+        if overhead:
+            plain_row = asyncio.run(
+                bench_service(params, clients, requests, max_batch, max_wait_us)
+            )
+            row["untraced_ops_per_s"] = plain_row["service_ops_per_s"]
+            row["tracing_overhead"] = 1.0 - (
+                traced_row["service_ops_per_s"] / plain_row["service_ops_per_s"]
+            )
+            print(
+                f"throughput: traced {traced_row['service_ops_per_s']:.0f} ops/s, "
+                f"untraced {plain_row['service_ops_per_s']:.0f} ops/s "
+                f"(overhead {row['tracing_overhead']:+.1%})"
+            )
+        rows.append(row)
+
+    with open(spans_output, "w", encoding="utf-8") as stream:
+        for span in all_spans:
+            stream.write(json.dumps(span, separators=(",", ":")) + "\n")
+
+    report = {
+        "benchmark": "per-stage latency attribution of the traced KEM service",
+        "smoke": smoke,
+        "clients": clients,
+        "requests_per_client": requests,
+        "max_batch": max_batch,
+        "max_wait_us": max_wait_us,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "span_count": len(all_spans),
+        "results": rows,
+        "pass": not failures,
+        "failures": failures,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {len(all_spans)} spans to {spans_output}")
+    print(f"wrote {output}")
+    if failures:
+        raise SystemExit(
+            "stage attribution out of bounds:\n  " + "\n  ".join(failures)
+        )
+    return report
+
+
+def main() -> None:
+    """CLI entry point."""
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=64,
+                        help="concurrent protocol clients (default 64)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default 16, smoke 6)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="scheduler flush-on-size threshold (default 64)")
+    parser.add_argument("--max-wait-us", type=float, default=2000.0,
+                        help="scheduler deadline upper bound (default 2000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: LAC-256 only, fewer requests")
+    parser.add_argument("--overhead", action="store_true",
+                        help="also measure the same load untraced and report "
+                             "the throughput delta")
+    parser.add_argument("--output", type=Path, default=root / "BENCH_trace.json")
+    parser.add_argument("--spans-output", type=Path,
+                        default=root / "BENCH_trace.jsonl")
+    args = parser.parse_args()
+    requests = args.requests if args.requests is not None else (6 if args.smoke else 16)
+    run(
+        args.clients, requests, args.max_batch, args.max_wait_us,
+        args.smoke, args.overhead, args.output, args.spans_output,
+    )
+
+
+if __name__ == "__main__":
+    main()

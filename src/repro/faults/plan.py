@@ -44,6 +44,8 @@ from collections import Counter
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.trace import annotate
+
 #: Injection sites understood by the serving stack.
 SITE_TRANSPORT_READ = "transport.read"
 SITE_TRANSPORT_WRITE = "transport.write"
@@ -165,6 +167,9 @@ class FaultPlan:
                 self.fired[site, armed.spec.kind] += 1
                 if self.observer is not None:
                     self.observer(site, armed.spec.kind)
+                # tag whatever span covers this region (a no-op when
+                # tracing is off or the site is outside any span)
+                annotate(fault_site=site, fault_kind=armed.spec.kind)
                 return armed.spec
         return None
 

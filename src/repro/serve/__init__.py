@@ -12,7 +12,9 @@ backpressure, per-request timeouts and graceful drain
 (:mod:`repro.serve.client`), and serving metrics exported through the
 ``INFO`` op (:mod:`repro.serve.metrics`).
 
-See ``docs/SERVICE.md`` for the protocol spec and tuning guide, and
+See ``docs/SERVICE.md`` for the protocol spec and tuning guide,
+``docs/OBSERVABILITY.md`` for the tracing layer threaded through the
+request path (:mod:`repro.trace`), and
 ``benchmarks/bench_service.py`` for measured end-to-end throughput.
 """
 
@@ -30,7 +32,14 @@ from repro.serve.client import (
     ServiceError,
 )
 from repro.serve.metrics import LatencyHistogram, ServiceMetrics
-from repro.serve.protocol import Frame, Op, ProtocolError, Status
+from repro.serve.protocol import (
+    TRACE_EXT_SIZE,
+    VERSION_TRACED,
+    Frame,
+    Op,
+    ProtocolError,
+    Status,
+)
 from repro.serve.scheduler import (
     AdaptiveDeadlinePolicy,
     Batch,
@@ -62,4 +71,6 @@ __all__ = [
     "ServiceMetrics",
     "Status",
     "ThreadedService",
+    "TRACE_EXT_SIZE",
+    "VERSION_TRACED",
 ]

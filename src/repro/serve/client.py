@@ -54,6 +54,7 @@ from repro.serve.protocol import (
     unpack_keygen_response,
     write_frame,
 )
+from repro.trace import NULL_TRACER, TraceContext, Tracer
 
 _T = TypeVar("_T")
 
@@ -234,6 +235,12 @@ class AsyncKemClient:
     ``reconnect`` factory (e.g. ``service.connect``) to survive dropped
     or corrupted connections — in-flight requests on a replaced
     connection fail over to fresh attempts transparently.
+
+    Tracing is opt-in too: pass an enabled
+    :class:`repro.trace.Tracer` and every request wire-propagates a
+    fresh trace context (protocol version 2) and emits a
+    ``client.request`` span covering the round trip, so server-side
+    stage spans stitch to the client span that caused them.
     """
 
     def __init__(
@@ -243,10 +250,12 @@ class AsyncKemClient:
         retry: RetryPolicy | None = None,
         reconnect: AsyncReconnect | None = None,
         rng: random.Random | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._retry = retry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._reconnect_factory = reconnect
         self._rng = rng if rng is not None else random.Random()
         self._pending: dict[int, asyncio.Future[Frame]] = {}
@@ -298,12 +307,31 @@ class AsyncKemClient:
             )
         pending = self._pending
         request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        tracer = self._tracer
+        trace: TraceContext | None = None
+        t_start = 0.0
+        if tracer.enabled:
+            trace = TraceContext(tracer.new_trace_id(), tracer.new_span_id())
+            t_start = tracer.clock()
         future: asyncio.Future[Frame] = asyncio.get_running_loop().create_future()
         pending[request_id] = future
         try:
-            write_frame(self._writer, Frame(op, request_id, param_id, payload=payload))
+            write_frame(
+                self._writer,
+                Frame(op, request_id, param_id, payload=payload, trace=trace),
+            )
             await self._writer.drain()
-            return await future
+            response = await future
+            if trace is not None:
+                tracer.record_span(
+                    "client.request",
+                    t_start,
+                    tracer.clock() - t_start,
+                    trace.trace_id,
+                    span_id=trace.span_id,
+                    tags={"op": op.name, "status": response.status.name},
+                )
+            return response
         finally:
             pending.pop(request_id, None)
             if not future.done():
@@ -491,6 +519,9 @@ class KemClient:
     ``reconnect`` factory for connection failures — after a socket
     timeout or mid-frame drop the byte stream cannot be trusted, so
     the client always replaces the socket rather than resynchronizing).
+    Tracing mirrors it too: pass an enabled
+    :class:`repro.trace.Tracer` for wire-propagated trace contexts and
+    ``client.request`` round-trip spans.
     """
 
     def __init__(
@@ -500,9 +531,11 @@ class KemClient:
         reconnect: SyncReconnect | None = None,
         rng: random.Random | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        tracer: Tracer | None = None,
     ) -> None:
         self._sock = sock
         self._retry = retry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._reconnect_factory = reconnect
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
@@ -542,12 +575,29 @@ class KemClient:
     ) -> Frame:
         """Send one frame and block for its response (any status)."""
         request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
-        send_frame(self._sock, Frame(op, request_id, param_id, payload=payload))
+        tracer = self._tracer
+        trace: TraceContext | None = None
+        t_start = 0.0
+        if tracer.enabled:
+            trace = TraceContext(tracer.new_trace_id(), tracer.new_span_id())
+            t_start = tracer.clock()
+        send_frame(
+            self._sock, Frame(op, request_id, param_id, payload=payload, trace=trace)
+        )
         while True:
             frame = recv_frame(self._sock)
             if frame is None:
                 raise ServiceClosed("connection closed mid-request")
             if frame.request_id == request_id:
+                if trace is not None:
+                    tracer.record_span(
+                        "client.request",
+                        t_start,
+                        tracer.clock() - t_start,
+                        trace.trace_id,
+                        span_id=trace.span_id,
+                        tags={"op": op.name, "status": frame.status.name},
+                    )
                 return frame
 
     def _call_with_retry(self, op: Op, attempt: Callable[[], _T]) -> _T:

@@ -98,6 +98,10 @@ class ServiceMetrics:
         #: ("protocol:<reason>", "disconnect", "internal", …)
         self.conn_errors: Counter[str] = Counter()
         self.latency: dict[str, LatencyHistogram] = {}
+        #: per-stage request-path time, keyed by stage name
+        #: ("admission"/"queue"/"dispatch"/"kernel"/"reply") — fed by
+        #: the tracing layer, so populated only when tracing is on
+        self.stage_seconds: dict[str, LatencyHistogram] = {}
         self.queue_depth = 0
         self.inflight_batches = 0
         #: high-watermark of queue depth over the service lifetime
@@ -140,6 +144,14 @@ class ServiceMetrics:
             if histogram is None:
                 histogram = self.latency[op] = LatencyHistogram()
             histogram.observe(micros)
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one request's time in a serving stage (seconds)."""
+        with self._lock:
+            histogram = self.stage_seconds.get(stage)
+            if histogram is None:
+                histogram = self.stage_seconds[stage] = LatencyHistogram()
+            histogram.observe(seconds * 1e6)
 
     def adjust_queue_depth(self, delta: int) -> None:
         """Move the queued-requests gauge (tracks its peak too)."""
@@ -184,6 +196,10 @@ class ServiceMetrics:
                 "latency_us": {
                     op: histogram.to_dict()
                     for op, histogram in sorted(self.latency.items())
+                },
+                "stage_us": {
+                    stage: histogram.to_dict()
+                    for stage, histogram in sorted(self.stage_seconds.items())
                 },
             }
 
@@ -249,4 +265,22 @@ class ServiceMetrics:
                 f'kem_latency_us_{op}{{quantile="0.5"}} {histogram["p50_us"]}',
                 f'kem_latency_us_{op}{{quantile="0.99"}} {histogram["p99_us"]}',
             ]
+        if snap["stage_us"]:
+            lines += [
+                "# HELP kem_stage_seconds request-path time per serving stage",
+                "# TYPE kem_stage_seconds summary",
+            ]
+            for stage, histogram in snap["stage_us"].items():
+                mean_s = histogram["mean_us"] / 1e6
+                p50_s = histogram["p50_us"] / 1e6
+                p99_s = histogram["p99_us"] / 1e6
+                lines += [
+                    f'kem_stage_seconds_count{{stage="{stage}"}} '
+                    f'{histogram["count"]}',
+                    f'kem_stage_seconds_mean{{stage="{stage}"}} {mean_s:.9f}',
+                    f'kem_stage_seconds{{stage="{stage}",quantile="0.5"}} '
+                    f"{p50_s:.9f}",
+                    f'kem_stage_seconds{{stage="{stage}",quantile="0.99"}} '
+                    f"{p99_s:.9f}",
+                ]
         return "\n".join(lines) + "\n"

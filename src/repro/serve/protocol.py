@@ -6,13 +6,24 @@ Every message — request or response — is one frame:
 
     offset  size  field
     0       2     magic   b"LK"
-    2       1     version (currently 1)
+    2       1     version (1 = plain, 2 = traced)
     3       1     op      (Op: KEYGEN/ENCAPS/DECAPS/INFO)
     4       1     status  (Status; always OK in requests)
     5       1     param   (parameter-set id, PARAM_NONE for INFO)
     6       4     request id, big-endian (echoed in the response)
     10      4     payload length, big-endian
     14      ...   payload
+
+**Trace extension** (version 2): a frame whose version byte is 2
+carries a 12-byte trace-context extension *between* the fixed header
+and the payload — an 8-byte trace id followed by the 4-byte id of the
+span that caused the frame (both big-endian), decoded into
+:class:`repro.trace.TraceContext`.  The announced payload length does
+not include the extension.  Version-1 frames are unchanged on the
+wire, so tracing is strictly opt-in per frame: clients emit version 2
+only when they carry a live span, and servers echo a request's trace
+context on its response so the caller can stitch the round trip into
+one trace.
 
 The 4-byte request id lets one connection multiplex many in-flight
 requests: responses carry the id of the request they answer and may
@@ -49,12 +60,17 @@ from enum import IntEnum
 from typing import Protocol
 
 from repro.lac.params import ALL_PARAMS, LacParams
+from repro.trace import TraceContext
 
 #: First two bytes of every frame.
 MAGIC = b"LK"
 
 #: Protocol version carried in byte 2.
 VERSION = 1
+
+#: Version byte of a frame carrying the optional trace-context
+#: extension (12 bytes between header and payload).
+VERSION_TRACED = 2
 
 #: Upper bound on payload size; a frame announcing more is rejected
 #: before any allocation (malformed peers must not balloon memory).
@@ -67,6 +83,11 @@ _HEADER = struct.Struct(">2sBBBBII")
 
 #: Size of the fixed frame header in bytes.
 HEADER_SIZE = _HEADER.size
+
+_TRACE_EXT = struct.Struct(">QI")
+
+#: Size of the version-2 trace-context extension in bytes.
+TRACE_EXT_SIZE = _TRACE_EXT.size
 
 _KEY_ID = struct.Struct(">I")
 
@@ -160,43 +181,56 @@ def params_for_id(param_id: int) -> LacParams:
 
 @dataclass
 class Frame:
-    """One protocol message (either direction)."""
+    """One protocol message (either direction).
+
+    ``trace`` is the optional propagated trace context: when set, the
+    frame serializes as protocol version 2 with the 12-byte extension;
+    when ``None`` the wire bytes are identical to the pre-trace
+    protocol.
+    """
 
     op: Op
     request_id: int
     param_id: int = PARAM_NONE
     status: Status = Status.OK
     payload: bytes = field(default=b"", repr=False)
+    trace: TraceContext | None = None
 
     def to_bytes(self) -> bytes:
-        """Serialize header + payload."""
+        """Serialize header (+ optional trace extension) + payload."""
         if len(self.payload) > MAX_PAYLOAD:
             raise ProtocolError(
                 f"payload of {len(self.payload)} bytes too large", "oversized"
             )
-        return _HEADER.pack(
+        header = _HEADER.pack(
             MAGIC,
-            VERSION,
+            VERSION if self.trace is None else VERSION_TRACED,
             int(self.op),
             int(self.status),
             self.param_id,
             self.request_id,
             len(self.payload),
-        ) + self.payload
+        )
+        if self.trace is None:
+            return header + self.payload
+        extension = _TRACE_EXT.pack(self.trace.trace_id, self.trace.span_id)
+        return header + extension + self.payload
 
 
 def parse_header(header: bytes) -> tuple[Frame, int]:
     """Decode a 14-byte header into a payload-less frame + payload length.
 
     Raises :class:`ProtocolError` on bad magic, version, op, status or
-    an oversized announced payload.
+    an oversized announced payload.  A version-2 header is accepted;
+    use :func:`header_has_trace` to learn whether a trace extension
+    follows, and :func:`parse_trace_ext` to decode it into the frame.
     """
     if len(header) != HEADER_SIZE:
         raise ProtocolError(f"header must be {HEADER_SIZE} bytes", "truncated")
     magic, version, op, status, param_id, request_id, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}", "bad-magic")
-    if version != VERSION:
+    if version not in (VERSION, VERSION_TRACED):
         raise ProtocolError(f"unsupported version {version}", "bad-version")
     try:
         op = Op(op)
@@ -210,6 +244,21 @@ def parse_header(header: bytes) -> tuple[Frame, int]:
     return Frame(op, request_id, param_id, status), length
 
 
+def header_has_trace(header: bytes) -> bool:
+    """Whether this (already validated) header announces a trace extension."""
+    return header[2] == VERSION_TRACED
+
+
+def parse_trace_ext(extension: bytes) -> TraceContext:
+    """Decode the 12-byte version-2 trace extension."""
+    if len(extension) != TRACE_EXT_SIZE:
+        raise ProtocolError(
+            f"trace extension must be {TRACE_EXT_SIZE} bytes", "truncated"
+        )
+    trace_id, span_id = _TRACE_EXT.unpack(extension)
+    return TraceContext(trace_id, span_id)
+
+
 def decode_frame(buf: bytes) -> tuple[Frame, int]:
     """Decode one frame from the head of ``buf``.
 
@@ -220,10 +269,16 @@ def decode_frame(buf: bytes) -> tuple[Frame, int]:
     if len(buf) < HEADER_SIZE:
         raise ProtocolError("truncated header", "truncated")
     frame, length = parse_header(buf[:HEADER_SIZE])
-    end = HEADER_SIZE + length
+    offset = HEADER_SIZE
+    if header_has_trace(buf[:HEADER_SIZE]):
+        if len(buf) < offset + TRACE_EXT_SIZE:
+            raise ProtocolError("truncated trace extension", "truncated")
+        frame.trace = parse_trace_ext(buf[offset : offset + TRACE_EXT_SIZE])
+        offset += TRACE_EXT_SIZE
+    end = offset + length
     if len(buf) < end:
         raise ProtocolError("truncated payload", "truncated")
-    frame.payload = bytes(buf[HEADER_SIZE:end])
+    frame.payload = bytes(buf[offset:end])
     return frame, end
 
 
@@ -245,6 +300,13 @@ async def read_frame(reader: FrameReader) -> Frame | None:
             return None
         raise ProtocolError("connection closed mid-header", "truncated") from None
     frame, length = parse_header(header)
+    if header_has_trace(header):
+        try:
+            frame.trace = parse_trace_ext(await reader.readexactly(TRACE_EXT_SIZE))
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(
+                "connection closed mid-trace-extension", "truncated"
+            ) from None
     if length:
         try:
             frame.payload = await reader.readexactly(length)
@@ -264,8 +326,14 @@ def recv_frame(sock: socket.socket) -> Frame | None:
     if header is None:
         return None
     frame, length = parse_header(header)
+    if header_has_trace(header):
+        extension = _recv_exactly(sock, TRACE_EXT_SIZE)
+        assert extension is not None
+        frame.trace = parse_trace_ext(extension)
     if length:
-        frame.payload = _recv_exactly(sock, length)
+        payload = _recv_exactly(sock, length)
+        assert payload is not None
+        frame.payload = payload
     return frame
 
 

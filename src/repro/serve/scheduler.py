@@ -57,6 +57,18 @@ class AdaptiveDeadlinePolicy:
     ``fill_factor`` (waiting for a *full* batch is rarely worth the
     tail latency; 75% of one nearly is).  Before any gap has been
     observed the policy is maximally patient (``max_wait_us``).
+
+    **Idle gaps are not traffic.**  A pause longer than
+    ``idle_reset_factor * max_wait_us`` (a burst ending, a quiet
+    night) says nothing about the arrival rate of the *next* burst —
+    folding it into the EWMA would poison the estimate for many
+    arrivals afterwards (with the default ``alpha`` a single huge gap
+    keeps the policy maximally patient long into a fast burst, the
+    opposite of what the burst needs).  Such gaps therefore
+    :meth:`reset` the estimator instead of feeding it: the next burst
+    starts from the patient prior, exactly like the first one did.
+    Gaps up to the threshold still feed the EWMA, so genuinely slow but
+    steady traffic keeps adapting normally.
     """
 
     def __init__(
@@ -65,25 +77,40 @@ class AdaptiveDeadlinePolicy:
         min_wait_us: float = 50.0,
         fill_factor: float = 0.75,
         alpha: float = 0.2,
+        idle_reset_factor: float = 8.0,
     ) -> None:
         if min_wait_us > max_wait_us:
             raise ValueError("min_wait_us must not exceed max_wait_us")
+        if idle_reset_factor <= 0:
+            raise ValueError("idle_reset_factor must be positive")
         self.max_wait_us = max_wait_us
         self.min_wait_us = min_wait_us
         self.fill_factor = fill_factor
         self.alpha = alpha
+        self.idle_reset_factor = idle_reset_factor
         self._ewma_gap_us: float | None = None
         self._last_arrival: float | None = None
 
     def observe_arrival(self, now: float) -> None:
-        """Feed one arrival timestamp (seconds) into the gap EWMA."""
+        """Feed one arrival timestamp (seconds) into the gap EWMA.
+
+        A gap beyond ``idle_reset_factor * max_wait_us`` is an idle
+        period, not an inter-arrival time: it resets the estimator
+        rather than feeding it (see the class docstring).
+        """
         if self._last_arrival is not None:
             gap_us = max(0.0, (now - self._last_arrival) * 1e6)
-            if self._ewma_gap_us is None:
+            if gap_us > self.idle_reset_factor * self.max_wait_us:
+                self.reset()
+            elif self._ewma_gap_us is None:
                 self._ewma_gap_us = gap_us
             else:
                 self._ewma_gap_us += self.alpha * (gap_us - self._ewma_gap_us)
         self._last_arrival = now
+
+    def reset(self) -> None:
+        """Forget the learned arrival rate (used after idle periods)."""
+        self._ewma_gap_us = None
 
     def wait_us(self, max_batch: int) -> float:
         """The wait budget (µs) to grant a batch opening now."""

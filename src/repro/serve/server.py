@@ -33,6 +33,18 @@ network stack), and ``connect_socket`` (the blocking end for the sync
 client).  :class:`ThreadedService` runs the whole service on a
 background event-loop thread so synchronous code — examples, notebooks
 — can use it without touching asyncio.
+
+**Tracing**: when constructed with an enabled
+:class:`repro.trace.Tracer`, the service stamps each request at five
+stage boundaries (read, enqueue, flush, kernel start/end) and emits a
+``server.request`` root span plus telescoping ``admission`` /
+``queue`` / ``dispatch`` / ``kernel`` / ``reply`` stage spans when the
+response is written — the stage durations sum to the root span
+exactly.  Stage times also feed ``metrics.stage_seconds``.  Requests
+carrying a wire trace context (protocol version 2) attach the server
+spans to the client's span and have their context echoed on the
+response.  With the default :data:`repro.trace.NULL_TRACER` every
+instrumentation site is a single false branch.
 """
 
 from __future__ import annotations
@@ -82,6 +94,7 @@ from repro.serve.protocol import (
     write_frame,
 )
 from repro.serve.scheduler import AdaptiveDeadlinePolicy, Batch, MicroBatchScheduler
+from repro.trace import NULL_TRACER, Tracer, collect_tags
 
 _Respond = Callable[[Frame], Awaitable[None]]
 
@@ -110,6 +123,18 @@ class _Entry:
     message: bytes | None = None  # ENCAPS (None = server-random)
     seed: bytes | None = None  # KEYGEN
     ct_bytes: bytes | None = None  # DECAPS
+    # tracing stamps — populated only when the service's tracer is
+    # enabled, so the disabled path allocates nothing beyond defaults
+    t_read: float = 0.0
+    t_flushed: float = 0.0
+    t_kernel_start: float = 0.0
+    t_kernel_end: float = 0.0
+    trace_id: int = 0
+    root_span: int = 0
+    parent_span: int | None = None
+    batch_size: int = 0
+    trigger: str = ""
+    kernel_tags: dict[str, Any] | None = None
 
 
 class KemService:
@@ -146,7 +171,12 @@ class KemService:
         (delay/drop/truncate/corrupt per frame), at admission (forced
         ``BUSY``/``TIMEOUT`` windows) and inside batch workers
         (stall/raise), and every fired fault is counted in
-        ``metrics.faults``.
+        ``metrics.faults``;
+    ``tracer``
+        optional :class:`repro.trace.Tracer` — when enabled, every
+        request emits a ``server.request`` root span plus telescoping
+        per-stage spans (see the module docstring); defaults to the
+        no-op :data:`repro.trace.NULL_TRACER`.
     """
 
     def __init__(
@@ -160,12 +190,14 @@ class KemService:
         kernel_workers: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.metrics = ServiceMetrics()
         self.high_watermark = high_watermark
         self.request_timeout = request_timeout
         self.kernel_workers = kernel_workers
         self.fault_plan = fault_plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._clock = clock
         self._scheduler = MicroBatchScheduler(
             max_batch=max_batch,
@@ -380,10 +412,51 @@ class KemService:
             request.param_id,
             status,
             message.encode(),
+            trace=request.trace,
         )
+
+    def _trace_reject(
+        self, frame: Frame, t_read: float, status: Status, **tags: Any
+    ) -> None:
+        """Emit the admission-only span pair of a rejected request.
+
+        A reject never leaves admission, so one ``admission`` stage
+        span tiles the whole ``server.request`` root — the attribution
+        table's coverage stays exact even under backpressure or chaos.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        duration = self._clock() - t_read
+        if frame.trace is not None:
+            trace_id: int = frame.trace.trace_id
+            parent: int | None = frame.trace.span_id
+        else:
+            trace_id, parent = tracer.new_trace_id(), None
+        span_tags: dict[str, Any] = {"op": frame.op.name, "status": status.name}
+        span_tags.update(tags)
+        root = tracer.record_span(
+            "server.request",
+            t_read,
+            duration,
+            trace_id,
+            parent_id=parent,
+            tags=span_tags,
+        )
+        tracer.record_span(
+            "admission",
+            t_read,
+            duration,
+            trace_id,
+            parent_id=root.span_id,
+            tags={"op": frame.op.name, "status": status.name},
+        )
+        self.metrics.observe_stage("admission", max(duration, 0.0))
 
     async def _handle_frame(self, frame: Frame, respond: _Respond) -> None:
         op = frame.op
+        tracer = self.tracer
+        t_read = self._clock() if tracer.enabled else 0.0
         self.metrics.record_request(op.name)
         if op is Op.INFO:
             await respond(self._info_response(frame))
@@ -396,9 +469,14 @@ class KemService:
                 await respond(
                     self._error(frame, status, f"injected fault: {spec.kind}")
                 )
+                self._trace_reject(
+                    frame, t_read, status, fault_site=SITE_ADMISSION,
+                    fault_kind=spec.kind,
+                )
                 return
         if self._draining:
             await respond(self._error(frame, Status.SHUTTING_DOWN, "draining"))
+            self._trace_reject(frame, t_read, Status.SHUTTING_DOWN)
             return
         if self._pending >= self.high_watermark:
             await respond(
@@ -406,15 +484,26 @@ class KemService:
                     frame, Status.BUSY, f"{self._pending} requests pending"
                 )
             )
+            self._trace_reject(frame, t_read, Status.BUSY)
             return
         try:
             entry = self._parse_request(frame, respond)
         except ProtocolError as exc:
             await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
+            self._trace_reject(frame, t_read, Status.BAD_REQUEST)
             return
         except KeyError as exc:
             await respond(self._error(frame, Status.NOT_FOUND, str(exc)))
+            self._trace_reject(frame, t_read, Status.NOT_FOUND)
             return
+        if tracer.enabled:
+            entry.t_read = t_read
+            if frame.trace is not None:
+                entry.trace_id = frame.trace.trace_id
+                entry.parent_span = frame.trace.span_id
+            else:
+                entry.trace_id = tracer.new_trace_id()
+            entry.root_span = tracer.new_span_id()
         self._accept(op, entry)
 
     def _parse_request(self, frame: Frame, respond: _Respond) -> _Entry:
@@ -491,6 +580,12 @@ class KemService:
     async def _dispatch(self, batch: Batch) -> None:
         op: Op = batch.key[0]
         now = self._clock()
+        traced = self.tracer.enabled
+        if traced:
+            for entry in batch.entries:
+                entry.t_flushed = now
+                entry.batch_size = len(batch.entries)
+                entry.trigger = batch.trigger
         live: list[_Entry] = []
         for entry in batch.entries:
             if (
@@ -509,9 +604,8 @@ class KemService:
         loop = asyncio.get_running_loop()
         self.metrics.adjust_inflight(+1)
         try:
-            payloads = await loop.run_in_executor(
-                self._executor, self._run_batch, op, live
-            )
+            run = self._run_batch_traced if traced else self._run_batch
+            payloads = await loop.run_in_executor(self._executor, run, op, live)
             if op is Op.KEYGEN:
                 payloads = [
                     pack_key_id(self.add_keypair(e.params, pair)) + pk_bytes
@@ -523,6 +617,22 @@ class KemService:
             return
         finally:
             self.metrics.adjust_inflight(-1)
+            if traced and live and live[0].t_kernel_end:
+                first = live[0]
+                batch_tags: dict[str, Any] = {
+                    "op": op.name,
+                    "batch_size": len(live),
+                    "trigger": batch.trigger,
+                }
+                if first.kernel_tags:
+                    batch_tags.update(first.kernel_tags)
+                self.tracer.record_span(
+                    "server.batch",
+                    first.t_kernel_start,
+                    first.t_kernel_end - first.t_kernel_start,
+                    first.trace_id,
+                    tags=batch_tags,
+                )
         if len(payloads) != len(live):
             # a kernel returning the wrong count must not strand
             # requests (they would leak out of the pending gauge)
@@ -533,6 +643,28 @@ class KemService:
             return
         for entry, payload in zip(live, payloads, strict=True):
             await self._finish(entry, Status.OK, payload)
+
+    def _run_batch_traced(self, op: Op, entries: list[_Entry]) -> list[Any]:
+        """The traced twin of :meth:`_run_batch`.
+
+        Stamps the kernel extent on every entry and collects ambient
+        tags (fault-plan annotations) from *inside* the executor
+        thread — ``run_in_executor`` does not carry the caller's
+        context, so the tag sink must be pushed here.  The stamps are
+        written in a ``finally`` so a raising kernel still yields a
+        ``kernel`` stage span carrying its fault tags.
+        """
+        sink: dict[str, Any] = {}
+        t_start = self._clock()
+        try:
+            with collect_tags(sink):
+                return self._run_batch(op, entries)
+        finally:
+            t_end = self._clock()
+            for entry in entries:
+                entry.t_kernel_start = t_start
+                entry.t_kernel_end = t_end
+                entry.kernel_tags = sink
 
     def _run_batch(self, op: Op, entries: list[_Entry]) -> list[Any]:
         """Execute one batch on an executor thread; returns raw payloads."""
@@ -580,9 +712,74 @@ class KemService:
         self.metrics.observe_latency(
             frame.op.name, (self._clock() - entry.enqueued_at) * 1e6
         )
+        if self.tracer.enabled and entry.t_read:
+            self._trace_request(entry, status)
         await entry.respond(
-            Frame(frame.op, frame.request_id, frame.param_id, status, payload)
+            Frame(
+                frame.op,
+                frame.request_id,
+                frame.param_id,
+                status,
+                payload,
+                trace=frame.trace,
+            )
         )
+
+    def _trace_request(self, entry: _Entry, status: Status) -> None:
+        """Emit the root span and telescoping stage spans of a request.
+
+        The stages share their boundary timestamps, so their durations
+        sum to the ``server.request`` root exactly; requests that never
+        reach a later boundary (queue-expired ``TIMEOUT``, kernel
+        failure) close their last open stage at response time instead,
+        keeping the tiling exact on every path.
+        """
+        tracer = self.tracer
+        t_done = self._clock()
+        frame = entry.frame
+        trace_id = entry.trace_id
+        root_id = entry.root_span
+        tags: dict[str, Any] = {"op": frame.op.name, "status": status.name}
+        if entry.key is not None:
+            tags["key_id"] = entry.key.key_id
+        if entry.batch_size:
+            tags["batch_size"] = entry.batch_size
+            tags["trigger"] = entry.trigger
+        tracer.record_span(
+            "server.request",
+            entry.t_read,
+            t_done - entry.t_read,
+            trace_id,
+            span_id=root_id,
+            parent_id=entry.parent_span,
+            tags=tags,
+        )
+
+        def stage(
+            name: str, start: float, end: float,
+            extra: dict[str, Any] | None = None,
+        ) -> None:
+            tracer.record_span(
+                name,
+                start,
+                end - start,
+                trace_id,
+                parent_id=root_id,
+                tags=extra if extra is not None else {},
+            )
+            self.metrics.observe_stage(name, max(end - start, 0.0))
+
+        stage("admission", entry.t_read, entry.enqueued_at)
+        if not entry.t_flushed:
+            stage("queue", entry.enqueued_at, t_done)
+            return
+        stage("queue", entry.enqueued_at, entry.t_flushed)
+        if not entry.t_kernel_start:
+            stage("reply", entry.t_flushed, t_done)
+            return
+        stage("dispatch", entry.t_flushed, entry.t_kernel_start)
+        stage("kernel", entry.t_kernel_start, entry.t_kernel_end, entry.kernel_tags)
+        stage("reply", entry.t_kernel_end, t_done)
 
     # ------------------------------------------------------------------
     # INFO
@@ -606,7 +803,10 @@ class KemService:
                 "request_timeout_s": self.request_timeout,
             }
             payload = json.dumps(snap).encode()
-        return Frame(Op.INFO, frame.request_id, PARAM_NONE, Status.OK, payload)
+        return Frame(
+            Op.INFO, frame.request_id, PARAM_NONE, Status.OK, payload,
+            trace=frame.trace,
+        )
 
 
 class ThreadedService:

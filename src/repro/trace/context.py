@@ -1,0 +1,57 @@
+"""Ambient span annotation: tag the active region from deep layers.
+
+The fault plan (:mod:`repro.faults.plan`) fires inside the transport
+wrappers, the admission gate and the batch workers — layers that do
+not (and should not) hold span objects.  Instead of threading a span
+through every signature, the serving stack pushes a mutable *tag sink*
+(a plain dict) onto a :class:`contextvars.ContextVar` around each
+traced region; :func:`annotate` updates the innermost sink if one is
+active and is a silent no-op otherwise.
+
+Two properties matter:
+
+* **Executor threads**: ``loop.run_in_executor`` does not copy the
+  caller's context, so the kernel-stage wrapper pushes its sink from
+  *inside* the executor thread — the sink is active exactly for the
+  kernel's extent on that thread.
+* **No-op when untraced**: with no sink pushed (tracing disabled, or a
+  fault firing at a site with no surrounding span, e.g. the transport
+  wrappers), :func:`annotate` reads one context variable and returns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any
+
+_SINK: ContextVar[dict[str, Any] | None] = ContextVar("repro_trace_sink", default=None)
+
+
+@contextmanager
+def collect_tags(sink: dict[str, Any] | None = None) -> Iterator[dict[str, Any]]:
+    """Activate a tag sink for the enclosed region; yields the dict.
+
+    Tags applied via :func:`annotate` inside the ``with`` block land in
+    the yielded dict; the caller folds them into whatever span covers
+    the region.  Nested sinks shadow outer ones (innermost wins).
+    """
+    bag: dict[str, Any] = sink if sink is not None else {}
+    token = _SINK.set(bag)
+    try:
+        yield bag
+    finally:
+        _SINK.reset(token)
+
+
+def annotate(**tags: Any) -> None:
+    """Merge ``tags`` into the active sink; no-op when none is active."""
+    sink = _SINK.get()
+    if sink is not None:
+        sink.update(tags)
+
+
+def current_tags() -> dict[str, Any] | None:
+    """The active tag sink, or ``None`` outside any traced region."""
+    return _SINK.get()

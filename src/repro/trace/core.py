@@ -1,0 +1,239 @@
+"""The span model: trace contexts, spans, recorders, and the tracer.
+
+Design constraints (from the serving stack that hosts this):
+
+* **Near-zero cost when disabled.**  The service holds
+  :data:`NULL_TRACER` by default; every instrumentation site guards
+  itself with a single ``if tracer.enabled:`` branch and no span
+  objects, clock reads or dict allocations happen on the disabled
+  path.
+* **Injectable clock.**  The tracer reads time through a constructor
+  argument (monotonic seconds, like :class:`repro.serve.KemService`),
+  so deterministic tests drive spans with a fake clock.
+* **Thread-safe recording.**  Spans finish on the event loop *and* on
+  executor threads (the kernel stage); recorders take a lock around
+  their mutable state.
+* **Retroactive emission.**  The server measures stage boundaries as
+  plain timestamps on the request entry and emits the spans in one
+  place when the response is written (:meth:`Tracer.record_span`), so
+  the hot path carries floats, not objects.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+#: Mask for 64-bit trace ids.
+TRACE_ID_MASK = (1 << 64) - 1
+
+#: Mask for 32-bit span ids.
+SPAN_ID_MASK = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of a trace: ``(trace id, parent span id)``.
+
+    This is what travels over the wire (protocol version 2's optional
+    frame extension): 64 bits of trace id plus the 32-bit id of the
+    span that caused the request, so server-side spans attach to the
+    client span that triggered them.
+    """
+
+    trace_id: int
+    span_id: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.trace_id <= TRACE_ID_MASK:
+            raise ValueError("trace_id must fit in 64 bits")
+        if not 0 <= self.span_id <= SPAN_ID_MASK:
+            raise ValueError("span_id must fit in 32 bits")
+
+
+@dataclass
+class Span:
+    """One finished timed region.
+
+    ``start`` is a monotonic-clock reading in seconds (same clock as
+    the service), ``duration_s`` the region's length.  ``tags`` carry
+    the stage attribution (``op``, ``key_id``, ``batch_size``,
+    ``status``, ``fault_site``, …).  Spans in this model are always
+    emitted *finished* — there is no mutable in-flight span on the hot
+    path.
+    """
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    start: float
+    duration_s: float
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (ids rendered as fixed-width hex)."""
+        return {
+            "name": self.name,
+            "trace_id": f"{self.trace_id:016x}",
+            "span_id": f"{self.span_id:08x}",
+            "parent_id": None if self.parent_id is None else f"{self.parent_id:08x}",
+            "start_s": self.start,
+            "duration_us": self.duration_s * 1e6,
+            "tags": self.tags,
+        }
+
+
+class SpanRecorder(Protocol):
+    """Where finished spans go (the tracer's pluggable sink)."""
+
+    def record(self, span: Span) -> None:
+        """Accept one finished span."""
+        ...
+
+
+class NullRecorder:
+    """Discards every span (the disabled tracer's sink)."""
+
+    def record(self, span: Span) -> None:
+        """Drop the span."""
+
+
+class InMemoryRecorder:
+    """Collects spans in a bounded list (tests, benchmarks, reports).
+
+    ``max_spans`` caps memory: beyond it new spans are counted in
+    :attr:`dropped` but not stored — a trace dump that silently
+    truncates would misreport stage shares, so the drop count is
+    explicit.
+    """
+
+    def __init__(self, max_spans: int = 1_000_000) -> None:
+        self._lock = threading.Lock()
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        """Store the span (or count it as dropped beyond the cap)."""
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self.spans.append(span)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All stored spans as JSON-friendly dicts."""
+        with self._lock:
+            return [span.to_dict() for span in self.spans]
+
+
+class JsonlRecorder:
+    """Streams spans as JSON Lines to a file-like object.
+
+    One span per line, written under a lock (the kernel stage records
+    from executor threads).  The caller owns the stream's lifetime;
+    :meth:`close` flushes without closing streams it did not open.
+    """
+
+    def __init__(self, stream: io.TextIOBase) -> None:
+        self._lock = threading.Lock()
+        self._stream = stream
+        self.written = 0
+
+    @classmethod
+    def open(cls, path: str) -> JsonlRecorder:
+        """Create a recorder writing to ``path`` (truncates)."""
+        recorder = cls(open(path, "w", encoding="utf-8"))
+        recorder._owns_stream = True
+        return recorder
+
+    _owns_stream = False
+
+    def record(self, span: Span) -> None:
+        """Append one span as a JSON line."""
+        line = json.dumps(span.to_dict(), separators=(",", ":"))
+        with self._lock:
+            self._stream.write(line + "\n")
+            self.written += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if :meth:`open` created it."""
+        with self._lock:
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+
+
+class Tracer:
+    """Creates and emits spans against an injectable clock.
+
+    ``enabled`` is the single flag instrumentation sites branch on.
+    ``id_source`` supplies raw random bits for trace/span ids
+    (defaults to a private :class:`random.Random`; tests inject a
+    deterministic counter).
+    """
+
+    def __init__(
+        self,
+        recorder: SpanRecorder | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        id_source: Callable[[int], int] | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.recorder: SpanRecorder = recorder if recorder is not None else (
+            NullRecorder()
+        )
+        self.clock = clock
+        if id_source is None:
+            rng = random.Random()
+            id_source = rng.getrandbits
+        self._getrandbits = id_source
+
+    def new_trace_id(self) -> int:
+        """A fresh 64-bit trace id."""
+        return self._getrandbits(64) & TRACE_ID_MASK
+
+    def new_span_id(self) -> int:
+        """A fresh 32-bit span id."""
+        return self._getrandbits(32) & SPAN_ID_MASK
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration_s: float,
+        trace_id: int,
+        span_id: int | None = None,
+        parent_id: int | None = None,
+        tags: dict[str, Any] | None = None,
+    ) -> Span:
+        """Emit one retroactively measured span; returns it.
+
+        The hot path measures plain timestamps and calls this once the
+        region's extent is known — no mutable span objects in flight.
+        """
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id if span_id is not None else self.new_span_id(),
+            parent_id=parent_id,
+            start=start,
+            duration_s=max(duration_s, 0.0),
+            tags=tags if tags is not None else {},
+        )
+        self.recorder.record(span)
+        return span
+
+
+#: The disabled tracer: ``enabled`` is False and every emitted span is
+#: discarded.  Instrumentation sites hold this by default so the whole
+#: tracing layer costs one branch per span site when off.
+NULL_TRACER = Tracer(recorder=NullRecorder(), enabled=False)

@@ -130,6 +130,7 @@ async def chaos_client(svc: KemService, index: int, outcomes: list[str]) -> None
             pass  # chaos may have taken the last connection down
 
 
+@pytest.mark.timing
 @pytest.mark.parametrize("seed", CHAOS_SEEDS)
 def test_chaos_storm_async(seed):
     async def main():
@@ -185,6 +186,7 @@ def test_chaos_plan_fires_are_reproducible(seed):
         assert seq_a == seq_b
 
 
+@pytest.mark.timing
 @pytest.mark.parametrize("seed", CHAOS_SEEDS[:1])
 def test_chaos_storm_sync(seed):
     """The blocking client survives the same storm (smaller dose)."""

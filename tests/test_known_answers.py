@@ -15,6 +15,7 @@ import pytest
 from repro.bch import BCHEncoder, LAC_BCH_128_256, LAC_BCH_192
 from repro.lac import ALL_PARAMS, LacKem
 from repro.newhope import NEWHOPE_512, NEWHOPE_1024, NewHopeCpaKem
+from repro.serve import KemClient, ThreadedService
 
 SEED = bytes(range(64))
 MESSAGE = bytes(range(32))
@@ -90,6 +91,22 @@ def test_newhope_kat(params):
     assert hashlib.sha256(keys.b_hat.astype("<u2").tobytes()).hexdigest() == b_digest
     assert hashlib.sha256(ct.u_hat.astype("<u2").tobytes()).hexdigest() == u_digest
     assert shared.hex() == shared_hex
+
+
+@pytest.mark.parametrize("params", ALL_PARAMS, ids=str)
+def test_lac_kat_through_the_service(params):
+    """The served path (protocol + scheduler + batch kernels) must
+    reproduce the same frozen vectors bit-for-bit as the scalar KEM."""
+    pk_digest, _sk_digest, ct_digest, shared_hex = LAC_VECTORS[params.name]
+    with ThreadedService(max_batch=4) as svc:
+        client = KemClient(svc.connect())
+        key_id, pk = client.keygen(params, SEED)
+        assert hashlib.sha256(pk.to_bytes()).hexdigest() == pk_digest
+        ct_bytes, shared = client.encaps(key_id, MESSAGE)
+        assert hashlib.sha256(ct_bytes).hexdigest() == ct_digest
+        assert shared.hex() == shared_hex
+        assert client.decaps(key_id, ct_bytes).hex() == shared_hex
+        client.close()
 
 
 @pytest.mark.parametrize(

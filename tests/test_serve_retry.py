@@ -248,9 +248,11 @@ class TestAsyncRetryEndToEnd:
 
         asyncio.run(main())
 
+    @pytest.mark.timing
     def test_deadline_exceeded_without_reconnect(self):
         # an attempt that outlives attempt_timeout_s surfaces as
-        # DeadlineExceeded (and is not retried in place)
+        # DeadlineExceeded (and is not retried in place) — races a
+        # real 50 ms wall-clock deadline, hence the timing mark
         async def main():
             svc = await KemService(max_batch=1).start()
             reader, writer = await svc.connect()

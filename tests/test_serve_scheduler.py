@@ -158,6 +158,36 @@ class TestAdaptiveDeadline:
     def test_invalid_bounds_rejected(self):
         with pytest.raises(ValueError):
             AdaptiveDeadlinePolicy(max_wait_us=10.0, min_wait_us=20.0)
+        with pytest.raises(ValueError):
+            AdaptiveDeadlinePolicy(idle_reset_factor=0.0)
+
+    def test_idle_gap_resets_ewma_instead_of_polluting(self, clock):
+        # regression: a quiet period used to feed one giant gap into the
+        # EWMA, leaving the policy maximally patient for the burst that
+        # ends the idle spell
+        policy = AdaptiveDeadlinePolicy(max_wait_us=2000.0, min_wait_us=50.0)
+        for _ in range(50):
+            policy.observe_arrival(clock.advance(1e-6))  # 1 µs gaps
+        assert policy.wait_us(64) == 50.0
+
+        # 5 s idle >> idle_reset_factor * max_wait: forget, don't average
+        policy.observe_arrival(clock.advance(5.0))
+        assert policy.ewma_gap_us is None
+        assert policy.wait_us(64) == 2000.0  # back to the patient prior
+
+        # the burst after the idle spell re-converges immediately — the
+        # idle gap left no residue in the average
+        for _ in range(10):
+            policy.observe_arrival(clock.advance(1e-6))
+        assert policy.wait_us(64) == 50.0
+
+    def test_steady_slow_traffic_still_adapts(self, clock):
+        # gaps below the idle threshold must keep feeding the EWMA:
+        # only genuine idle spells reset it
+        policy = AdaptiveDeadlinePolicy(max_wait_us=2000.0, min_wait_us=50.0)
+        for _ in range(200):
+            policy.observe_arrival(clock.advance(0.01))  # 10 ms < 16 ms cutoff
+        assert policy.ewma_gap_us == pytest.approx(10_000.0, rel=0.01)
 
 
 class TestDrain:

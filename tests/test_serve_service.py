@@ -53,6 +53,20 @@ def frozen_service(**kwargs) -> tuple[KemService, FakeClock]:
     return svc, clock
 
 
+async def wait_until(predicate, timeout_s: float = 10.0) -> None:
+    """Poll ``predicate`` until true; fail loudly instead of flaking.
+
+    The deadline is generous (wall-clock ten seconds for conditions
+    that normally hold within microseconds) because it only bounds the
+    *failure* case — passing tests never wait longer than the
+    condition takes."""
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"condition never became true: {predicate}")
+        await asyncio.sleep(0.001)
+
+
 async def connected_client(svc: KemService, *key_ids_params) -> AsyncKemClient:
     reader, writer = await svc.connect()
     client = AsyncKemClient(reader, writer)
@@ -212,10 +226,8 @@ class TestBackpressure:
             parked = [
                 asyncio.create_task(client.encaps(key_id)) for _ in range(4)
             ]
-            for _ in range(500):  # requests are accepted asynchronously
-                if svc.pending >= 4:
-                    break
-                await asyncio.sleep(0.005)
+            # requests are accepted asynchronously
+            await wait_until(lambda: svc.pending >= 4)
             assert svc.pending == 4
 
             with pytest.raises(ServiceBusy):
@@ -258,10 +270,7 @@ class TestTimeouts:
             parked = [
                 asyncio.create_task(client.encaps(key_id)) for _ in range(3)
             ]
-            for _ in range(500):
-                if svc.pending == 3:
-                    break
-                await asyncio.sleep(0.005)
+            await wait_until(lambda: svc.pending == 3)
             clock.advance(10.0)  # > request_timeout while still queued
             await svc.shutdown()  # drain dispatch finds them expired
             results = await asyncio.gather(*parked, return_exceptions=True)
@@ -284,10 +293,7 @@ class TestDrain:
             parked = [
                 asyncio.create_task(client.encaps(key_id)) for _ in range(5)
             ]
-            for _ in range(500):
-                if svc.pending == 5:
-                    break
-                await asyncio.sleep(0.005)
+            await wait_until(lambda: svc.pending == 5)
             await svc.shutdown()
             results = await asyncio.gather(*parked)
             assert len(results) == 5
