@@ -8,19 +8,27 @@ same machine — the serving claim of this repo's ROADMAP: micro-batching
 keeps the vectorized kernels fed even though every caller sends one
 operation at a time.
 
-Results — per parameter set: sequential and served ops/s, speedup, the
-achieved batch-size distribution and service-time percentiles straight
-from the service's own ``INFO`` metrics — are printed and written to
-``BENCH_service.json`` at the repository root.  Run standalone::
+Results — per parameter set and execution backend: sequential and
+served ops/s, speedup, the achieved batch-size distribution and
+service-time percentiles straight from the service's own ``INFO``
+metrics — are printed and written to ``BENCH_service.json`` at the
+repository root.  Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_service.py            # full
     PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI
+
+``--backend`` picks the :mod:`repro.backend` execution backend behind
+the service — ``thread`` (the default pool), ``process`` (the
+supervised multi-process pool) or ``both`` (the default: one row per
+backend, the thread-vs-process comparison of ``docs/PERFORMANCE.md``).
 
 ``--smoke`` keeps the 64-way concurrency (the speedup depends on it)
 but trims request counts and parameter sets so the job finishes in
 seconds.  ``--baseline BENCH_service.json`` additionally fails if the
 measured served throughput drops more than 30% below the committed
-numbers for any common parameter set — the CI regression gate.
+numbers for any common (parameter set, backend) pair — the CI
+regression gate.  Baselines written before the backend axis existed
+are treated as thread-backend numbers.
 
 See ``docs/SERVICE.md`` for the architecture being measured.
 """
@@ -36,10 +44,13 @@ from pathlib import Path
 
 from repro.lac.kem import LacKem
 from repro.lac.params import ALL_PARAMS, LAC_256
-from repro.serve import AsyncKemClient, KemService
+from repro.serve import AsyncKemClient, KemService, ServiceConfig
 
 #: acceptance floor: served throughput under 64 concurrent clients
-#: must beat sequential scalar encaps by at least this factor at LAC-256
+#: must beat sequential scalar encaps by at least this factor at
+#: LAC-256 — enforced on the thread backend only (the process backend
+#: pays IPC serialization per batch and needs real cores to win; see
+#: docs/PERFORMANCE.md)
 MIN_SERVICE_SPEEDUP = 5.0
 
 #: --baseline gate: fail when served ops/s drop below this fraction
@@ -65,17 +76,21 @@ async def _client_worker(client: AsyncKemClient, key_id: int, requests: int) -> 
 
 async def bench_service(
     params, clients: int, requests: int, max_batch: int, max_wait_us: float,
-    tracer=None, client_tracer=None,
+    tracer=None, client_tracer=None, backend: str = "thread",
 ) -> dict:
     """Served encaps throughput under ``clients`` concurrent callers.
 
-    ``tracer`` / ``client_tracer`` are optional
-    :class:`repro.trace.Tracer` instances for the service and the
-    client pool — ``benchmarks/trace_report.py`` reuses this loop with
-    both enabled to collect a span dump under real load.
+    ``backend`` names the :mod:`repro.backend` execution backend the
+    service dispatches batches to.  ``tracer`` / ``client_tracer`` are
+    optional :class:`repro.trace.Tracer` instances for the service and
+    the client pool — ``benchmarks/trace_report.py`` reuses this loop
+    with both enabled to collect a span dump under real load.
     """
     service = KemService(
-        max_batch=max_batch, max_wait_us=max_wait_us, tracer=tracer
+        ServiceConfig(
+            max_batch=max_batch, max_wait_us=max_wait_us, backend=backend
+        ),
+        tracer=tracer,
     )
     await service.start()
     key_id = service.add_keypair(params)
@@ -88,6 +103,11 @@ async def bench_service(
 
     # one warm-up wave so thread-pool spin-up stays out of the window
     await asyncio.gather(*[c.encaps(key_id) for c in pool])
+    if backend == "process":
+        # the process pool spawns and table-warms its workers on first
+        # contact; a second wave lets every worker finish initializing
+        # before the timed window opens
+        await asyncio.gather(*[c.encaps(key_id) for c in pool])
 
     total_ops = clients * requests
     start = time.perf_counter()
@@ -127,8 +147,9 @@ def run(
     output: Path,
     baseline: Path | None,
     gate: bool = True,
+    backends: tuple[str, ...] = ("thread", "process"),
 ) -> dict:
-    """Measure every parameter set, write the report, enforce floors.
+    """Measure every (parameter set, backend), write the report, gate.
 
     With ``gate=False`` (the ``--no-baseline`` escape hatch) the report
     is still written but no floor — speedup or baseline — is enforced:
@@ -139,12 +160,17 @@ def run(
     rows = []
     for params in param_sets:
         sequential = bench_sequential(params, seq_ops)
-        row = asyncio.run(
-            bench_service(params, clients, requests, max_batch, max_wait_us)
-        )
-        row["sequential_ops_per_s"] = sequential
-        row["speedup"] = row["service_ops_per_s"] / sequential
-        rows.append(row)
+        for backend in backends:
+            row = asyncio.run(
+                bench_service(
+                    params, clients, requests, max_batch, max_wait_us,
+                    backend=backend,
+                )
+            )
+            row["backend"] = backend
+            row["sequential_ops_per_s"] = sequential
+            row["speedup"] = row["service_ops_per_s"] / sequential
+            rows.append(row)
 
     report = {
         "benchmark": "async KEM service vs sequential scalar encaps",
@@ -152,42 +178,50 @@ def run(
         "clients": clients,
         "max_batch": max_batch,
         "max_wait_us": max_wait_us,
+        "backends": list(backends),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "service": rows,
     }
 
     print(
-        f"{'set':8} {'sequential':>12} {'served':>12} {'speedup':>8} "
-        f"{'mean batch':>11} {'p99 (us)':>9}"
+        f"{'set':8} {'backend':>8} {'sequential':>12} {'served':>12} "
+        f"{'speedup':>8} {'mean batch':>11} {'p99 (us)':>9}"
     )
     for row in rows:
         print(
-            f"{row['params']:8} {row['sequential_ops_per_s']:6.0f} ops/s "
+            f"{row['params']:8} {row['backend']:>8} "
+            f"{row['sequential_ops_per_s']:6.0f} ops/s "
             f"{row['service_ops_per_s']:6.0f} ops/s {row['speedup']:7.1f}x "
             f"{row['mean_batch_size']:10.1f} {row['latency_p99_us']:9.0f}"
         )
 
     failures = []
     for row in rows if gate else []:
-        if row["params"] == LAC_256.name and row["speedup"] < MIN_SERVICE_SPEEDUP:
+        # the speedup floor binds the default (thread) backend only
+        if (
+            row["params"] == LAC_256.name
+            and row["backend"] == "thread"
+            and row["speedup"] < MIN_SERVICE_SPEEDUP
+        ):
             failures.append(
                 f"{row['params']}: service speedup {row['speedup']:.1f}x "
                 f"< {MIN_SERVICE_SPEEDUP:.0f}x"
             )
     if gate and baseline is not None and baseline.exists():
         committed = {
-            row["params"]: row
+            (row["params"], row.get("backend", "thread")): row
             for row in json.loads(baseline.read_text())["service"]
         }
         for row in rows:
-            old = committed.get(row["params"])
+            old = committed.get((row["params"], row["backend"]))
             if old is None:
                 continue
             floor = BASELINE_FLOOR * old["service_ops_per_s"]
             if row["service_ops_per_s"] < floor:
                 failures.append(
-                    f"{row['params']}: served {row['service_ops_per_s']:.0f} ops/s "
+                    f"{row['params']}/{row['backend']}: served "
+                    f"{row['service_ops_per_s']:.0f} ops/s "
                     f"is below {BASELINE_FLOOR:.0%} of the committed "
                     f"{old['service_ops_per_s']:.0f} ops/s"
                 )
@@ -214,6 +248,9 @@ def main() -> None:
                         help="scheduler flush-on-size threshold (default 64)")
     parser.add_argument("--max-wait-us", type=float, default=2000.0,
                         help="scheduler deadline upper bound (default 2000)")
+    parser.add_argument("--backend", choices=("thread", "process", "both"),
+                        default="both",
+                        help="execution backend(s) to measure (default both)")
     parser.add_argument("--smoke", action="store_true",
                         help="quick CI mode: LAC-256 only, fewer requests")
     parser.add_argument("--baseline", type=Path, default=None,
@@ -227,11 +264,15 @@ def main() -> None:
     args = parser.parse_args()
     requests = args.requests if args.requests is not None else (8 if args.smoke else 24)
     seq_ops = args.seq_ops if args.seq_ops is not None else (40 if args.smoke else 150)
+    backends = (
+        ("thread", "process") if args.backend == "both" else (args.backend,)
+    )
     run(
         args.clients, requests, seq_ops, args.max_batch, args.max_wait_us,
         args.smoke, args.output,
         None if args.no_baseline else args.baseline,
         gate=not args.no_baseline,
+        backends=backends,
     )
 
 

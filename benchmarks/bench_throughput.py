@@ -105,20 +105,21 @@ def bench_executor_reuse(params, batch: int, repeats: int) -> dict:
     """Shared fan-out pool vs a fresh ``ThreadPoolExecutor`` per call.
 
     PR 1 spawned a fresh pool inside every ``workers=N`` batch call;
-    PR 2 reuses the module-level :func:`repro.batch.shared_executor`
-    (the serve scheduler dispatches onto it).  This records both so the
-    PR 1 and PR 2 numbers stay comparable.
+    PR 2 reuses the process-wide shared pool (now owned by
+    :func:`repro.backend.default_thread_backend`; the serve scheduler
+    dispatches onto it).  This records both so the PR 1 and PR 2
+    numbers stay comparable.
     """
     from concurrent.futures import ThreadPoolExecutor
 
-    from repro.batch import shared_executor
+    from repro.backend import default_thread_backend
 
     workers = 4
     kem = LacKem(params)
     pair = kem.keygen(b"\x2a" * (params.seed_bytes + 32))
     pk = pair.public_key
     messages = [bytes([i & 0xFF]) * params.message_bytes for i in range(batch)]
-    shared_executor()  # spin the shared pool up outside the timed window
+    default_thread_backend()  # spin the shared pool up outside the timed window
 
     t_shared = _best_of(
         lambda: kem.encaps_many(pk, messages, workers=workers), repeats

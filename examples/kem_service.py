@@ -15,8 +15,16 @@ Run:  python examples/kem_service.py
 import asyncio
 import time
 
-from repro.lac import LAC_128, LacKem
-from repro.serve import AsyncKemClient, KemClient, KemService, ThreadedService
+# everything an application needs comes from the stable facade
+from repro.api import (
+    LAC_128,
+    AsyncKemClient,
+    KemClient,
+    KemService,
+    LacKem,
+    ServiceConfig,
+    ThreadedService,
+)
 
 CLIENTS = 32
 REQUESTS = 6
@@ -29,7 +37,7 @@ async def serve_concurrent_load() -> None:
     print(f"async KEM service: {CLIENTS} concurrent clients, {LAC_128.name}")
     print("=" * 64)
 
-    service = KemService(max_batch=32, max_wait_us=2000.0)
+    service = KemService(ServiceConfig(max_batch=32, max_wait_us=2000.0))
     await service.start()
     key_id = service.add_keypair(LAC_128)
     print(f"hosted key id {key_id} ({LAC_128.name}), max_batch=32")
@@ -92,7 +100,7 @@ def sync_client_demo() -> None:
     print("=" * 64)
     print("synchronous client (service on a background thread)")
     print("=" * 64)
-    with ThreadedService(max_batch=8, max_wait_us=500.0) as service:
+    with ThreadedService(ServiceConfig(max_batch=8, max_wait_us=500.0)) as service:
         with KemClient(service.connect()) as client:
             key_id, pk = client.keygen(LAC_128)
             ct, shared = client.encaps(key_id)

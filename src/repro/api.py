@@ -1,0 +1,130 @@
+"""The stable public facade of the repro package.
+
+One import site for everything a *user* of the stack needs — the KEM
+and its parameter sets, the batched fast path, the execution backends,
+the service with its clients and configuration, tracing, fault plans
+and the unified error hierarchy::
+
+    from repro.api import (
+        LAC_128, LacKem,                       # the KEM itself
+        ServiceConfig, ThreadedService,        # serving
+        KemClient, RetryPolicy,                # clients
+        create_backend, ProcessBackend,        # execution backends
+        KemError,                              # catch-all error base
+    )
+
+Everything re-exported here is covered by the deprecation policy in
+``docs/SERVICE.md``: names stay importable from this module across
+minor versions, and behavior changes are announced with a
+``DeprecationWarning`` for at least one release first.  Internal
+modules (``repro.serve.server``, ``repro.backend.base``, …) remain
+importable but are *not* part of the stable surface — prefer this
+facade in application code, as ``examples/kem_service.py`` does.
+"""
+
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    InlineBackend,
+    KemBackend,
+    ProcessBackend,
+    ThreadBackend,
+    create_backend,
+    default_thread_backend,
+    resolve_backend_name,
+)
+from repro.errors import (
+    BackendError,
+    BadRequest,
+    DeadlineExceeded,
+    InjectedFault,
+    KemError,
+    KeyNotFound,
+    ProtocolError,
+    RequestTimedOut,
+    ServiceBusy,
+    ServiceClosed,
+    ServiceDraining,
+    ServiceError,
+    WorkerCrashed,
+)
+from repro.faults import FaultPlan, FaultSpec, random_plan
+from repro.lac import (
+    ALL_PARAMS,
+    LAC_128,
+    LAC_192,
+    LAC_256,
+    Ciphertext,
+    KemKeyPair,
+    KemSecretKey,
+    LacKem,
+    LacParams,
+    LacPke,
+    PublicKey,
+)
+from repro.lac.kem import EncapsResult
+from repro.serve import (
+    AsyncKemClient,
+    KemClient,
+    KemService,
+    RetryPolicy,
+    ServiceConfig,
+    ThreadedService,
+)
+from repro.trace import NULL_TRACER, Tracer, stage_breakdown
+
+__all__ = [
+    # parameter sets and the KEM
+    "ALL_PARAMS",
+    "LAC_128",
+    "LAC_192",
+    "LAC_256",
+    "Ciphertext",
+    "EncapsResult",
+    "KemKeyPair",
+    "KemSecretKey",
+    "LacKem",
+    "LacParams",
+    "LacPke",
+    "PublicKey",
+    # execution backends
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "InlineBackend",
+    "KemBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "create_backend",
+    "default_thread_backend",
+    "resolve_backend_name",
+    # serving
+    "AsyncKemClient",
+    "KemClient",
+    "KemService",
+    "RetryPolicy",
+    "ServiceConfig",
+    "ThreadedService",
+    # observability and chaos
+    "NULL_TRACER",
+    "FaultPlan",
+    "FaultSpec",
+    "Tracer",
+    "random_plan",
+    "stage_breakdown",
+    # errors
+    "BackendError",
+    "BadRequest",
+    "DeadlineExceeded",
+    "InjectedFault",
+    "KemError",
+    "KeyNotFound",
+    "ProtocolError",
+    "RequestTimedOut",
+    "ServiceBusy",
+    "ServiceClosed",
+    "ServiceDraining",
+    "ServiceError",
+    "WorkerCrashed",
+]

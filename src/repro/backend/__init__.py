@@ -1,0 +1,51 @@
+"""Pluggable execution backends for batched LAC KEM kernels.
+
+Where batched kernels *execute* is a deployment decision, not an API
+one — this package pins the contract (:class:`KemBackend`) and ships
+three implementations:
+
+============  =========================================================
+``inline``    :class:`InlineBackend` — synchronous, caller's thread
+``thread``    :class:`ThreadBackend` — pool threads (the default;
+              behavior-identical to the old ``shared_executor()`` path)
+``process``   :class:`ProcessBackend` — supervised worker processes
+              (GIL-free, per-worker warmup, bounded crash restart)
+============  =========================================================
+
+Select by name with :func:`create_backend`, by configuration with
+``ServiceConfig(backend=...)``, or globally with the
+``REPRO_KEM_BACKEND`` environment variable.  All backends produce
+results bit-identical to the scalar :class:`repro.lac.LacKem`.
+"""
+
+from repro.backend.base import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    KemBackend,
+    KernelWrapper,
+    create_backend,
+    resolve_backend_name,
+)
+from repro.backend.inline import InlineBackend
+from repro.backend.process import ProcessBackend
+from repro.backend.thread import (
+    DEFAULT_THREAD_WORKERS,
+    ThreadBackend,
+    default_thread_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "DEFAULT_THREAD_WORKERS",
+    "InlineBackend",
+    "KemBackend",
+    "KernelWrapper",
+    "ProcessBackend",
+    "ThreadBackend",
+    "create_backend",
+    "default_thread_backend",
+    "resolve_backend_name",
+]

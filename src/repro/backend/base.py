@@ -1,0 +1,270 @@
+"""The :class:`KemBackend` execution interface and the backend registry.
+
+The paper moves LAC's hot kernels onto dedicated execution units behind
+a fixed ISA; this module is the software analogue of that seam.  A
+backend is *where batched KEM kernels execute* — behind a fixed,
+swappable submission API, so the batch layer, the service and the
+benchmarks never hard-wire a particular pool again:
+
+* :class:`repro.backend.InlineBackend` — synchronous, in the caller's
+  thread (tests, cycle-model paths, debugging);
+* :class:`repro.backend.ThreadBackend` — a thread pool (the default;
+  behavior-identical to the pre-backend ``shared_executor()`` path);
+* :class:`repro.backend.ProcessBackend` — a supervised process pool
+  (GIL-free parallelism; workers warm their own GF/ring tables, crash
+  detection with bounded restart).
+
+Every implementation provides the same contract:
+
+``submit_encaps(params, pk, messages) -> Future[list[EncapsResult]]``
+``submit_decaps(params, keys, ciphertexts) -> Future[list[bytes]]``
+``submit_keygen(params, seeds) -> Future[list[KemKeyPair]]``
+``keygen(params, seed)``  — synchronous single-key convenience
+``warmup()``              — pay table-building/spawn cost up front
+``close()``               — graceful drain; idempotent
+``stats()``               — submission/restart counters for metrics
+
+Results are **bit-identical to the scalar** :class:`repro.lac.LacKem`
+across every backend — the conformance suite in
+``tests/test_backend.py`` pins that invariant, the way the paper's
+accelerated kernels are validated against the reference software.
+
+Backends are selected by name through :func:`create_backend` (used by
+``ServiceConfig``/CLI) or the ``REPRO_KEM_BACKEND`` environment
+variable; see ``docs/SERVICE.md`` for the trade-offs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from typing import Any
+
+from repro.lac.kem import EncapsResult, KemKeyPair, KemSecretKey, LacKem
+from repro.lac.params import ALL_PARAMS, LacParams
+from repro.lac.pke import Ciphertext, PublicKey
+
+#: Environment variable consulted when no backend name is given
+#: explicitly (``ServiceConfig.backend=None`` and no ``backend=`` arg).
+BACKEND_ENV_VAR = "REPRO_KEM_BACKEND"
+
+#: The backend used when neither configuration nor environment names one.
+DEFAULT_BACKEND = "thread"
+
+#: A hook run *inside the backend's execution context* around the
+#: kernel call — the service passes one that draws chaos faults and
+#: stamps tracing boundaries, so "kernel time" means the same thing
+#: regardless of which backend ran the batch.
+KernelWrapper = Callable[[Callable[[], Any]], Any]
+
+#: Deterministic warmup seed (warmup must not consume OS entropy in
+#: ways that differ between runs; the generated key is discarded).
+_WARMUP_SEED = b"\x2a"
+
+
+class KemBackend(ABC):
+    """Abstract execution backend for batched LAC KEM kernels.
+
+    Subclasses implement the three ``submit_*`` hooks; everything else
+    (the synchronous :meth:`keygen` convenience, :meth:`warmup`,
+    :meth:`stats` bookkeeping, the cached per-parameter-set
+    :class:`LacKem` instances) is shared.
+
+    The optional ``wrapper`` argument of the ``submit_*`` methods runs
+    around the kernel call in the backend's execution context (worker
+    thread for :class:`ThreadBackend`, supervisor thread for
+    :class:`ProcessBackend`, the caller for :class:`InlineBackend`);
+    the serving layer uses it for fault injection and trace stamps.
+    """
+
+    #: Registry/metrics name of the implementation.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._kems_lock = threading.Lock()
+        self._kems: dict[str, LacKem] = {}
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # the contract
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def submit_encaps(
+        self,
+        params: LacParams,
+        pk: PublicKey,
+        messages: Sequence[bytes],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[EncapsResult]]:
+        """Encapsulate ``messages`` under ``pk``; resolves positionally."""
+
+    @abstractmethod
+    def submit_decaps(
+        self,
+        params: LacParams,
+        keys: KemSecretKey,
+        ciphertexts: Sequence[Ciphertext],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[bytes]]:
+        """Decapsulate ``ciphertexts``; resolves to the shared secrets."""
+
+    @abstractmethod
+    def submit_keygen(
+        self,
+        params: LacParams,
+        seeds: Sequence[bytes | None],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[KemKeyPair]]:
+        """Generate one key pair per seed (``None`` = OS randomness)."""
+
+    def keygen(self, params: LacParams, seed: bytes | None = None) -> KemKeyPair:
+        """Generate a single key pair synchronously (convenience)."""
+        return self.submit_keygen(params, [seed]).result()[0]
+
+    def warmup(self, params_list: Sequence[LacParams] | None = None) -> None:
+        """Run one tiny roundtrip per parameter set through the backend.
+
+        Pays one-time costs — GF log/antilog tables, ring FFT plans,
+        the BCH parity matrix, worker spawn for process pools — outside
+        any measured or latency-sensitive window.
+        """
+        for params in params_list if params_list is not None else ALL_PARAMS:
+            seed = _WARMUP_SEED * (params.seed_bytes + 32)
+            pair = self.keygen(params, seed)
+            results = self.submit_encaps(
+                params, pair.public_key, [b"\x00" * params.message_bytes]
+            ).result()
+            self.submit_decaps(
+                params, pair.secret_key, [r.ciphertext for r in results]
+            ).result()
+
+    def close(self, wait: bool = True) -> None:
+        """Release backend resources; idempotent.
+
+        With ``wait=True`` (the default) the call drains gracefully:
+        already-submitted batches finish and their futures resolve.
+        """
+        self._closed = True
+
+    def kill_worker(self) -> bool:
+        """Chaos hook: kill one worker, if the backend has killable ones.
+
+        Returns whether a worker was actually killed — the ``backend``
+        fault site treats ``False`` (inline/thread backends) as a
+        counted no-op.
+        """
+        return False
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for metrics/INFO: submissions, failures, restarts."""
+        with self._stats_lock:
+            return {
+                "name": self.name,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "restarts": 0,
+            }
+
+    # ------------------------------------------------------------------
+    # shared plumbing for implementations
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _kem_for(self, params: LacParams) -> LacKem:
+        """The backend's cached scalar :class:`LacKem` per parameter set."""
+        with self._kems_lock:
+            kem = self._kems.get(params.name)
+            if kem is None:
+                kem = self._kems[params.name] = LacKem(params)
+            return kem
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{self.name} backend is closed")
+
+    def _tracked(self, wrapper: KernelWrapper | None, work: Callable[[], Any]) -> Any:
+        """Run ``work`` (through ``wrapper``) updating the stat counters."""
+        with self._stats_lock:
+            self._submitted += 1
+        try:
+            result = wrapper(work) if wrapper is not None else work()
+        except BaseException:
+            with self._stats_lock:
+                self._failed += 1
+            raise
+        with self._stats_lock:
+            self._completed += 1
+        return result
+
+    @staticmethod
+    def _done(value: Any) -> Future[Any]:
+        """An already-resolved future (empty batches never hit a pool)."""
+        future: Future[Any] = Future()
+        future.set_result(value)
+        return future
+
+
+def _positive(name: str, value: int | None) -> int | None:
+    if value is not None and value < 1:
+        raise ValueError(f"{name} must be >= 1")
+    return value
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """The backend name to use: explicit, else env, else the default."""
+    resolved = name or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if resolved not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown KEM backend {resolved!r} (choose from {sorted(BACKEND_NAMES)})"
+        )
+    return resolved
+
+
+def create_backend(
+    name: str | None = None,
+    workers: int | None = None,
+    fan_out: int | None = None,
+) -> KemBackend:
+    """Create (or share) a backend by name.
+
+    ``name`` of ``None`` falls back to ``$REPRO_KEM_BACKEND``, then to
+    ``"thread"``.  ``workers`` sizes the pool; ``fan_out`` adds
+    intra-batch fan-out (thread backend only).  A plain ``"thread"``
+    request with neither knob returns the process-wide shared default
+    backend — the executor-reuse behavior the serving layer has always
+    had — whose :meth:`~KemBackend.close` is a no-op.
+    """
+    from repro.backend.inline import InlineBackend
+    from repro.backend.process import ProcessBackend
+    from repro.backend.thread import ThreadBackend, default_thread_backend
+
+    resolved = resolve_backend_name(name)
+    _positive("workers", workers)
+    _positive("fan_out", fan_out)
+    if resolved == "inline":
+        return InlineBackend()
+    if resolved == "process":
+        return ProcessBackend(workers=workers)
+    if workers is None and fan_out is None:
+        return default_thread_backend()
+    return ThreadBackend(workers=workers, fan_out=fan_out)
+
+
+#: Names accepted by :func:`create_backend` / ``ServiceConfig.backend``.
+BACKEND_NAMES = ("inline", "thread", "process")

@@ -1,0 +1,370 @@
+"""The multi-process backend: GIL-free batch execution with supervision.
+
+A :class:`ProcessBackend` runs batched KEM kernels on a
+``ProcessPoolExecutor``.  The thread backend already overlaps the
+numpy array work of neighbouring batches (numpy drops the GIL), but
+the *Python* half of a batch — hashing loops, object construction,
+serialization — serializes on one interpreter lock; Imran et al.'s
+systematic study of lattice KEMs found exactly this reference-
+implementation overhead, not the math, dominating cost.  Processes
+remove that ceiling: each submitted batch is split into sub-chunks
+fanned across worker processes, so one 64-operation batch uses many
+interpreters at once.
+
+Design points:
+
+* **compact wire format** — only ``bytes`` and small tuples cross the
+  pipe (parameter-set *name*, serialized keys, messages, ciphertext
+  blobs), never numpy arrays or parameter objects, keeping pickling a
+  memcpy; results come back as ``(ct_bytes, shared)`` pairs and are
+  re-hydrated parent-side;
+* **per-worker warmup** — each worker's initializer builds its own
+  GF log/antilog tables, ring FFT state and BCH parity matrix by
+  running a one-operation roundtrip per configured parameter set, so
+  no serving batch ever pays table construction;
+* **supervision** — a worker crash (OOM-kill, segfault, chaos
+  ``kill_worker``) breaks the pool; the supervisor detects
+  ``BrokenProcessPool``, replaces the pool (bounded by
+  ``max_restarts``), counts the restart (surfaced as
+  ``kem_worker_restarts_total``) and fails the in-flight batch with
+  the typed :class:`repro.errors.WorkerCrashed` — which the service
+  maps to the existing ``INTERNAL`` response;
+* **graceful drain** — :meth:`close` stops intake, lets submitted
+  batches finish, then shuts both pools down; idempotent.
+
+The default ``mp_context`` is ``"spawn"``: forking a process that
+already runs pool threads (every server does) inherits locked mutexes
+and is deprecated on modern CPythons.  Spawn start-up is paid once and
+can be fronted with :meth:`~repro.backend.base.KemBackend.warmup`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+from collections.abc import Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable
+
+from repro.backend.base import KemBackend, KernelWrapper
+from repro.batch.kem import _decaps_chunk, _encaps_chunk
+from repro.errors import WorkerCrashed
+from repro.lac.kem import EncapsResult, KemKeyPair, KemSecretKey, LacKem
+from repro.lac.params import ALL_PARAMS, LacParams
+from repro.lac.pke import Ciphertext, PublicKey
+
+#: Smallest per-process sub-chunk worth the pickling round trip; a
+#: 64-op batch on 8 workers still lands at 8 ops per process.
+MIN_CHUNK = 8
+
+#: Default bound on pool rebuilds after worker crashes.
+DEFAULT_MAX_RESTARTS = 3
+
+
+def _params_by_name(name: str) -> LacParams:
+    for params in ALL_PARAMS:
+        if params.name == name:
+            return params
+    raise KeyError(f"unknown parameter set {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# worker-side code (everything below the pipe)
+# ---------------------------------------------------------------------------
+
+_WORKER_KEMS: dict[str, LacKem] = {}
+
+
+def _worker_kem(params_name: str) -> LacKem:
+    kem = _WORKER_KEMS.get(params_name)
+    if kem is None:
+        kem = _WORKER_KEMS[params_name] = LacKem(_params_by_name(params_name))
+    return kem
+
+
+def _worker_init(param_names: Sequence[str]) -> None:
+    """Per-worker warmup: build this process's GF/ring/BCH tables.
+
+    Runs in each worker as it spawns — a one-operation keygen/encaps/
+    decaps roundtrip per configured parameter set touches every lazy
+    table (GF(2^9) log/antilog, ring FFT twiddles, the BCH parity
+    matrix), so serving batches never pay construction cost.
+    """
+    for name in param_names:
+        kem = _worker_kem(name)
+        params = kem.params
+        pair = kem.keygen(b"\x2a" * (params.seed_bytes + 32))
+        results = _encaps_chunk(kem, pair.public_key, [b"\x00" * params.message_bytes])
+        _decaps_chunk(kem, pair.secret_key, [r.ciphertext for r in results])
+
+
+def _worker_encaps(
+    params_name: str, pk_bytes: bytes, messages: list[bytes]
+) -> list[tuple[bytes, bytes]]:
+    kem = _worker_kem(params_name)
+    pk = PublicKey.from_bytes(kem.params, pk_bytes)
+    results = _encaps_chunk(kem, pk, messages)
+    return [(r.ciphertext.to_bytes(), r.shared_secret) for r in results]
+
+
+def _worker_decaps(
+    params_name: str, sk_bytes: bytes, ct_blobs: list[bytes]
+) -> list[bytes]:
+    kem = _worker_kem(params_name)
+    keys = KemSecretKey.from_bytes(kem.params, sk_bytes)
+    ciphertexts = [Ciphertext.from_bytes(kem.params, blob) for blob in ct_blobs]
+    return _decaps_chunk(kem, keys, ciphertexts)
+
+
+def _worker_keygen(
+    params_name: str, seeds: list[bytes | None]
+) -> list[tuple[bytes, bytes]]:
+    kem = _worker_kem(params_name)
+    out = []
+    for seed in seeds:
+        pair = kem.keygen(seed)
+        out.append((pair.public_key.to_bytes(), pair.secret_key.to_bytes()))
+    return out
+
+
+def _worker_pid() -> int:
+    return os.getpid()
+
+
+# ---------------------------------------------------------------------------
+# parent-side supervisor
+# ---------------------------------------------------------------------------
+
+
+class ProcessBackend(KemBackend):
+    """Batched KEM kernels on a supervised worker-process pool.
+
+    ``workers`` sizes the pool (default: CPU count, capped at 8 — the
+    kernels saturate memory bandwidth well before that on small
+    hosts).  ``warm_params`` restricts the per-worker warmup to the
+    parameter sets actually served (tests pass one set to keep spawn
+    cheap).  ``max_restarts`` bounds pool rebuilds after crashes;
+    beyond it the backend declares itself broken and fails fast.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        mp_context: str = "spawn",
+        warm_params: Sequence[LacParams] | None = None,
+        min_chunk: int = MIN_CHUNK,
+    ) -> None:
+        super().__init__()
+        self._workers = workers or max(2, min(8, os.cpu_count() or 2))
+        self._max_restarts = max_restarts
+        self._min_chunk = max(1, min_chunk)
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._warm_names = tuple(
+            p.name for p in (warm_params if warm_params is not None else ALL_PARAMS)
+        )
+        self._pool_lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._generation = 0
+        self._restarts = 0
+        self._broken = False
+        # supervisor threads: one per concurrently in-flight batch —
+        # they only fan chunks out, block on worker results and
+        # re-hydrate the answers, so a couple above the worker count
+        # keeps submission from queueing behind result collection
+        self._supervisor = ThreadPoolExecutor(
+            max_workers=self._workers + 2,
+            thread_name_prefix="repro-backend-sup",
+        )
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self) -> tuple[ProcessPoolExecutor, int]:
+        with self._pool_lock:
+            if self._broken:
+                raise WorkerCrashed(
+                    f"process backend exceeded {self._max_restarts} worker restarts"
+                )
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=self._ctx,
+                    initializer=_worker_init,
+                    initargs=(self._warm_names,),
+                )
+            return self._pool, self._generation
+
+    def _on_broken_pool(self, generation: int) -> None:
+        """Replace a broken pool exactly once per crash incident.
+
+        ``BrokenProcessPool`` fans out to every future of the incident;
+        the generation check makes sure one crash costs one restart.
+        """
+        with self._pool_lock:
+            if generation != self._generation:
+                return  # a sibling batch already handled this incident
+            self._generation += 1
+            self._restarts += 1
+            pool, self._pool = self._pool, None
+            if self._restarts > self._max_restarts:
+                self._broken = True
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _fan(
+        self, fn: Callable[..., Any], calls: Sequence[tuple[Any, ...]]
+    ) -> list[Any]:
+        """Run ``fn(*args)`` per call tuple across the worker pool."""
+        pool, generation = self._ensure_pool()
+        try:
+            futures = [pool.submit(fn, *args) for args in calls]
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            self._on_broken_pool(generation)
+            raise WorkerCrashed("kem worker process died mid-batch") from exc
+
+    def _chunk(self, items: list[Any]) -> list[list[Any]]:
+        chunks = max(1, min(self._workers, len(items) // self._min_chunk))
+        bounds = [len(items) * i // chunks for i in range(chunks + 1)]
+        return [
+            items[bounds[i] : bounds[i + 1]]
+            for i in range(chunks)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+    def _submit(
+        self, wrapper: KernelWrapper | None, work: Callable[[], Any]
+    ) -> Future[Any]:
+        self._check_open()
+        return self._supervisor.submit(self._tracked, wrapper, work)
+
+    # -- the contract ---------------------------------------------------
+
+    def submit_encaps(
+        self,
+        params: LacParams,
+        pk: PublicKey,
+        messages: Sequence[bytes],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[EncapsResult]]:
+        """Encapsulate ``messages``, split across worker processes."""
+        batch = [bytes(m) for m in messages]
+        if not batch:
+            return self._done([])
+        pk_bytes = pk.to_bytes()
+        name = params.name
+
+        def work() -> list[EncapsResult]:
+            calls = [(name, pk_bytes, chunk) for chunk in self._chunk(batch)]
+            out: list[EncapsResult] = []
+            for part in self._fan(_worker_encaps, calls):
+                out.extend(
+                    EncapsResult(Ciphertext.from_bytes(params, ct_bytes), shared)
+                    for ct_bytes, shared in part
+                )
+            return out
+
+        return self._submit(wrapper, work)
+
+    def submit_decaps(
+        self,
+        params: LacParams,
+        keys: KemSecretKey,
+        ciphertexts: Sequence[Ciphertext],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[bytes]]:
+        """Decapsulate ``ciphertexts``, split across worker processes."""
+        blobs = [ct.to_bytes() for ct in ciphertexts]
+        if not blobs:
+            return self._done([])
+        sk_bytes = keys.to_bytes()
+        name = params.name
+
+        def work() -> list[bytes]:
+            calls = [(name, sk_bytes, chunk) for chunk in self._chunk(blobs)]
+            out: list[bytes] = []
+            for part in self._fan(_worker_decaps, calls):
+                out.extend(part)
+            return out
+
+        return self._submit(wrapper, work)
+
+    def submit_keygen(
+        self,
+        params: LacParams,
+        seeds: Sequence[bytes | None],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[KemKeyPair]]:
+        """Generate key pairs in worker processes; re-hydrated parent-side."""
+        batch = list(seeds)
+        if not batch:
+            return self._done([])
+        name = params.name
+
+        def work() -> list[KemKeyPair]:
+            calls = [(name, chunk) for chunk in self._chunk(batch)]
+            out: list[KemKeyPair] = []
+            for part in self._fan(_worker_keygen, calls):
+                out.extend(
+                    KemKeyPair(
+                        PublicKey.from_bytes(params, pk_bytes),
+                        KemSecretKey.from_bytes(params, sk_bytes),
+                    )
+                    for pk_bytes, sk_bytes in part
+                )
+            return out
+
+        return self._submit(wrapper, work)
+
+    # -- chaos + observability ------------------------------------------
+
+    def kill_worker(self, sig: int = signal.SIGKILL) -> bool:
+        """Kill one live worker process (the ``backend`` fault site).
+
+        Returns ``False`` when no pool is up.  The next interaction
+        with the broken pool surfaces :class:`WorkerCrashed` and the
+        supervisor rebuilds it (counted in ``restarts``).
+        """
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return False
+        processes = getattr(pool, "_processes", None)
+        if not processes:
+            return False
+        pid = next(iter(processes))
+        try:
+            os.kill(pid, sig)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
+
+    def stats(self) -> dict[str, Any]:
+        """Submission counters plus worker-pool health."""
+        out = super().stats()
+        with self._pool_lock:
+            out["workers"] = self._workers
+            out["restarts"] = self._restarts
+            out["broken"] = self._broken
+        return out
+
+    def close(self, wait: bool = True) -> None:
+        """Graceful drain: stop intake, finish in-flight batches, shut down."""
+        if self._closed:
+            return
+        super().close(wait)
+        # the supervisor drains first (its tasks still need the worker
+        # pool), then the workers go down
+        self._supervisor.shutdown(wait=wait)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)

@@ -1,0 +1,201 @@
+"""The thread-pool backend (the default) and the process-wide default.
+
+One submitted batch runs on one pool thread — the numpy/hashlib
+kernels drop the GIL there, so neighbouring batches overlap — exactly
+the execution model the serving layer had when it reached into
+``repro.batch.shared_executor()`` directly.  :class:`ThreadBackend`
+wraps that model behind the :class:`~repro.backend.base.KemBackend`
+contract; :func:`default_thread_backend` is the process-wide shared
+instance that replaces the old module-global executor (reuse matters:
+spawning a pool per call costs more than the fan-out saves, which
+``benchmarks/bench_throughput.py`` records as
+``executor_reuse_speedup``).
+
+``fan_out=N`` additionally splits each submitted batch across ``N``
+threads of a backend-owned inner pool (two levels, so dispatch and
+fan-out cannot deadlock) — the old ``kernel_workers`` service knob.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
+from typing import Any
+
+from repro.backend.base import KemBackend, KernelWrapper
+from repro.batch.kem import _decaps_chunk, _encaps_chunk, _fan_out
+from repro.lac.kem import EncapsResult, KemKeyPair, KemSecretKey
+from repro.lac.params import LacParams
+from repro.lac.pke import Ciphertext, PublicKey
+
+#: Thread count of a default-sized pool.  Capped: the kernels are
+#: memory-bandwidth-bound well before 32 threads.
+DEFAULT_THREAD_WORKERS = min(32, (os.cpu_count() or 4))
+
+
+class ThreadBackend(KemBackend):
+    """Run batched kernels on a thread pool.
+
+    ``executor`` borrows an existing pool (never shut down by
+    :meth:`close`); otherwise the backend owns a fresh pool of
+    ``workers`` threads (default :data:`DEFAULT_THREAD_WORKERS`).
+    ``fan_out`` > 1 splits every batch across that many threads of a
+    separate backend-owned inner pool.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        workers: int | None = None,
+        fan_out: int | None = None,
+    ) -> None:
+        super().__init__()
+        if executor is not None and workers is not None:
+            raise ValueError("pass either executor= or workers=, not both")
+        self._owns_executor = executor is None
+        self._executor: Executor = (
+            executor
+            if executor is not None
+            else ThreadPoolExecutor(
+                max_workers=workers or DEFAULT_THREAD_WORKERS,
+                thread_name_prefix="repro-backend",
+            )
+        )
+        self._fan_out = fan_out if fan_out is not None and fan_out > 1 else None
+        self._fan_pool = (
+            ThreadPoolExecutor(
+                max_workers=self._fan_out, thread_name_prefix="repro-backend-fan"
+            )
+            if self._fan_out
+            else None
+        )
+        self._pool_workers = workers or DEFAULT_THREAD_WORKERS
+
+    @property
+    def executor(self) -> Executor:
+        """The pool batches dispatch onto (borrowed or owned)."""
+        return self._executor
+
+    def _submit(
+        self, wrapper: KernelWrapper | None, work: Callable[[], Any]
+    ) -> Future[Any]:
+        self._check_open()
+        return self._executor.submit(self._tracked, wrapper, work)
+
+    def submit_encaps(
+        self,
+        params: LacParams,
+        pk: PublicKey,
+        messages: Sequence[bytes],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[EncapsResult]]:
+        """Encapsulate ``messages`` on a pool thread."""
+        batch = list(messages)
+        if not batch:
+            return self._done([])
+        kem = self._kem_for(params)
+
+        def work() -> list[EncapsResult]:
+            return _fan_out(
+                lambda ms: _encaps_chunk(kem, pk, ms),
+                batch,
+                self._fan_out,
+                self._fan_pool,
+            )
+
+        return self._submit(wrapper, work)
+
+    def submit_decaps(
+        self,
+        params: LacParams,
+        keys: KemSecretKey,
+        ciphertexts: Sequence[Ciphertext],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[bytes]]:
+        """Decapsulate ``ciphertexts`` on a pool thread."""
+        batch = list(ciphertexts)
+        if not batch:
+            return self._done([])
+        kem = self._kem_for(params)
+
+        def work() -> list[bytes]:
+            return _fan_out(
+                lambda cts: _decaps_chunk(kem, keys, cts),
+                batch,
+                self._fan_out,
+                self._fan_pool,
+            )
+
+        return self._submit(wrapper, work)
+
+    def submit_keygen(
+        self,
+        params: LacParams,
+        seeds: Sequence[bytes | None],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[KemKeyPair]]:
+        """Generate one key pair per seed on a pool thread."""
+        batch = list(seeds)
+        if not batch:
+            return self._done([])
+        kem = self._kem_for(params)
+        return self._submit(
+            wrapper, lambda: [kem.keygen(seed) for seed in batch]
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Submission counters plus the pool size."""
+        out = super().stats()
+        out["workers"] = self._pool_workers if self._owns_executor else None
+        out["fan_out"] = self._fan_out
+        return out
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down owned pools (borrowed executors are left running)."""
+        if self._closed:
+            return
+        super().close(wait)
+        if self._fan_pool is not None:
+            self._fan_pool.shutdown(wait=wait)
+        if self._owns_executor:
+            assert isinstance(self._executor, ThreadPoolExecutor)
+            self._executor.shutdown(wait=wait)
+
+
+class _SharedThreadBackend(ThreadBackend):
+    """The process-wide default: lives for the life of the process.
+
+    ``close()`` is deliberately a no-op — many services and batch
+    callers share this instance (that sharing *is* the point), so no
+    single owner may tear it down.
+    """
+
+    def close(self, wait: bool = True) -> None:
+        """No-op: the shared default outlives any single user."""
+
+
+_default_backend: _SharedThreadBackend | None = None
+_default_backend_lock = threading.Lock()
+
+
+def default_thread_backend() -> ThreadBackend:
+    """The process-wide shared :class:`ThreadBackend` (created lazily).
+
+    The successor of ``repro.batch.shared_executor()``: one pool of
+    :data:`DEFAULT_THREAD_WORKERS` threads, reused by every
+    ``workers=N`` batch call and every service that does not configure
+    its own backend.  Its :meth:`~ThreadBackend.close` is a no-op.
+    """
+    global _default_backend
+    if _default_backend is None:
+        with _default_backend_lock:
+            if _default_backend is None:
+                _default_backend = _SharedThreadBackend()
+    return _default_backend

@@ -21,20 +21,22 @@ Amortization wins on top of vectorization:
 An optional ``workers`` argument fans sub-batches out across a
 ``concurrent.futures`` thread pool; the numpy/hashlib kernels drop the
 GIL, so this overlaps the array work of neighbouring sub-batches.  The
-pool is the process-wide :func:`shared_executor` (created lazily,
-reused across calls — spawning threads per call costs more than the
-fan-out saves at serving batch sizes); callers that manage their own
-lifecycle, such as the :mod:`repro.serve` scheduler, can inject any
-``Executor`` instead.
+pool comes from the process-wide shared
+:func:`repro.backend.default_thread_backend` (created lazily, reused
+across calls — spawning threads per call costs more than the fan-out
+saves at serving batch sizes); callers that manage their own lifecycle
+can inject any ``Executor``, or pass ``backend=`` to run the whole
+batch through a :class:`repro.backend.KemBackend` (e.g. the
+multi-process one).
 """
 
 from __future__ import annotations
 
 import os
 import secrets
-import threading
+import warnings
 from concurrent.futures import Executor, ThreadPoolExecutor
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -42,6 +44,9 @@ from repro.batch.encode import encode_many
 from repro.batch.sampling import gen_a_vec, sample_secret_rows
 from repro.lac.kem import EncapsResult, KemSecretKey, _hash3
 from repro.lac.pke import Ciphertext, PublicKey
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (repro.backend imports us)
+    from repro.backend.base import KemBackend
 
 
 def _shift(params) -> int:
@@ -145,35 +150,33 @@ def _decaps_chunk(
     return shared
 
 
-#: Thread count for the lazily created shared pool.  Capped: the
-#: kernels are memory-bandwidth-bound well before 32 threads.
+#: Thread count of the shared default pool.  Capped: the kernels are
+#: memory-bandwidth-bound well before 32 threads.  (Kept as an alias of
+#: :data:`repro.backend.DEFAULT_THREAD_WORKERS` for old imports.)
 SHARED_EXECUTOR_WORKERS = min(32, (os.cpu_count() or 4))
-
-_shared_executor: ThreadPoolExecutor | None = None
-_shared_executor_lock = threading.Lock()
 
 
 def shared_executor() -> ThreadPoolExecutor:
-    """The process-wide thread pool for batched KEM fan-out.
+    """Deprecated: the pool of the shared default thread backend.
 
-    Created on first use with :data:`SHARED_EXECUTOR_WORKERS` threads
-    and reused for the life of the process — both by ``workers=N``
-    calls to :func:`encaps_many`/:func:`decaps_many` and by the
-    :mod:`repro.serve` scheduler, which dispatches whole micro-batches
-    onto it.  Reuse matters: a fresh ``ThreadPoolExecutor`` per call
-    (the pre-serve behaviour) pays thread spawn/join on every batch,
-    which ``benchmarks/bench_throughput.py`` records as the
-    ``executor_reuse_speedup``.
+    .. deprecated::
+        The process-wide pool now lives behind
+        :func:`repro.backend.default_thread_backend`; use that (or pass
+        ``backend=``/``executor=`` explicitly).  This shim returns the
+        same underlying pool the default backend dispatches onto, so
+        legacy callers keep sharing threads with everyone else.
     """
-    global _shared_executor
-    if _shared_executor is None:
-        with _shared_executor_lock:
-            if _shared_executor is None:
-                _shared_executor = ThreadPoolExecutor(
-                    max_workers=SHARED_EXECUTOR_WORKERS,
-                    thread_name_prefix="repro-batch",
-                )
-    return _shared_executor
+    warnings.warn(
+        "repro.batch.shared_executor() is deprecated; use "
+        "repro.backend.default_thread_backend() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.backend.thread import default_thread_backend
+
+    executor = default_thread_backend().executor
+    assert isinstance(executor, ThreadPoolExecutor)
+    return executor
 
 
 def _fan_out(chunk_fn, items, workers, executor: Executor | None = None):
@@ -192,7 +195,11 @@ def _fan_out(chunk_fn, items, workers, executor: Executor | None = None):
         for i in range(workers)
         if bounds[i] < bounds[i + 1]
     ]
-    pool = executor if executor is not None else shared_executor()
+    if executor is None:
+        from repro.backend.thread import default_thread_backend
+
+        executor = default_thread_backend().executor
+    pool = executor
     out = []
     for part in pool.map(chunk_fn, chunks):
         out.extend(part)
@@ -211,6 +218,7 @@ def encaps_many(
     count: int | None = None,
     workers: int | None = None,
     executor: Executor | None = None,
+    backend: "KemBackend | None" = None,
 ) -> list[EncapsResult]:
     """Encapsulate a batch of shared secrets under one public key.
 
@@ -218,8 +226,12 @@ def encaps_many(
     length) or a ``count`` of OS-random messages.  Results are
     positionally identical to calling :meth:`LacKem.encaps` in a loop
     with the same messages.  ``executor`` overrides the shared pool
-    used for ``workers`` fan-out.
+    used for ``workers`` fan-out; ``backend`` instead routes the whole
+    batch through a :class:`repro.backend.KemBackend` (exclusive with
+    the pool knobs).
     """
+    if backend is not None and (workers is not None or executor is not None):
+        raise ValueError("pass either backend= or workers=/executor=, not both")
     if messages is None:
         if count is None:
             raise ValueError("pass either messages or count")
@@ -236,6 +248,8 @@ def encaps_many(
             )
     if not messages:
         return []
+    if backend is not None:
+        return backend.submit_encaps(kem.params, pk, messages).result()
     return _fan_out(
         lambda ms: _encaps_chunk(kem, pk, ms), messages, workers, executor
     )
@@ -247,17 +261,24 @@ def decaps_many(
     ciphertexts: Sequence[Ciphertext],
     workers: int | None = None,
     executor: Executor | None = None,
+    backend: "KemBackend | None" = None,
 ) -> list[bytes]:
     """Decapsulate a batch of ciphertexts under one secret key.
 
     Results are positionally identical to calling
     :meth:`LacKem.decaps` in a loop (including implicit rejection of
     malformed ciphertexts).  ``executor`` overrides the shared pool
-    used for ``workers`` fan-out.
+    used for ``workers`` fan-out; ``backend`` instead routes the whole
+    batch through a :class:`repro.backend.KemBackend` (exclusive with
+    the pool knobs).
     """
+    if backend is not None and (workers is not None or executor is not None):
+        raise ValueError("pass either backend= or workers=/executor=, not both")
     ciphertexts = list(ciphertexts)
     if not ciphertexts:
         return []
+    if backend is not None:
+        return backend.submit_decaps(kem.params, keys, ciphertexts).result()
     return _fan_out(
         lambda cts: _decaps_chunk(kem, keys, cts), ciphertexts, workers, executor
     )

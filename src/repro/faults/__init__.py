@@ -18,6 +18,7 @@ from repro.faults.plan import (
     ALL_SITES,
     KIND_BUSY,
     KIND_CORRUPT,
+    KIND_CRASH,
     KIND_DELAY,
     KIND_DROP,
     KIND_RAISE,
@@ -25,6 +26,7 @@ from repro.faults.plan import (
     KIND_TIMEOUT,
     KIND_TRUNCATE,
     SITE_ADMISSION,
+    SITE_BACKEND,
     SITE_KERNEL,
     SITE_TRANSPORT_READ,
     SITE_TRANSPORT_WRITE,
@@ -44,6 +46,7 @@ __all__ = [
     "InjectedFault",
     "KIND_BUSY",
     "KIND_CORRUPT",
+    "KIND_CRASH",
     "KIND_DELAY",
     "KIND_DROP",
     "KIND_RAISE",
@@ -51,6 +54,7 @@ __all__ = [
     "KIND_TIMEOUT",
     "KIND_TRUNCATE",
     "SITE_ADMISSION",
+    "SITE_BACKEND",
     "SITE_KERNEL",
     "SITE_TRANSPORT_READ",
     "SITE_TRANSPORT_WRITE",

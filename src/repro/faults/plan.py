@@ -21,6 +21,9 @@ site                      kinds that make sense there
                           :class:`InjectedFault` → ``INTERNAL`` responses)
 ``admission``             ``busy`` (forced ``BUSY`` reject), ``timeout``
                           (forced ``TIMEOUT`` reject)
+``backend``               ``crash`` (kill one execution-backend worker
+                          process before the batch runs; a counted
+                          no-op on backends without killable workers)
 ========================  =====================================================
 
 Determinism: every site gets its **own** ``random.Random`` stream
@@ -44,19 +47,30 @@ from collections import Counter
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.errors import InjectedFault
 from repro.trace import annotate
+
+__all__ = [
+    "ALL_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "random_plan",
+]
 
 #: Injection sites understood by the serving stack.
 SITE_TRANSPORT_READ = "transport.read"
 SITE_TRANSPORT_WRITE = "transport.write"
 SITE_KERNEL = "kernel"
 SITE_ADMISSION = "admission"
+SITE_BACKEND = "backend"
 
 ALL_SITES = (
     SITE_TRANSPORT_READ,
     SITE_TRANSPORT_WRITE,
     SITE_KERNEL,
     SITE_ADMISSION,
+    SITE_BACKEND,
 )
 
 #: Fault kinds (free-form strings; these are the ones the stack implements).
@@ -68,14 +82,7 @@ KIND_STALL = "stall"
 KIND_RAISE = "raise"
 KIND_BUSY = "busy"
 KIND_TIMEOUT = "timeout"
-
-
-class InjectedFault(RuntimeError):
-    """The exception raised by a ``kernel``/``raise`` fault.
-
-    Distinct from any organic failure, so tests can tell an injected
-    batch abort from a real kernel bug.
-    """
+KIND_CRASH = "crash"
 
 
 @dataclass(frozen=True)
@@ -215,5 +222,6 @@ def random_plan(
         FaultSpec(SITE_KERNEL, KIND_RAISE, p()),
         FaultSpec(SITE_ADMISSION, KIND_BUSY, p(2.0)),
         FaultSpec(SITE_ADMISSION, KIND_TIMEOUT, p()),
+        FaultSpec(SITE_BACKEND, KIND_CRASH, p(0.25)),
     ]
     return FaultPlan(specs, seed=seed)

@@ -152,6 +152,7 @@ class LacKem:
         count: int | None = None,
         workers: int | None = None,
         executor=None,
+        backend=None,
     ) -> list["EncapsResult"]:
         """Encapsulate a whole batch under ``pk`` (vectorized fast path).
 
@@ -161,16 +162,17 @@ class LacKem:
         computed once per batch.  Output is positionally bit-identical
         to calling :meth:`encaps` in a loop with the same messages.
         ``workers`` optionally fans sub-batches out across the shared
-        thread pool (or an injected ``executor`` — the hook the
-        :mod:`repro.serve` micro-batch scheduler uses).  Cycle
-        accounting is not available on the batch path — use the scalar
-        method with a counter for that.
+        thread pool (or an injected ``executor``); ``backend`` instead
+        routes the batch through a :class:`repro.backend.KemBackend` —
+        the hook the :mod:`repro.serve` micro-batch scheduler uses.
+        Cycle accounting is not available on the batch path — use the
+        scalar method with a counter for that.
         """
         from repro.batch import encaps_many as _encaps_many
 
         return _encaps_many(
             self, pk, messages=messages, count=count, workers=workers,
-            executor=executor,
+            executor=executor, backend=backend,
         )
 
     def decaps_many(
@@ -179,18 +181,21 @@ class LacKem:
         ciphertexts: list[Ciphertext],
         workers: int | None = None,
         executor=None,
+        backend=None,
     ) -> list[bytes]:
         """Decapsulate a whole batch (vectorized fast path).
 
         The counterpart of :meth:`encaps_many`; positionally identical
         to looping :meth:`decaps`, including implicit rejection.
-        ``executor`` overrides the shared fan-out pool, as for
+        ``executor`` overrides the shared fan-out pool and ``backend``
+        routes through a :class:`repro.backend.KemBackend`, as for
         :meth:`encaps_many`.
         """
         from repro.batch import decaps_many as _decaps_many
 
         return _decaps_many(
-            self, keys, ciphertexts, workers=workers, executor=executor
+            self, keys, ciphertexts, workers=workers, executor=executor,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ request path (:mod:`repro.trace`), and
 ``benchmarks/bench_service.py`` for measured end-to-end throughput.
 """
 
+from repro.serve.config import BACKEND_WORKERS_ENV_VAR, ServiceConfig
 from repro.serve.client import (
     AsyncKemClient,
     BadRequest,
@@ -50,6 +51,7 @@ from repro.serve.server import HostedKey, KemService, ThreadedService
 __all__ = [
     "AsyncKemClient",
     "AdaptiveDeadlinePolicy",
+    "BACKEND_WORKERS_ENV_VAR",
     "BadRequest",
     "Batch",
     "DeadlineExceeded",
@@ -66,6 +68,7 @@ __all__ = [
     "RetryPolicy",
     "ServiceBusy",
     "ServiceClosed",
+    "ServiceConfig",
     "ServiceDraining",
     "ServiceError",
     "ServiceMetrics",

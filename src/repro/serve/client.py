@@ -56,63 +56,32 @@ from repro.serve.protocol import (
 )
 from repro.trace import NULL_TRACER, TraceContext, Tracer
 
+# The typed response errors live in the unified hierarchy of
+# :mod:`repro.errors` (all are ``KemError`` subclasses with stable
+# ``.reason`` tags); this module remains their historical import home
+# and attaches the wire ``Status`` each maps to — ``repro.errors``
+# cannot import the protocol without a cycle.
+from repro.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    KeyNotFound,
+    RequestTimedOut,
+    ServiceBusy,
+    ServiceClosed,
+    ServiceDraining,
+    ServiceError,
+)
+
+ServiceError.status = Status.INTERNAL
+ServiceBusy.status = Status.BUSY
+RequestTimedOut.status = Status.TIMEOUT
+ServiceDraining.status = Status.SHUTTING_DOWN
+BadRequest.status = Status.BAD_REQUEST
+KeyNotFound.status = Status.NOT_FOUND
+ServiceClosed.status = Status.INTERNAL
+DeadlineExceeded.status = Status.TIMEOUT
+
 _T = TypeVar("_T")
-
-
-class ServiceError(Exception):
-    """A non-OK response from the service (carries the status)."""
-
-    status = Status.INTERNAL
-
-    def __init__(self, message: str) -> None:
-        super().__init__(f"{self.status.name}: {message}")
-
-
-class ServiceBusy(ServiceError):
-    """Rejected by backpressure: the request was never queued."""
-
-    status = Status.BUSY
-
-
-class RequestTimedOut(ServiceError):
-    """Accepted but not served within the per-request timeout."""
-
-    status = Status.TIMEOUT
-
-
-class ServiceDraining(ServiceError):
-    """The service is shutting down and takes no new work."""
-
-    status = Status.SHUTTING_DOWN
-
-
-class BadRequest(ServiceError):
-    """The service rejected the request as malformed."""
-
-    status = Status.BAD_REQUEST
-
-
-class KeyNotFound(ServiceError):
-    """The referenced key id is not hosted by the service."""
-
-    status = Status.NOT_FOUND
-
-
-class ServiceClosed(ServiceError):
-    """The connection dropped with requests still in flight."""
-
-    status = Status.INTERNAL
-
-
-class DeadlineExceeded(ServiceError):
-    """A client-side per-attempt deadline expired before the response.
-
-    Raised by the retry machinery (``RetryPolicy.attempt_timeout_s``),
-    never by the server — a hung or partitioned service surfaces as
-    this instead of an indefinite wait.
-    """
-
-    status = Status.TIMEOUT
 
 
 _ERRORS: dict[Status, type[ServiceError]] = {

@@ -1,0 +1,111 @@
+"""Frozen configuration for the KEM service.
+
+:class:`ServiceConfig` replaces the flat keyword sprawl that
+:class:`repro.serve.KemService` and :class:`ThreadedService`
+constructors had accumulated — one immutable, validated value that can
+be built once (from code, CLI flags or the environment) and handed to
+any number of services.  The old flat kwargs still work through a
+``DeprecationWarning`` shim on the constructors.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.backend.base import BACKEND_ENV_VAR, resolve_backend_name
+
+#: Environment variable sizing the backend worker pool (``from_env``).
+BACKEND_WORKERS_ENV_VAR = "REPRO_KEM_BACKEND_WORKERS"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of a :class:`repro.serve.KemService`.
+
+    ``max_batch``
+        flush-on-size threshold (matches the batch kernels' sweet
+        spot);
+    ``max_wait_us`` / ``min_wait_us``
+        bounds of the adaptive flush deadline
+        (:class:`~repro.serve.scheduler.AdaptiveDeadlinePolicy`);
+    ``high_watermark``
+        pending-request bound beyond which new work is rejected
+        ``BUSY`` (the bounded queue);
+    ``request_timeout``
+        seconds an accepted request may wait before its batch runs;
+        expired requests are answered ``TIMEOUT`` without executing
+        (``None`` disables);
+    ``backend``
+        execution backend name (``"inline"``/``"thread"``/
+        ``"process"``); ``None`` falls back to ``$REPRO_KEM_BACKEND``,
+        then ``"thread"`` — see :mod:`repro.backend`;
+    ``backend_workers``
+        pool size of a backend the service creates (``None`` = the
+        backend's default; a plain thread backend with no sizing
+        shares the process-wide default pool);
+    ``kernel_workers``
+        intra-batch fan-out of the thread backend: each dispatched
+        batch is split across this many threads (ignored by the
+        process backend, which chunks batches across workers itself).
+    """
+
+    max_batch: int = 64
+    max_wait_us: float = 2000.0
+    min_wait_us: float = 50.0
+    high_watermark: int = 4096
+    request_timeout: float | None = 30.0
+    backend: str | None = None
+    backend_workers: int | None = None
+    kernel_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.high_watermark < 0:
+            # 0 is legal: it rejects every request (used by backpressure
+            # tests to force the BUSY path deterministically)
+            raise ValueError("high_watermark must be >= 0")
+        if self.max_wait_us < 0 or self.min_wait_us < 0:
+            raise ValueError("wait bounds must be >= 0")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0 or None")
+        if self.backend_workers is not None and self.backend_workers < 1:
+            raise ValueError("backend_workers must be >= 1")
+        if self.kernel_workers is not None and self.kernel_workers < 1:
+            raise ValueError("kernel_workers must be >= 1")
+        # validate eagerly so a typo'd name fails at config time, not
+        # at service start (env fallback is deliberately not consulted
+        # here — it is resolved when the service starts)
+        if self.backend is not None:
+            resolve_backend_name(self.backend)
+
+    def resolved_backend(self) -> str:
+        """The effective backend name (explicit, else env, else default)."""
+        return resolve_backend_name(self.backend)
+
+    @classmethod
+    def from_env(
+        cls, env: Mapping[str, str] | None = None, **overrides: object
+    ) -> "ServiceConfig":
+        """A config picking up ``$REPRO_KEM_BACKEND`` (and pool size).
+
+        Explicit ``overrides`` win over the environment.
+        """
+        env = os.environ if env is None else env
+        kwargs: dict[str, object] = {}
+        if env.get(BACKEND_ENV_VAR):
+            kwargs["backend"] = env[BACKEND_ENV_VAR]
+        if env.get(BACKEND_WORKERS_ENV_VAR):
+            kwargs["backend_workers"] = int(env[BACKEND_WORKERS_ENV_VAR])
+        kwargs.update(overrides)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def replace_config(config: ServiceConfig, **changes: object) -> ServiceConfig:
+    """``dataclasses.replace`` for :class:`ServiceConfig` (re-validated)."""
+    return replace(config, **changes)  # type: ignore[arg-type]
+
+
+__all__ = ["BACKEND_WORKERS_ENV_VAR", "ServiceConfig", "replace_config"]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from collections.abc import Callable
 
 
 class LatencyHistogram:
@@ -106,6 +107,12 @@ class ServiceMetrics:
         self.inflight_batches = 0
         #: high-watermark of queue depth over the service lifetime
         self.queue_depth_peak = 0
+        #: execution-backend stats hook — the service points this at
+        #: its :meth:`repro.backend.KemBackend.stats`, so snapshots and
+        #: the text dump carry per-backend counters (submissions,
+        #: failures, worker restarts) without the metrics layer knowing
+        #: any backend internals
+        self.backend_stats_provider: Callable[[], dict] | None = None
 
     # ------------------------------------------------------------------
     # recording
@@ -170,6 +177,10 @@ class ServiceMetrics:
 
     def snapshot(self) -> dict:
         """A JSON-friendly dict of every metric (served by ``INFO``)."""
+        # read the provider outside the lock: it takes the backend's
+        # own lock, and holding both invites an ordering deadlock
+        provider = self.backend_stats_provider
+        backend_stats = provider() if provider is not None else None
         with self._lock:
             batches = sum(self.batch_sizes.values())
             ops = sum(size * count for size, count in self.batch_sizes.items())
@@ -201,6 +212,7 @@ class ServiceMetrics:
                     stage: histogram.to_dict()
                     for stage, histogram in sorted(self.stage_seconds.items())
                 },
+                "backend": backend_stats,
             }
 
     def render_text(self) -> str:
@@ -265,6 +277,22 @@ class ServiceMetrics:
                 f'kem_latency_us_{op}{{quantile="0.5"}} {histogram["p50_us"]}',
                 f'kem_latency_us_{op}{{quantile="0.99"}} {histogram["p99_us"]}',
             ]
+        backend = snap.get("backend")
+        if backend:
+            name = backend.get("name", "unknown")
+            lines += [
+                "# HELP kem_worker_restarts_total backend worker-pool restarts",
+                "# TYPE kem_worker_restarts_total counter",
+                f'kem_worker_restarts_total{{backend="{name}"}} '
+                f'{backend.get("restarts", 0)}',
+                "# HELP kem_backend_batches_total batches run by the backend",
+                "# TYPE kem_backend_batches_total counter",
+            ]
+            for outcome in ("submitted", "completed", "failed"):
+                lines.append(
+                    f'kem_backend_batches_total{{backend="{name}",'
+                    f'outcome="{outcome}"}} {backend.get(outcome, 0)}'
+                )
         if snap["stage_us"]:
             lines += [
                 "# HELP kem_stage_seconds request-path time per serving stage",

@@ -59,6 +59,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Protocol
 
+from repro.errors import ProtocolError
 from repro.lac.params import ALL_PARAMS, LacParams
 from repro.trace import TraceContext
 
@@ -116,21 +117,6 @@ class Status(IntEnum):
     INTERNAL = 5
     #: Unknown key id.
     NOT_FOUND = 6
-
-
-class ProtocolError(Exception):
-    """A malformed frame (bad magic/version/op/length or short payload).
-
-    ``reason`` is a short machine-readable tag (``"bad-magic"``,
-    ``"bad-version"``, ``"bad-enum"``, ``"oversized"``,
-    ``"truncated"``, or the generic ``"malformed"``) — the server keys
-    its connection-error counters on it, so operators can tell framing
-    corruption from peers that simply hang up mid-frame.
-    """
-
-    def __init__(self, message: str, reason: str = "malformed") -> None:
-        super().__init__(message)
-        self.reason = reason
 
 
 class FrameReader(Protocol):

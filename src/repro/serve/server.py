@@ -18,11 +18,11 @@ between a request arriving and its response leaving:
 4. full batches (flush-on-size) dispatch immediately; a single timer
    task wakes at the scheduler's earliest adaptive deadline for the
    rest (flush-on-deadline);
-5. a dispatch runs on the shared :func:`repro.batch.shared_executor`
-   thread pool: expired entries are answered ``TIMEOUT`` unexecuted,
-   the rest go through ``LacKem.encaps_many`` / ``decaps_many`` (or a
-   keygen loop), and the responses fan back out to their connections
-   with per-request ids;
+5. a dispatch submits to the service's :class:`repro.backend.KemBackend`
+   (thread pool by default; multi-process via ``backend="process"``):
+   expired entries are answered ``TIMEOUT`` unexecuted, the rest go
+   through the backend's batched encaps/decaps/keygen kernels, and the
+   responses fan back out to their connections with per-request ids;
 6. :meth:`KemService.shutdown` stops admission, drains every queue
    through the same dispatch path, awaits in-flight batches, then
    closes transports — no accepted request is ever dropped.
@@ -55,12 +55,14 @@ import secrets
 import socket
 import threading
 import time
+import warnings
 from collections.abc import Awaitable, Callable, Coroutine
-from concurrent.futures import Executor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import Executor
+from dataclasses import dataclass, replace
 from typing import Any, TypeVar
 
-from repro.batch import shared_executor
+from repro.backend.base import KemBackend, create_backend, resolve_backend_name
+from repro.backend.thread import ThreadBackend
 
 # Only ``repro.faults.plan`` is imported at module level: it has no
 # dependency on ``repro.serve``, while ``repro.faults.transport`` does
@@ -70,6 +72,7 @@ from repro.faults.plan import (
     KIND_STALL,
     KIND_TIMEOUT,
     SITE_ADMISSION,
+    SITE_BACKEND,
     SITE_KERNEL,
     FaultPlan,
     InjectedFault,
@@ -77,6 +80,7 @@ from repro.faults.plan import (
 from repro.lac.kem import KemKeyPair, LacKem
 from repro.lac.params import LacParams
 from repro.lac.pke import Ciphertext
+from repro.serve.config import ServiceConfig
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
     PARAM_NONE,
@@ -137,76 +141,114 @@ class _Entry:
     kernel_tags: dict[str, Any] | None = None
 
 
+#: Old flat constructor kwargs that now live on :class:`ServiceConfig`.
+_LEGACY_CONFIG_KWARGS = (
+    "max_batch",
+    "max_wait_us",
+    "min_wait_us",
+    "high_watermark",
+    "request_timeout",
+    "kernel_workers",
+)
+
+
+def _fold_legacy_kwargs(
+    config: ServiceConfig | None,
+    legacy: dict[str, Any],
+    stacklevel: int,
+) -> tuple[ServiceConfig, Executor | None]:
+    """Fold deprecated flat kwargs into a config (warning per category).
+
+    Returns the effective config and a deprecated raw ``executor=``
+    argument, if one was passed (the caller wraps it in a
+    :class:`ThreadBackend`).
+    """
+    executor = legacy.pop("executor", None)
+    if executor is not None:
+        warnings.warn(
+            "the executor= argument is deprecated; pass "
+            "backend=ThreadBackend(executor=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    unknown = [name for name in legacy if name not in _LEGACY_CONFIG_KWARGS]
+    if unknown:
+        raise TypeError(f"unexpected keyword arguments: {sorted(unknown)}")
+    if legacy:
+        warnings.warn(
+            f"keyword arguments {sorted(legacy)} are deprecated; pass "
+            "config=ServiceConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        config = replace(config if config is not None else ServiceConfig(), **legacy)
+    return config if config is not None else ServiceConfig(), executor
+
+
 class KemService:
     """An async LAC KEM service with adaptive micro-batching.
 
     Construct, ``await start()``, attach transports, ``await
-    shutdown()``.  All tuning knobs are constructor arguments:
+    shutdown()``.  Tuning lives in one frozen :class:`ServiceConfig`
+    (batching, backpressure, timeout and backend-selection knobs — see
+    its docstring); the environment-shaped arguments stay on the
+    constructor:
 
-    ``max_batch``
-        flush-on-size threshold (matches the batch kernels' sweet
-        spot, default 64);
-    ``max_wait_us`` / ``min_wait_us``
-        bounds of the adaptive flush deadline
-        (:class:`~repro.serve.scheduler.AdaptiveDeadlinePolicy`);
-    ``high_watermark``
-        pending-request bound beyond which new work is rejected
-        ``BUSY`` (the bounded queue);
-    ``request_timeout``
-        seconds an accepted request may wait before its batch runs;
-        expired requests are answered ``TIMEOUT`` without executing
-        (``None`` disables);
-    ``executor``
-        where batches execute — defaults to the process-wide
-        :func:`repro.batch.shared_executor`;
-    ``kernel_workers``
-        optional intra-batch fan-out: each dispatched batch is split
-        across this many threads of a service-owned pool (separate
-        from the dispatch pool, so the two levels cannot deadlock);
+    ``backend``
+        an explicit :class:`repro.backend.KemBackend` instance to
+        execute batches on.  The caller keeps ownership (the service
+        never closes it).  When omitted, the service creates one at
+        :meth:`start` from ``config.backend`` (name, falling back to
+        ``$REPRO_KEM_BACKEND``, then ``"thread"``) and closes it on
+        :meth:`shutdown`;
     ``clock``
         injectable monotonic clock (tests pass a fake);
     ``fault_plan``
         optional :class:`repro.faults.FaultPlan` — the chaos hook.
         When set, the service draws faults at the transport
         (delay/drop/truncate/corrupt per frame), at admission (forced
-        ``BUSY``/``TIMEOUT`` windows) and inside batch workers
-        (stall/raise), and every fired fault is counted in
-        ``metrics.faults``;
+        ``BUSY``/``TIMEOUT`` windows), inside batch execution
+        (stall/raise) and at the backend (worker ``crash``), and every
+        fired fault is counted in ``metrics.faults``;
     ``tracer``
         optional :class:`repro.trace.Tracer` — when enabled, every
         request emits a ``server.request`` root span plus telescoping
         per-stage spans (see the module docstring); defaults to the
         no-op :data:`repro.trace.NULL_TRACER`.
+
+    The old flat kwargs (``max_batch=...``, ``executor=...``, …) still
+    work but raise :class:`DeprecationWarning`; see the deprecation
+    table in ``docs/SERVICE.md``.
     """
 
     def __init__(
         self,
-        max_batch: int = 64,
-        max_wait_us: float = 2000.0,
-        min_wait_us: float = 50.0,
-        high_watermark: int = 4096,
-        request_timeout: float | None = 30.0,
-        executor: Executor | None = None,
-        kernel_workers: int | None = None,
+        config: ServiceConfig | None = None,
+        *,
+        backend: KemBackend | None = None,
         clock: Callable[[], float] = time.monotonic,
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
+        **legacy: Any,
     ) -> None:
+        config, executor = _fold_legacy_kwargs(config, legacy, stacklevel=3)
+        if executor is not None and backend is None:
+            backend = ThreadBackend(executor=executor)
+        self.config = config
         self.metrics = ServiceMetrics()
-        self.high_watermark = high_watermark
-        self.request_timeout = request_timeout
-        self.kernel_workers = kernel_workers
+        self.high_watermark = config.high_watermark
+        self.request_timeout = config.request_timeout
         self.fault_plan = fault_plan
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._clock = clock
         self._scheduler = MicroBatchScheduler(
-            max_batch=max_batch,
+            max_batch=config.max_batch,
             policy=AdaptiveDeadlinePolicy(
-                max_wait_us=max_wait_us, min_wait_us=min_wait_us
+                max_wait_us=config.max_wait_us, min_wait_us=config.min_wait_us
             ),
         )
-        self._executor = executor
-        self._kernel_pool: ThreadPoolExecutor | None = None
+        self._backend = backend
+        self._owns_backend = False
         self._keys: dict[int, HostedKey] = {}
         self._next_key_id = 1
         self._kems: dict[str, LacKem] = {}
@@ -221,20 +263,34 @@ class KemService:
         self._writers: set[FrameWriter] = set()
         self._tcp_servers: list[asyncio.base_events.Server] = []
 
+    @property
+    def backend(self) -> KemBackend | None:
+        """The execution backend (``None`` until :meth:`start` when
+        the service creates its own from configuration)."""
+        return self._backend
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     async def start(self) -> KemService:
-        """Start the flush timer; must run inside the serving loop."""
+        """Start the flush timer; must run inside the serving loop.
+
+        Resolves the execution backend here (not in the constructor) so
+        a service object can be built cheaply and the backend — which
+        may spawn worker processes — only comes up when serving begins.
+        """
         if self._started:
             return self
-        if self._executor is None:
-            self._executor = shared_executor()
-        if self.kernel_workers and self.kernel_workers > 1:
-            self._kernel_pool = ThreadPoolExecutor(
-                max_workers=self.kernel_workers, thread_name_prefix="repro-serve-k"
+        if self._backend is None:
+            self._backend = create_backend(
+                resolve_backend_name(self.config.backend),
+                workers=self.config.backend_workers,
+                fan_out=self.config.kernel_workers,
             )
+            # closed on shutdown (a no-op for the shared default)
+            self._owns_backend = True
+        self.metrics.backend_stats_provider = self._backend.stats
         if self.fault_plan is not None and self.fault_plan.observer is None:
             # every fault the plan fires is mirrored into the metrics,
             # so /metrics accounts for the whole chaos schedule
@@ -274,8 +330,13 @@ class KemService:
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-        if self._kernel_pool is not None:
-            self._kernel_pool.shutdown(wait=False)
+        if self._owns_backend and self._backend is not None:
+            # in-flight batches are drained above, so this cannot strand
+            # work; re-created from config if the service is restarted
+            self._backend.close(wait=True)
+            self._backend = None
+            self._owns_backend = False
+        self.metrics.backend_stats_provider = None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -601,16 +662,9 @@ class KemService:
                 live.append(entry)
         if not live:
             return
-        loop = asyncio.get_running_loop()
         self.metrics.adjust_inflight(+1)
         try:
-            run = self._run_batch_traced if traced else self._run_batch
-            payloads = await loop.run_in_executor(self._executor, run, op, live)
-            if op is Op.KEYGEN:
-                payloads = [
-                    pack_key_id(self.add_keypair(e.params, pair)) + pk_bytes
-                    for e, (pair, pk_bytes) in zip(live, payloads, strict=True)
-                ]
+            payloads = await self._execute(op, live)
         except Exception as exc:  # noqa: BLE001 - fan the failure out
             for entry in live:
                 await self._finish(entry, Status.INTERNAL, str(exc).encode())
@@ -644,65 +698,109 @@ class KemService:
         for entry, payload in zip(live, payloads, strict=True):
             await self._finish(entry, Status.OK, payload)
 
-    def _run_batch_traced(self, op: Op, entries: list[_Entry]) -> list[Any]:
-        """The traced twin of :meth:`_run_batch`.
+    def _kernel_wrapper(
+        self, entries: list[_Entry]
+    ) -> Callable[[Callable[[], Any]], Any]:
+        """The hook the backend runs around the batch, in its own context.
 
-        Stamps the kernel extent on every entry and collects ambient
-        tags (fault-plan annotations) from *inside* the executor
-        thread — ``run_in_executor`` does not carry the caller's
-        context, so the tag sink must be pushed here.  The stamps are
-        written in a ``finally`` so a raising kernel still yields a
-        ``kernel`` stage span carrying its fault tags.
+        Three jobs that must happen *where the batch executes* (a pool
+        thread, the process backend's supervisor thread, or the caller
+        for the inline backend), not on the event loop:
+
+        * draw ``kernel`` faults (stall/raise) and ``backend`` faults
+          (kill a worker process before the batch fans out);
+        * stamp the kernel extent on every entry so the ``kernel``
+          stage span means the same thing on every backend;
+        * collect ambient tags (fault-plan annotations) into the
+          entries — the executing thread does not carry the loop's
+          context, so the sink must be pushed here.  The stamps are
+          written in a ``finally`` so a raising kernel still yields a
+          ``kernel`` stage span carrying its fault tags.
         """
-        sink: dict[str, Any] = {}
-        t_start = self._clock()
-        try:
-            with collect_tags(sink):
-                return self._run_batch(op, entries)
-        finally:
-            t_end = self._clock()
-            for entry in entries:
-                entry.t_kernel_start = t_start
-                entry.t_kernel_end = t_end
-                entry.kernel_tags = sink
+        traced = self.tracer.enabled
+        plan = self.fault_plan
+        backend = self._backend
+        assert backend is not None
 
-    def _run_batch(self, op: Op, entries: list[_Entry]) -> list[Any]:
-        """Execute one batch on an executor thread; returns raw payloads."""
-        if self.fault_plan is not None:
-            spec = self.fault_plan.draw(SITE_KERNEL)
-            if spec is not None:
-                if spec.kind == KIND_STALL:
-                    time.sleep(spec.delay_s)
-                else:
-                    raise InjectedFault("injected kernel fault")
+        def body(work: Callable[[], Any]) -> Any:
+            if plan is not None:
+                spec = plan.draw(SITE_KERNEL)
+                if spec is not None:
+                    if spec.kind == KIND_STALL:
+                        time.sleep(spec.delay_s)
+                    else:
+                        raise InjectedFault("injected kernel fault")
+                if plan.draw(SITE_BACKEND) is not None:
+                    # a counted no-op on backends without killable
+                    # workers; on the process backend the broken pool
+                    # surfaces WorkerCrashed from work() below
+                    backend.kill_worker()
+            return work()
+
+        if not traced:
+            return body
+
+        def traced_body(work: Callable[[], Any]) -> Any:
+            sink: dict[str, Any] = {"backend": backend.name}
+            t_start = self._clock()
+            try:
+                with collect_tags(sink):
+                    return body(work)
+            finally:
+                t_end = self._clock()
+                for entry in entries:
+                    entry.t_kernel_start = t_start
+                    entry.t_kernel_end = t_end
+                    entry.kernel_tags = sink
+
+        return traced_body
+
+    async def _execute(self, op: Op, live: list[_Entry]) -> list[bytes]:
+        """Run one batch on the execution backend; returns raw payloads.
+
+        Request decoding (ciphertext parsing, message drawing) and
+        response byte-building stay on the event loop — they are cheap
+        and keeping them here means every backend receives identical,
+        already-validated inputs.
+        """
+        backend = self._backend
+        assert backend is not None, "start() the service first"
+        wrapper = self._kernel_wrapper(live)
         if op is Op.KEYGEN:
-            out = []
-            for entry in entries:
-                pair = self.kem_for(entry.params).keygen(entry.seed)
-                out.append((pair, pair.public_key.to_bytes()))
-            return out
-        key = entries[0].key
-        kem, pair = key.kem, key.pair
+            params = live[0].params
+            assert params is not None
+            pairs = await asyncio.wrap_future(
+                backend.submit_keygen(
+                    params, [e.seed for e in live], wrapper=wrapper
+                )
+            )
+            return [
+                pack_key_id(self.add_keypair(e.params, pair))
+                + pair.public_key.to_bytes()
+                for e, pair in zip(live, pairs, strict=True)
+            ]
+        key = live[0].key
+        assert key is not None
         if op is Op.ENCAPS:
             messages = [
                 e.message
                 if e.message is not None
                 else secrets.token_bytes(key.params.message_bytes)
-                for e in entries
+                for e in live
             ]
-            results = kem.encaps_many(
-                pair.public_key,
-                messages,
-                workers=self.kernel_workers,
-                executor=self._kernel_pool,
+            results = await asyncio.wrap_future(
+                backend.submit_encaps(
+                    key.params, key.pair.public_key, messages, wrapper=wrapper
+                )
             )
             return [r.ciphertext.to_bytes() + r.shared_secret for r in results]
-        ciphertexts = [Ciphertext.from_bytes(key.params, e.ct_bytes) for e in entries]
-        return kem.decaps_many(
-            pair.secret_key,
-            ciphertexts,
-            workers=self.kernel_workers,
-            executor=self._kernel_pool,
+        ciphertexts = [Ciphertext.from_bytes(key.params, e.ct_bytes) for e in live]
+        return list(
+            await asyncio.wrap_future(
+                backend.submit_decaps(
+                    key.params, key.pair.secret_key, ciphertexts, wrapper=wrapper
+                )
+            )
         )
 
     async def _finish(self, entry: _Entry, status: Status, payload: bytes) -> None:
@@ -801,6 +899,7 @@ class KemService:
                 "ewma_gap_us": self._scheduler.policy.ewma_gap_us,
                 "high_watermark": self.high_watermark,
                 "request_timeout_s": self.request_timeout,
+                "backend": self._backend.name if self._backend is not None else None,
             }
             payload = json.dumps(snap).encode()
         return Frame(
@@ -816,10 +915,32 @@ class ThreadedService:
     client): ``start()`` spins up the loop and service, ``connect()``
     hands back blocking-socket connections, ``stop()`` drains and
     joins.  Also usable as a context manager.
+
+    Takes the same arguments as :class:`KemService` — a
+    :class:`ServiceConfig` plus optional ``backend``/``clock``/
+    ``fault_plan``/``tracer`` (old flat kwargs still work with a
+    :class:`DeprecationWarning`, resolved here so the warning points at
+    the caller, not the service thread).
     """
 
-    def __init__(self, **service_kwargs: Any) -> None:
-        self._service_kwargs = service_kwargs
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        backend: KemBackend | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+        **legacy: Any,
+    ) -> None:
+        config, executor = _fold_legacy_kwargs(config, legacy, stacklevel=3)
+        if executor is not None and backend is None:
+            backend = ThreadBackend(executor=executor)
+        self._config = config
+        self._backend = backend
+        self._clock = clock
+        self._fault_plan = fault_plan
+        self._tracer = tracer
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
@@ -839,7 +960,13 @@ class ThreadedService:
     def _run(self) -> None:
         self._loop = asyncio.new_event_loop()
         asyncio.set_event_loop(self._loop)
-        self.service = KemService(**self._service_kwargs)
+        self.service = KemService(
+            self._config,
+            backend=self._backend,
+            clock=self._clock,
+            fault_plan=self._fault_plan,
+            tracer=self._tracer,
+        )
         self._loop.run_until_complete(self.service.start())
         self._ready.set()
         self._loop.run_forever()

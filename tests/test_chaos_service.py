@@ -29,6 +29,7 @@ from repro.faults import random_plan
 from repro.lac.kem import LacKem
 from repro.lac.params import LAC_128
 from repro.serve import (
+    ServiceConfig,
     AsyncKemClient,
     KemClient,
     KemService,
@@ -136,7 +137,7 @@ def test_chaos_storm_async(seed):
     async def main():
         plan = random_plan(seed, intensity=0.12)
         svc = await KemService(
-            max_batch=4, request_timeout=5.0, fault_plan=plan
+            ServiceConfig(max_batch=4, request_timeout=5.0), fault_plan=plan
         ).start()
         outcomes: list[str] = []
         await asyncio.gather(
@@ -194,7 +195,7 @@ def test_chaos_storm_sync(seed):
     reference = Reference(0)
     ok = 0
     with ThreadedService(
-        max_batch=4, request_timeout=5.0, fault_plan=plan
+        ServiceConfig(max_batch=4, request_timeout=5.0), fault_plan=plan
     ) as svc:
         client = KemClient(
             svc.connect(), retry=CHAOS_RETRY, reconnect=svc.connect

@@ -15,7 +15,7 @@ import pytest
 from repro.bch import BCHEncoder, LAC_BCH_128_256, LAC_BCH_192
 from repro.lac import ALL_PARAMS, LacKem
 from repro.newhope import NEWHOPE_512, NEWHOPE_1024, NewHopeCpaKem
-from repro.serve import KemClient, ThreadedService
+from repro.serve import KemClient, ServiceConfig, ThreadedService
 
 SEED = bytes(range(64))
 MESSAGE = bytes(range(32))
@@ -98,7 +98,7 @@ def test_lac_kat_through_the_service(params):
     """The served path (protocol + scheduler + batch kernels) must
     reproduce the same frozen vectors bit-for-bit as the scalar KEM."""
     pk_digest, _sk_digest, ct_digest, shared_hex = LAC_VECTORS[params.name]
-    with ThreadedService(max_batch=4) as svc:
+    with ThreadedService(ServiceConfig(max_batch=4)) as svc:
         client = KemClient(svc.connect())
         key_id, pk = client.keygen(params, SEED)
         assert hashlib.sha256(pk.to_bytes()).hexdigest() == pk_digest

@@ -202,10 +202,10 @@ class TestServerMalformedIsolation:
         ids=[label for label, _, _ in FRAMING_CORPUS],
     )
     def test_connection_dropped_and_counted(self, blob, reason):
-        from repro.serve import AsyncKemClient, KemService
+        from repro.serve import AsyncKemClient, KemService, ServiceConfig
 
         async def main():
-            svc = await KemService(max_batch=1).start()
+            svc = await KemService(ServiceConfig(max_batch=1)).start()
             reader, writer = await svc.connect()
             writer.write(blob)
             if len(blob) < HEADER_SIZE:
@@ -232,10 +232,10 @@ class TestServerMalformedIsolation:
     def test_garbage_payload_is_typed_bad_request(self):
         # a well-framed request with nonsense payload: answered with
         # BAD_REQUEST, connection stays usable
-        from repro.serve import AsyncKemClient, BadRequest, KemService
+        from repro.serve import AsyncKemClient, BadRequest, KemService, ServiceConfig
 
         async def main():
-            svc = await KemService(max_batch=1).start()
+            svc = await KemService(ServiceConfig(max_batch=1)).start()
             client = AsyncKemClient(*(await svc.connect()))
             frame = await client.request(
                 Op.ENCAPS, id_for_params(LAC_128), b"\x01\x02"
@@ -256,10 +256,10 @@ class TestServerMalformedIsolation:
         asyncio.run(main())
 
     def test_poisoned_peer_does_not_affect_others(self):
-        from repro.serve import AsyncKemClient, KemService
+        from repro.serve import AsyncKemClient, KemService, ServiceConfig
 
         async def main():
-            svc = await KemService(max_batch=1).start()
+            svc = await KemService(ServiceConfig(max_batch=1)).start()
             healthy = AsyncKemClient(*(await svc.connect()))
             _, poison_writer = await svc.connect()
             poison_writer.write(b"\x00" * 64)

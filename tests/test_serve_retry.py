@@ -20,6 +20,7 @@ from repro.faults import (
 from repro.lac.kem import LacKem
 from repro.lac.params import LAC_128
 from repro.serve import (
+    ServiceConfig,
     AsyncKemClient,
     BadRequest,
     DeadlineExceeded,
@@ -117,7 +118,7 @@ class TestAsyncRetryEndToEnd:
             plan = FaultPlan(
                 [FaultSpec(SITE_ADMISSION, KIND_BUSY, max_fires=2)]
             )
-            svc = await KemService(max_batch=1, fault_plan=plan).start()
+            svc = await KemService(ServiceConfig(max_batch=1), fault_plan=plan).start()
             reader, writer = await svc.connect()
             client = AsyncKemClient(reader, writer, retry=FAST)
             key_id, pk = await client.keygen(LAC_128, SEED)
@@ -138,7 +139,7 @@ class TestAsyncRetryEndToEnd:
             plan = FaultPlan(
                 [FaultSpec(SITE_ADMISSION, KIND_BUSY, max_fires=1)]
             )
-            svc = await KemService(max_batch=1, fault_plan=plan).start()
+            svc = await KemService(ServiceConfig(max_batch=1), fault_plan=plan).start()
             reader, writer = await svc.connect()
             client = AsyncKemClient(reader, writer)
             with pytest.raises(ServiceBusy):
@@ -152,7 +153,7 @@ class TestAsyncRetryEndToEnd:
         # one injected batch abort -> INTERNAL -> retried, bit-identical
         async def main():
             plan = FaultPlan([FaultSpec(SITE_KERNEL, KIND_RAISE, max_fires=1)])
-            svc = await KemService(max_batch=1, fault_plan=plan).start()
+            svc = await KemService(ServiceConfig(max_batch=1), fault_plan=plan).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             reader, writer = await svc.connect()
             client = AsyncKemClient(reader, writer, retry=FAST)
@@ -179,7 +180,7 @@ class TestAsyncRetryEndToEnd:
             plan = FaultPlan(
                 [FaultSpec(SITE_TRANSPORT_READ, KIND_DROP, max_fires=1)]
             )
-            svc = await KemService(max_batch=1, fault_plan=plan).start()
+            svc = await KemService(ServiceConfig(max_batch=1), fault_plan=plan).start()
             reader, writer = await svc.connect()
             client = AsyncKemClient(
                 reader, writer, retry=FAST, reconnect=svc.connect
@@ -200,7 +201,7 @@ class TestAsyncRetryEndToEnd:
             plan = FaultPlan(
                 [FaultSpec(SITE_TRANSPORT_READ, KIND_DROP, max_fires=1)]
             )
-            svc = await KemService(max_batch=1, fault_plan=plan).start()
+            svc = await KemService(ServiceConfig(max_batch=1), fault_plan=plan).start()
             reader, writer = await svc.connect()
             client = AsyncKemClient(reader, writer, retry=FAST)
             with pytest.raises(_CONNECTION_ERRORS):
@@ -213,7 +214,7 @@ class TestAsyncRetryEndToEnd:
     def test_decaps_opt_in_retry(self):
         async def main():
             plan = FaultPlan()
-            svc = await KemService(max_batch=1, fault_plan=plan).start()
+            svc = await KemService(ServiceConfig(max_batch=1), fault_plan=plan).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             kem = LacKem(LAC_128)
             pair = kem.keygen(SEED)
@@ -254,7 +255,7 @@ class TestAsyncRetryEndToEnd:
         # DeadlineExceeded (and is not retried in place) — races a
         # real 50 ms wall-clock deadline, hence the timing mark
         async def main():
-            svc = await KemService(max_batch=1).start()
+            svc = await KemService(ServiceConfig(max_batch=1)).start()
             reader, writer = await svc.connect()
             client = AsyncKemClient(
                 reader,
@@ -276,7 +277,7 @@ class TestAsyncRetryEndToEnd:
 class TestSyncRetryEndToEnd:
     def test_busy_window_survived(self):
         plan = FaultPlan([FaultSpec(SITE_ADMISSION, KIND_BUSY, max_fires=2)])
-        with ThreadedService(max_batch=1, fault_plan=plan) as svc:
+        with ThreadedService(ServiceConfig(max_batch=1), fault_plan=plan) as svc:
             client = KemClient(svc.connect(), retry=FAST)
             key_id, pk = client.keygen(LAC_128, SEED)
             assert (
@@ -287,7 +288,7 @@ class TestSyncRetryEndToEnd:
 
     def test_busy_raises_without_policy(self):
         plan = FaultPlan([FaultSpec(SITE_ADMISSION, KIND_BUSY, max_fires=1)])
-        with ThreadedService(max_batch=1, fault_plan=plan) as svc:
+        with ThreadedService(ServiceConfig(max_batch=1), fault_plan=plan) as svc:
             client = KemClient(svc.connect())
             with pytest.raises(ServiceBusy):
                 client.keygen(LAC_128, SEED)
@@ -297,7 +298,7 @@ class TestSyncRetryEndToEnd:
         plan = FaultPlan(
             [FaultSpec(SITE_TRANSPORT_READ, KIND_DROP, max_fires=1)]
         )
-        with ThreadedService(max_batch=1, fault_plan=plan) as svc:
+        with ThreadedService(ServiceConfig(max_batch=1), fault_plan=plan) as svc:
             client = KemClient(
                 svc.connect(), retry=FAST, reconnect=svc.connect
             )
@@ -312,7 +313,7 @@ class TestSyncRetryEndToEnd:
         plan = FaultPlan(
             [FaultSpec(SITE_TRANSPORT_READ, KIND_DROP, max_fires=1)]
         )
-        with ThreadedService(max_batch=1, fault_plan=plan) as svc:
+        with ThreadedService(ServiceConfig(max_batch=1), fault_plan=plan) as svc:
             client = KemClient(svc.connect(), retry=FAST)
             with pytest.raises(_CONNECTION_ERRORS):
                 client.keygen(LAC_128, SEED)
@@ -320,7 +321,7 @@ class TestSyncRetryEndToEnd:
 
     def test_decaps_not_retried_by_default(self):
         plan = FaultPlan()
-        with ThreadedService(max_batch=1, fault_plan=plan) as svc:
+        with ThreadedService(ServiceConfig(max_batch=1), fault_plan=plan) as svc:
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             kem = LacKem(LAC_128)
             pair = kem.keygen(SEED)
@@ -333,7 +334,7 @@ class TestSyncRetryEndToEnd:
             client.close()
 
     def test_attempt_timeout_sets_socket_timeout(self):
-        with ThreadedService(max_batch=1) as svc:
+        with ThreadedService(ServiceConfig(max_batch=1)) as svc:
             sock = svc.connect()
             client = KemClient(
                 sock, retry=RetryPolicy(attempt_timeout_s=2.5)
@@ -344,7 +345,7 @@ class TestSyncRetryEndToEnd:
     def test_backoff_sleeps_recorded(self):
         slept: list[float] = []
         plan = FaultPlan([FaultSpec(SITE_ADMISSION, KIND_BUSY, max_fires=2)])
-        with ThreadedService(max_batch=1, fault_plan=plan) as svc:
+        with ThreadedService(ServiceConfig(max_batch=1), fault_plan=plan) as svc:
             client = KemClient(
                 svc.connect(),
                 retry=RetryPolicy(

@@ -8,12 +8,14 @@ run over the in-process socketpair transport.
 """
 
 import asyncio
+import dataclasses
 
 import pytest
 
 from repro.lac.kem import LacKem
 from repro.lac.params import ALL_PARAMS, LAC_128, LAC_256
 from repro.serve import (
+    ServiceConfig,
     AsyncKemClient,
     BadRequest,
     KemClient,
@@ -45,11 +47,16 @@ class FakeClock:
 
 def frozen_service(**kwargs) -> tuple[KemService, FakeClock]:
     """A service whose scheduler deadlines never fire on their own:
-    fake clock plus 10-second wait bounds."""
+    fake clock plus 10-second wait bounds.  Config fields go into
+    :class:`ServiceConfig`; anything else (tracer, fault_plan, ...)
+    passes straight through to :class:`KemService`."""
     clock = FakeClock()
     kwargs.setdefault("max_wait_us", 10_000_000.0)
     kwargs.setdefault("min_wait_us", 10_000_000.0)
-    svc = KemService(clock=clock, **kwargs)
+    config_fields = {f.name for f in dataclasses.fields(ServiceConfig)}
+    config_kwargs = {k: v for k, v in kwargs.items() if k in config_fields}
+    extra = {k: v for k, v in kwargs.items() if k not in config_fields}
+    svc = KemService(ServiceConfig(**config_kwargs), clock=clock, **extra)
     return svc, clock
 
 
@@ -81,7 +88,7 @@ class TestProtocolParity:
     @pytest.mark.parametrize("params", ALL_PARAMS, ids=lambda p: p.name)
     def test_full_path_matches_scalar(self, params):
         async def main():
-            svc = await KemService(max_batch=1).start()
+            svc = await KemService(ServiceConfig(max_batch=1)).start()
             client = await connected_client(svc)
             key_id, pk = await client.keygen(params, SEED)
 
@@ -113,7 +120,7 @@ class TestProtocolParity:
     def test_batched_responses_match_scalar(self):
         # many concurrent clients; every response checked against scalar
         async def main():
-            svc = await KemService(max_batch=8).start()
+            svc = await KemService(ServiceConfig(max_batch=8)).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             client = await connected_client(svc, (key_id, LAC_128))
             messages = [bytes([i]) * LAC_128.message_bytes for i in range(24)]
@@ -175,7 +182,8 @@ class TestBatchingDeterministic:
         async def main():
             clock = FakeClock()
             svc = KemService(
-                max_batch=100, max_wait_us=2000.0, min_wait_us=50.0, clock=clock
+                ServiceConfig(max_batch=100, max_wait_us=2000.0, min_wait_us=50.0),
+                clock=clock,
             )
             await svc.start()
             key_a = svc.add_keypair(LAC_128, seed=SEED)
@@ -321,7 +329,7 @@ class TestDrain:
 class TestRequestValidation:
     def test_error_statuses(self):
         async def main():
-            svc = await KemService(max_batch=1).start()
+            svc = await KemService(ServiceConfig(max_batch=1)).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             client = await connected_client(svc, (key_id, LAC_128))
 
@@ -351,7 +359,7 @@ class TestRequestValidation:
 
     def test_garbage_connection_dropped_service_survives(self):
         async def main():
-            svc = await KemService(max_batch=1).start()
+            svc = await KemService(ServiceConfig(max_batch=1)).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             reader, writer = await svc.connect()
             writer.write(b"this is not a frame at all....")
@@ -370,7 +378,7 @@ class TestRequestValidation:
 
 class TestTransports:
     def test_threaded_service_and_sync_client(self):
-        with ThreadedService(max_batch=4, max_wait_us=500.0) as svc:
+        with ThreadedService(ServiceConfig(max_batch=4, max_wait_us=500.0)) as svc:
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             with KemClient(svc.connect()) as client:
                 client.register_key(key_id, LAC_128)
@@ -387,7 +395,7 @@ class TestTransports:
                 assert "kem_requests_total" in client.info(text=True)
 
     def test_tcp_transport(self):
-        with ThreadedService(max_batch=2, max_wait_us=500.0) as svc:
+        with ThreadedService(ServiceConfig(max_batch=2, max_wait_us=500.0)) as svc:
             port = svc.serve_tcp("127.0.0.1", 0)
             with KemClient.open_tcp("127.0.0.1", port) as client:
                 key_id, _pk = client.keygen(LAC_128)
@@ -396,7 +404,7 @@ class TestTransports:
 
     def test_many_multiplexed_clients(self):
         async def main():
-            svc = await KemService(max_batch=16).start()
+            svc = await KemService(ServiceConfig(max_batch=16)).start()
             key_id = svc.add_keypair(LAC_256, seed=SEED)
             clients = [
                 await connected_client(svc, (key_id, LAC_256)) for _ in range(8)

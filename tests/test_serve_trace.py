@@ -16,6 +16,7 @@ import pytest
 from repro.faults.plan import KIND_RAISE, SITE_KERNEL, FaultPlan, FaultSpec
 from repro.lac.params import LAC_128
 from repro.serve import (
+    ServiceConfig,
     AsyncKemClient,
     KemClient,
     KemService,
@@ -130,7 +131,7 @@ class TestStageSpans:
         async def main():
             server_tracer, server_rec = make_tracer()
             client_tracer, client_rec = make_tracer()
-            svc = await KemService(max_batch=1, tracer=server_tracer).start()
+            svc = await KemService(ServiceConfig(max_batch=1), tracer=server_tracer).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             reader, writer = await svc.connect()
             client = AsyncKemClient(reader, writer, tracer=client_tracer)
@@ -156,7 +157,7 @@ class TestStageSpans:
     def test_server_mints_a_trace_for_untraced_clients(self):
         async def main():
             tracer, rec = make_tracer()
-            svc = await KemService(max_batch=1, tracer=tracer).start()
+            svc = await KemService(ServiceConfig(max_batch=1), tracer=tracer).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             client = await connected_client(svc, (key_id, LAC_128))
             await client.encaps(key_id)
@@ -174,7 +175,7 @@ class TestPartialPaths:
     def test_rejected_requests_emit_admission_only_spans(self):
         async def main():
             tracer, rec = make_tracer()
-            svc = await KemService(high_watermark=0, tracer=tracer).start()
+            svc = await KemService(ServiceConfig(high_watermark=0), tracer=tracer).start()
             client = await connected_client(svc, (1, LAC_128))
             with pytest.raises(ServiceBusy):
                 await client.encaps(1)
@@ -232,7 +233,7 @@ class TestPartialPaths:
             tracer, rec = make_tracer()
             plan = FaultPlan([FaultSpec(SITE_KERNEL, KIND_RAISE, max_fires=1)])
             svc = await KemService(
-                max_batch=1, tracer=tracer, fault_plan=plan
+                ServiceConfig(max_batch=1), tracer=tracer, fault_plan=plan
             ).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             client = await connected_client(svc, (key_id, LAC_128))
@@ -258,7 +259,7 @@ class TestMetricsAndOffSwitch:
     def test_stage_timings_feed_the_metrics_and_info(self):
         async def main():
             tracer, _ = make_tracer()
-            svc = await KemService(max_batch=1, tracer=tracer).start()
+            svc = await KemService(ServiceConfig(max_batch=1), tracer=tracer).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             client = await connected_client(svc, (key_id, LAC_128))
             await client.encaps(key_id)
@@ -278,7 +279,7 @@ class TestMetricsAndOffSwitch:
         async def main():
             rec = InMemoryRecorder()
             tracer = Tracer(recorder=rec, enabled=False)
-            svc = await KemService(max_batch=1, tracer=tracer).start()
+            svc = await KemService(ServiceConfig(max_batch=1), tracer=tracer).start()
             key_id = svc.add_keypair(LAC_128, seed=SEED)
             client = await connected_client(svc, (key_id, LAC_128))
             await client.encaps(key_id)
@@ -296,7 +297,7 @@ class TestSyncClient:
     def test_sync_client_traces_through_threaded_service(self):
         server_tracer, server_rec = make_tracer()
         client_tracer, client_rec = make_tracer()
-        with ThreadedService(max_batch=1, tracer=server_tracer) as ts:
+        with ThreadedService(ServiceConfig(max_batch=1), tracer=server_tracer) as ts:
             key_id = ts.add_keypair(LAC_128, seed=SEED)
             client = KemClient(ts.connect(), tracer=client_tracer)
             client.register_key(key_id, LAC_128)
