@@ -122,6 +122,11 @@ async def bench_service(
     await service.shutdown()
 
     encaps_latency = info["latency_us"].get("ENCAPS", {})
+    backend_stats = info.get("backend") or {}
+    cache_stats = backend_stats.get("transform_cache")
+    cache_lookups = (
+        (cache_stats["hits"] + cache_stats["misses"]) if cache_stats else 0
+    )
     return {
         "params": params.name,
         "clients": clients,
@@ -134,6 +139,18 @@ async def bench_service(
         "latency_p50_us": encaps_latency.get("p50_us"),
         "latency_p99_us": encaps_latency.get("p99_us"),
         "ewma_gap_us": info["service"]["ewma_gap_us"],
+        # per-run execution-backend internals: the transform cache
+        # (hits/misses/evictions), the ship-once key wire and the
+        # shared-memory wire state — what the speedup is made of
+        "transform_cache": cache_stats,
+        "cache_hit_rate": (
+            round(cache_stats["hits"] / cache_lookups, 4)
+            if cache_lookups
+            else None
+        ),
+        "worker_keys": backend_stats.get("worker_keys"),
+        "shm": backend_stats.get("shm"),
+        "worker_restarts": backend_stats.get("restarts"),
     }
 
 
@@ -172,6 +189,18 @@ def run(
             row["speedup"] = row["service_ops_per_s"] / sequential
             rows.append(row)
 
+    # the thread-vs-process comparison of docs/PERFORMANCE.md, made
+    # explicit per parameter set (None when only one backend measured)
+    by_key = {(r["params"], r["backend"]): r for r in rows}
+    for row in rows:
+        if row["backend"] == "process":
+            thread_row = by_key.get((row["params"], "thread"))
+            row["vs_thread"] = (
+                round(row["service_ops_per_s"] / thread_row["service_ops_per_s"], 3)
+                if thread_row
+                else None
+            )
+
     report = {
         "benchmark": "async KEM service vs sequential scalar encaps",
         "smoke": smoke,
@@ -186,14 +215,16 @@ def run(
 
     print(
         f"{'set':8} {'backend':>8} {'sequential':>12} {'served':>12} "
-        f"{'speedup':>8} {'mean batch':>11} {'p99 (us)':>9}"
+        f"{'speedup':>8} {'mean batch':>11} {'p99 (us)':>9} {'cache':>6}"
     )
     for row in rows:
+        hit_rate = row.get("cache_hit_rate")
         print(
             f"{row['params']:8} {row['backend']:>8} "
             f"{row['sequential_ops_per_s']:6.0f} ops/s "
             f"{row['service_ops_per_s']:6.0f} ops/s {row['speedup']:7.1f}x "
-            f"{row['mean_batch_size']:10.1f} {row['latency_p99_us']:9.0f}"
+            f"{row['mean_batch_size']:10.1f} {row['latency_p99_us']:9.0f} "
+            f"{('%5.0f%%' % (hit_rate * 100)) if hit_rate is not None else '   --'}"
         )
 
     failures = []

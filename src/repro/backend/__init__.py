@@ -28,7 +28,8 @@ from repro.backend.base import (
     resolve_backend_name,
 )
 from repro.backend.inline import InlineBackend
-from repro.backend.process import ProcessBackend
+from repro.backend.process import ProcessBackend, WorkerKeyMiss
+from repro.backend.shm import SegmentPool, shm_available
 from repro.backend.thread import (
     DEFAULT_THREAD_WORKERS,
     ThreadBackend,
@@ -44,8 +45,11 @@ __all__ = [
     "KemBackend",
     "KernelWrapper",
     "ProcessBackend",
+    "SegmentPool",
     "ThreadBackend",
+    "WorkerKeyMiss",
     "create_backend",
     "default_thread_backend",
     "resolve_backend_name",
+    "shm_available",
 ]

@@ -22,7 +22,13 @@ Every implementation provides the same contract:
 ``keygen(params, seed)``  — synchronous single-key convenience
 ``warmup()``              — pay table-building/spawn cost up front
 ``close()``               — graceful drain; idempotent
-``stats()``               — submission/restart counters for metrics
+``stats()``               — submission/restart/cache counters for metrics
+``register_key(...)``     — warm the per-key transform cache
+``invalidate_key(...)``   — reclaim cache entries on key removal
+
+Backends own a per-key :class:`repro.ring.KeyTransformCache`: batches
+under a hosted key reuse the forward FFT of the key-side ring operands
+(and skip GenA on a hit) instead of recomputing them per batch.
 
 Results are **bit-identical to the scalar** :class:`repro.lac.LacKem`
 across every backend — the conformance suite in
@@ -39,13 +45,14 @@ from __future__ import annotations
 import os
 import threading
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Future
 from typing import Any
 
 from repro.lac.kem import EncapsResult, KemKeyPair, KemSecretKey, LacKem
 from repro.lac.params import ALL_PARAMS, LacParams
 from repro.lac.pke import Ciphertext, PublicKey
+from repro.ring.cache import DEFAULT_CACHE_ENTRIES, KeyTransformCache
 
 #: Environment variable consulted when no backend name is given
 #: explicitly (``ServiceConfig.backend=None`` and no ``backend=`` arg).
@@ -83,7 +90,7 @@ class KemBackend(ABC):
     #: Registry/metrics name of the implementation.
     name: str = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, cache_entries: int | None = None) -> None:
         self._kems_lock = threading.Lock()
         self._kems: dict[str, LacKem] = {}
         self._stats_lock = threading.Lock()
@@ -91,6 +98,15 @@ class KemBackend(ABC):
         self._completed = 0
         self._failed = 0
         self._closed = False
+        #: The backend-owned per-key transform cache
+        #: (:class:`repro.ring.KeyTransformCache`).  ``cache_entries``
+        #: sizes it; ``0`` disables caching entirely (cold baseline for
+        #: benchmarks), ``None`` takes the default capacity.
+        self.transform_cache: KeyTransformCache | None = (
+            None
+            if cache_entries == 0
+            else KeyTransformCache(cache_entries or DEFAULT_CACHE_ENTRIES)
+        )
 
     # ------------------------------------------------------------------
     # the contract
@@ -157,6 +173,36 @@ class KemBackend(ABC):
         """
         self._closed = True
 
+    def register_key(
+        self,
+        params: LacParams,
+        pk: PublicKey,
+        keys: KemSecretKey | None = None,
+    ) -> list[bytes]:
+        """Warm the transform cache for a key this backend will host.
+
+        Pays GenA and the key-side forward FFTs at registration time so
+        the first batch under the key already hits.  Returns the
+        fingerprints populated — keep them for :meth:`invalidate_key`
+        on removal.  With caching disabled the fingerprints are still
+        returned (they are content-derived, not cache state).
+        """
+        from repro.batch.kem import key_fingerprints, warm_cache
+
+        if self.transform_cache is None:
+            return key_fingerprints(params, pk, keys)
+        return warm_cache(self.transform_cache, params, pk, keys)
+
+    def invalidate_key(self, fingerprints: Iterable[bytes]) -> int:
+        """Reclaim cache entries for a removed key; returns entries dropped.
+
+        Purely memory hygiene — content-derived fingerprints already
+        make stale hits impossible (see :mod:`repro.ring.cache`).
+        """
+        if self.transform_cache is None:
+            return 0
+        return self.transform_cache.invalidate(fingerprints)
+
     def kill_worker(self) -> bool:
         """Chaos hook: kill one worker, if the backend has killable ones.
 
@@ -169,13 +215,19 @@ class KemBackend(ABC):
     def stats(self) -> dict[str, Any]:
         """Counters for metrics/INFO: submissions, failures, restarts."""
         with self._stats_lock:
-            return {
+            out: dict[str, Any] = {
                 "name": self.name,
                 "submitted": self._submitted,
                 "completed": self._completed,
                 "failed": self._failed,
                 "restarts": 0,
             }
+        out["transform_cache"] = (
+            self.transform_cache.stats()
+            if self.transform_cache is not None
+            else None
+        )
+        return out
 
     # ------------------------------------------------------------------
     # shared plumbing for implementations
@@ -240,15 +292,17 @@ def create_backend(
     name: str | None = None,
     workers: int | None = None,
     fan_out: int | None = None,
+    cache_entries: int | None = None,
 ) -> KemBackend:
     """Create (or share) a backend by name.
 
     ``name`` of ``None`` falls back to ``$REPRO_KEM_BACKEND``, then to
     ``"thread"``.  ``workers`` sizes the pool; ``fan_out`` adds
-    intra-batch fan-out (thread backend only).  A plain ``"thread"``
-    request with neither knob returns the process-wide shared default
-    backend — the executor-reuse behavior the serving layer has always
-    had — whose :meth:`~KemBackend.close` is a no-op.
+    intra-batch fan-out (thread backend only); ``cache_entries`` sizes
+    the per-key transform cache (``0`` disables it).  A plain
+    ``"thread"`` request with no knob at all returns the process-wide
+    shared default backend — the executor-reuse behavior the serving
+    layer has always had — whose :meth:`~KemBackend.close` is a no-op.
     """
     from repro.backend.inline import InlineBackend
     from repro.backend.process import ProcessBackend
@@ -257,13 +311,17 @@ def create_backend(
     resolved = resolve_backend_name(name)
     _positive("workers", workers)
     _positive("fan_out", fan_out)
+    if cache_entries is not None and cache_entries < 0:
+        raise ValueError("cache_entries must be >= 0")
     if resolved == "inline":
-        return InlineBackend()
+        return InlineBackend(cache_entries=cache_entries)
     if resolved == "process":
-        return ProcessBackend(workers=workers)
-    if workers is None and fan_out is None:
+        return ProcessBackend(workers=workers, cache_entries=cache_entries)
+    if workers is None and fan_out is None and cache_entries is None:
         return default_thread_backend()
-    return ThreadBackend(workers=workers, fan_out=fan_out)
+    return ThreadBackend(
+        workers=workers, fan_out=fan_out, cache_entries=cache_entries
+    )
 
 
 #: Names accepted by :func:`create_backend` / ``ServiceConfig.backend``.

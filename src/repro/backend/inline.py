@@ -52,7 +52,10 @@ class InlineBackend(KemBackend):
         if not batch:
             return self._done([])
         kem = self._kem_for(params)
-        return self._run_now(wrapper, lambda: _encaps_chunk(kem, pk, batch))
+        return self._run_now(
+            wrapper,
+            lambda: _encaps_chunk(kem, pk, batch, self.transform_cache),
+        )
 
     def submit_decaps(
         self,
@@ -67,7 +70,10 @@ class InlineBackend(KemBackend):
         if not batch:
             return self._done([])
         kem = self._kem_for(params)
-        return self._run_now(wrapper, lambda: _decaps_chunk(kem, keys, batch))
+        return self._run_now(
+            wrapper,
+            lambda: _decaps_chunk(kem, keys, batch, self.transform_cache),
+        )
 
     def submit_keygen(
         self,

@@ -13,11 +13,26 @@ interpreters at once.
 
 Design points:
 
-* **compact wire format** — only ``bytes`` and small tuples cross the
-  pipe (parameter-set *name*, serialized keys, messages, ciphertext
-  blobs), never numpy arrays or parameter objects, keeping pickling a
-  memcpy; results come back as ``(ct_bytes, shared)`` pairs and are
-  re-hydrated parent-side;
+* **zero-copy wire** — bulk payloads (ciphertext blobs down for
+  decapsulation, ciphertext + shared-secret pairs back up for
+  encapsulation) travel through pooled shared-memory segments
+  (:mod:`repro.backend.shm`); the pipe carries only a segment name
+  and a count.  Fixed per-parameter-set sizes make every offset
+  computable on both sides.  When shared memory is unusable the
+  backend falls back to the original pickled-``bytes`` wire
+  (``wire="bytes"`` forces it);
+* **ship-once key material** — workers keep a fingerprint-addressed
+  cache of hydrated keys, so a hosted key's serialized blob crosses
+  the pipe roughly once per worker; later calls send the 16-byte
+  fingerprint.  A worker that restarted (and lost its cache) raises
+  the picklable :class:`WorkerKeyMiss` and the parent retries that
+  chunk with the full blob — correctness never depends on the
+  bookkeeping being right;
+* **per-worker transform cache** — each worker owns a
+  :class:`repro.ring.KeyTransformCache`, so repeated batches under a
+  hosted key skip GenA and the key-side forward FFTs in the worker
+  too; hit/miss deltas ride back piggybacked on each result and are
+  aggregated parent-side into stats and trace tags;
 * **per-worker warmup** — each worker's initializer builds its own
   GF log/antilog tables, ring FFT state and BCH parity matrix by
   running a one-operation roundtrip per configured parameter set, so
@@ -28,9 +43,12 @@ Design points:
   ``max_restarts``), counts the restart (surfaced as
   ``kem_worker_restarts_total``) and fails the in-flight batch with
   the typed :class:`repro.errors.WorkerCrashed` — which the service
-  maps to the existing ``INTERNAL`` response;
+  maps to the existing ``INTERNAL`` response.  Shared-memory segments
+  are parent-owned, survive the restart, and are reused by the new
+  pool;
 * **graceful drain** — :meth:`close` stops intake, lets submitted
-  batches finish, then shuts both pools down; idempotent.
+  batches finish, shuts both pools down, then unlinks every
+  shared-memory segment; idempotent.
 
 The default ``mp_context`` is ``"spawn"``: forking a process that
 already runs pool threads (every server does) inherits locked mutexes
@@ -44,24 +62,58 @@ import multiprocessing
 import os
 import signal
 import threading
+from collections import OrderedDict
 from collections.abc import Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable
 
 from repro.backend.base import KemBackend, KernelWrapper
-from repro.batch.kem import _decaps_chunk, _encaps_chunk
+from repro.backend.shm import Segment, SegmentPool, attach_segment, shm_available
+from repro.batch.kem import _annotate_cache, _decaps_chunk, _encaps_chunk
 from repro.errors import WorkerCrashed
 from repro.lac.kem import EncapsResult, KemKeyPair, KemSecretKey, LacKem
 from repro.lac.params import ALL_PARAMS, LacParams
 from repro.lac.pke import Ciphertext, PublicKey
+from repro.ring.cache import DEFAULT_CACHE_ENTRIES, KeyTransformCache, fingerprint
 
-#: Smallest per-process sub-chunk worth the pickling round trip; a
+#: Smallest per-process sub-chunk worth the dispatch round trip; a
 #: 64-op batch on 8 workers still lands at 8 ops per process.
 MIN_CHUNK = 8
 
 #: Default bound on pool rebuilds after worker crashes.
 DEFAULT_MAX_RESTARTS = 3
+
+#: Bytes of shared secret per encapsulation result on the wire.
+_SHARED_BYTES = 32
+
+#: Hydrated keys a worker retains (LRU); key blobs are ~1 KiB so this
+#: bounds the worker key cache around a megabyte.
+_WORKER_KEY_LIMIT = 1024
+
+#: Entries in the parent's ship-once table before the oldest are
+#: forgotten (forgetting is safe: the worker-side miss retry recovers).
+_SHIP_TABLE_LIMIT = 4096
+
+#: Wire selection accepted by :class:`ProcessBackend`.
+WIRE_MODES = ("auto", "shm", "bytes")
+
+
+class WorkerKeyMiss(RuntimeError):
+    """A fingerprint-only key reference missed the worker's key cache.
+
+    Raised worker-side, pickled back to the parent, which retries the
+    chunk with the full key blob attached.  Routine after a worker
+    restart (fresh interpreters have empty caches) — never an error
+    the caller sees.
+    """
+
+    def __init__(self, fp: bytes) -> None:
+        super().__init__(f"worker key cache miss for {fp.hex()}")
+        self.fp = fp
+
+    def __reduce__(self) -> tuple[Any, tuple[bytes]]:
+        return (WorkerKeyMiss, (self.fp,))
 
 
 def _params_by_name(name: str) -> LacParams:
@@ -77,6 +129,12 @@ def _params_by_name(name: str) -> LacParams:
 
 _WORKER_KEMS: dict[str, LacKem] = {}
 
+#: Fingerprint-addressed LRU of hydrated key objects (ship-once wire).
+_WORKER_KEYS: OrderedDict[bytes, Any] = OrderedDict()
+
+#: This worker's per-key transform cache (sized by the initializer).
+_WORKER_CACHE: KeyTransformCache | None = None
+
 
 def _worker_kem(params_name: str) -> LacKem:
     kem = _WORKER_KEMS.get(params_name)
@@ -85,14 +143,20 @@ def _worker_kem(params_name: str) -> LacKem:
     return kem
 
 
-def _worker_init(param_names: Sequence[str]) -> None:
+def _worker_init(param_names: Sequence[str], cache_entries: int) -> None:
     """Per-worker warmup: build this process's GF/ring/BCH tables.
 
     Runs in each worker as it spawns — a one-operation keygen/encaps/
     decaps roundtrip per configured parameter set touches every lazy
     table (GF(2^9) log/antilog, ring FFT twiddles, the BCH parity
-    matrix), so serving batches never pay construction cost.
+    matrix), so serving batches never pay construction cost.  Also
+    creates the worker's transform cache (``cache_entries == 0``
+    disables caching).
     """
+    global _WORKER_CACHE
+    _WORKER_CACHE = (
+        KeyTransformCache(cache_entries) if cache_entries > 0 else None
+    )
     for name in param_names:
         kem = _worker_kem(name)
         params = kem.params
@@ -101,22 +165,111 @@ def _worker_init(param_names: Sequence[str]) -> None:
         _decaps_chunk(kem, pair.secret_key, [r.ciphertext for r in results])
 
 
+def _resolve_key(
+    kind: str, params_name: str, key_ref: tuple[str, bytes, bytes | None]
+) -> tuple[Any, bool]:
+    """Hydrate (or recall) a key from its wire reference.
+
+    ``key_ref`` is ``(kind, fingerprint, blob-or-None)``.  Returns the
+    hydrated object and whether it was a cache hit; raises
+    :class:`WorkerKeyMiss` when a fingerprint-only reference finds an
+    empty slot (the parent retries with the blob).
+    """
+    ref_kind, fp, blob = key_ref
+    if ref_kind != kind:  # pragma: no cover - parent always matches
+        raise ValueError(f"expected a {kind} reference, got {ref_kind}")
+    cached = _WORKER_KEYS.get(fp)
+    if cached is not None:
+        _WORKER_KEYS.move_to_end(fp)
+        return cached, True
+    if blob is None:
+        raise WorkerKeyMiss(fp)
+    params = _worker_kem(params_name).params
+    obj: Any = (
+        PublicKey.from_bytes(params, blob)
+        if kind == "pk"
+        else KemSecretKey.from_bytes(params, blob)
+    )
+    _WORKER_KEYS[fp] = obj
+    while len(_WORKER_KEYS) > _WORKER_KEY_LIMIT:
+        _WORKER_KEYS.popitem(last=False)
+    return obj, False
+
+
+def _cache_counters() -> tuple[int, int, int]:
+    return _WORKER_CACHE.counters() if _WORKER_CACHE is not None else (0, 0, 0)
+
+
+def _stats_delta(before: tuple[int, int, int], key_hit: bool) -> dict[str, int]:
+    """The piggyback stats envelope returned with every kernel result."""
+    after = _cache_counters()
+    return {
+        "cache_hits": after[0] - before[0],
+        "cache_misses": after[1] - before[1],
+        "cache_evictions": after[2] - before[2],
+        "key_hits": int(key_hit),
+    }
+
+
 def _worker_encaps(
-    params_name: str, pk_bytes: bytes, messages: list[bytes]
-) -> list[tuple[bytes, bytes]]:
+    params_name: str,
+    key_ref: tuple[str, bytes, bytes | None],
+    messages: list[bytes],
+    out_seg: str | None,
+) -> tuple[Any, dict[str, int]]:
+    """Encapsulate a chunk; results go to shared memory when offered.
+
+    With ``out_seg`` the fixed-stride layout is ``ciphertext ||
+    shared`` per message and the payload is just the count; without it
+    (bytes wire) the payload is the pickled ``(ct, shared)`` pairs.
+    """
     kem = _worker_kem(params_name)
-    pk = PublicKey.from_bytes(kem.params, pk_bytes)
-    results = _encaps_chunk(kem, pk, messages)
-    return [(r.ciphertext.to_bytes(), r.shared_secret) for r in results]
+    pk, key_hit = _resolve_key("pk", params_name, key_ref)
+    before = _cache_counters()
+    results = _encaps_chunk(kem, pk, messages, _WORKER_CACHE)
+    stats = _stats_delta(before, key_hit)
+    if out_seg is None:
+        return [(r.ciphertext.to_bytes(), r.shared_secret) for r in results], stats
+    stride = kem.params.ciphertext_bytes + _SHARED_BYTES
+    segment = attach_segment(out_seg)
+    try:
+        buf = segment.buf
+        for i, result in enumerate(results):
+            offset = i * stride
+            ct = result.ciphertext.to_bytes()
+            buf[offset : offset + len(ct)] = ct
+            buf[offset + len(ct) : offset + stride] = result.shared_secret
+    finally:
+        segment.close()
+    return len(results), stats
 
 
 def _worker_decaps(
-    params_name: str, sk_bytes: bytes, ct_blobs: list[bytes]
-) -> list[bytes]:
+    params_name: str,
+    key_ref: tuple[str, bytes, bytes | None],
+    ct_blobs: list[bytes] | None,
+    in_seg: tuple[str, int] | None,
+) -> tuple[list[bytes], dict[str, int]]:
+    """Decapsulate a chunk; ciphertexts arrive via shared memory when
+    ``in_seg`` names a segment (fixed ``ciphertext_bytes`` stride)."""
     kem = _worker_kem(params_name)
-    keys = KemSecretKey.from_bytes(kem.params, sk_bytes)
+    keys, key_hit = _resolve_key("sk", params_name, key_ref)
+    if in_seg is not None:
+        seg_name, count = in_seg
+        stride = kem.params.ciphertext_bytes
+        segment = attach_segment(seg_name)
+        try:
+            buf = segment.buf
+            ct_blobs = [
+                bytes(buf[i * stride : (i + 1) * stride]) for i in range(count)
+            ]
+        finally:
+            segment.close()
+    assert ct_blobs is not None
+    before = _cache_counters()
     ciphertexts = [Ciphertext.from_bytes(kem.params, blob) for blob in ct_blobs]
-    return _decaps_chunk(kem, keys, ciphertexts)
+    shared = _decaps_chunk(kem, keys, ciphertexts, _WORKER_CACHE)
+    return shared, _stats_delta(before, key_hit)
 
 
 def _worker_keygen(
@@ -148,6 +301,10 @@ class ProcessBackend(KemBackend):
     parameter sets actually served (tests pass one set to keep spawn
     cheap).  ``max_restarts`` bounds pool rebuilds after crashes;
     beyond it the backend declares itself broken and fails fast.
+    ``cache_entries`` sizes each worker's per-key transform cache
+    (``0`` disables it).  ``wire`` selects the payload transport:
+    ``"auto"`` (shared memory when the host supports it), ``"shm"``
+    (require it), or ``"bytes"`` (the original pickled wire).
     """
 
     name = "process"
@@ -159,15 +316,34 @@ class ProcessBackend(KemBackend):
         mp_context: str = "spawn",
         warm_params: Sequence[LacParams] | None = None,
         min_chunk: int = MIN_CHUNK,
+        cache_entries: int | None = None,
+        wire: str = "auto",
     ) -> None:
-        super().__init__()
-        self._workers = workers or max(2, min(8, os.cpu_count() or 2))
+        super().__init__(cache_entries=cache_entries)
+        if wire not in WIRE_MODES:
+            raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
+        self._workers = workers or max(1, min(8, os.cpu_count() or 1))
         self._max_restarts = max_restarts
         self._min_chunk = max(1, min_chunk)
         self._ctx = multiprocessing.get_context(mp_context)
         self._warm_names = tuple(
             p.name for p in (warm_params if warm_params is not None else ALL_PARAMS)
         )
+        self._cache_entries = (
+            0 if cache_entries == 0 else (cache_entries or DEFAULT_CACHE_ENTRIES)
+        )
+        self._use_shm = shm_available() if wire == "auto" else wire == "shm"
+        self._segments = SegmentPool()
+        self._ship_lock = threading.Lock()
+        self._shipped: OrderedDict[bytes, int] = OrderedDict()
+        self._worker_stats = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "key_hits": 0,
+            "key_ships": 0,
+            "key_miss_retries": 0,
+        }
         self._pool_lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
         self._generation = 0
@@ -195,7 +371,7 @@ class ProcessBackend(KemBackend):
                     max_workers=self._workers,
                     mp_context=self._ctx,
                     initializer=_worker_init,
-                    initargs=(self._warm_names,),
+                    initargs=(self._warm_names, self._cache_entries),
                 )
             return self._pool, self._generation
 
@@ -204,6 +380,9 @@ class ProcessBackend(KemBackend):
 
         ``BrokenProcessPool`` fans out to every future of the incident;
         the generation check makes sure one crash costs one restart.
+        The ship-once table resets too — the replacement workers spawn
+        with empty key caches.  Shared-memory segments are parent-owned
+        and survive for the next pool.
         """
         with self._pool_lock:
             if generation != self._generation:
@@ -213,17 +392,90 @@ class ProcessBackend(KemBackend):
             pool, self._pool = self._pool, None
             if self._restarts > self._max_restarts:
                 self._broken = True
+        with self._ship_lock:
+            self._shipped.clear()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
+    # -- ship-once key wire ---------------------------------------------
+
+    def _key_ref(
+        self, kind: str, fp: bytes, blob: bytes
+    ) -> tuple[str, bytes, bytes | None]:
+        """Build a wire key reference, shipping the blob until every
+        worker has plausibly seen it (the miss retry covers the rest)."""
+        with self._ship_lock:
+            count = self._shipped.get(fp, 0)
+            if count >= self._workers:
+                return (kind, fp, None)
+            self._shipped[fp] = count + 1
+            self._shipped.move_to_end(fp)
+            while len(self._shipped) > _SHIP_TABLE_LIMIT:
+                self._shipped.popitem(last=False)
+        with self._stats_lock:
+            self._worker_stats["key_ships"] += 1
+        return (kind, fp, blob)
+
+    def _note_retry(self, fp: bytes) -> None:
+        with self._ship_lock:
+            self._shipped[fp] = self._shipped.get(fp, 0) + 1
+            self._shipped.move_to_end(fp)
+        with self._stats_lock:
+            self._worker_stats["key_miss_retries"] += 1
+            self._worker_stats["key_ships"] += 1
+
+    def _merge_worker_stats(self, stats: dict[str, int]) -> None:
+        """Aggregate a piggybacked stats envelope; cache counters also
+        land on the ambient trace-tag sink (the supervisor thread runs
+        inside the service's kernel wrapper)."""
+        with self._stats_lock:
+            for key in ("cache_hits", "cache_misses", "cache_evictions", "key_hits"):
+                self._worker_stats[key] += stats.get(key, 0)
+        _annotate_cache(stats.get("cache_hits", 0), stats.get("cache_misses", 0))
+
+    # -- segment plumbing ------------------------------------------------
+
+    def _acquire_segment(self, nbytes: int) -> Segment | None:
+        """A pooled segment, or ``None`` on the bytes wire (including
+        after a runtime shared-memory failure, which disables shm)."""
+        if not self._use_shm:
+            return None
+        try:
+            return self._segments.acquire(nbytes)
+        except (OSError, RuntimeError):
+            self._use_shm = False
+            return None
+
+    def _release_segments(self, segments: Sequence[Segment | None]) -> None:
+        for segment in segments:
+            if segment is not None:
+                self._segments.release(segment)
+
     def _fan(
-        self, fn: Callable[..., Any], calls: Sequence[tuple[Any, ...]]
+        self,
+        fn: Callable[..., Any],
+        calls: Sequence[tuple[Any, ...]],
+        reship: Callable[[tuple[Any, ...]], tuple[Any, ...]] | None = None,
     ) -> list[Any]:
-        """Run ``fn(*args)`` per call tuple across the worker pool."""
+        """Run ``fn(*args)`` per call tuple across the worker pool.
+
+        ``reship`` rebuilds a call with the full key blob attached; it
+        handles the :class:`WorkerKeyMiss` a restarted (or LRU-evicted)
+        worker raises for fingerprint-only references.
+        """
         pool, generation = self._ensure_pool()
         try:
             futures = [pool.submit(fn, *args) for args in calls]
-            return [future.result() for future in futures]
+            out = []
+            for future, args in zip(futures, calls):
+                try:
+                    out.append(future.result())
+                except WorkerKeyMiss as miss:
+                    if reship is None:
+                        raise
+                    self._note_retry(miss.fp)
+                    out.append(pool.submit(fn, *reship(args)).result())
+            return out
         except BrokenProcessPool as exc:
             self._on_broken_pool(generation)
             raise WorkerCrashed("kem worker process died mid-batch") from exc
@@ -253,22 +505,68 @@ class ProcessBackend(KemBackend):
         *,
         wrapper: KernelWrapper | None = None,
     ) -> Future[list[EncapsResult]]:
-        """Encapsulate ``messages``, split across worker processes."""
+        """Encapsulate ``messages``, split across worker processes.
+
+        Messages go down the pipe (32 bytes each); the bulky results
+        come back through a pooled shared-memory segment per chunk.
+        """
         batch = [bytes(m) for m in messages]
         if not batch:
             return self._done([])
         pk_bytes = pk.to_bytes()
+        fp = fingerprint(b"wire-pk", params.name.encode(), pk_bytes)
         name = params.name
+        stride = params.ciphertext_bytes + _SHARED_BYTES
+
+        def reship(args: tuple[Any, ...]) -> tuple[Any, ...]:
+            return (args[0], ("pk", fp, pk_bytes), args[2], args[3])
 
         def work() -> list[EncapsResult]:
-            calls = [(name, pk_bytes, chunk) for chunk in self._chunk(batch)]
-            out: list[EncapsResult] = []
-            for part in self._fan(_worker_encaps, calls):
-                out.extend(
-                    EncapsResult(Ciphertext.from_bytes(params, ct_bytes), shared)
-                    for ct_bytes, shared in part
-                )
-            return out
+            chunks = self._chunk(batch)
+            segments = [
+                self._acquire_segment(len(chunk) * stride) for chunk in chunks
+            ]
+            try:
+                calls = [
+                    (
+                        name,
+                        self._key_ref("pk", fp, pk_bytes),
+                        chunk,
+                        segment.name if segment is not None else None,
+                    )
+                    for chunk, segment in zip(chunks, segments)
+                ]
+                out: list[EncapsResult] = []
+                for part, segment, chunk in zip(
+                    self._fan(_worker_encaps, calls, reship), segments, chunks
+                ):
+                    payload, stats = part
+                    self._merge_worker_stats(stats)
+                    if segment is None:
+                        out.extend(
+                            EncapsResult(
+                                Ciphertext.from_bytes(params, ct_bytes), shared
+                            )
+                            for ct_bytes, shared in payload
+                        )
+                        continue
+                    buf = segment.buf
+                    for i in range(payload):
+                        offset = i * stride
+                        ct_bytes = bytes(
+                            buf[offset : offset + params.ciphertext_bytes]
+                        )
+                        shared = bytes(
+                            buf[offset + params.ciphertext_bytes : offset + stride]
+                        )
+                        out.append(
+                            EncapsResult(
+                                Ciphertext.from_bytes(params, ct_bytes), shared
+                            )
+                        )
+                return out
+            finally:
+                self._release_segments(segments)
 
         return self._submit(wrapper, work)
 
@@ -280,19 +578,55 @@ class ProcessBackend(KemBackend):
         *,
         wrapper: KernelWrapper | None = None,
     ) -> Future[list[bytes]]:
-        """Decapsulate ``ciphertexts``, split across worker processes."""
+        """Decapsulate ``ciphertexts``, split across worker processes.
+
+        The ciphertext blobs go down through a pooled shared-memory
+        segment per chunk; the 32-byte shared secrets come back on the
+        pipe.
+        """
         blobs = [ct.to_bytes() for ct in ciphertexts]
         if not blobs:
             return self._done([])
         sk_bytes = keys.to_bytes()
+        fp = fingerprint(b"wire-sk", params.name.encode(), sk_bytes)
         name = params.name
+        stride = params.ciphertext_bytes
+
+        def reship(args: tuple[Any, ...]) -> tuple[Any, ...]:
+            return (args[0], ("sk", fp, sk_bytes), args[2], args[3])
 
         def work() -> list[bytes]:
-            calls = [(name, sk_bytes, chunk) for chunk in self._chunk(blobs)]
-            out: list[bytes] = []
-            for part in self._fan(_worker_decaps, calls):
-                out.extend(part)
-            return out
+            chunks = self._chunk(blobs)
+            segments = [
+                self._acquire_segment(len(chunk) * stride) for chunk in chunks
+            ]
+            try:
+                calls = []
+                for chunk, segment in zip(chunks, segments):
+                    if segment is not None:
+                        buf = segment.buf
+                        for i, blob in enumerate(chunk):
+                            buf[i * stride : (i + 1) * stride] = blob
+                        calls.append(
+                            (
+                                name,
+                                self._key_ref("sk", fp, sk_bytes),
+                                None,
+                                (segment.name, len(chunk)),
+                            )
+                        )
+                    else:
+                        calls.append(
+                            (name, self._key_ref("sk", fp, sk_bytes), chunk, None)
+                        )
+                out: list[bytes] = []
+                for part in self._fan(_worker_decaps, calls, reship):
+                    shared, stats = part
+                    self._merge_worker_stats(stats)
+                    out.extend(shared)
+                return out
+            finally:
+                self._release_segments(segments)
 
         return self._submit(wrapper, work)
 
@@ -303,7 +637,11 @@ class ProcessBackend(KemBackend):
         *,
         wrapper: KernelWrapper | None = None,
     ) -> Future[list[KemKeyPair]]:
-        """Generate key pairs in worker processes; re-hydrated parent-side."""
+        """Generate key pairs in worker processes; re-hydrated parent-side.
+
+        Keygen stays on the bytes wire: batches are rare, small, and
+        dominated by sampling rather than serialization.
+        """
         batch = list(seeds)
         if not batch:
             return self._done([])
@@ -323,6 +661,24 @@ class ProcessBackend(KemBackend):
             return out
 
         return self._submit(wrapper, work)
+
+    # -- key lifecycle ---------------------------------------------------
+
+    def register_key(
+        self,
+        params: LacParams,
+        pk: PublicKey,
+        keys: KemSecretKey | None = None,
+    ) -> list[bytes]:
+        """Fingerprints only — worker caches warm lazily on first use.
+
+        The parent cannot target individual workers, so eager warming
+        is impossible; the content-addressed worker caches plus the
+        ship-once wire achieve the same steady state after one batch.
+        """
+        from repro.batch.kem import key_fingerprints
+
+        return key_fingerprints(params, pk, keys)
 
     # -- chaos + observability ------------------------------------------
 
@@ -348,16 +704,40 @@ class ProcessBackend(KemBackend):
         return True
 
     def stats(self) -> dict[str, Any]:
-        """Submission counters plus worker-pool health."""
+        """Submission counters plus worker-pool health, the aggregated
+        worker cache counters, and the shared-memory wire state."""
         out = super().stats()
         with self._pool_lock:
             out["workers"] = self._workers
             out["restarts"] = self._restarts
             out["broken"] = self._broken
+        with self._stats_lock:
+            worker_stats = dict(self._worker_stats)
+        # kernels run in the workers, so the meaningful transform-cache
+        # counters are the aggregated per-worker ones, not the parent's
+        out["transform_cache"] = (
+            {
+                "capacity": self._cache_entries,
+                "hits": worker_stats["cache_hits"],
+                "misses": worker_stats["cache_misses"],
+                "evictions": worker_stats["cache_evictions"],
+                "invalidations": 0,
+                "scope": "workers",
+            }
+            if self._cache_entries
+            else None
+        )
+        out["worker_keys"] = {
+            "hits": worker_stats["key_hits"],
+            "ships": worker_stats["key_ships"],
+            "miss_retries": worker_stats["key_miss_retries"],
+        }
+        out["shm"] = {"enabled": self._use_shm, **self._segments.stats()}
         return out
 
     def close(self, wait: bool = True) -> None:
-        """Graceful drain: stop intake, finish in-flight batches, shut down."""
+        """Graceful drain: stop intake, finish in-flight batches, shut
+        down both pools, then unlink every shared-memory segment."""
         if self._closed:
             return
         super().close(wait)
@@ -368,3 +748,4 @@ class ProcessBackend(KemBackend):
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
+        self._segments.close()

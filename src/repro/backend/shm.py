@@ -1,0 +1,192 @@
+"""Shared-memory segment pooling for the process backend's wire.
+
+The original process-backend wire pickled every payload through the
+pool's pipes: ciphertext blobs down for decapsulation, ciphertext +
+shared-secret pairs back up for encapsulation.  Pickling a list of a
+few hundred ~1 KiB byte strings per batch is pure overhead — the exact
+"reference implementation cost, not math" tax the paper attacks in
+hardware with memory-mapped operand registers.  This module is the
+software analogue: bulk payloads move through POSIX shared memory
+(``multiprocessing.shared_memory``), so the pipe carries only a
+segment name and a count.
+
+Ownership model (deliberately asymmetric, to keep cleanup exact):
+
+* the **parent owns every segment**.  :class:`SegmentPool` creates
+  them, hands them to one in-flight chunk at a time, and re-pools them
+  afterwards; ``close()`` unlinks everything.  Should the parent die
+  without closing, its ``resource_tracker`` unlinks the segments at
+  interpreter exit — the safety net.
+* **workers only borrow**.  :func:`attach_segment` maps an existing
+  segment by name and immediately *unregisters* it from the worker's
+  ``resource_tracker`` — otherwise every worker exit would try to
+  unlink parent-owned segments (double-unlink warnings, and races with
+  reuse).  Workers close their mapping before returning.
+
+Segments are bucketed by power-of-two size class and reused across
+batches and across pool restarts (a worker crash kills mappings, not
+the parent's segments), so steady-state serving allocates nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+from typing import Any
+
+#: Smallest segment ever allocated: one size class covers all small
+#: chunks, maximizing reuse (a 64 KiB segment holds a 46-ciphertext
+#: LAC-256 chunk).
+MIN_SEGMENT_BYTES = 1 << 16
+
+
+def shm_available() -> bool:
+    """Probe whether POSIX shared memory actually works here.
+
+    Containers occasionally mount ``/dev/shm`` unusable (size 0, or
+    not at all); the backend falls back to the bytes wire when this
+    probe fails rather than crashing on the first batch.
+    """
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=MIN_SEGMENT_BYTES)
+    except (OSError, ValueError):
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Worker-side attach that leaves ownership with the parent.
+
+    Pool workers inherit the parent's ``resource_tracker`` (spawn
+    passes its fd in the preparation data), so the attach-side
+    ``register`` is a set-add of a name the parent already registered
+    — a no-op.  Crucially we must **not** ``unregister`` here: in the
+    shared tracker that would cancel the parent's registration, making
+    the parent's eventual unlink warn (``KeyError`` in the tracker)
+    and dropping the crash-cleanup safety net.  Python 3.13's
+    ``track=False`` expresses the same intent explicitly.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class Segment:
+    """A pooled parent-side segment: the mapping plus its size class.
+
+    The size class (our power-of-two bucket) can differ from
+    ``shm.size`` (the kernel may round up), so it travels with the
+    handle to key the free list deterministically.
+    """
+
+    __slots__ = ("shm", "size_class")
+
+    def __init__(self, shm: shared_memory.SharedMemory, size_class: int) -> None:
+        self.shm = shm
+        self.size_class = size_class
+
+    @property
+    def name(self) -> str:
+        """The name workers attach by."""
+        return self.shm.name
+
+    @property
+    def buf(self) -> memoryview:
+        """The parent-side mapping."""
+        return self.shm.buf
+
+
+class SegmentPool:
+    """A thread-safe pool of reusable parent-owned segments.
+
+    ``acquire`` hands out a segment of at least the requested size
+    (rounding up to a power-of-two class so different chunk sizes
+    share buckets); ``release`` re-pools it; ``close`` unlinks every
+    segment ever created — the single place shared memory is returned
+    to the OS.
+    """
+
+    def __init__(self, min_bytes: int = MIN_SEGMENT_BYTES) -> None:
+        self._min_bytes = min_bytes
+        self._lock = threading.Lock()
+        self._free: dict[int, list[Segment]] = {}
+        self._all: list[Segment] = []
+        self._closed = False
+        self._created = 0
+        self._reused = 0
+
+    def _size_class(self, nbytes: int) -> int:
+        size = self._min_bytes
+        while size < nbytes:
+            size *= 2
+        return size
+
+    def acquire(self, nbytes: int) -> Segment:
+        """A segment holding at least ``nbytes`` (reused when possible)."""
+        if nbytes < 0:
+            raise ValueError("segment size must be non-negative")
+        size_class = self._size_class(nbytes)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("segment pool is closed")
+            bucket = self._free.get(size_class)
+            if bucket:
+                self._reused += 1
+                return bucket.pop()
+        shm = shared_memory.SharedMemory(create=True, size=size_class)
+        segment = Segment(shm, size_class)
+        with self._lock:
+            if self._closed:
+                # lost the race with close(): don't leak the newcomer
+                shm.close()
+                shm.unlink()
+                raise RuntimeError("segment pool is closed")
+            self._all.append(segment)
+            self._created += 1
+        return segment
+
+    def release(self, segment: Segment) -> None:
+        """Return a segment to the free list (no-op after close)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._free.setdefault(segment.size_class, []).append(segment)
+
+    def close(self) -> None:
+        """Unlink every segment; idempotent.  After this the /dev/shm
+        footprint of the pool is zero."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._all = self._all, []
+            self._free.clear()
+        for segment in segments:
+            try:
+                segment.shm.close()
+                segment.shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+                pass
+
+    def stats(self) -> dict[str, Any]:
+        """Segment counts and bytes for metrics/INFO export."""
+        with self._lock:
+            return {
+                "segments": len(self._all),
+                "bytes": sum(s.size_class for s in self._all),
+                "created": self._created,
+                "reused": self._reused,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._all)
+
+
+__all__ = [
+    "MIN_SEGMENT_BYTES",
+    "Segment",
+    "SegmentPool",
+    "attach_segment",
+    "shm_available",
+]

@@ -52,8 +52,9 @@ class ThreadBackend(KemBackend):
         executor: Executor | None = None,
         workers: int | None = None,
         fan_out: int | None = None,
+        cache_entries: int | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(cache_entries=cache_entries)
         if executor is not None and workers is not None:
             raise ValueError("pass either executor= or workers=, not both")
         self._owns_executor = executor is None
@@ -102,7 +103,7 @@ class ThreadBackend(KemBackend):
 
         def work() -> list[EncapsResult]:
             return _fan_out(
-                lambda ms: _encaps_chunk(kem, pk, ms),
+                lambda ms: _encaps_chunk(kem, pk, ms, self.transform_cache),
                 batch,
                 self._fan_out,
                 self._fan_pool,
@@ -126,7 +127,7 @@ class ThreadBackend(KemBackend):
 
         def work() -> list[bytes]:
             return _fan_out(
-                lambda cts: _decaps_chunk(kem, keys, cts),
+                lambda cts: _decaps_chunk(kem, keys, cts, self.transform_cache),
                 batch,
                 self._fan_out,
                 self._fan_pool,

@@ -9,7 +9,13 @@ architecture and measured speedups.
 """
 
 from repro.batch.encode import bch_encode_many, encode_many, parity_matrix
-from repro.batch.kem import decaps_many, encaps_many, shared_executor
+from repro.batch.kem import (
+    decaps_many,
+    encaps_many,
+    key_fingerprints,
+    shared_executor,
+    warm_cache,
+)
 from repro.batch.sampling import (
     gen_a_vec,
     sample_secret_and_error_vec,
@@ -22,7 +28,9 @@ __all__ = [
     "parity_matrix",
     "encaps_many",
     "decaps_many",
+    "key_fingerprints",
     "shared_executor",
+    "warm_cache",
     "gen_a_vec",
     "sample_secret_and_error_vec",
     "sample_ternary_fixed_weight_vec",

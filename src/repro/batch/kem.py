@@ -44,6 +44,8 @@ from repro.batch.encode import encode_many
 from repro.batch.sampling import gen_a_vec, sample_secret_rows
 from repro.lac.kem import EncapsResult, KemSecretKey, _hash3
 from repro.lac.pke import Ciphertext, PublicKey
+from repro.ring.cache import KeyTransformCache, fingerprint
+from repro.trace import current_tags
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (repro.backend imports us)
     from repro.backend.base import KemBackend
@@ -51,6 +53,109 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (repro.backend imports us)
 
 def _shift(params) -> int:
     return 8 - params.v_bits
+
+
+# ---------------------------------------------------------------------------
+# per-key transform caching
+# ---------------------------------------------------------------------------
+
+
+def pk_fingerprints(params, pk: PublicKey) -> tuple[bytes, bytes]:
+    """Content fingerprints of a public key's cacheable ring operands.
+
+    Returns ``(fp_a, fp_b)``: the GenA expansion ``a`` is a pure
+    function of ``seed_a``, so its fingerprint is seed-derived and a
+    cache hit skips the expansion entirely; ``b`` is fingerprinted by
+    value.
+    """
+    return (
+        fingerprint(b"gen-a", params.name.encode(), pk.seed_a),
+        fingerprint(b"pk-b", params.name.encode(), pk.b.astype(np.uint8).tobytes()),
+    )
+
+
+def sk_fingerprint(params, keys: KemSecretKey) -> bytes:
+    """Content fingerprint of the hosted secret polynomial ``s``."""
+    return fingerprint(
+        b"sk-s", params.name.encode(), keys.sk.to_bytes()
+    )
+
+
+def key_fingerprints(params, pk: PublicKey, keys: KemSecretKey | None = None) -> list[bytes]:
+    """Every cache fingerprint a hosted key can populate (pk, and sk if given)."""
+    fps = list(pk_fingerprints(params, pk))
+    if keys is not None:
+        fps.append(sk_fingerprint(params, keys))
+    return fps
+
+
+def warm_cache(
+    cache: KeyTransformCache,
+    params,
+    pk: PublicKey,
+    keys: KemSecretKey | None = None,
+) -> list[bytes]:
+    """Eagerly populate the transform cache for a hosted key.
+
+    Pays the GenA expansion and the forward FFTs outside any serving
+    window (key registration), so the first batch under the key already
+    hits.  The secret row is stored in the same ``[1, n]`` shape
+    :func:`_decaps_chunk` uses, keeping the cached transform reusable
+    there.  Returns the fingerprints populated — the handle the owner
+    keeps for later :meth:`~repro.ring.cache.KeyTransformCache.invalidate`.
+    """
+    ring = params.ring
+    fp_a, fp_b = pk_fingerprints(params, pk)
+    cache.operand(ring, fp_a, lambda: gen_a_vec(pk.seed_a, params))
+    cache.operand(ring, fp_b, lambda: pk.b)
+    fps = [fp_a, fp_b]
+    if keys is not None:
+        fp_s = sk_fingerprint(params, keys)
+        cache.operand(
+            ring, fp_s, lambda: keys.sk.s.coeffs.astype(np.int64)[None, :]
+        )
+        fps.append(fp_s)
+    return fps
+
+
+def _annotate_cache(hits: int, misses: int) -> None:
+    """Accumulate cache counters into the ambient trace-tag sink.
+
+    Additive (not a plain overwrite) because decapsulation touches the
+    cache twice per chunk — once for ``u*s``, once for the FO
+    re-encryption — and fan-out chunks may share one sink.
+    """
+    tags = current_tags()
+    if tags is not None and (hits or misses):
+        tags["cache_hits"] = tags.get("cache_hits", 0) + hits
+        tags["cache_misses"] = tags.get("cache_misses", 0) + misses
+
+
+def _pk_operands(
+    kem, pk: PublicKey, cache: KeyTransformCache | None, a: np.ndarray | None
+):
+    """Resolve ``(a, fa, b, fb)`` for the encryption products.
+
+    Without a cache this is the historical behaviour (``a`` expanded
+    per batch, no precomputed transforms).  With one, both operands and
+    their forward transforms come from the cache; on a hit the GenA
+    expansion is skipped entirely.
+    """
+    params = kem.params
+    if cache is None:
+        if a is None:
+            a = gen_a_vec(pk.seed_a, params)
+        return a, None, pk.b, None
+    fp_a, fp_b = pk_fingerprints(params, pk)
+    got_a = cache.operand(
+        params.ring,
+        fp_a,
+        lambda: a if a is not None else gen_a_vec(pk.seed_a, params),
+    )
+    got_b = cache.operand(params.ring, fp_b, lambda: pk.b)
+    hits = int(got_a.hit) + int(got_b.hit)
+    _annotate_cache(hits, 2 - hits)
+    return got_a.raw, got_a.transform, got_b.raw, got_b.transform
 
 
 def _compress_rows(params, v_rows: np.ndarray) -> np.ndarray:
@@ -65,9 +170,14 @@ def _encrypt_batch(
     pk: PublicKey,
     messages: Sequence[bytes],
     coins_list: Sequence[bytes],
-    a: np.ndarray,
+    a: np.ndarray | None,
+    cache: KeyTransformCache | None = None,
 ) -> list[Ciphertext]:
-    """Deterministic batched encryption (shared by encaps and re-encrypt)."""
+    """Deterministic batched encryption (shared by encaps and re-encrypt).
+
+    ``a`` may be ``None`` when a ``cache`` is given — the cache supplies
+    the GenA expansion (or its fingerprint-addressed transform) instead.
+    """
     params = kem.params
     ring = params.ring
     slots = params.v_slots
@@ -79,8 +189,12 @@ def _encrypt_batch(
     e_rows = np.mod(all_rows[1::3], q)
     e2_rows = np.mod(all_rows[2::3, :slots], q)
 
-    # one forward FFT of the secret stack feeds both products
-    sa_rows, sb_rows = ring.mul_many_multi(s_rows, [a, pk.b])
+    # one forward FFT of the secret stack feeds both products; the
+    # key-side transforms come from the per-key cache when enabled
+    a, fa, b, fb = _pk_operands(kem, pk, cache, a)
+    sa_rows, sb_rows = ring.mul_many_multi(
+        s_rows, [a, b], operand_transforms=[fa, fb]
+    )
     u_rows = np.mod(sa_rows + e_rows, q)
     bs_rows = sb_rows[:, :slots]
     encoded = encode_many(params, list(messages))[:, :slots]
@@ -92,12 +206,18 @@ def _encrypt_batch(
     ]
 
 
-def _encaps_chunk(kem, pk: PublicKey, messages: Sequence[bytes]) -> list[EncapsResult]:
-    params = kem.params
+def _encaps_chunk(
+    kem,
+    pk: PublicKey,
+    messages: Sequence[bytes],
+    cache: KeyTransformCache | None = None,
+) -> list[EncapsResult]:
     pk_digest = _hash3(pk.to_bytes(), b"", b"pk")
     coins_list = [_hash3(m, pk_digest, b"coins") for m in messages]
-    a = gen_a_vec(pk.seed_a, params)
-    ciphertexts = _encrypt_batch(kem, pk, messages, coins_list, a)
+    # with a cache, GenA is resolved (or skipped on a hit) inside
+    # _encrypt_batch; without one, expand it here as always
+    a = None if cache is not None else gen_a_vec(pk.seed_a, kem.params)
+    ciphertexts = _encrypt_batch(kem, pk, messages, coins_list, a, cache)
     results = []
     for message, ciphertext in zip(messages, ciphertexts):
         ct_digest = _hash3(ciphertext.to_bytes(), b"", b"ct")
@@ -108,7 +228,10 @@ def _encaps_chunk(kem, pk: PublicKey, messages: Sequence[bytes]) -> list[EncapsR
 
 
 def _decaps_chunk(
-    kem, keys: KemSecretKey, ciphertexts: Sequence[Ciphertext]
+    kem,
+    keys: KemSecretKey,
+    ciphertexts: Sequence[Ciphertext],
+    cache: KeyTransformCache | None = None,
 ) -> list[bytes]:
     params = kem.params
     ring = params.ring
@@ -118,7 +241,12 @@ def _decaps_chunk(
 
     s_row = keys.sk.s.coeffs.astype(np.int64)[None, :]
     u_rows = np.stack([ct.u for ct in ciphertexts]).astype(np.int64)
-    us_rows = ring.mul_many(s_row, u_rows)
+    if cache is not None:
+        got_s = cache.operand(ring, sk_fingerprint(params, keys), lambda: s_row)
+        _annotate_cache(int(got_s.hit), 1 - int(got_s.hit))
+        us_rows = ring.mul_many(got_s.raw, u_rows, a_transform=got_s.transform)
+    else:
+        us_rows = ring.mul_many(s_row, u_rows)
     v_rows = np.stack([codec.decompress_v(ct.v_compressed) for ct in ciphertexts])
     noisy_rows = np.mod(v_rows - us_rows[:, :slots], q)
 
@@ -135,8 +263,8 @@ def _decaps_chunk(
         _hash3(message, keys.pk_digest, b"coins") for message in messages
     ]
 
-    a = gen_a_vec(keys.pk.seed_a, params)
-    reencrypted = _encrypt_batch(kem, keys.pk, messages, coins_list, a)
+    a = None if cache is not None else gen_a_vec(keys.pk.seed_a, params)
+    reencrypted = _encrypt_batch(kem, keys.pk, messages, coins_list, a, cache)
 
     shared = []
     for message, ciphertext, candidate in zip(messages, ciphertexts, reencrypted):
@@ -219,6 +347,7 @@ def encaps_many(
     workers: int | None = None,
     executor: Executor | None = None,
     backend: "KemBackend | None" = None,
+    cache: KeyTransformCache | None = None,
 ) -> list[EncapsResult]:
     """Encapsulate a batch of shared secrets under one public key.
 
@@ -228,7 +357,10 @@ def encaps_many(
     with the same messages.  ``executor`` overrides the shared pool
     used for ``workers`` fan-out; ``backend`` instead routes the whole
     batch through a :class:`repro.backend.KemBackend` (exclusive with
-    the pool knobs).
+    the pool knobs — backends carry their own transform cache).
+    ``cache`` supplies a :class:`repro.ring.KeyTransformCache` so
+    repeated batches under the same key skip the key-side forward FFT
+    (and the GenA expansion) — results stay bit-identical either way.
     """
     if backend is not None and (workers is not None or executor is not None):
         raise ValueError("pass either backend= or workers=/executor=, not both")
@@ -251,7 +383,7 @@ def encaps_many(
     if backend is not None:
         return backend.submit_encaps(kem.params, pk, messages).result()
     return _fan_out(
-        lambda ms: _encaps_chunk(kem, pk, ms), messages, workers, executor
+        lambda ms: _encaps_chunk(kem, pk, ms, cache), messages, workers, executor
     )
 
 
@@ -262,6 +394,7 @@ def decaps_many(
     workers: int | None = None,
     executor: Executor | None = None,
     backend: "KemBackend | None" = None,
+    cache: KeyTransformCache | None = None,
 ) -> list[bytes]:
     """Decapsulate a batch of ciphertexts under one secret key.
 
@@ -270,7 +403,8 @@ def decaps_many(
     malformed ciphertexts).  ``executor`` overrides the shared pool
     used for ``workers`` fan-out; ``backend`` instead routes the whole
     batch through a :class:`repro.backend.KemBackend` (exclusive with
-    the pool knobs).
+    the pool knobs).  ``cache`` caches the hosted key's transforms
+    across batches, exactly as for :func:`encaps_many`.
     """
     if backend is not None and (workers is not None or executor is not None):
         raise ValueError("pass either backend= or workers=/executor=, not both")
@@ -280,5 +414,5 @@ def decaps_many(
     if backend is not None:
         return backend.submit_decaps(kem.params, keys, ciphertexts).result()
     return _fan_out(
-        lambda cts: _decaps_chunk(kem, keys, cts), ciphertexts, workers, executor
+        lambda cts: _decaps_chunk(kem, keys, cts, cache), ciphertexts, workers, executor
     )

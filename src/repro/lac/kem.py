@@ -153,6 +153,7 @@ class LacKem:
         workers: int | None = None,
         executor=None,
         backend=None,
+        cache=None,
     ) -> list["EncapsResult"]:
         """Encapsulate a whole batch under ``pk`` (vectorized fast path).
 
@@ -165,14 +166,17 @@ class LacKem:
         thread pool (or an injected ``executor``); ``backend`` instead
         routes the batch through a :class:`repro.backend.KemBackend` —
         the hook the :mod:`repro.serve` micro-batch scheduler uses.
-        Cycle accounting is not available on the batch path — use the
-        scalar method with a counter for that.
+        ``cache`` accepts a :class:`repro.ring.KeyTransformCache`:
+        repeated batches under the same key then reuse the key-side
+        forward FFT (and skip GenA), still bit-identical to the scalar
+        path.  Cycle accounting is not available on the batch path —
+        use the scalar method with a counter for that.
         """
         from repro.batch import encaps_many as _encaps_many
 
         return _encaps_many(
             self, pk, messages=messages, count=count, workers=workers,
-            executor=executor, backend=backend,
+            executor=executor, backend=backend, cache=cache,
         )
 
     def decaps_many(
@@ -182,20 +186,22 @@ class LacKem:
         workers: int | None = None,
         executor=None,
         backend=None,
+        cache=None,
     ) -> list[bytes]:
         """Decapsulate a whole batch (vectorized fast path).
 
         The counterpart of :meth:`encaps_many`; positionally identical
         to looping :meth:`decaps`, including implicit rejection.
-        ``executor`` overrides the shared fan-out pool and ``backend``
-        routes through a :class:`repro.backend.KemBackend`, as for
-        :meth:`encaps_many`.
+        ``executor`` overrides the shared fan-out pool, ``backend``
+        routes through a :class:`repro.backend.KemBackend`, and
+        ``cache`` reuses the hosted key's transforms across batches, as
+        for :meth:`encaps_many`.
         """
         from repro.batch import decaps_many as _decaps_many
 
         return _decaps_many(
             self, keys, ciphertexts, workers=workers, executor=executor,
-            backend=backend,
+            backend=backend, cache=cache,
         )
 
     # ------------------------------------------------------------------

@@ -11,9 +11,13 @@ All LAC arithmetic happens in R_n = Z_q[x] / (x^n + 1) with q = 251
   the MUL TER hardware exploits;
 * :mod:`repro.ring.splitting` — the two-level software polynomial
   splitting of Algorithms 1 and 2, which lets a length-512 multiplier
-  serve the n = 1024 parameter sets.
+  serve the n = 1024 parameter sets;
+* :mod:`repro.ring.cache` — the per-key forward-transform LRU that
+  lets hosted-key traffic skip the forward FFT of long-lived operands
+  (:class:`~repro.ring.cache.KeyTransformCache`).
 """
 
+from repro.ring.cache import DEFAULT_CACHE_ENTRIES, KeyTransformCache, fingerprint
 from repro.ring.poly import LAC_Q, PolyRing
 from repro.ring.ternary import (
     TernaryPoly,
@@ -32,8 +36,11 @@ from repro.ring.splitting import (
 )
 
 __all__ = [
+    "DEFAULT_CACHE_ENTRIES",
+    "KeyTransformCache",
     "LAC_Q",
     "PolyRing",
+    "fingerprint",
     "TernaryPoly",
     "ternary_mul",
     "ternary_mul_truncated",

@@ -113,7 +113,29 @@ class PolyRing:
         """Fast reduced multiplication (convolve + wrap), vectorized."""
         return self.reduce_full(np.convolve(a, b))
 
-    def mul_many(self, stacked: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def forward_transform(self, operand: np.ndarray) -> np.ndarray:
+        """The reusable forward half of :meth:`mul_many`: ``rfft`` at 2n.
+
+        Long-lived operands (hosted public/secret key polynomials) can
+        be transformed once and the result passed back through the
+        ``a_transform=``/``b_transform=`` hooks, collapsing every later
+        product against them to pointwise multiply + inverse transform
+        (see :mod:`repro.ring.cache`).  The transform preserves the
+        operand's dimensionality, so it broadcasts exactly like the
+        operand itself would.
+        """
+        operand = np.asarray(operand, dtype=np.int64)
+        if operand.shape[-1] != self.n:
+            raise ValueError("operands must be full-length ring elements")
+        return np.fft.rfft(operand, 2 * self.n, axis=-1)
+
+    def mul_many(
+        self,
+        stacked: np.ndarray,
+        b: np.ndarray,
+        a_transform: np.ndarray | None = None,
+        b_transform: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Reduced products of a whole stack of ring elements at once.
 
         ``stacked`` is a 2-D array whose rows are ring elements (values
@@ -124,9 +146,13 @@ class PolyRing:
         broadcasts against the other.
 
         The products run as one batched FFT of length 2n (negacyclic or
-        cyclic wrap applied afterwards).  Float rounding is verified
-        against a 0.25 integrality margin — far above the error floor
-        for q = 251 operands — and the method falls back to the exact
+        cyclic wrap applied afterwards).  ``a_transform``/``b_transform``
+        optionally supply a precomputed :meth:`forward_transform` of the
+        corresponding operand (the per-key caching hook); the raw
+        operands are still required so the exactness fallback below
+        never depends on the cache.  Float rounding is verified against
+        a 0.25 integrality margin — far above the error floor for
+        q = 251 operands — and the method falls back to the exact
         per-row ``np.convolve`` path if the margin is ever violated, so
         results are always bit-identical to :meth:`mul`.
         """
@@ -138,11 +164,15 @@ class PolyRing:
         if b.ndim not in (1, 2):
             raise ValueError("b must be one ring element or a stack of them")
         length = 2 * n
-        fa = np.fft.rfft(stacked, length, axis=-1)
-        fb = np.fft.rfft(b, length, axis=-1)
+        fa = (
+            np.fft.rfft(stacked, length, axis=-1)
+            if a_transform is None
+            else np.atleast_2d(a_transform)
+        )
+        fb = np.fft.rfft(b, length, axis=-1) if b_transform is None else b_transform
         full = np.fft.irfft(fa * fb, length, axis=-1)
         rounded = np.rint(full)
-        if np.max(np.abs(full - rounded)) > 0.25:  # pragma: no cover - guard
+        if np.max(np.abs(full - rounded)) > 0.25:  # guard: exact fallback
             rows = np.broadcast_arrays(
                 stacked, b if b.ndim == 2 else b[None, :]
             )
@@ -154,7 +184,10 @@ class PolyRing:
         return np.mod(full_int[..., :n] + sign * full_int[..., n:], q)
 
     def mul_many_multi(
-        self, stacked: np.ndarray, operands: list[np.ndarray]
+        self,
+        stacked: np.ndarray,
+        operands: list[np.ndarray],
+        operand_transforms: list[np.ndarray | None] | None = None,
     ) -> list[np.ndarray]:
         """Products of one stack against several operands, sharing the FFT.
 
@@ -163,22 +196,35 @@ class PolyRing:
         reused for every operand — the dominant cost when the stack is a
         whole batch and the operands are single ring elements (e.g. the
         KEM's ``s * a`` and ``s * b`` against the same secret stack).
+
+        ``operand_transforms`` optionally carries a precomputed
+        :meth:`forward_transform` per operand (``None`` entries are
+        computed here) — the hook the per-key transform cache uses to
+        skip re-transforming hosted key material every batch.
         """
         n, q = self.n, self.q
         stacked = np.atleast_2d(np.asarray(stacked, dtype=np.int64))
         if stacked.shape[-1] != n:
             raise ValueError("operands must be full-length ring elements")
+        if operand_transforms is not None and len(operand_transforms) != len(operands):
+            raise ValueError("one transform (or None) per operand")
         length = 2 * n
         fa = np.fft.rfft(stacked, length, axis=-1)
         sign = -1 if self.negacyclic else 1
         out = []
-        for b in operands:
+        for i, b in enumerate(operands):
             b = np.asarray(b, dtype=np.int64)
             if b.shape[-1] != n or b.ndim not in (1, 2):
                 raise ValueError("operands must be full-length ring elements")
-            full = np.fft.irfft(fa * np.fft.rfft(b, length, axis=-1), length, axis=-1)
+            fb = (
+                operand_transforms[i]
+                if operand_transforms is not None
+                and operand_transforms[i] is not None
+                else np.fft.rfft(b, length, axis=-1)
+            )
+            full = np.fft.irfft(fa * fb, length, axis=-1)
             rounded = np.rint(full)
-            if np.max(np.abs(full - rounded)) > 0.25:  # pragma: no cover - guard
+            if np.max(np.abs(full - rounded)) > 0.25:  # guard: exact fallback
                 out.append(self.mul_many(stacked, b))
                 continue
             full_int = rounded.astype(np.int64)

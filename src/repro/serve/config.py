@@ -19,6 +19,10 @@ from repro.backend.base import BACKEND_ENV_VAR, resolve_backend_name
 #: Environment variable sizing the backend worker pool (``from_env``).
 BACKEND_WORKERS_ENV_VAR = "REPRO_KEM_BACKEND_WORKERS"
 
+#: Environment variable sizing the per-key transform cache (``from_env``);
+#: ``0`` disables caching.
+TRANSFORM_CACHE_ENV_VAR = "REPRO_KEM_TRANSFORM_CACHE"
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -48,7 +52,12 @@ class ServiceConfig:
     ``kernel_workers``
         intra-batch fan-out of the thread backend: each dispatched
         batch is split across this many threads (ignored by the
-        process backend, which chunks batches across workers itself).
+        process backend, which chunks batches across workers itself);
+    ``transform_cache_entries``
+        capacity of the per-key transform cache
+        (:class:`repro.ring.KeyTransformCache`) the backend owns —
+        ``0`` disables caching, ``None`` takes the backend default
+        (see ``docs/PERFORMANCE.md``).
     """
 
     max_batch: int = 64
@@ -59,6 +68,7 @@ class ServiceConfig:
     backend: str | None = None
     backend_workers: int | None = None
     kernel_workers: int | None = None
+    transform_cache_entries: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -75,6 +85,11 @@ class ServiceConfig:
             raise ValueError("backend_workers must be >= 1")
         if self.kernel_workers is not None and self.kernel_workers < 1:
             raise ValueError("kernel_workers must be >= 1")
+        if (
+            self.transform_cache_entries is not None
+            and self.transform_cache_entries < 0
+        ):
+            raise ValueError("transform_cache_entries must be >= 0")
         # validate eagerly so a typo'd name fails at config time, not
         # at service start (env fallback is deliberately not consulted
         # here — it is resolved when the service starts)
@@ -99,6 +114,8 @@ class ServiceConfig:
             kwargs["backend"] = env[BACKEND_ENV_VAR]
         if env.get(BACKEND_WORKERS_ENV_VAR):
             kwargs["backend_workers"] = int(env[BACKEND_WORKERS_ENV_VAR])
+        if env.get(TRANSFORM_CACHE_ENV_VAR):
+            kwargs["transform_cache_entries"] = int(env[TRANSFORM_CACHE_ENV_VAR])
         kwargs.update(overrides)
         return cls(**kwargs)  # type: ignore[arg-type]
 
@@ -108,4 +125,9 @@ def replace_config(config: ServiceConfig, **changes: object) -> ServiceConfig:
     return replace(config, **changes)  # type: ignore[arg-type]
 
 
-__all__ = ["BACKEND_WORKERS_ENV_VAR", "ServiceConfig", "replace_config"]
+__all__ = [
+    "BACKEND_WORKERS_ENV_VAR",
+    "TRANSFORM_CACHE_ENV_VAR",
+    "ServiceConfig",
+    "replace_config",
+]

@@ -293,6 +293,26 @@ class ServiceMetrics:
                     f'kem_backend_batches_total{{backend="{name}",'
                     f'outcome="{outcome}"}} {backend.get(outcome, 0)}'
                 )
+            cache = backend.get("transform_cache")
+            if cache:
+                lines += [
+                    "# HELP kem_transform_cache_total per-key transform cache"
+                    " events",
+                    "# TYPE kem_transform_cache_total counter",
+                ]
+                for event in ("hits", "misses", "evictions", "invalidations"):
+                    lines.append(
+                        f'kem_transform_cache_total{{backend="{name}",'
+                        f'event="{event}"}} {cache.get(event, 0)}'
+                    )
+                if "entries" in cache:
+                    lines += [
+                        "# HELP kem_transform_cache_entries resident cache"
+                        " entries",
+                        "# TYPE kem_transform_cache_entries gauge",
+                        f'kem_transform_cache_entries{{backend="{name}"}} '
+                        f'{cache["entries"]}',
+                    ]
         if snap["stage_us"]:
             lines += [
                 "# HELP kem_stage_seconds request-path time per serving stage",

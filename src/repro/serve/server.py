@@ -58,7 +58,7 @@ import time
 import warnings
 from collections.abc import Awaitable, Callable, Coroutine
 from concurrent.futures import Executor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, TypeVar
 
 from repro.backend.base import KemBackend, create_backend, resolve_backend_name
@@ -107,12 +107,18 @@ _T = TypeVar("_T")
 
 @dataclass
 class HostedKey:
-    """A key pair hosted by the service, addressable by ``key_id``."""
+    """A key pair hosted by the service, addressable by ``key_id``.
+
+    ``fingerprints`` are the transform-cache handles returned by
+    :meth:`repro.backend.KemBackend.register_key`; kept so removal can
+    reclaim the key's cache entries.
+    """
 
     key_id: int
     params: LacParams
     kem: LacKem
     pair: KemKeyPair
+    fingerprints: list[bytes] = field(default_factory=list)
 
 
 @dataclass
@@ -287,10 +293,18 @@ class KemService:
                 resolve_backend_name(self.config.backend),
                 workers=self.config.backend_workers,
                 fan_out=self.config.kernel_workers,
+                cache_entries=self.config.transform_cache_entries,
             )
             # closed on shutdown (a no-op for the shared default)
             self._owns_backend = True
         self.metrics.backend_stats_provider = self._backend.stats
+        # keys hosted before start register now: the transform cache
+        # warms at startup, not on the first serving batch
+        for hosted in self._keys.values():
+            if not hosted.fingerprints:
+                hosted.fingerprints = self._backend.register_key(
+                    hosted.params, hosted.pair.public_key, hosted.pair.secret_key
+                )
         if self.fault_plan is not None and self.fault_plan.observer is None:
             # every fault the plan fires is mirrored into the metrics,
             # so /metrics accounts for the whole chaos schedule
@@ -356,14 +370,42 @@ class KemService:
         pair: KemKeyPair | None = None,
         seed: bytes | None = None,
     ) -> int:
-        """Host a key pair (generating one unless given); returns its id."""
+        """Host a key pair (generating one unless given); returns its id.
+
+        With the backend up, the key registers with its per-key
+        transform cache immediately (keys added before :meth:`start`
+        register when the backend comes up).
+        """
         kem = self.kem_for(params)
         if pair is None:
             pair = kem.keygen(seed)
         key_id = self._next_key_id
         self._next_key_id += 1
-        self._keys[key_id] = HostedKey(key_id, params, kem, pair)
+        hosted = HostedKey(key_id, params, kem, pair)
+        if self._backend is not None:
+            hosted.fingerprints = self._backend.register_key(
+                params, pair.public_key, pair.secret_key
+            )
+        self._keys[key_id] = hosted
         return key_id
+
+    def remove_keypair(self, key_id: int) -> bool:
+        """Stop hosting a key; returns whether it was hosted.
+
+        Reclaims the key's transform-cache entries via the backend.
+        Requests already queued against the key still complete (they
+        hold the :class:`HostedKey` reference); new requests get
+        ``UNKNOWN_KEY``.  Correctness never depends on this
+        invalidation — fingerprints are content-derived — it only
+        releases memory early.
+        """
+        hosted = self._keys.pop(key_id, None)
+        if hosted is None:
+            return False
+        if self._backend is not None and hosted.fingerprints:
+            self._backend.invalidate_key(hosted.fingerprints)
+        hosted.fingerprints = []
+        return True
 
     def hosted_key(self, key_id: int) -> HostedKey | None:
         """Look up a hosted key (``None`` when unknown)."""
@@ -992,6 +1034,14 @@ class ThreadedService:
             return self._service().add_keypair(params, seed=seed)
 
         return self._call(_add())
+
+    def remove_keypair(self, key_id: int) -> bool:
+        """Stop hosting a key on the service thread; True if it existed."""
+
+        async def _remove() -> bool:
+            return self._service().remove_keypair(key_id)
+
+        return self._call(_remove())
 
     def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
         """Start a TCP listener; returns the bound port."""

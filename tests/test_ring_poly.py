@@ -208,3 +208,89 @@ class TestBatchedMultiplication:
             out = ring.mul_many(stacked, b)
             for row, a in zip(out, stacked):
                 assert np.array_equal(row, ring.mul(a, b))
+
+
+class TestRoundingGuardFallback:
+    """Force the 0.25 integrality guard and prove the fallback is exact.
+
+    The float path can't actually miss at q = 251 sizes, so the guard
+    is tripped artificially: ``np.fft.irfft`` is wrapped to perturb its
+    output past the margin.  The fallback re-derives the product from
+    the *raw* operands via ``np.convolve`` (which the patch does not
+    touch), so results must stay bit-identical — including when a
+    precomputed cached transform was supplied, which is the invariant
+    the per-key transform cache leans on.
+    """
+
+    @pytest.fixture()
+    def broken_irfft(self, monkeypatch):
+        real = np.fft.irfft
+        calls = []
+
+        def perturbed(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs) + 0.4  # past the 0.25 margin
+
+        monkeypatch.setattr(np.fft, "irfft", perturbed)
+        return calls
+
+    def _ring_and_inputs(self, n=32, rows=3):
+        ring = PolyRing(n)
+        rng = np.random.default_rng(42)
+        stacked = np.stack([ring.random(rng) for _ in range(rows)])
+        b = ring.random(rng)
+        return ring, stacked, b
+
+    def test_mul_many_falls_back_exactly(self, broken_irfft):
+        ring, stacked, b = self._ring_and_inputs()
+        out = ring.mul_many(stacked, b)
+        assert broken_irfft  # the guard path actually ran
+        for row, a in zip(out, stacked):
+            assert np.array_equal(row, ring.mul(a, b))
+
+    def test_mul_many_fallback_ignores_cached_transforms(self, broken_irfft):
+        # transforms computed before the patch: the guard still trips on
+        # the (perturbed) inverse, and the fallback must answer from the
+        # raw operands — never from cached transform-domain data
+        ring, stacked, b = self._ring_and_inputs()
+        fa = ring.forward_transform(stacked)
+        fb = ring.forward_transform(b)
+        out = ring.mul_many(stacked, b, a_transform=fa, b_transform=fb)
+        assert broken_irfft
+        for row, a in zip(out, stacked):
+            assert np.array_equal(row, ring.mul(a, b))
+
+    def test_mul_many_fallback_rowwise_and_broadcast(self, broken_irfft):
+        ring, stacked, _ = self._ring_and_inputs(rows=4)
+        rng = np.random.default_rng(43)
+        bs = np.stack([ring.random(rng) for _ in range(4)])
+        out = ring.mul_many(stacked, bs)
+        for row, a, b in zip(out, stacked, bs):
+            assert np.array_equal(row, ring.mul(a, b))
+        one_row = ring.random(rng)[None, :]
+        out = ring.mul_many(one_row, bs)
+        for row, b in zip(out, bs):
+            assert np.array_equal(row, ring.mul(one_row[0], b))
+
+    def test_mul_many_multi_falls_back_exactly(self, broken_irfft):
+        ring, stacked, b = self._ring_and_inputs()
+        rng = np.random.default_rng(44)
+        operands = [b, ring.random(rng)]
+        transforms = [ring.forward_transform(op) for op in operands]
+        for ts in (None, transforms):
+            outs = ring.mul_many_multi(stacked, operands, operand_transforms=ts)
+            assert broken_irfft
+            for out, op in zip(outs, operands):
+                for row, a in zip(out, stacked):
+                    assert np.array_equal(row, ring.mul(a, op))
+
+    def test_signed_rows_fall_back_exactly(self, broken_irfft):
+        # the KEM's ternary secrets ride the same guard
+        ring = PolyRing(64)
+        rng = np.random.default_rng(45)
+        ternary = rng.integers(-1, 2, (3, 64), dtype=np.int64)
+        b = ring.random(rng)
+        out = ring.mul_many(ternary, b)
+        assert broken_irfft
+        for row, t in zip(out, ternary):
+            assert np.array_equal(row, ring.mul(np.mod(t, ring.q), b))
