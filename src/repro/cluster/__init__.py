@@ -1,0 +1,51 @@
+"""``repro.cluster`` — a routing tier sharding keys across KemServices.
+
+The horizontal-scaling counterpart of :mod:`repro.serve`: a
+:class:`ClusterRouter` fronts N member :class:`repro.serve.KemService`
+processes behind the *same* length-prefixed frame protocol, placing
+hosted keys on a consistent-hash ring (:class:`HashRing`), replicating
+them via deterministic seeded keygen, failing ENCAPS over to replicas
+under :class:`repro.serve.RetryPolicy` semantics (DECAPS is never
+silently retried), health-checking members with INFO probes, and
+rebalancing placements through the ordinary ``add_keypair`` /
+``remove_keypair`` key lifecycle whenever membership changes.
+
+Entry points:
+
+* :class:`ClusterRouter` — the asyncio router (``await start()``,
+  ``serve_tcp`` / ``connect``, ``await shutdown()``);
+* :class:`ThreadedCluster` — the router on a background loop thread,
+  for synchronous callers;
+* :class:`ClusterClient` / :func:`open_cluster_client` — clients bound
+  to a cluster endpoint (any plain :class:`repro.serve.KemClient`
+  works too: the wire surface is identical);
+* :class:`ClusterConfig` — the frozen topology/failover configuration;
+* :class:`HashRing` — the consistent-hash placement function.
+
+See ``docs/CLUSTER.md`` for topology, routing and failure semantics.
+"""
+
+from repro.cluster.client import ClusterClient, open_cluster_client
+from repro.cluster.config import (
+    DEFAULT_FORWARD_RETRY,
+    ClusterConfig,
+    replace_cluster_config,
+)
+from repro.cluster.member import LocalMember, MemberHandle, ProcessMember
+from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
+from repro.cluster.router import ClusterRouter, ThreadedCluster
+
+__all__ = [
+    "ClusterClient",
+    "ClusterConfig",
+    "ClusterRouter",
+    "DEFAULT_FORWARD_RETRY",
+    "DEFAULT_VIRTUAL_NODES",
+    "HashRing",
+    "LocalMember",
+    "MemberHandle",
+    "ProcessMember",
+    "ThreadedCluster",
+    "open_cluster_client",
+    "replace_cluster_config",
+]

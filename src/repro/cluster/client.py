@@ -1,0 +1,56 @@
+"""Client-side conveniences for talking to a cluster router.
+
+The router speaks the ordinary frame protocol, so the plain
+:class:`repro.serve.KemClient` / :class:`~repro.serve.AsyncKemClient`
+already work against it — these helpers just wire up the connection
+(and the reconnect factory the retry machinery wants) so callers do
+not have to.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.router import ClusterRouter, ThreadedCluster
+from repro.serve.client import AsyncKemClient, KemClient, RetryPolicy
+from repro.trace import Tracer
+
+__all__ = ["ClusterClient", "open_cluster_client"]
+
+
+class ClusterClient(KemClient):
+    """A blocking client bound to a :class:`ThreadedCluster`.
+
+    Identical surface to :class:`repro.serve.KemClient` (``keygen`` /
+    ``encaps`` / ``decaps`` / ``info`` / ``remove_key``) — the cluster
+    is addressed through one endpoint, the router does the sharding.
+    :meth:`connect` wires the cluster's ``connect`` as the reconnect
+    factory so a retry policy can survive dropped connections.
+    """
+
+    @classmethod
+    def connect(
+        cls,
+        cluster: ThreadedCluster,
+        retry: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
+    ) -> ClusterClient:
+        """Open an in-process connection to a started cluster."""
+        return cls(
+            cluster.connect(), retry=retry, reconnect=cluster.connect,
+            tracer=tracer,
+        )
+
+
+async def open_cluster_client(
+    router: ClusterRouter,
+    retry: RetryPolicy | None = None,
+    tracer: Tracer | None = None,
+) -> AsyncKemClient:
+    """An async client over an in-process router connection.
+
+    The router's ``connect`` doubles as the reconnect factory, so with
+    a retry policy the client survives connection-level chaos.
+    """
+    reader, writer = await router.connect()
+    return AsyncKemClient(
+        reader, writer, retry=retry, reconnect=router.connect, tracer=tracer
+    )

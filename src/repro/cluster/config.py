@@ -1,0 +1,110 @@
+"""Frozen configuration for the cluster routing tier.
+
+:class:`ClusterConfig` mirrors :class:`repro.serve.ServiceConfig`:
+one immutable, validated value describing the whole topology — how
+many members, how they are launched, how keys are placed and
+replicated, and how failures are detected and retried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.ring import DEFAULT_VIRTUAL_NODES
+from repro.serve.client import RetryPolicy
+from repro.serve.config import ServiceConfig
+from repro.serve.protocol import Status
+
+__all__ = ["ClusterConfig", "DEFAULT_FORWARD_RETRY", "replace_cluster_config"]
+
+#: Launch modes for member services.
+LAUNCH_MODES = ("process", "local")
+
+#: Default failover policy for forwarded requests: one replica retry
+#: with no backoff-visible statuses — member *statuses* pass through
+#: to the caller end-to-end; only transport-level forward failures
+#: (dead member, injected drop/corrupt, forward deadline) are retried,
+#: and per :class:`RetryPolicy` semantics DECAPS never silently is.
+DEFAULT_FORWARD_RETRY = RetryPolicy(
+    max_attempts=2,
+    base_delay_s=0.0,
+    max_delay_s=0.0,
+    jitter=0.0,
+    attempt_timeout_s=10.0,
+    retry_statuses=frozenset[Status](),
+    retry_decaps=False,
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tuning knobs of a :class:`repro.cluster.ClusterRouter`.
+
+    ``members``
+        number of member :class:`repro.serve.KemService` instances the
+        router launches and fronts;
+    ``launch``
+        ``"process"`` — each member is its own OS process (SIGKILL-able,
+        true parallelism), the production shape — or ``"local"`` — each
+        member is a :class:`repro.serve.ThreadedService` in the router's
+        process (fast bring-up; what the functional tests use);
+    ``member_config``
+        the :class:`ServiceConfig` every member service runs with;
+    ``virtual_nodes``
+        consistent-hash points per member (see
+        :mod:`repro.cluster.ring`);
+    ``replication``
+        how many members host each key (primary + replicas along the
+        ring).  With deterministic seeded keygen every placement holds
+        a bit-identical pair, so ENCAPS can fail over to a replica;
+    ``forward_retry``
+        the :class:`repro.serve.RetryPolicy` governing failover of
+        forwarded requests across placements — ``attempt_timeout_s``
+        bounds each forward, ``max_attempts`` bounds the placement
+        walk, and ``retry_decaps=False`` keeps DECAPS single-shot;
+    ``health_interval_s`` / ``probe_timeout_s`` / ``health_failures``
+        the INFO health-probe loop: probe cadence, per-probe deadline,
+        and the consecutive-failure count that ejects a member from
+        the ring;
+    ``restart_members``
+        respawn dead ``process``/``local`` members (they readmit and
+        rebalance once probes succeed again);
+    ``high_watermark``
+        router-level admission bound on in-flight forwarded requests
+        (the members keep their own bound too).
+    """
+
+    members: int = 2
+    launch: str = "process"
+    member_config: ServiceConfig = field(default_factory=ServiceConfig)
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    replication: int = 2
+    forward_retry: RetryPolicy = DEFAULT_FORWARD_RETRY
+    health_interval_s: float = 0.5
+    probe_timeout_s: float = 2.0
+    health_failures: int = 2
+    restart_members: bool = True
+    high_watermark: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.members < 1:
+            raise ValueError("members must be >= 1")
+        if self.launch not in LAUNCH_MODES:
+            raise ValueError(f"launch must be one of {LAUNCH_MODES}")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.health_interval_s <= 0:
+            raise ValueError("health_interval_s must be > 0")
+        if self.probe_timeout_s <= 0:
+            raise ValueError("probe_timeout_s must be > 0")
+        if self.health_failures < 1:
+            raise ValueError("health_failures must be >= 1")
+        if self.high_watermark < 0:
+            raise ValueError("high_watermark must be >= 0")
+
+
+def replace_cluster_config(config: ClusterConfig, **changes: object) -> ClusterConfig:
+    """``dataclasses.replace`` for :class:`ClusterConfig` (re-validated)."""
+    return replace(config, **changes)  # type: ignore[arg-type]

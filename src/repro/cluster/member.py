@@ -1,0 +1,228 @@
+"""Member supervision: launching, killing and respawning KemServices.
+
+The router sees members through one small surface —
+:class:`MemberHandle` — with two implementations:
+
+:class:`ProcessMember`
+    the production shape: a ``multiprocessing`` (spawn-context) child
+    process running a :class:`repro.serve.ThreadedService` behind a TCP
+    listener on the loopback interface.  The child reports its port
+    over a control pipe and then blocks on it for a ``stop`` command;
+    :meth:`~ProcessMember.kill` is a true ``SIGKILL`` — the chaos
+    suite's ``member.kill`` fault site ends here.
+
+:class:`LocalMember`
+    a :class:`~repro.serve.ThreadedService` inside the router's
+    process, still behind a real TCP listener so the router's links
+    are transport-uniform.  ``kill()`` maps to
+    :meth:`repro.serve.ThreadedService.kill` (abort, no drain) — close
+    enough to a crash for fast deterministic tests, and the only mode
+    where members can share the router's tracer (trace-nesting tests).
+
+Both respawn with the same name and a fresh empty key table: a
+restarted member knows nothing, and the router's rebalance re-registers
+whatever the ring says it should own.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+from typing import TYPE_CHECKING, Protocol
+
+from repro.serve.config import ServiceConfig
+from repro.serve.server import ThreadedService
+
+if TYPE_CHECKING:
+    from multiprocessing.context import SpawnContext
+
+    from repro.trace import Tracer
+
+__all__ = ["LocalMember", "MemberHandle", "ProcessMember"]
+
+#: Seconds the parent waits for a spawned child to report its port.
+SPAWN_TIMEOUT_S = 60.0
+
+#: Seconds a graceful member stop may take before escalating.
+STOP_TIMEOUT_S = 10.0
+
+
+class MemberHandle(Protocol):
+    """What the router needs from a member, regardless of launch mode."""
+
+    name: str
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The member service's TCP endpoint."""
+        ...
+
+    @property
+    def alive(self) -> bool:
+        """Whether the member is (as far as the supervisor knows) up."""
+        ...
+
+    def kill(self) -> None:
+        """Crash the member without drain (SIGKILL or abort)."""
+        ...
+
+    def stop(self) -> None:
+        """Stop the member gracefully (drain, then exit)."""
+        ...
+
+    def respawn(self) -> None:
+        """Bring a dead member back up, empty, at a fresh address."""
+        ...
+
+
+def _member_main(
+    conn: multiprocessing.connection.Connection,
+    config: ServiceConfig,
+    host: str,
+) -> None:
+    """Child-process entry point: serve TCP until told to stop."""
+    service = ThreadedService(config)
+    service.start()
+    port = service.serve_tcp(host, 0)
+    conn.send(port)
+    try:
+        while True:
+            message = conn.recv()
+            if message == "stop":
+                break
+    except (EOFError, OSError):
+        pass  # parent went away: drain and exit anyway
+    service.stop()
+
+
+class ProcessMember:
+    """One member KemService in its own (spawned) OS process."""
+
+    def __init__(
+        self, name: str, config: ServiceConfig, host: str = "127.0.0.1"
+    ) -> None:
+        self.name = name
+        self._config = config
+        self._host = host
+        self._ctx: SpawnContext = multiprocessing.get_context("spawn")
+        self._process: multiprocessing.process.BaseProcess | None = None
+        self._conn: multiprocessing.connection.Connection | None = None
+        self._port = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_member_main,
+            args=(child_conn, self._config, self._host),
+            name=f"repro-member-{self.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(SPAWN_TIMEOUT_S):
+            process.kill()
+            raise RuntimeError(f"member {self.name} did not come up")
+        self._port = parent_conn.recv()
+        self._process = process
+        self._conn = parent_conn
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The member's TCP endpoint (changes across respawns)."""
+        return (self._host, self._port)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the member process is running."""
+        return self._process is not None and self._process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the member process — no drain, no goodbye."""
+        if self._process is not None:
+            self._process.kill()
+            self._process.join(STOP_TIMEOUT_S)
+
+    def stop(self) -> None:
+        """Ask the member to drain and exit; escalate if it will not."""
+        process, conn = self._process, self._conn
+        if process is None:
+            return
+        if conn is not None:
+            try:
+                conn.send("stop")
+            except (BrokenPipeError, OSError):
+                pass
+        process.join(STOP_TIMEOUT_S)
+        if process.is_alive():
+            process.kill()
+            process.join(STOP_TIMEOUT_S)
+        if conn is not None:
+            conn.close()
+        self._process = None
+        self._conn = None
+
+    def respawn(self) -> None:
+        """Replace a dead member with a fresh, empty process."""
+        self.stop()  # reap the corpse (a no-op if already stopped)
+        self._spawn()
+
+
+class LocalMember:
+    """One member KemService on a background thread in this process."""
+
+    def __init__(
+        self,
+        name: str,
+        config: ServiceConfig,
+        host: str = "127.0.0.1",
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.name = name
+        self._config = config
+        self._host = host
+        self._tracer = tracer
+        self._service: ThreadedService | None = None
+        self._port = 0
+        self._alive = False
+        self._spawn()
+
+    def _spawn(self) -> None:
+        service = ThreadedService(self._config, tracer=self._tracer)
+        service.start()
+        self._port = service.serve_tcp(self._host, 0)
+        self._service = service
+        self._alive = True
+
+    @property
+    def service(self) -> ThreadedService | None:
+        """The in-process service (tests reach in for assertions)."""
+        return self._service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The member's TCP endpoint (changes across respawns)."""
+        return (self._host, self._port)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the member service is up."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Abort the service — connections reset, no drain."""
+        if self._service is not None:
+            self._service.kill()
+        self._alive = False
+
+    def stop(self) -> None:
+        """Drain the service and join its loop thread."""
+        if self._service is not None:
+            self._service.stop()
+            self._service = None
+        self._alive = False
+
+    def respawn(self) -> None:
+        """Replace a dead member with a fresh, empty service."""
+        self.stop()
+        self._spawn()

@@ -1,0 +1,128 @@
+"""Consistent hashing for key placement across cluster members.
+
+A :class:`HashRing` maps 32-bit key ids onto named members so that
+
+* placement is **deterministic** — a pure function of the member set,
+  the virtual-node count and the key id (the hash is ``blake2b``, not
+  Python's randomized ``hash()``, so every process computes the same
+  ring);
+* placement is **uniform within a documented bound** — each member
+  projects ``virtual_nodes`` points onto the ring, and at the default
+  of 128 points the share of a large keyspace each member owns stays
+  within roughly a factor of two of fair share (relative standard
+  deviation ``~ 1/sqrt(virtual_nodes) ~ 9%``; the property suite
+  asserts the [0.4x, 2.0x] envelope over random member sets);
+* membership changes are **minimal** — adding a member moves only the
+  ~``K/N`` keys that land on its points (keys it does not claim keep
+  their owner exactly), and removing a member only re-homes the keys
+  it owned.  No full reshuffle, so the router re-registers ``~K/N``
+  keys per membership event instead of all of them.
+
+:meth:`HashRing.owners` returns the first ``count`` *distinct* members
+clockwise from the key's point — the replication chain the router
+registers each key on (primary first).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import struct
+
+__all__ = ["DEFAULT_VIRTUAL_NODES", "HashRing"]
+
+#: Virtual nodes per member: the balance/memory trade-off documented
+#: above (128 points keeps per-member share within ~2x of fair).
+DEFAULT_VIRTUAL_NODES = 128
+
+_POINT = struct.Struct(">Q")
+
+
+def _hash64(data: bytes) -> int:
+    return _POINT.unpack(hashlib.blake2b(data, digest_size=8).digest())[0]
+
+
+class HashRing:
+    """A consistent-hash ring over named members with virtual nodes."""
+
+    def __init__(
+        self,
+        members: tuple[str, ...] | list[str] = (),
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._members: set[str] = set()
+        # sorted, parallel: _points[i] is the ring position of _names[i]
+        self._points: list[int] = []
+        self._names: list[str] = []
+        for member in members:
+            self.add(member)
+
+    @property
+    def members(self) -> list[str]:
+        """The live member names, sorted."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def _member_points(self, member: str) -> list[int]:
+        return [
+            _hash64(f"member:{member}:vnode:{i}".encode())
+            for i in range(self.virtual_nodes)
+        ]
+
+    def add(self, member: str) -> None:
+        """Project a member's virtual nodes onto the ring (idempotent)."""
+        if member in self._members:
+            return
+        self._members.add(member)
+        for point in self._member_points(member):
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._names.insert(index, member)
+
+    def remove(self, member: str) -> None:
+        """Withdraw a member's virtual nodes (idempotent)."""
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        keep = [i for i, name in enumerate(self._names) if name != member]
+        self._points = [self._points[i] for i in keep]
+        self._names = [self._names[i] for i in keep]
+
+    def key_point(self, key_id: int) -> int:
+        """The ring position of a key id (domain-separated from members)."""
+        return _hash64(b"key:" + _POINT.pack(key_id & 0xFFFFFFFFFFFFFFFF))
+
+    def owner(self, key_id: int) -> str:
+        """The single owning member of a key (raises on an empty ring)."""
+        return self.owners(key_id, 1)[0]
+
+    def owners(self, key_id: int, count: int = 1) -> list[str]:
+        """The first ``count`` distinct members clockwise from the key.
+
+        The replication chain: element 0 is the primary, the rest are
+        the replicas in ring order.  Returns fewer than ``count``
+        entries when the ring holds fewer members; raises
+        :class:`LookupError` when the ring is empty.
+        """
+        if not self._members:
+            raise LookupError("hash ring is empty")
+        count = min(count, len(self._members))
+        start = bisect.bisect(self._points, self.key_point(key_id))
+        chain: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._names)):
+            name = self._names[(start + offset) % len(self._names)]
+            if name not in seen:
+                seen.add(name)
+                chain.append(name)
+                if len(chain) == count:
+                    break
+        return chain

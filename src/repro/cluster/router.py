@@ -1,0 +1,1090 @@
+"""The cluster routing tier: one endpoint fronting N KemService members.
+
+:class:`ClusterRouter` speaks the exact frame protocol of
+:mod:`repro.serve.protocol` on its front side — any existing
+:class:`~repro.serve.KemClient` / :class:`~repro.serve.AsyncKemClient`
+works against it unchanged — and multiplexes the back side over one
+pipelined :class:`~repro.serve.AsyncKemClient` link per member.
+
+**Key placement.**  The router owns the *global* key-id namespace.  A
+``KEYGEN`` draws (or takes from the client) a deterministic seed,
+computes the key's placement chain on the consistent-hash ring
+(:mod:`repro.cluster.ring`; ``replication`` members, primary first)
+and registers the seeded keygen on every placement through each
+member's ordinary ``KEYGEN``/``add_keypair`` lifecycle — deterministic
+keygen means every placement holds a bit-identical pair.  The router
+records the member-local ids and rewrites the leading key-id bytes
+when forwarding; response payloads pass through untouched, so a routed
+result is bit-identical to the single-service one.
+
+**Failover** reuses :class:`repro.serve.RetryPolicy` semantics
+(``config.forward_retry``): transport-level forward failures walk the
+placement chain for idempotent ops, while DECAPS is never silently
+retried — its failure surfaces as a typed error and the *caller*
+decides (``retry_decaps=True`` client-side).  Member response statuses
+pass through end-to-end; the router never converts an OK into anything
+else.
+
+**Health.**  A background loop probes every member with ``INFO`` every
+``health_interval_s``; ``health_failures`` consecutive failures eject
+the member from the ring (its placements are dropped and every key
+rebalances onto the survivors via seeded re-registration +
+``REMOVE_KEY``), dead members are respawned, and a recovered member is
+readmitted — rebalancing back — once probes succeed again.
+
+**Chaos.**  With a :class:`repro.faults.FaultPlan`, client-facing
+connections get the usual transport faults, admission draws forced
+``BUSY``/``TIMEOUT`` windows, and two router-specific sites fire per
+forwarded request: ``router.forward`` (delay / drop / corrupt the
+forward attempt) and ``member.kill`` (kill the target member
+mid-load).  The invariant the chaos suite enforces: every accepted
+request is answered — bit-identical to scalar or with a typed
+:mod:`repro.errors` error — and fault counters match ``plan.fired``
+exactly.
+
+**Tracing.**  With an enabled tracer every routed request emits a
+``router.request`` root (child of the client's wire context) plus one
+``router.forward`` span per member attempt, and forwards carry the
+forward span's context — so member-side ``server.request`` spans nest
+``client.request → router.request → router.forward → server.request``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import secrets
+import socket
+import threading
+import time
+from collections import Counter
+from collections.abc import Awaitable, Callable, Coroutine
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.member import LocalMember, MemberHandle, ProcessMember
+from repro.cluster.ring import HashRing
+from repro.errors import (
+    DeadlineExceeded,
+    KeyNotFound,
+    ProtocolError,
+    ServiceClosed,
+    ServiceError,
+)
+from repro.faults.plan import (
+    KIND_DELAY,
+    KIND_DROP,
+    KIND_TIMEOUT,
+    SITE_ADMISSION,
+    SITE_MEMBER_KILL,
+    SITE_ROUTER_FORWARD,
+    FaultPlan,
+)
+from repro.lac.params import LacParams
+from repro.serve.client import AsyncKemClient
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.protocol import (
+    PARAM_NONE,
+    Frame,
+    FrameReader,
+    FrameWriter,
+    Op,
+    Status,
+    id_for_params,
+    pack_key_id,
+    params_for_id,
+    read_frame,
+    unpack_key_id,
+    unpack_keygen_response,
+    write_frame,
+)
+from repro.trace import NULL_TRACER, TraceContext, Tracer
+
+__all__ = ["ClusterRouter", "ThreadedCluster"]
+
+_Respond = Callable[[Frame], Awaitable[None]]
+
+_T = TypeVar("_T")
+
+#: Forward failures that mean the *member connection* (not the
+#: request) is the problem — failover-eligible for idempotent ops.
+_FORWARD_FAILURES = (ServiceClosed, DeadlineExceeded, ProtocolError, OSError)
+
+
+@dataclass
+class _RoutedKey:
+    """One cluster-hosted key: global id, seed, and where it lives."""
+
+    key_id: int
+    params: LacParams
+    seed: bytes
+    pk: bytes
+    #: member name -> member-local key id
+    placements: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _MemberState:
+    """The router's view of one member."""
+
+    handle: MemberHandle
+    link: AsyncKemClient | None = None
+    link_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    probe_failures: int = 0
+    in_ring: bool = True
+
+
+class ClusterRouter:
+    """An async router sharding hosted keys across member KemServices.
+
+    Construct with a :class:`~repro.cluster.ClusterConfig`, ``await
+    start()`` (spawns the members), attach transports (``serve_tcp`` /
+    ``connect`` / ``connect_socket`` — same surface as
+    :class:`repro.serve.KemService`), ``await shutdown()``.
+
+    ``clock`` / ``fault_plan`` / ``tracer`` mirror the service
+    constructor: an injectable monotonic clock, the chaos hook, and
+    opt-in tracing.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.metrics = ServiceMetrics()
+        #: Cluster-level event counters (ejections, failovers, …);
+        #: exported under ``INFO``'s ``cluster.counters``.
+        self.counters: Counter[str] = Counter()
+        self.fault_plan = fault_plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock
+        self._ring = HashRing(virtual_nodes=self.config.virtual_nodes)
+        self._members: dict[str, _MemberState] = {}
+        self._keys: dict[int, _RoutedKey] = {}
+        self._next_key_id = 1
+        self._pending = 0
+        self._draining = False
+        self._started = False
+        self._started_at = 0.0
+        self._rebalance_needed = False
+        self._rebalance_lock = asyncio.Lock()
+        self._health_task: asyncio.Task[None] | None = None
+        self._health_wake: asyncio.Event | None = None
+        self._inflight: set[asyncio.Task[None]] = set()
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._writers: set[FrameWriter] = set()
+        self._tcp_servers: list[asyncio.base_events.Server] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _make_member(self, index: int) -> MemberHandle:
+        name = f"member-{index}"
+        if self.config.launch == "process":
+            return ProcessMember(name, self.config.member_config)
+        # local members can share the router's tracer, so member-side
+        # server.request spans land in the same recorder (trace tests)
+        tracer = self.tracer if self.tracer.enabled else None
+        return LocalMember(name, self.config.member_config, tracer=tracer)
+
+    async def start(self) -> ClusterRouter:
+        """Spawn the members, build the ring, start health checking."""
+        if self._started:
+            return self
+        loop = asyncio.get_running_loop()
+        handles = await asyncio.gather(
+            *[
+                loop.run_in_executor(None, self._make_member, index)
+                for index in range(self.config.members)
+            ]
+        )
+        for handle in handles:
+            self._members[handle.name] = _MemberState(handle)
+            self._ring.add(handle.name)
+        if self.fault_plan is not None and self.fault_plan.observer is None:
+            self.fault_plan.observer = self.metrics.record_fault
+        self._health_wake = asyncio.Event()
+        self._health_task = asyncio.create_task(self._health_loop())
+        self._started = True
+        self._started_at = self._clock()
+        return self
+
+    async def shutdown(self) -> None:
+        """Drain in-flight forwards, stop the members, close transports."""
+        if not self._started:
+            return
+        self._draining = True
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        for state in self._members.values():
+            await self._drop_link(state)
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *[
+                loop.run_in_executor(None, state.handle.stop)
+                for state in self._members.values()
+            ]
+        )
+        for server in self._tcp_servers:
+            server.close()
+            await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._started = False
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet answered."""
+        return self._pending
+
+    @property
+    def members(self) -> dict[str, MemberHandle]:
+        """The member handles by name (chaos tests kill through this)."""
+        return {name: state.handle for name, state in self._members.items()}
+
+    def hosted_keys(self) -> dict[int, dict[str, int]]:
+        """Global key id -> its current placements (member -> local id)."""
+        return {gid: dict(key.placements) for gid, key in self._keys.items()}
+
+    # ------------------------------------------------------------------
+    # transports (same surface as KemService)
+    # ------------------------------------------------------------------
+
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.base_events.Server:
+        """Listen on TCP; returns the ``asyncio.Server`` (``port 0`` = ephemeral)."""
+        server = await asyncio.start_server(self._on_connection, host, port)
+        self._tcp_servers.append(server)
+        return server
+
+    async def connect(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Open an in-process connection (socketpair); returns client streams."""
+        client_sock = await self.connect_socket()
+        return await asyncio.open_connection(sock=client_sock)
+
+    async def connect_socket(self) -> socket.socket:
+        """Open an in-process connection; returns the client's raw socket."""
+        server_sock, client_sock = socket.socketpair()
+        reader, writer = await asyncio.open_connection(sock=server_sock)
+        task = asyncio.create_task(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        return client_sock
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._handle_connection(reader, writer)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: FrameReader, writer: FrameWriter
+    ) -> None:
+        if self.fault_plan is not None:
+            from repro.faults.transport import wrap_connection
+
+            reader, writer = wrap_connection(reader, writer, self.fault_plan)
+        self._writers.add(writer)
+        lock = asyncio.Lock()
+
+        async def respond(frame: Frame) -> None:
+            async with lock:
+                try:
+                    write_frame(writer, frame)
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass  # peer went away; nothing to tell it
+
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                self._admit_frame(frame, respond)
+        except ProtocolError as exc:
+            self.metrics.record_conn_error(f"protocol:{exc.reason}")
+        except ConnectionError:
+            self.metrics.record_conn_error("disconnect")
+        except asyncio.CancelledError:
+            pass
+        except Exception:  # noqa: BLE001 - never kill the accept loop
+            self.metrics.record_conn_error("internal")
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    def _error(self, request: Frame, status: Status, message: str) -> Frame:
+        self.metrics.record_response(request.op.name, status.name)
+        return Frame(
+            request.op,
+            request.request_id,
+            request.param_id,
+            status,
+            message.encode(),
+            trace=request.trace,
+        )
+
+    def _admit_frame(self, frame: Frame, respond: _Respond) -> None:
+        """Admission control; accepted work runs as its own task.
+
+        Per-request tasks keep one slow member from head-of-line
+        blocking the other requests multiplexed on this connection —
+        the router's analogue of the service's scheduler decoupling.
+        Every accepted frame is answered exactly once: the task wraps
+        the forward in a catch-all that degrades to a typed
+        ``INTERNAL`` response, never silence.
+        """
+        op = frame.op
+        self.metrics.record_request(op.name)
+        t_read = self._clock() if self.tracer.enabled else 0.0
+        if op in (Op.INFO, Op.REMOVE_KEY):
+            # control plane: answered inline, served even while draining
+            self._spawn(self._handle_control(frame, respond))
+            return
+        if self.fault_plan is not None:
+            spec = self.fault_plan.draw(SITE_ADMISSION)
+            if spec is not None:
+                status = (
+                    Status.TIMEOUT if spec.kind == KIND_TIMEOUT else Status.BUSY
+                )
+                self._spawn(
+                    respond(self._error(frame, status, f"injected fault: {spec.kind}"))
+                )
+                return
+        if self._draining:
+            self._spawn(
+                respond(self._error(frame, Status.SHUTTING_DOWN, "draining"))
+            )
+            return
+        if self._pending >= self.config.high_watermark:
+            self._spawn(
+                respond(
+                    self._error(
+                        frame, Status.BUSY, f"{self._pending} requests pending"
+                    )
+                )
+            )
+            return
+        self._pending += 1
+        self.metrics.adjust_queue_depth(+1)
+        self._spawn(self._routed_request(frame, respond, t_read))
+
+    def _spawn(self, coro: Coroutine[Any, Any, None]) -> None:
+        task = asyncio.create_task(coro)
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _handle_control(self, frame: Frame, respond: _Respond) -> None:
+        if frame.op is Op.INFO:
+            await respond(self._info_response(frame))
+            self.metrics.record_response(Op.INFO.name, Status.OK.name)
+            return
+        try:
+            key_id, _ = unpack_key_id(frame.payload)
+        except ProtocolError as exc:
+            await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
+            return
+        key = self._keys.pop(key_id, None)
+        if key is None:
+            await respond(
+                self._error(frame, Status.NOT_FOUND, f"unknown key id {key_id}")
+            )
+            return
+        for member in list(key.placements):
+            await self._remove_key_from(member, key)
+        self.metrics.record_response(Op.REMOVE_KEY.name, Status.OK.name)
+        await respond(
+            Frame(
+                frame.op, frame.request_id, frame.param_id, Status.OK,
+                trace=frame.trace,
+            )
+        )
+
+    async def _routed_request(
+        self, frame: Frame, respond: _Respond, t_read: float
+    ) -> None:
+        """One accepted data-plane request, answered exactly once."""
+        enqueued_at = self._clock()
+        status = Status.INTERNAL
+        try:
+            if frame.op is Op.KEYGEN:
+                status = await self._keygen(frame, respond, t_read)
+            else:
+                status = await self._forward(frame, respond, t_read)
+        except asyncio.CancelledError:
+            await respond(self._error(frame, Status.INTERNAL, "router cancelled"))
+            raise
+        except Exception as exc:  # noqa: BLE001 - typed error, never silence
+            await respond(self._error(frame, Status.INTERNAL, str(exc)))
+        finally:
+            self._pending -= 1
+            self.metrics.adjust_queue_depth(-1)
+            self.metrics.observe_latency(
+                frame.op.name, (self._clock() - enqueued_at) * 1e6
+            )
+            if self.tracer.enabled:
+                self._trace_root(frame, t_read, status)
+
+    def _trace_root(self, frame: Frame, t_read: float, status: Status) -> None:
+        trace_id, parent = self._trace_identity(frame)
+        self.tracer.record_span(
+            "router.request",
+            t_read,
+            self._clock() - t_read,
+            trace_id,
+            span_id=self._root_span_for(frame),
+            parent_id=parent,
+            tags={"op": frame.op.name, "status": status.name},
+        )
+
+    def _trace_identity(self, frame: Frame) -> tuple[int, int | None]:
+        if frame.trace is not None:
+            return frame.trace.trace_id, frame.trace.span_id
+        return self._fallback_trace_ids(frame)[0], None
+
+    def _root_span_for(self, frame: Frame) -> int:
+        return self._fallback_trace_ids(frame)[1]
+
+    def _fallback_trace_ids(self, frame: Frame) -> tuple[int, int]:
+        # one (trace id, root span id) pair per frame object, minted
+        # lazily so forwards and the root span agree without threading
+        # extra state through every call
+        ids = getattr(frame, "_router_ids", None)
+        if ids is None:
+            trace_id = (
+                frame.trace.trace_id
+                if frame.trace is not None
+                else self.tracer.new_trace_id()
+            )
+            ids = (trace_id, self.tracer.new_span_id())
+            frame._router_ids = ids  # type: ignore[attr-defined]
+        result: tuple[int, int] = ids
+        return result
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+
+    async def _link(self, state: _MemberState) -> AsyncKemClient:
+        async with state.link_lock:
+            if state.link is None:
+                host, port = state.handle.address
+                reader, writer = await asyncio.open_connection(host, port)
+                state.link = AsyncKemClient(reader, writer)
+            return state.link
+
+    async def _drop_link(self, state: _MemberState) -> None:
+        async with state.link_lock:
+            link, state.link = state.link, None
+        if link is not None:
+            try:
+                await link.aclose()
+            except Exception:  # noqa: BLE001 - already torn down
+                pass
+
+    def _note_member_failure(self, member: str) -> None:
+        """Poke the health loop after a forward-time member failure."""
+        if self._health_wake is not None:
+            self._health_wake.set()
+
+    def _forward_trace(
+        self, frame: Frame, member: str, attempt: int
+    ) -> tuple[TraceContext | None, int, float]:
+        """(wire context for the member, forward span id, start time)."""
+        if not self.tracer.enabled:
+            # tracer off: pass any client context straight through so
+            # member spans still attach to the caller's trace
+            return frame.trace, 0, 0.0
+        trace_id, _ = self._fallback_trace_ids(frame)
+        span_id = self.tracer.new_span_id()
+        return TraceContext(trace_id, span_id), span_id, self._clock()
+
+    def _end_forward_span(
+        self,
+        frame: Frame,
+        member: str,
+        attempt: int,
+        span_id: int,
+        t_start: float,
+        outcome: str,
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        trace_id, _ = self._fallback_trace_ids(frame)
+        self.tracer.record_span(
+            "router.forward",
+            t_start,
+            self._clock() - t_start,
+            trace_id,
+            span_id=span_id,
+            parent_id=self._root_span_for(frame),
+            tags={
+                "op": frame.op.name,
+                "member": member,
+                "attempt": attempt,
+                "outcome": outcome,
+            },
+        )
+
+    async def _forward_once(
+        self,
+        member: str,
+        frame: Frame,
+        payload: bytes,
+        attempt: int,
+        draw_faults: bool = True,
+    ) -> Frame:
+        """One forward attempt to one member (faults, link, deadline)."""
+        state = self._members[member]
+        trace, span_id, t_start = self._forward_trace(frame, member, attempt)
+        outcome = "error"
+        try:
+            if draw_faults and self.fault_plan is not None:
+                spec = self.fault_plan.draw(SITE_MEMBER_KILL)
+                if spec is not None:
+                    self.counters["member_kills"] += 1
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, state.handle.kill
+                    )
+                    await self._drop_link(state)
+                spec = self.fault_plan.draw(SITE_ROUTER_FORWARD)
+                if spec is not None:
+                    if spec.kind == KIND_DELAY:
+                        await asyncio.sleep(spec.delay_s)
+                    elif spec.kind == KIND_DROP:
+                        raise ServiceClosed("injected fault: forward drop")
+                    else:  # corrupt: the link cannot be trusted anymore
+                        await self._drop_link(state)
+                        raise ProtocolError(
+                            "injected fault: forward corruption", "corrupt"
+                        )
+            if not state.handle.alive:
+                raise ServiceClosed(f"member {member} is down")
+            link = await self._link(state)
+            timeout = self.config.forward_retry.attempt_timeout_s
+            try:
+                if timeout is not None:
+                    response = await asyncio.wait_for(
+                        link.request(
+                            frame.op, frame.param_id, payload, trace=trace
+                        ),
+                        timeout,
+                    )
+                else:
+                    response = await link.request(
+                        frame.op, frame.param_id, payload, trace=trace
+                    )
+            except asyncio.TimeoutError:
+                raise DeadlineExceeded(
+                    f"member {member} gave no response within {timeout}s"
+                ) from None
+            outcome = response.status.name
+            return response
+        except _FORWARD_FAILURES:
+            # the member connection is suspect: redial on next use and
+            # let the health loop decide about ejection
+            await self._drop_link(state)
+            self._note_member_failure(member)
+            raise
+        finally:
+            self._end_forward_span(frame, member, attempt, span_id, t_start, outcome)
+
+    def _placement_chain(self, key: _RoutedKey) -> list[str]:
+        """Live placements of a key in current ring order, primary first."""
+        try:
+            ordered = self._ring.owners(key.key_id, len(self._members) or 1)
+        except LookupError:
+            ordered = []
+        chain = [
+            member
+            for member in ordered
+            if member in key.placements and self._members[member].handle.alive
+        ]
+        # placements that left the ring (ejected member still alive,
+        # or replication > ring size) remain usable as a last resort
+        chain.extend(
+            member
+            for member in sorted(key.placements)
+            if member not in chain
+            and member in self._members
+            and self._members[member].handle.alive
+        )
+        return chain
+
+    async def _forward(
+        self, frame: Frame, respond: _Respond, t_read: float
+    ) -> Status:
+        """Route one ENCAPS/DECAPS to the owning member, with failover."""
+        op = frame.op
+        try:
+            gid, rest = unpack_key_id(frame.payload)
+        except ProtocolError as exc:
+            await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
+            return Status.BAD_REQUEST
+        key = self._keys.get(gid)
+        if key is None:
+            await respond(
+                self._error(frame, Status.NOT_FOUND, f"unknown key id {gid}")
+            )
+            return Status.NOT_FOUND
+        if frame.param_id != id_for_params(key.params):
+            await respond(
+                self._error(
+                    frame,
+                    Status.BAD_REQUEST,
+                    f"key {gid} is {key.params.name}, not parameter id "
+                    f"{frame.param_id}",
+                )
+            )
+            return Status.BAD_REQUEST
+        policy = self.config.forward_retry
+        chain = self._placement_chain(key)
+        last_error: Exception | None = None
+        for attempt, member in enumerate(chain):
+            if attempt >= policy.max_attempts:
+                break
+            if attempt > 0:
+                self.counters["forward_failovers"] += 1
+            local_id = key.placements.get(member)
+            if local_id is None:
+                continue  # a concurrent repair dropped this placement
+            try:
+                response = await self._forward_once(
+                    member, frame, pack_key_id(local_id) + rest, attempt
+                )
+            except Exception as exc:  # noqa: BLE001 - policy decides below
+                last_error = exc
+                if policy.should_retry(op, exc, attempt, can_reconnect=True):
+                    continue
+                break
+            if response.status is Status.NOT_FOUND:
+                # stale placement: the member restarted without this
+                # key — repair it and (for idempotent ops) fail over
+                key.placements.pop(member, None)
+                self._rebalance_needed = True
+                self._note_member_failure(member)
+                last_error = KeyNotFound(
+                    f"member {member} lost key {gid}; rebalancing"
+                )
+                if op is not Op.DECAPS:
+                    continue
+                break
+            self.metrics.record_response(op.name, response.status.name)
+            await respond(
+                Frame(
+                    op,
+                    frame.request_id,
+                    frame.param_id,
+                    response.status,
+                    response.payload,
+                    trace=frame.trace,
+                )
+            )
+            return response.status
+        if last_error is None:
+            await respond(
+                self._error(frame, Status.INTERNAL, f"no live placement for key {gid}")
+            )
+            return Status.INTERNAL
+        status = self._failure_status(last_error)
+        await respond(self._error(frame, status, str(last_error)))
+        return status
+
+    @staticmethod
+    def _failure_status(exc: Exception) -> Status:
+        """The typed wire status a forward failure degrades to."""
+        if isinstance(exc, DeadlineExceeded):
+            return Status.TIMEOUT
+        if isinstance(exc, ServiceError) and isinstance(
+            getattr(exc, "status", None), Status
+        ):
+            status: Status = exc.status  # type: ignore[assignment]
+            # a lost placement is the router's problem, not the
+            # caller's: NOT_FOUND would wrongly blame the key id
+            return Status.INTERNAL if status is Status.NOT_FOUND else status
+        return Status.INTERNAL
+
+    # ------------------------------------------------------------------
+    # key lifecycle
+    # ------------------------------------------------------------------
+
+    async def _keygen(
+        self, frame: Frame, respond: _Respond, t_read: float
+    ) -> Status:
+        """Mint a global key: seeded registration on the placement chain."""
+        try:
+            params = params_for_id(frame.param_id)
+        except ProtocolError as exc:
+            await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
+            return Status.BAD_REQUEST
+        seed_len = params.seed_bytes + 32
+        if frame.payload and len(frame.payload) != seed_len:
+            await respond(
+                self._error(
+                    frame,
+                    Status.BAD_REQUEST,
+                    f"KEYGEN seed must be {seed_len} bytes or empty",
+                )
+            )
+            return Status.BAD_REQUEST
+        seed = frame.payload or secrets.token_bytes(seed_len)
+        gid = self._next_key_id
+        self._next_key_id += 1
+        try:
+            owners = self._ring.owners(gid, self.config.replication)
+        except LookupError:
+            owners = []
+        key = _RoutedKey(gid, params, seed, b"")
+        last_error: Exception | None = None
+        for attempt, member in enumerate(owners):
+            try:
+                # draw_faults=False: the router.forward/member.kill
+                # sites target ENCAPS/DECAPS forwards (the data plane);
+                # registration is key-lifecycle plumbing
+                response = await self._forward_once(
+                    member, frame, seed, attempt, draw_faults=False
+                )
+            except Exception as exc:  # noqa: BLE001 - typed or transport
+                last_error = exc
+                continue
+            if response.status is not Status.OK:
+                last_error = ServiceError(
+                    f"member {member} keygen: "
+                    + response.payload.decode(errors="replace")
+                )
+                last_error.status = response.status  # type: ignore[attr-defined]
+                continue
+            local_id, pk = unpack_keygen_response(params, response.payload)
+            key.placements[member] = local_id
+            key.pk = pk
+        if not key.placements:
+            if last_error is None:
+                await respond(
+                    self._error(frame, Status.INTERNAL, "no live members")
+                )
+                return Status.INTERNAL
+            status = self._failure_status(last_error)
+            await respond(self._error(frame, status, str(last_error)))
+            return status
+        if len(key.placements) < len(owners):
+            # under-replicated: the health loop's rebalance finishes it
+            self._rebalance_needed = True
+            self._note_member_failure("")
+        self._keys[gid] = key
+        self.metrics.record_response(Op.KEYGEN.name, Status.OK.name)
+        await respond(
+            Frame(
+                Op.KEYGEN,
+                frame.request_id,
+                frame.param_id,
+                Status.OK,
+                pack_key_id(gid) + key.pk,
+                trace=frame.trace,
+            )
+        )
+        return Status.OK
+
+    async def _register_key_on(self, member: str, key: _RoutedKey) -> bool:
+        """Seeded re-registration of one key on one member (rebalance)."""
+        frame = Frame(Op.KEYGEN, 0, id_for_params(key.params))
+        try:
+            response = await self._forward_once(
+                member, frame, key.seed, 0, draw_faults=False
+            )
+        except Exception:  # noqa: BLE001 - retried by the next health pass
+            self._rebalance_needed = True
+            return False
+        if response.status is not Status.OK:
+            self._rebalance_needed = True
+            return False
+        local_id, _pk = unpack_keygen_response(key.params, response.payload)
+        key.placements[member] = local_id
+        return True
+
+    async def _remove_key_from(self, member: str, key: _RoutedKey) -> None:
+        """Pull one key off one member; the placement goes regardless."""
+        local_id = key.placements.pop(member, None)
+        state = self._members.get(member)
+        if local_id is None or state is None or not state.handle.alive:
+            return
+        frame = Frame(Op.REMOVE_KEY, 0, PARAM_NONE)
+        try:
+            await self._forward_once(
+                member, frame, pack_key_id(local_id), 0, draw_faults=False
+            )
+        except Exception:  # noqa: BLE001 - the member will restart empty
+            pass
+
+    # ------------------------------------------------------------------
+    # health and rebalancing
+    # ------------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        wake = self._health_wake
+        assert wake is not None  # set by start() before the task spawns
+        while True:
+            try:
+                await asyncio.wait_for(
+                    wake.wait(), self.config.health_interval_s
+                )
+            except asyncio.TimeoutError:
+                pass
+            wake.clear()
+            if self._draining:
+                continue
+            for name, state in list(self._members.items()):
+                await self._probe(name, state)
+            if self._rebalance_needed:
+                await self._rebalance()
+
+    async def _probe(self, name: str, state: _MemberState) -> None:
+        healthy = False
+        if state.handle.alive:
+            try:
+                link = await self._link(state)
+                await asyncio.wait_for(
+                    link.request(Op.INFO), self.config.probe_timeout_s
+                )
+                healthy = True
+            except (asyncio.TimeoutError, *_FORWARD_FAILURES):
+                await self._drop_link(state)
+        if healthy:
+            state.probe_failures = 0
+            if not state.in_ring:
+                self._readmit(name, state)
+            return
+        state.probe_failures += 1
+        self.counters["probe_failures"] += 1
+        dead = not state.handle.alive
+        # an unresponsive member gets health_failures chances; a dead
+        # process is unambiguous and leaves the ring right away
+        if state.in_ring and (
+            dead or state.probe_failures >= self.config.health_failures
+        ):
+            self._eject(name, state)
+        if dead and self.config.restart_members and not self._draining:
+            await self._drop_link(state)
+            await asyncio.get_running_loop().run_in_executor(
+                None, state.handle.respawn
+            )
+            self.counters["member_restarts"] += 1
+            # the respawned member came up empty: any placement record
+            # naming it is stale by construction
+            for key in self._keys.values():
+                if key.placements.pop(name, None) is not None:
+                    self._rebalance_needed = True
+
+    def _eject(self, name: str, state: _MemberState) -> None:
+        """Remove a failing member from the ring; its keys re-home."""
+        self._ring.remove(name)
+        state.in_ring = False
+        self.counters["members_ejected"] += 1
+        for key in self._keys.values():
+            key.placements.pop(name, None)
+        self._rebalance_needed = True
+
+    def _readmit(self, name: str, state: _MemberState) -> None:
+        """A recovered member rejoins the ring (empty) and rebalances."""
+        self._ring.add(name)
+        state.in_ring = True
+        self.counters["members_readmitted"] += 1
+        self._rebalance_needed = True
+
+    async def _rebalance(self) -> None:
+        """Drive every key's placements to what the ring says they are.
+
+        Additions are seeded re-registrations through the ordinary
+        member ``KEYGEN``/``add_keypair`` lifecycle (warming the
+        per-key transform caches on the right node); removals go
+        through ``REMOVE_KEY``/``remove_keypair``.  A failed step
+        re-arms ``_rebalance_needed`` so the next health pass retries.
+        """
+        async with self._rebalance_lock:
+            self._rebalance_needed = False
+            if not len(self._ring):
+                return
+            moved = 0
+            for key in list(self._keys.values()):
+                desired = set(self._ring.owners(key.key_id, self.config.replication))
+                current = set(key.placements)
+                for member in sorted(desired - current):
+                    if await self._register_key_on(member, key):
+                        moved += 1
+                for member in sorted(current - desired):
+                    await self._remove_key_from(member, key)
+                    moved += 1
+            if moved:
+                self.counters["placements_rebalanced"] += moved
+                self.counters["rebalances"] += 1
+
+    # ------------------------------------------------------------------
+    # INFO
+    # ------------------------------------------------------------------
+
+    def _info_response(self, frame: Frame) -> Frame:
+        cluster = {
+            "uptime_s": round(self._clock() - self._started_at, 3),
+            "draining": self._draining,
+            "pending": self._pending,
+            "keys": len(self._keys),
+            "replication": self.config.replication,
+            "virtual_nodes": self.config.virtual_nodes,
+            "launch": self.config.launch,
+            "ring": self._ring.members,
+            "members": {
+                name: {
+                    "alive": state.handle.alive,
+                    "in_ring": state.in_ring,
+                    "probe_failures": state.probe_failures,
+                    "address": list(state.handle.address),
+                    "keys": sum(
+                        1
+                        for key in self._keys.values()
+                        if name in key.placements
+                    ),
+                }
+                for name, state in self._members.items()
+            },
+            "counters": dict(self.counters),
+        }
+        if frame.payload == b"text":
+            lines = [self.metrics.render_text(), ""]
+            lines.append(f"# cluster: {len(self._ring)} in ring")
+            for counter, value in sorted(cluster["counters"].items()):  # type: ignore[union-attr]
+                lines.append(f"kem_cluster_{counter}_total {value}")
+            payload = "\n".join(lines).encode()
+        else:
+            snap = self.metrics.snapshot()
+            snap["cluster"] = cluster
+            payload = json.dumps(snap).encode()
+        return Frame(
+            Op.INFO, frame.request_id, PARAM_NONE, Status.OK, payload,
+            trace=frame.trace,
+        )
+
+
+class ThreadedCluster:
+    """A :class:`ClusterRouter` on a background event-loop thread.
+
+    The synchronous adapter, mirroring
+    :class:`repro.serve.ThreadedService`: ``start()`` spawns members
+    and the routing loop, ``connect()`` hands back blocking client
+    sockets (feed them to :class:`repro.cluster.ClusterClient`),
+    ``stop()`` drains and joins.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._fault_plan = fault_plan
+        self._tracer = tracer
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self.router: ClusterRouter | None = None
+
+    def start(self) -> ThreadedCluster:
+        """Start the loop thread, the router and its members."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cluster-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self.router = ClusterRouter(
+            self._config,
+            clock=self._clock,
+            fault_plan=self._fault_plan,
+            tracer=self._tracer,
+        )
+        self._loop.run_until_complete(self.router.start())
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.run_until_complete(self.router.shutdown())
+        self._loop.close()
+
+    def _call(self, coro: Coroutine[Any, Any, _T]) -> _T:
+        assert self._loop is not None, "start() the cluster first"
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _router(self) -> ClusterRouter:
+        assert self.router is not None, "start() the cluster first"
+        return self.router
+
+    def connect(self) -> socket.socket:
+        """A new in-process connection as a blocking client socket."""
+        return self._call(self._router().connect_socket())
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Start a TCP listener; returns the bound port."""
+
+        async def _serve() -> int:
+            server = await self._router().serve_tcp(host, port)
+            port_: int = server.sockets[0].getsockname()[1]
+            return port_
+
+        return self._call(_serve())
+
+    def member_names(self) -> list[str]:
+        """The member names, sorted (for targeted chaos)."""
+        return sorted(self._router().members)
+
+    def kill_member(self, name: str) -> None:
+        """SIGKILL/abort one member (the supervisor will restart it)."""
+        self._router().members[name].kill()
+
+    def stop(self) -> None:
+        """Drain the router, stop the members, join the loop thread."""
+        if self._thread is None or self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> ThreadedCluster:
+        """Start on entry."""
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        """Stop on exit."""
+        self.stop()

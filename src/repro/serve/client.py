@@ -47,6 +47,7 @@ from repro.serve.protocol import (
     id_for_params,
     pack_decaps_request,
     pack_encaps_request,
+    pack_key_id,
     read_frame,
     recv_frame,
     send_frame,
@@ -264,9 +265,21 @@ class AsyncKemClient:
     # ------------------------------------------------------------------
 
     async def request(
-        self, op: Op, param_id: int = PARAM_NONE, payload: bytes = b""
+        self,
+        op: Op,
+        param_id: int = PARAM_NONE,
+        payload: bytes = b"",
+        *,
+        trace: TraceContext | None = None,
     ) -> Frame:
-        """Send one frame and await its matching response (any status)."""
+        """Send one frame and await its matching response (any status).
+
+        ``trace`` propagates an *explicit* trace context on the wire
+        instead of minting one: the caller owns the surrounding span
+        and no ``client.request`` span is emitted — this is how the
+        cluster router nests member-side ``server.request`` spans under
+        its own ``router.forward`` span.
+        """
         if self._read_task is None or self._read_task.done():
             # (re)start the reader: bound to the *current* connection's
             # stream and pending-map so a later reconnect cannot cross
@@ -277,9 +290,9 @@ class AsyncKemClient:
         pending = self._pending
         request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
         tracer = self._tracer
-        trace: TraceContext | None = None
+        explicit_trace = trace is not None
         t_start = 0.0
-        if tracer.enabled:
+        if not explicit_trace and tracer.enabled:
             trace = TraceContext(tracer.new_trace_id(), tracer.new_span_id())
             t_start = tracer.clock()
         future: asyncio.Future[Frame] = asyncio.get_running_loop().create_future()
@@ -291,7 +304,7 @@ class AsyncKemClient:
             )
             await self._writer.drain()
             response = await future
-            if trace is not None:
+            if trace is not None and not explicit_trace:
                 tracer.record_span(
                     "client.request",
                     t_start,
@@ -457,6 +470,16 @@ class AsyncKemClient:
             return snapshot
 
         return await self._call_with_retry(Op.INFO, attempt)
+
+    async def remove_key(self, key_id: int) -> None:
+        """Stop hosting a key (raises :class:`KeyNotFound` if absent)."""
+
+        async def attempt() -> None:
+            raise_for_status(
+                await self.request(Op.REMOVE_KEY, payload=pack_key_id(key_id))
+            )
+
+        await self._call_with_retry(Op.REMOVE_KEY, attempt)
 
     async def aclose(self) -> None:
         """Close the connection and stop the reader task."""
@@ -657,6 +680,16 @@ class KemClient:
             return snapshot
 
         return self._call_with_retry(Op.INFO, attempt)
+
+    def remove_key(self, key_id: int) -> None:
+        """Stop hosting a key (raises :class:`KeyNotFound` if absent)."""
+
+        def attempt() -> None:
+            raise_for_status(
+                self.request(Op.REMOVE_KEY, payload=pack_key_id(key_id))
+            )
+
+        self._call_with_retry(Op.REMOVE_KEY, attempt)
 
     def close(self) -> None:
         """Close the socket."""

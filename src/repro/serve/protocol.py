@@ -7,7 +7,7 @@ Every message — request or response — is one frame:
     offset  size  field
     0       2     magic   b"LK"
     2       1     version (1 = plain, 2 = traced)
-    3       1     op      (Op: KEYGEN/ENCAPS/DECAPS/INFO)
+    3       1     op      (Op: KEYGEN/ENCAPS/DECAPS/INFO/REMOVE_KEY)
     4       1     status  (Status; always OK in requests)
     5       1     param   (parameter-set id, PARAM_NONE for INFO)
     6       4     request id, big-endian (echoed in the response)
@@ -30,16 +30,18 @@ requests: responses carry the id of the request they answer and may
 arrive in any order (the micro-batch scheduler freely reorders across
 connections).  Payload layouts per op:
 
-========  ==========================================  =====================
-op        request payload                             OK-response payload
-========  ==========================================  =====================
-KEYGEN    optional seed (``seed_bytes + 32``, or      key id (4) || public
-          empty for OS randomness)                    key bytes
-ENCAPS    key id (4) || optional fixed message        ciphertext bytes ||
-          (``message_bytes``, tests/KATs only)        shared secret (32)
-DECAPS    key id (4) || ciphertext bytes              shared secret (32)
-INFO      empty (JSON snapshot) or ``b"text"``        UTF-8 metrics dump
-========  ==========================================  =====================
+==========  ==========================================  =====================
+op          request payload                             OK-response payload
+==========  ==========================================  =====================
+KEYGEN      optional seed (``seed_bytes + 32``, or      key id (4) || public
+            empty for OS randomness)                    key bytes
+ENCAPS      key id (4) || optional fixed message        ciphertext bytes ||
+            (``message_bytes``, tests/KATs only)        shared secret (32)
+DECAPS      key id (4) || ciphertext bytes              shared secret (32)
+INFO        empty (JSON snapshot) or ``b"text"``        UTF-8 metrics dump
+REMOVE_KEY  key id (4)                                  empty (``NOT_FOUND``
+                                                        if not hosted)
+==========  ==========================================  =====================
 
 Error responses (any non-OK :class:`Status`) carry a UTF-8 diagnostic
 string as payload.  All sizes are fixed by the parameter set, so the
@@ -100,6 +102,10 @@ class Op(IntEnum):
     ENCAPS = 2
     DECAPS = 3
     INFO = 4
+    #: Stop hosting a key (the wire twin of
+    #: :meth:`repro.serve.KemService.remove_keypair`; the cluster
+    #: router uses it to pull keys off members during rebalancing).
+    REMOVE_KEY = 5
 
 
 class Status(IntEnum):

@@ -353,6 +353,25 @@ class KemService:
         self.metrics.backend_stats_provider = None
         self._started = False
 
+    def abort(self) -> None:
+        """Crash the service: sever every transport, skip the drain.
+
+        The SIGKILL analogue for in-process members and chaos tests —
+        listeners close and live connections reset immediately, so
+        accepted-but-unanswered requests are simply lost, exactly as
+        when a member process dies.  :meth:`shutdown` (which this does
+        **not** replace) still releases the backend afterwards.
+        """
+        self._draining = True
+        for server in self._tcp_servers:
+            server.close()
+        for writer in list(self._writers):
+            transport = getattr(writer, "transport", None)
+            if transport is not None:
+                transport.abort()
+            else:
+                writer.close()
+
     # ------------------------------------------------------------------
     # key hosting
     # ------------------------------------------------------------------
@@ -564,6 +583,30 @@ class KemService:
         if op is Op.INFO:
             await respond(self._info_response(frame))
             self.metrics.record_response(op.name, Status.OK.name)
+            return
+        if op is Op.REMOVE_KEY:
+            # control plane, like INFO: answered inline (no batching)
+            # and served even while draining — the cluster router pulls
+            # keys off members during rebalancing and shutdown
+            try:
+                key_id, _ = unpack_key_id(frame.payload)
+            except ProtocolError as exc:
+                await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
+                return
+            if self.remove_keypair(key_id):
+                self.metrics.record_response(op.name, Status.OK.name)
+                await respond(
+                    Frame(
+                        op, frame.request_id, frame.param_id, Status.OK,
+                        trace=frame.trace,
+                    )
+                )
+            else:
+                await respond(
+                    self._error(
+                        frame, Status.NOT_FOUND, f"unknown key id {key_id}"
+                    )
+                )
             return
         if self.fault_plan is not None:
             spec = self.fault_plan.draw(SITE_ADMISSION)
@@ -1057,6 +1100,21 @@ class ThreadedService:
         """Drain the service and join the loop thread."""
         if self._thread is None or self._loop is None:
             return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+
+    def kill(self) -> None:
+        """Crash the service: abort every connection, then stop.
+
+        The in-process stand-in for SIGKILLing a member process —
+        clients see their connections reset mid-request instead of a
+        graceful drain (the backend is still released so the process
+        stays reusable).
+        """
+        if self._thread is None or self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._service().abort)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join()
         self._thread = None

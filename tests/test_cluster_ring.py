@@ -1,0 +1,139 @@
+"""Property tests for the consistent-hash ring (repro.cluster.ring).
+
+The three documented guarantees, asserted over hypothesis-drawn member
+sets:
+
+* **determinism** — ownership is a pure function of (member set,
+  virtual nodes, key id), independent of construction order;
+* **uniformity within the documented bound** — at the default 128
+  virtual nodes, each member's share of a large keyspace stays inside
+  the [0.4x, 2.0x]-of-fair envelope;
+* **minimal remapping** — adding or removing one member re-homes only
+  ~K/N keys; every key the change does not claim keeps its owner
+  *exactly* (asserted as equality, not a bound).
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_PROPERTY_MAX_EXAMPLES", "20"))
+
+SWEEP = settings(max_examples=MAX_EXAMPLES, deadline=None)
+
+#: few examples for the expensive full-keyspace scans
+SLOW_SWEEP = settings(max_examples=max(4, MAX_EXAMPLES // 4), deadline=None)
+
+#: keys scanned per uniformity / remap measurement
+KEYSPACE = 2048
+
+
+def members_named(seed: int, count: int) -> list[str]:
+    return [f"node-{seed}-{i}" for i in range(count)]
+
+
+member_sets = st.builds(
+    members_named,
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=2, max_value=8),
+)
+
+
+class TestDeterminism:
+    @SWEEP
+    @given(member_sets, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_owner_is_order_independent(self, members, key_id):
+        forward = HashRing(members)
+        backward = HashRing(list(reversed(members)))
+        assert forward.owner(key_id) == backward.owner(key_id)
+        assert forward.owners(key_id, 3) == backward.owners(key_id, 3)
+
+    @SWEEP
+    @given(member_sets, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_two_rings_agree(self, members, key_id):
+        # no process-local state: any two rings with the same inputs
+        # compute the same placement (blake2b, not randomized hash())
+        assert HashRing(members).owner(key_id) == HashRing(members).owner(key_id)
+
+    @SWEEP
+    @given(member_sets)
+    def test_add_remove_idempotent(self, members):
+        ring = HashRing(members)
+        ring.add(members[0])
+        assert len(ring) == len(members)
+        ring.remove("never-added")
+        assert ring.members == sorted(members)
+
+
+class TestOwners:
+    @SWEEP
+    @given(member_sets, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_owners_distinct_and_bounded(self, members, key_id):
+        ring = HashRing(members)
+        chain = ring.owners(key_id, len(members) + 3)
+        assert len(chain) == len(members)  # capped at the member count
+        assert len(set(chain)) == len(chain)
+        assert chain[0] == ring.owner(key_id)
+        assert set(chain) <= set(members)
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        try:
+            ring.owner(1)
+        except LookupError:
+            pass
+        else:
+            raise AssertionError("empty ring must raise LookupError")
+
+
+class TestUniformity:
+    @SLOW_SWEEP
+    @given(member_sets)
+    def test_share_within_documented_envelope(self, members):
+        ring = HashRing(members, virtual_nodes=DEFAULT_VIRTUAL_NODES)
+        counts = {m: 0 for m in members}
+        for key_id in range(KEYSPACE):
+            counts[ring.owner(key_id)] += 1
+        fair = KEYSPACE / len(members)
+        for member, count in counts.items():
+            assert 0.4 * fair <= count <= 2.0 * fair, (
+                f"{member} owns {count} of {KEYSPACE} keys "
+                f"(fair share {fair:.0f}); outside the documented bound"
+            )
+
+
+class TestMinimalRemap:
+    @SLOW_SWEEP
+    @given(member_sets)
+    def test_add_moves_only_the_joiners_keys(self, members):
+        before = HashRing(members)
+        after = HashRing(members)
+        joiner = "node-joiner"
+        after.add(joiner)
+        moved = 0
+        for key_id in range(KEYSPACE):
+            old, new = before.owner(key_id), after.owner(key_id)
+            if new != old:
+                moved += 1
+                # a key only ever moves TO the joining member
+                assert new == joiner
+        fair = KEYSPACE / (len(members) + 1)
+        assert 0.3 * fair <= moved <= 2.5 * fair
+
+    @SLOW_SWEEP
+    @given(member_sets)
+    def test_remove_keeps_survivor_keys_exactly(self, members):
+        before = HashRing(members)
+        after = HashRing(members)
+        leaver = members[0]
+        after.remove(leaver)
+        for key_id in range(KEYSPACE):
+            old = before.owner(key_id)
+            if old != leaver:
+                # keys the leaver did not own never move
+                assert after.owner(key_id) == old
+            else:
+                assert after.owner(key_id) != leaver

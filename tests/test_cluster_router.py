@@ -1,0 +1,383 @@
+"""Functional tests for the cluster router (local members: fast,
+deterministic, in-process).
+
+Covers: routed keygen/encaps/decaps bit-identical to the scalar
+reference, replication placement, typed errors, the REMOVE_KEY
+lifecycle, ENCAPS failover versus DECAPS single-shot semantics,
+ejection/readmission/rebalance after a member dies, router INFO, and
+the client.request → router.request → router.forward → server.request
+span nesting.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterRouter,
+    ThreadedCluster,
+    open_cluster_client,
+)
+from repro.errors import KemError, KeyNotFound, ServiceError
+from repro.faults import (
+    KIND_DROP,
+    KIND_KILL,
+    SITE_MEMBER_KILL,
+    SITE_ROUTER_FORWARD,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.lac.kem import LacKem
+from repro.lac.params import LAC_128
+from repro.serve import RetryPolicy, ServiceConfig
+from repro.serve.client import AsyncKemClient
+from repro.trace import InMemoryRecorder, Tracer
+
+SEED = bytes(range(64))
+
+#: local members, fast health cadence, full replication
+LOCAL = ClusterConfig(
+    members=2,
+    launch="local",
+    member_config=ServiceConfig(request_timeout=5.0),
+    health_interval_s=0.1,
+    replication=2,
+)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 60.0))
+
+
+async def started_router(config=LOCAL, **kwargs) -> ClusterRouter:
+    return await ClusterRouter(config, **kwargs).start()
+
+
+class TestRoutedLifecycle:
+    def test_roundtrip_bit_identical_to_scalar(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(router)
+            key_id, pk = await client.keygen(LAC_128, SEED)
+
+            kem = LacKem(LAC_128)
+            pair = kem.keygen(SEED)
+            assert pk.to_bytes() == pair.public_key.to_bytes()
+
+            message = bytes(range(LAC_128.message_bytes))
+            want = kem.encaps(pair.public_key, message)
+            ct, secret = await client.encaps(key_id, message)
+            assert ct == want.ciphertext.to_bytes()
+            assert secret == want.shared_secret
+            assert await client.decaps(key_id, ct) == want.shared_secret
+
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_keys_replicated_on_distinct_members(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(router)
+            key_id, _ = await client.keygen(LAC_128)
+            placements = router.hosted_keys()[key_id]
+            assert len(placements) == 2
+            assert set(placements) == {"member-0", "member-1"}
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_remove_key_clears_every_placement(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(router)
+            key_id, _ = await client.keygen(LAC_128)
+            await client.remove_key(key_id)
+            assert router.hosted_keys() == {}
+            for handle in router.members.values():
+                member_service = handle.service.service  # local member
+                assert not member_service._keys
+            with pytest.raises(KeyNotFound):
+                await client.remove_key(key_id)
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_unknown_key_and_wrong_params_are_typed(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(router)
+            client.register_key(999, LAC_128)
+            with pytest.raises(KeyNotFound):
+                await client.encaps(999)
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_keys_spread_across_members(self):
+        async def main():
+            config = ClusterConfig(
+                members=2,
+                launch="local",
+                member_config=ServiceConfig(request_timeout=5.0),
+                replication=1,
+            )
+            router = await started_router(config)
+            client = await open_cluster_client(router)
+            for _ in range(16):
+                await client.keygen(LAC_128)
+            owners = {
+                next(iter(p)) for p in router.hosted_keys().values()
+            }
+            # 16 keys at replication 1: both members end up hosting
+            assert owners == {"member-0", "member-1"}
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+
+class TestFailover:
+    def test_encaps_fails_over_to_replica_after_kill(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(router)
+            key_id, _ = await client.keygen(LAC_128, SEED)
+            message = bytes(LAC_128.message_bytes)
+            want_ct, want_ss = await client.encaps(key_id, message)
+
+            primary = router._placement_chain(router._keys[key_id])[0]
+            router.members[primary].kill()
+
+            # the dead primary is filtered from the chain: the replica
+            # serves directly, and the result is bit-identical
+            ct, ss = await client.encaps(key_id, message)
+            assert (ct, ss) == (want_ct, want_ss)
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_forward_drop_fails_over_encaps(self):
+        async def main():
+            plan = FaultPlan(
+                [FaultSpec(SITE_ROUTER_FORWARD, KIND_DROP, max_fires=1)]
+            )
+            router = await started_router(LOCAL, fault_plan=plan)
+            client = await open_cluster_client(router)
+            key_id, _ = await client.keygen(LAC_128, SEED)
+            assert plan.total_fired() == 0  # keygen registration is clean
+
+            ct, ss = await client.encaps(key_id)  # drop -> replica serves
+            assert router.counters["forward_failovers"] == 1
+            assert await client.decaps(key_id, ct) == ss
+            assert plan.fired[SITE_ROUTER_FORWARD, KIND_DROP] == 1
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_forward_drop_never_silently_retries_decaps(self):
+        async def main():
+            plan = FaultPlan(
+                [FaultSpec(SITE_ROUTER_FORWARD, KIND_DROP, max_fires=1)]
+            )
+            router = await started_router(LOCAL, fault_plan=plan)
+            client = await open_cluster_client(router)
+            key_id, _ = await client.keygen(LAC_128, SEED)
+
+            # build the ciphertext scalar-side so the one drop budget
+            # is still armed when the DECAPS forward happens
+            kem = LacKem(LAC_128)
+            pair = kem.keygen(SEED)
+            want = kem.encaps(pair.public_key, bytes(LAC_128.message_bytes))
+
+            with pytest.raises(ServiceError):  # typed, no silent failover
+                await client.decaps(key_id, want.ciphertext.to_bytes())
+            assert router.counters["forward_failovers"] == 0
+            # the caller decides: resubmitting now succeeds bit-identically
+            secret = await client.decaps(key_id, want.ciphertext.to_bytes())
+            assert secret == want.shared_secret
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_member_kill_fault_site_kills_mid_load(self):
+        async def main():
+            plan = FaultPlan([FaultSpec(SITE_MEMBER_KILL, KIND_KILL, max_fires=1)])
+            config = ClusterConfig(
+                members=2,
+                launch="local",
+                member_config=ServiceConfig(request_timeout=5.0),
+                health_interval_s=0.1,
+                restart_members=False,
+            )
+            router = await started_router(config, fault_plan=plan)
+            client = await open_cluster_client(router)
+            key_id, _ = await client.keygen(LAC_128, SEED)
+            ct, ss = await client.encaps(key_id)  # kill fires, failover wins
+            assert plan.fired[SITE_MEMBER_KILL, KIND_KILL] == 1
+            assert router.counters["member_kills"] == 1
+            dead = [n for n, h in router.members.items() if not h.alive]
+            assert len(dead) == 1
+            assert await client.decaps(key_id, ct) == ss  # replica serves
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+
+class TestRecovery:
+    def test_dead_member_ejected_respawned_readmitted(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(
+                router, retry=RetryPolicy(max_attempts=4, base_delay_s=0.01)
+            )
+            key_id, _ = await client.keygen(LAC_128, SEED)
+            want_ct, want_ss = await client.encaps(key_id)
+
+            router.members["member-0"].kill()
+            deadline = asyncio.get_running_loop().time() + 30.0
+            while asyncio.get_running_loop().time() < deadline:
+                if (
+                    router.counters["members_readmitted"] >= 1
+                    and len(router.hosted_keys()[key_id]) == 2
+                ):
+                    break
+                await asyncio.sleep(0.05)
+            assert router.counters["members_ejected"] >= 1
+            assert router.counters["member_restarts"] >= 1
+            assert router.counters["members_readmitted"] >= 1
+            assert len(router.hosted_keys()[key_id]) == 2
+
+            # the rebalanced replica is bit-identical: old ciphertexts
+            # still decapsulate, fresh encaps still match
+            assert await client.decaps(key_id, want_ct) == want_ss
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+
+class TestInfoAndAdmission:
+    def test_info_reports_cluster_topology(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(router)
+            await client.keygen(LAC_128)
+            snap = await client.info()
+            cluster = snap["cluster"]
+            assert cluster["keys"] == 1
+            assert cluster["replication"] == 2
+            assert set(cluster["members"]) == {"member-0", "member-1"}
+            for member in cluster["members"].values():
+                assert member["alive"] and member["in_ring"]
+                assert member["keys"] == 1
+            text = await client.info(text=True)
+            assert "kem_requests_total" in text
+            assert "# cluster:" in text
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+    def test_draining_router_rejects_new_work(self):
+        async def main():
+            router = await started_router()
+            client = await open_cluster_client(router)
+            key_id, _ = await client.keygen(LAC_128)
+            router._draining = True
+            with pytest.raises(KemError):
+                await client.encaps(key_id)
+            assert isinstance(await client.info(), dict)  # control plane up
+            router._draining = False
+            await client.aclose()
+            await router.shutdown()
+
+        run(main())
+
+
+class TestThreadedCluster:
+    def test_sync_surface_roundtrip(self):
+        with ThreadedCluster(LOCAL) as cluster:
+            client = ClusterClient.connect(cluster)
+            key_id, pk = client.keygen(LAC_128, SEED)
+            kem = LacKem(LAC_128)
+            assert pk.to_bytes() == kem.keygen(SEED).public_key.to_bytes()
+            ct, ss = client.encaps(key_id)
+            assert client.decaps(key_id, ct) == ss
+            assert cluster.member_names() == ["member-0", "member-1"]
+            client.close()
+
+    def test_tcp_endpoint(self):
+        from repro.serve import KemClient
+
+        with ThreadedCluster(LOCAL) as cluster:
+            port = cluster.serve_tcp()
+            client = KemClient.open_tcp("127.0.0.1", port)
+            key_id, _ = client.keygen(LAC_128)
+            ct, ss = client.encaps(key_id)
+            assert client.decaps(key_id, ct) == ss
+            client.close()
+
+
+class TestTraceNesting:
+    def test_span_tree_client_router_forward_server(self):
+        async def main():
+            recorder = InMemoryRecorder()
+            tracer = Tracer(recorder=recorder)
+            router = await ClusterRouter(LOCAL, tracer=tracer).start()
+            reader, writer = await router.connect()
+            client = AsyncKemClient(reader, writer, tracer=tracer)
+            key_id, _ = await client.keygen(LAC_128, SEED)
+            await client.encaps(key_id)
+            await client.aclose()
+            await router.shutdown()
+            return recorder.spans
+
+        spans = run(main())
+        by_name: dict[str, list] = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert set(by_name) >= {
+            "client.request",
+            "router.request",
+            "router.forward",
+            "server.request",
+        }
+
+        ids = {s.span_id for s in spans}
+        encaps_client = [
+            s for s in by_name["client.request"] if s.tags["op"] == "ENCAPS"
+        ][0]
+        router_roots = [
+            s
+            for s in by_name["router.request"]
+            if s.parent_id == encaps_client.span_id
+        ]
+        assert len(router_roots) == 1, "router root must nest under client span"
+        forwards = [
+            s
+            for s in by_name["router.forward"]
+            if s.parent_id == router_roots[0].span_id
+        ]
+        assert forwards, "forward spans must nest under the router root"
+        # the member's server.request hangs off a forward span, in the
+        # same trace as the client span that caused it
+        nested_servers = [
+            s
+            for s in by_name["server.request"]
+            if s.parent_id in {f.span_id for f in forwards}
+        ]
+        assert nested_servers, "server spans must nest under forward spans"
+        for span in nested_servers:
+            assert span.trace_id == encaps_client.trace_id
+        assert all(s.parent_id in ids or s.parent_id is None for s in spans if s.name == "router.forward")

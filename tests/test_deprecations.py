@@ -1,0 +1,90 @@
+"""Regression tests pinning the deprecation shims.
+
+Each documented shim must (a) keep working, (b) emit exactly one
+``DeprecationWarning``, and (c) *name its replacement* in the message —
+a shim whose warning stops telling callers where to go is a silent
+docs regression.  The replacements under test are the ones documented
+in ``docs/SERVICE.md``:
+
+====================================  ================================
+deprecated surface                    documented replacement
+====================================  ================================
+``repro.batch.shared_executor()``     ``repro.backend.default_thread_backend()``
+flat ``KemService(max_batch=...)``    ``config=ServiceConfig(...)``
+``KemService(executor=...)``          ``backend=ThreadBackend(executor=...)``
+====================================  ================================
+"""
+
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import KemService, ThreadedService
+
+
+def sole_deprecation(caught: list[warnings.WarningMessage]) -> str:
+    """The message of the exactly-one DeprecationWarning in ``caught``."""
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, [str(w.message) for w in caught]
+    return str(deprecations[0].message)
+
+
+class TestSharedExecutorShim:
+    def test_warns_and_names_replacement(self):
+        from repro.batch import shared_executor
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            executor = shared_executor()
+        message = sole_deprecation(caught)
+        assert "shared_executor" in message
+        assert "default_thread_backend" in message, (
+            "the warning must name the documented replacement"
+        )
+        assert executor is not None  # the shim still works
+
+
+class TestFlatKwargShim:
+    def test_flat_kwargs_warn_and_name_service_config(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service = KemService(max_batch=8, high_watermark=100)
+        message = sole_deprecation(caught)
+        assert "max_batch" in message and "high_watermark" in message
+        assert "ServiceConfig" in message, (
+            "the warning must name the documented replacement"
+        )
+        # the shim folds the kwargs into a real config
+        assert service.config.max_batch == 8
+        assert service.config.high_watermark == 100
+
+    def test_threaded_service_shim_matches(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service = ThreadedService(max_batch=4)
+        message = sole_deprecation(caught)
+        assert "ServiceConfig" in message
+        assert service._config.max_batch == 4
+
+    def test_unknown_kwargs_still_raise(self):
+        with pytest.raises(TypeError):
+            KemService(definitely_not_a_kwarg=1)
+
+
+class TestExecutorShim:
+    def test_executor_kwarg_warns_and_names_thread_backend(self):
+        executor = ThreadPoolExecutor(max_workers=1)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                KemService(executor=executor)
+            message = sole_deprecation(caught)
+            assert "executor=" in message
+            assert "ThreadBackend" in message, (
+                "the warning must name the documented replacement"
+            )
+        finally:
+            executor.shutdown(wait=False)
