@@ -1,0 +1,67 @@
+"""Shared report plumbing for the ``bench_*.py`` drivers.
+
+Every benchmark in this directory follows the same contract: build a
+JSON-shaped report dict, collect human-readable ``failures`` strings
+from whatever floors it enforces, then stamp ``pass``/``failures``,
+write the file next to the repository root, and exit non-zero when a
+floor broke (that exit is the CI gate).  The helpers here are that
+contract in one place — the *schemas* of the individual reports are
+untouched, each benchmark still owns its own keys and floors.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any
+
+#: Default location reports are written to (the repository root).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def platform_fields() -> dict[str, str]:
+    """The machine-identity keys every report carries.
+
+    Committed baselines are only comparable on a similar machine; these
+    fields are what the reader (and some gates) check.
+    """
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def load_baseline(baseline: Path | None) -> dict[str, Any] | None:
+    """The committed baseline report, or ``None`` when absent.
+
+    A missing file is not an error — first runs on a new machine and
+    ``--no-baseline`` CI lanes simply have nothing to compare against.
+    """
+    if baseline is None or not baseline.exists():
+        return None
+    data: dict[str, Any] = json.loads(baseline.read_text())
+    return data
+
+
+def finalize(
+    report: dict[str, Any],
+    failures: list[str],
+    output: Path,
+    label: str,
+) -> dict[str, Any]:
+    """Stamp the verdict, write the report, and gate.
+
+    Appends ``pass`` and ``failures`` (in that order, matching every
+    committed report), writes ``output`` with a trailing newline, and
+    raises :class:`SystemExit` listing the failures — the non-zero exit
+    CI keys on.  ``label`` names the floor family in that message
+    (e.g. ``"service floors not met"``).
+    """
+    report["pass"] = not failures
+    report["failures"] = failures
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    if failures:
+        raise SystemExit(f"{label}:\n  " + "\n  ".join(failures))
+    return report

@@ -33,11 +33,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import os
-import platform
 import time
 from pathlib import Path
+
+from _report import finalize, load_baseline, platform_fields
 
 from repro.cluster import ClusterConfig, ClusterRouter
 from repro.lac.params import LAC_256, LacParams
@@ -169,8 +169,7 @@ def run(
         "max_batch": max_batch,
         "cpu_count": cpu_count,
         "scaling_gate_binds": gate_binds,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **platform_fields(),
         "cluster": rows,
     }
 
@@ -194,8 +193,8 @@ def run(
             f"\nscaling floor not enforced: {cpu_count} CPU(s) < "
             f"{GATE_MIN_CPUS} (process members cannot outscale their cores)"
         )
-    if gate and baseline is not None and baseline.exists():
-        committed = json.loads(baseline.read_text())
+    committed = load_baseline(baseline) if gate else None
+    if committed is not None:
         if committed.get("cpu_count") == cpu_count:
             old_rows = {row["members"]: row for row in committed["cluster"]}
             for row in rows:
@@ -216,14 +215,7 @@ def run(
                 f"{committed.get('cpu_count')}-CPU machine, this one has "
                 f"{cpu_count}"
             )
-    report["pass"] = not failures
-    report["failures"] = failures
-
-    output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {output}")
-    if failures:
-        raise SystemExit("cluster floors not met:\n  " + "\n  ".join(failures))
-    return report
+    return finalize(report, failures, output, "cluster floors not met")
 
 
 def main() -> None:

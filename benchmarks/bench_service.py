@@ -37,10 +37,10 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
-import platform
 import time
 from pathlib import Path
+
+from _report import finalize, load_baseline, platform_fields
 
 from repro.lac.kem import LacKem
 from repro.lac.params import ALL_PARAMS, LAC_256
@@ -208,8 +208,7 @@ def run(
         "max_batch": max_batch,
         "max_wait_us": max_wait_us,
         "backends": list(backends),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **platform_fields(),
         "service": rows,
     }
 
@@ -239,10 +238,11 @@ def run(
                 f"{row['params']}: service speedup {row['speedup']:.1f}x "
                 f"< {MIN_SERVICE_SPEEDUP:.0f}x"
             )
-    if gate and baseline is not None and baseline.exists():
+    baseline_report = load_baseline(baseline) if gate else None
+    if baseline_report is not None:
         committed = {
             (row["params"], row.get("backend", "thread")): row
-            for row in json.loads(baseline.read_text())["service"]
+            for row in baseline_report["service"]
         }
         for row in rows:
             old = committed.get((row["params"], row["backend"]))
@@ -256,14 +256,7 @@ def run(
                     f"is below {BASELINE_FLOOR:.0%} of the committed "
                     f"{old['service_ops_per_s']:.0f} ops/s"
                 )
-    report["pass"] = not failures
-    report["failures"] = failures
-
-    output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {output}")
-    if failures:
-        raise SystemExit("service floors not met:\n  " + "\n  ".join(failures))
-    return report
+    return finalize(report, failures, output, "service floors not met")
 
 
 def main() -> None:

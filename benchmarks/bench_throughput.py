@@ -24,12 +24,12 @@ See ``docs/PERFORMANCE.md`` for discussion of the numbers.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 from pathlib import Path
 
 import numpy as np
+
+from _report import finalize, platform_fields
 
 from repro.bch.ct_decoder import ConstantTimeBCHDecoder
 from repro.lac.kem import LacKem
@@ -167,8 +167,7 @@ def run(batch: int, repeats: int, smoke: bool, output: Path) -> dict:
         "benchmark": "batched KEM + vectorized BCH throughput",
         "smoke": smoke,
         "batch": batch,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **platform_fields(),
         "kem": [bench_kem(p, batch, repeats) for p in param_sets],
         "bch": [bench_bch(p, repeats) for p in param_sets],
         "executor": [bench_executor_reuse(p, batch, repeats) for p in param_sets],
@@ -210,14 +209,7 @@ def run(batch: int, repeats: int, smoke: bool, output: Path) -> dict:
                 f"{row['params']}: BCH decode speedup {row['decode_speedup']:.1f}x "
                 f"< {MIN_BCH_SPEEDUP:.0f}x"
             )
-    report["pass"] = not failures
-    report["failures"] = failures
-
-    output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {output}")
-    if failures:
-        raise SystemExit("speedup floors not met:\n  " + "\n  ".join(failures))
-    return report
+    return finalize(report, failures, output, "speedup floors not met")
 
 
 def main() -> None:

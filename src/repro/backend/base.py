@@ -212,6 +212,30 @@ class KemBackend(ABC):
         """
         return False
 
+    @property
+    def workers(self) -> int | None:
+        """Current worker-pool size; ``None`` = unsized/not resizable.
+
+        The autoscaler (:mod:`repro.serve.slo`) reads this before
+        every :meth:`resize` decision; a ``None`` (inline backend,
+        borrowed executor, the shared default pool) opts the backend
+        out of autoscaling entirely.
+        """
+        return None
+
+    def resize(self, workers: int) -> bool:
+        """Grow or shrink the worker pool to ``workers``; ``False`` =
+        unsupported.
+
+        Implementations must keep already-submitted batches running to
+        completion — a resize changes capacity, never correctness.
+        The base implementation (and any backend without a resizable
+        pool) declines.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return False
+
     def stats(self) -> dict[str, Any]:
         """Counters for metrics/INFO: submissions, failures, restarts."""
         with self._stats_lock:

@@ -375,6 +375,42 @@ class ProcessBackend(KemBackend):
                 )
             return self._pool, self._generation
 
+    @property
+    def workers(self) -> int | None:
+        """Configured worker-process count (the pool tracks it lazily)."""
+        with self._pool_lock:
+            return self._workers
+
+    def resize(self, workers: int) -> bool:
+        """Retarget the pool at ``workers`` processes.
+
+        The running pool is retired without waiting — chunks already
+        submitted to it finish; the next batch lazily spawns a pool of
+        the new size via ``_ensure_pool``.  The generation bump keeps a
+        late ``BrokenProcessPool`` from the retired pool from counting
+        as a crash restart.  The supervisor thread pool keeps its
+        original sizing (threads are cheap; it only bounds concurrent
+        in-flight batches, not kernel parallelism).
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self._closed:
+            return False
+        with self._pool_lock:
+            if self._broken:
+                return False
+            if workers == self._workers:
+                return True
+            self._workers = workers
+            pool, self._pool = self._pool, None
+            self._generation += 1
+        with self._ship_lock:
+            # the replacement workers spawn with empty key caches
+            self._shipped.clear()
+        if pool is not None:
+            pool.shutdown(wait=False)
+        return True
+
     def _on_broken_pool(self, generation: int) -> None:
         """Replace a broken pool exactly once per crash incident.
 
@@ -465,7 +501,14 @@ class ProcessBackend(KemBackend):
         """
         pool, generation = self._ensure_pool()
         try:
-            futures = [pool.submit(fn, *args) for args in calls]
+            try:
+                futures = [pool.submit(fn, *args) for args in calls]
+            except RuntimeError:
+                # lost a race with resize(): the captured pool was
+                # retired between _ensure_pool and submit — re-resolve
+                # once and land the whole fan on the replacement
+                pool, generation = self._ensure_pool()
+                futures = [pool.submit(fn, *args) for args in calls]
             out = []
             for future, args in zip(futures, calls):
                 try:

@@ -75,17 +75,54 @@ class ThreadBackend(KemBackend):
             else None
         )
         self._pool_workers = workers or DEFAULT_THREAD_WORKERS
+        self._resize_lock = threading.Lock()
 
     @property
     def executor(self) -> Executor:
         """The pool batches dispatch onto (borrowed or owned)."""
         return self._executor
 
+    @property
+    def workers(self) -> int | None:
+        """Owned-pool size (``None`` for a borrowed executor)."""
+        return self._pool_workers if self._owns_executor else None
+
+    def resize(self, workers: int) -> bool:
+        """Swap in a pool of ``workers`` threads (owned pools only).
+
+        The old pool is shut down without waiting — batches already
+        queued on it still run to completion; only *new* submissions
+        land on the fresh pool.  Borrowed executors (and the shared
+        default backend) are never resized.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not self._owns_executor or self._closed:
+            return False
+        with self._resize_lock:
+            if workers == self._pool_workers:
+                return True
+            old = self._executor
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-backend"
+            )
+            self._pool_workers = workers
+        assert isinstance(old, ThreadPoolExecutor)
+        old.shutdown(wait=False)
+        return True
+
     def _submit(
         self, wrapper: KernelWrapper | None, work: Callable[[], Any]
     ) -> Future[Any]:
         self._check_open()
-        return self._executor.submit(self._tracked, wrapper, work)
+        try:
+            return self._executor.submit(self._tracked, wrapper, work)
+        except RuntimeError:
+            # lost a race with resize(): the attribute read and the
+            # submit straddled the pool swap — one retry lands on the
+            # replacement (close() re-raises via _check_open)
+            self._check_open()
+            return self._executor.submit(self._tracked, wrapper, work)
 
     def submit_encaps(
         self,
@@ -180,6 +217,19 @@ class _SharedThreadBackend(ThreadBackend):
 
     def close(self, wait: bool = True) -> None:
         """No-op: the shared default outlives any single user."""
+
+    @property
+    def workers(self) -> int | None:
+        """``None``: the shared pool is not any one service's to size."""
+        return None
+
+    def resize(self, workers: int) -> bool:
+        """Declined: many services share this pool, so no single
+        autoscaler may resize it (configure ``backend_workers`` to get
+        a privately owned, resizable pool)."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return False
 
 
 _default_backend: _SharedThreadBackend | None = None

@@ -590,16 +590,21 @@ class ClusterRouter:
             link = await self._link(state)
             timeout = self.config.forward_retry.attempt_timeout_s
             try:
+                # the QoS extension rides through unchanged: the member
+                # owns the shed decision (it sees its own queue), the
+                # router only relays budget and tier
                 if timeout is not None:
                     response = await asyncio.wait_for(
                         link.request(
-                            frame.op, frame.param_id, payload, trace=trace
+                            frame.op, frame.param_id, payload,
+                            trace=trace, qos=frame.qos,
                         ),
                         timeout,
                     )
                 else:
                     response = await link.request(
-                        frame.op, frame.param_id, payload, trace=trace
+                        frame.op, frame.param_id, payload,
+                        trace=trace, qos=frame.qos,
                     )
             except asyncio.TimeoutError:
                 raise DeadlineExceeded(

@@ -1,0 +1,220 @@
+"""Arrival processes for the open-loop load generator.
+
+A closed-loop driver (send, wait, send again) measures a different
+system than the one production sees: when the service slows down the
+driver slows down with it, so queueing delay never accumulates and the
+recorded latencies flatter the service — the *coordinated omission*
+trap.  An **open-loop** driver fires at times drawn from an arrival
+process regardless of how the service is doing, which is what these
+classes model.
+
+Every process is an iterator factory: :meth:`ArrivalProcess.gaps`
+yields inter-arrival gaps in seconds, deterministically per seed, so a
+load test replays exactly.  Three shapes cover the capacity-planning
+questions:
+
+* :class:`PoissonProcess` — memoryless steady load, the canonical
+  offered-load model (exponential gaps at a fixed rate);
+* :class:`MarkovModulatedProcess` — bursty traffic: a two-state
+  (calm/burst) Markov chain modulates the instantaneous rate, so the
+  generator produces the clumped arrivals that defeat autoscalers
+  tuned on averages;
+* :class:`TraceReplayProcess` — diurnal replay: per-slot relative
+  intensities (committed as ``benchmarks/traces/diurnal.json``)
+  scale a base rate through a repeating day-shaped cycle.
+
+All rates are in requests/second.  ``at_rate(r)`` returns a copy of
+the process rescaled so its *mean* rate is ``r`` — the capacity sweep
+reuses one traffic shape across load rungs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+
+class ArrivalProcess:
+    """Base contract: a seeded, replayable stream of arrival gaps."""
+
+    #: long-run average arrival rate (requests/second)
+    mean_rate: float
+
+    def gaps(self) -> Iterator[float]:
+        """Yield inter-arrival gaps (seconds), forever."""
+        raise NotImplementedError
+
+    def at_rate(self, rate: float) -> ArrivalProcess:
+        """A copy of this process rescaled to mean rate ``rate``."""
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps at a constant ``rate``."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.mean_rate = rate
+        self.seed = seed
+
+    def gaps(self) -> Iterator[float]:
+        """Exponential gaps with mean ``1/rate`` (seeded)."""
+        rng = random.Random(self.seed)
+        rate = self.mean_rate
+        while True:
+            yield rng.expovariate(rate)
+
+    def at_rate(self, rate: float) -> PoissonProcess:
+        """Same seed, new rate."""
+        return PoissonProcess(rate, seed=self.seed)
+
+
+class MarkovModulatedProcess(ArrivalProcess):
+    """Bursty arrivals: a calm/burst chain modulates a Poisson rate.
+
+    Between consecutive arrivals the chain may flip state —
+    ``p_enter`` is the per-arrival probability of a calm→burst
+    transition, ``p_exit`` of burst→calm — and each gap is drawn
+    exponentially at the *current* state's rate (``base_rate`` calm,
+    ``burst_mult * base_rate`` bursting).  The stationary burst
+    fraction is ``p_enter / (p_enter + p_exit)``, which fixes the mean
+    rate used by :meth:`at_rate` scaling.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_mult: float = 8.0,
+        p_enter: float = 0.05,
+        p_exit: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if burst_mult < 1.0:
+            raise ValueError("burst_mult must be >= 1")
+        if not (0.0 < p_enter < 1.0 and 0.0 < p_exit < 1.0):
+            raise ValueError("transition probabilities must be in (0, 1)")
+        self.base_rate = base_rate
+        self.burst_mult = burst_mult
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.seed = seed
+        # the state flips once per arrival, so the stationary fraction
+        # p_enter/(p_enter+p_exit) weights *gaps*, not wall time: the
+        # mean gap is the occupancy-weighted mean of the state gaps
+        burst_frac = p_enter / (p_enter + p_exit)
+        mean_gap = (1.0 - burst_frac) / base_rate + burst_frac / (
+            base_rate * burst_mult
+        )
+        self.mean_rate = 1.0 / mean_gap
+
+    def gaps(self) -> Iterator[float]:
+        """Exponential gaps at the state's rate; state flips per arrival."""
+        rng = random.Random(self.seed)
+        bursting = False
+        while True:
+            rate = self.base_rate * (self.burst_mult if bursting else 1.0)
+            yield rng.expovariate(rate)
+            flip = rng.random()
+            if bursting:
+                bursting = flip >= self.p_exit
+            else:
+                bursting = flip < self.p_enter
+
+    def at_rate(self, rate: float) -> MarkovModulatedProcess:
+        """Rescale ``base_rate`` so the stationary mean becomes ``rate``."""
+        scale = rate / self.mean_rate
+        return MarkovModulatedProcess(
+            self.base_rate * scale,
+            burst_mult=self.burst_mult,
+            p_enter=self.p_enter,
+            p_exit=self.p_exit,
+            seed=self.seed,
+        )
+
+
+class TraceReplayProcess(ArrivalProcess):
+    """Replay a committed intensity trace (e.g. a diurnal curve).
+
+    ``weights`` are relative intensities, one per time slot of
+    ``slot_s`` seconds; the cycle repeats.  The instantaneous rate in
+    slot ``i`` is ``rate * weights[i] / mean(weights)``, so ``rate``
+    is the cycle-average arrival rate regardless of the curve's shape.
+    Gaps are exponential at the slot's rate, and a gap that would
+    cross a slot boundary is re-drawn from the boundary at the next
+    slot's rate — intensity changes take effect on time, not one
+    arrival late.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        rate: float,
+        slot_s: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative with a positive sum")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if slot_s <= 0:
+            raise ValueError("slot_s must be positive")
+        self.weights = tuple(float(w) for w in weights)
+        self.mean_rate = rate
+        self.slot_s = slot_s
+        self.seed = seed
+
+    @classmethod
+    def from_file(
+        cls, path: str | Path, rate: float, seed: int = 0
+    ) -> TraceReplayProcess:
+        """Load a trace file: ``{"slot_s": ..., "weights": [...]}``."""
+        data = json.loads(Path(path).read_text())
+        return cls(
+            data["weights"], rate, slot_s=float(data.get("slot_s", 1.0)), seed=seed
+        )
+
+    def gaps(self) -> Iterator[float]:
+        """Exponential gaps at the current slot's scaled rate."""
+        rng = random.Random(self.seed)
+        mean_weight = sum(self.weights) / len(self.weights)
+        n_slots = len(self.weights)
+        clock = 0.0  # virtual time within the repeating cycle
+        last = 0.0
+        while True:
+            slot = int(clock / self.slot_s) % n_slots
+            weight = self.weights[slot]
+            if weight == 0.0:
+                # silent slot: jump to its end, no arrivals
+                clock = (int(clock / self.slot_s) + 1) * self.slot_s
+                continue
+            rate = self.mean_rate * weight / mean_weight
+            gap = rng.expovariate(rate)
+            boundary = (int(clock / self.slot_s) + 1) * self.slot_s
+            if clock + gap > boundary:
+                # the draw crossed into the next slot; restart there
+                clock = boundary
+                continue
+            clock += gap
+            yield clock - last
+            last = clock
+
+    def at_rate(self, rate: float) -> TraceReplayProcess:
+        """Same curve and seed, new cycle-average rate."""
+        return TraceReplayProcess(
+            self.weights, rate, slot_s=self.slot_s, seed=self.seed
+        )
+
+
+__all__ = [
+    "ArrivalProcess",
+    "MarkovModulatedProcess",
+    "PoissonProcess",
+    "TraceReplayProcess",
+]

@@ -34,12 +34,16 @@ from repro.serve.client import (
 )
 from repro.serve.metrics import LatencyHistogram, ServiceMetrics
 from repro.serve.protocol import (
+    QOS_EXT_SIZE,
     TRACE_EXT_SIZE,
+    VERSION_QOS,
     VERSION_TRACED,
     Frame,
     Op,
     ProtocolError,
+    QosSpec,
     Status,
+    qos_for,
 )
 from repro.serve.scheduler import (
     AdaptiveDeadlinePolicy,
@@ -47,10 +51,19 @@ from repro.serve.scheduler import (
     MicroBatchScheduler,
 )
 from repro.serve.server import HostedKey, KemService, ThreadedService
+from repro.serve.slo import (
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIER_STANDARD,
+    Autoscaler,
+    KernelEstimator,
+    predicted_miss,
+)
 
 __all__ = [
     "AsyncKemClient",
     "AdaptiveDeadlinePolicy",
+    "Autoscaler",
     "BACKEND_WORKERS_ENV_VAR",
     "BadRequest",
     "Batch",
@@ -59,11 +72,14 @@ __all__ = [
     "HostedKey",
     "KemClient",
     "KemService",
+    "KernelEstimator",
     "KeyNotFound",
     "LatencyHistogram",
     "MicroBatchScheduler",
     "Op",
     "ProtocolError",
+    "QOS_EXT_SIZE",
+    "QosSpec",
     "RequestTimedOut",
     "RetryPolicy",
     "ServiceBusy",
@@ -74,6 +90,12 @@ __all__ = [
     "ServiceMetrics",
     "Status",
     "ThreadedService",
+    "TIER_BATCH",
+    "TIER_INTERACTIVE",
+    "TIER_STANDARD",
     "TRACE_EXT_SIZE",
+    "VERSION_QOS",
     "VERSION_TRACED",
+    "predicted_miss",
+    "qos_for",
 ]

@@ -43,11 +43,13 @@ from repro.serve.protocol import (
     Frame,
     Op,
     ProtocolError,
+    QosSpec,
     Status,
     id_for_params,
     pack_decaps_request,
     pack_encaps_request,
     pack_key_id,
+    qos_for,
     read_frame,
     recv_frame,
     send_frame,
@@ -271,6 +273,7 @@ class AsyncKemClient:
         payload: bytes = b"",
         *,
         trace: TraceContext | None = None,
+        qos: QosSpec | None = None,
     ) -> Frame:
         """Send one frame and await its matching response (any status).
 
@@ -279,6 +282,11 @@ class AsyncKemClient:
         and no ``client.request`` span is emitted — this is how the
         cluster router nests member-side ``server.request`` spans under
         its own ``router.forward`` span.
+
+        ``qos`` attaches a deadline budget / priority tier extension
+        (build one with :func:`repro.serve.protocol.qos_for`); the
+        server may shed the request ``BUSY``/``TIMEOUT`` when the
+        budget cannot be met.
         """
         if self._read_task is None or self._read_task.done():
             # (re)start the reader: bound to the *current* connection's
@@ -300,7 +308,7 @@ class AsyncKemClient:
         try:
             write_frame(
                 self._writer,
-                Frame(op, request_id, param_id, payload=payload, trace=trace),
+                Frame(op, request_id, param_id, payload=payload, trace=trace, qos=qos),
             )
             await self._writer.drain()
             response = await future
@@ -406,13 +414,25 @@ class AsyncKemClient:
     # ------------------------------------------------------------------
 
     async def keygen(
-        self, params: LacParams, seed: bytes | None = None
+        self,
+        params: LacParams,
+        seed: bytes | None = None,
+        *,
+        deadline_s: float | None = None,
+        tier: int = 0,
     ) -> tuple[int, PublicKey]:
-        """Generate and host a key pair; returns (key id, public key)."""
+        """Generate and host a key pair; returns (key id, public key).
+
+        ``deadline_s``/``tier`` attach a wire QoS extension — the
+        server sheds the request rather than serve it past the budget.
+        """
+        qos = qos_for(deadline_s=deadline_s, tier=tier)
 
         async def attempt() -> tuple[int, PublicKey]:
             frame = raise_for_status(
-                await self.request(Op.KEYGEN, id_for_params(params), seed or b"")
+                await self.request(
+                    Op.KEYGEN, id_for_params(params), seed or b"", qos=qos
+                )
             )
             key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
             self._keys.register(key_id, params)
@@ -421,10 +441,16 @@ class AsyncKemClient:
         return await self._call_with_retry(Op.KEYGEN, attempt)
 
     async def encaps(
-        self, key_id: int, message: bytes | None = None
+        self,
+        key_id: int,
+        message: bytes | None = None,
+        *,
+        deadline_s: float | None = None,
+        tier: int = 0,
     ) -> tuple[bytes, bytes]:
         """Encapsulate against a hosted key; returns (ct bytes, secret)."""
         params = self._keys.params(key_id)
+        qos = qos_for(deadline_s=deadline_s, tier=tier)
 
         async def attempt() -> tuple[bytes, bytes]:
             frame = raise_for_status(
@@ -432,18 +458,27 @@ class AsyncKemClient:
                     Op.ENCAPS,
                     id_for_params(params),
                     pack_encaps_request(key_id, message),
+                    qos=qos,
                 )
             )
             return unpack_encaps_response(params, frame.payload)
 
         return await self._call_with_retry(Op.ENCAPS, attempt)
 
-    async def decaps(self, key_id: int, ciphertext: bytes) -> bytes:
+    async def decaps(
+        self,
+        key_id: int,
+        ciphertext: bytes,
+        *,
+        deadline_s: float | None = None,
+        tier: int = 0,
+    ) -> bytes:
         """Decapsulate a ciphertext; returns the 32-byte shared secret.
 
         Not retried unless the policy sets ``retry_decaps=True``.
         """
         params = self._keys.params(key_id)
+        qos = qos_for(deadline_s=deadline_s, tier=tier)
 
         async def attempt() -> bytes:
             frame = raise_for_status(
@@ -451,6 +486,7 @@ class AsyncKemClient:
                     Op.DECAPS,
                     id_for_params(params),
                     pack_decaps_request(key_id, ciphertext),
+                    qos=qos,
                 )
             )
             return frame.payload
@@ -563,7 +599,12 @@ class KemClient:
         self._keys.register(key_id, params)
 
     def request(
-        self, op: Op, param_id: int = PARAM_NONE, payload: bytes = b""
+        self,
+        op: Op,
+        param_id: int = PARAM_NONE,
+        payload: bytes = b"",
+        *,
+        qos: QosSpec | None = None,
     ) -> Frame:
         """Send one frame and block for its response (any status)."""
         request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
@@ -574,7 +615,8 @@ class KemClient:
             trace = TraceContext(tracer.new_trace_id(), tracer.new_span_id())
             t_start = tracer.clock()
         send_frame(
-            self._sock, Frame(op, request_id, param_id, payload=payload, trace=trace)
+            self._sock,
+            Frame(op, request_id, param_id, payload=payload, trace=trace, qos=qos),
         )
         while True:
             frame = recv_frame(self._sock)
@@ -618,13 +660,19 @@ class KemClient:
             attempt_no += 1
 
     def keygen(
-        self, params: LacParams, seed: bytes | None = None
+        self,
+        params: LacParams,
+        seed: bytes | None = None,
+        *,
+        deadline_s: float | None = None,
+        tier: int = 0,
     ) -> tuple[int, PublicKey]:
         """Generate and host a key pair; returns (key id, public key)."""
+        qos = qos_for(deadline_s=deadline_s, tier=tier)
 
         def attempt() -> tuple[int, PublicKey]:
             frame = raise_for_status(
-                self.request(Op.KEYGEN, id_for_params(params), seed or b"")
+                self.request(Op.KEYGEN, id_for_params(params), seed or b"", qos=qos)
             )
             key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
             self._keys.register(key_id, params)
@@ -632,9 +680,17 @@ class KemClient:
 
         return self._call_with_retry(Op.KEYGEN, attempt)
 
-    def encaps(self, key_id: int, message: bytes | None = None) -> tuple[bytes, bytes]:
+    def encaps(
+        self,
+        key_id: int,
+        message: bytes | None = None,
+        *,
+        deadline_s: float | None = None,
+        tier: int = 0,
+    ) -> tuple[bytes, bytes]:
         """Encapsulate against a hosted key; returns (ct bytes, secret)."""
         params = self._keys.params(key_id)
+        qos = qos_for(deadline_s=deadline_s, tier=tier)
 
         def attempt() -> tuple[bytes, bytes]:
             frame = raise_for_status(
@@ -642,18 +698,27 @@ class KemClient:
                     Op.ENCAPS,
                     id_for_params(params),
                     pack_encaps_request(key_id, message),
+                    qos=qos,
                 )
             )
             return unpack_encaps_response(params, frame.payload)
 
         return self._call_with_retry(Op.ENCAPS, attempt)
 
-    def decaps(self, key_id: int, ciphertext: bytes) -> bytes:
+    def decaps(
+        self,
+        key_id: int,
+        ciphertext: bytes,
+        *,
+        deadline_s: float | None = None,
+        tier: int = 0,
+    ) -> bytes:
         """Decapsulate a ciphertext; returns the 32-byte shared secret.
 
         Not retried unless the policy sets ``retry_decaps=True``.
         """
         params = self._keys.params(key_id)
+        qos = qos_for(deadline_s=deadline_s, tier=tier)
 
         def attempt() -> bytes:
             frame = raise_for_status(
@@ -661,6 +726,7 @@ class KemClient:
                     Op.DECAPS,
                     id_for_params(params),
                     pack_decaps_request(key_id, ciphertext),
+                    qos=qos,
                 )
             )
             return frame.payload

@@ -23,6 +23,14 @@ BACKEND_WORKERS_ENV_VAR = "REPRO_KEM_BACKEND_WORKERS"
 #: ``0`` disables caching.
 TRANSFORM_CACHE_ENV_VAR = "REPRO_KEM_TRANSFORM_CACHE"
 
+#: Environment variable setting the default per-request deadline in
+#: seconds for requests that carry no wire QoS (``from_env``).
+DEADLINE_ENV_VAR = "REPRO_KEM_DEADLINE_S"
+
+#: Environment variable enabling the worker autoscaler (``from_env``;
+#: any non-empty value other than ``0``/``false`` turns it on).
+AUTOSCALE_ENV_VAR = "REPRO_KEM_AUTOSCALE"
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -57,7 +65,28 @@ class ServiceConfig:
         capacity of the per-key transform cache
         (:class:`repro.ring.KeyTransformCache`) the backend owns —
         ``0`` disables caching, ``None`` takes the backend default
-        (see ``docs/PERFORMANCE.md``).
+        (see ``docs/PERFORMANCE.md``);
+    ``default_deadline_s``
+        latency budget applied to requests that carry no wire QoS
+        deadline (``None`` = such requests are never deadline-shed);
+    ``shed_deadlines``
+        master switch of deadline-aware shedding — when on, a request
+        predicted to miss its deadline (``queue_wait + EWMA kernel
+        estimate > deadline``, :func:`repro.serve.slo.predicted_miss`)
+        is answered ``TIMEOUT``/``BUSY`` *without executing*;
+    ``tier_watermarks``
+        per-priority-tier admission fractions of ``high_watermark``
+        (tier 0 first; requests of tier ``t`` are rejected ``BUSY``
+        once pending work reaches ``high_watermark *
+        tier_watermarks[t]``, so lower tiers shed first under
+        pressure).  Wire tiers beyond the table map onto its last
+        entry;
+    ``autoscale`` and the ``autoscale_*`` knobs
+        the worker autoscaler (:class:`repro.serve.slo.Autoscaler`):
+        bounds of the pool, the evaluation period, the per-worker
+        queue-depth thresholds of the hysteresis band, the
+        post-resize cooldown and the consecutive-quiet-decisions
+        requirement before shrinking.
     """
 
     max_batch: int = 64
@@ -69,6 +98,17 @@ class ServiceConfig:
     backend_workers: int | None = None
     kernel_workers: int | None = None
     transform_cache_entries: int | None = None
+    default_deadline_s: float | None = None
+    shed_deadlines: bool = True
+    tier_watermarks: tuple[float, ...] = (1.0, 0.75, 0.5)
+    autoscale: bool = False
+    autoscale_min_workers: int = 1
+    autoscale_max_workers: int = 8
+    autoscale_interval_s: float = 0.25
+    autoscale_up_queue_per_worker: float = 4.0
+    autoscale_down_queue_per_worker: float = 0.5
+    autoscale_cooldown_s: float = 2.0
+    autoscale_sustain: int = 3
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -90,6 +130,34 @@ class ServiceConfig:
             and self.transform_cache_entries < 0
         ):
             raise ValueError("transform_cache_entries must be >= 0")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be > 0 or None")
+        if not self.tier_watermarks:
+            raise ValueError("tier_watermarks must name at least one tier")
+        if any(not 0.0 < f <= 1.0 for f in self.tier_watermarks):
+            raise ValueError("tier_watermarks fractions must be in (0, 1]")
+        if self.autoscale_min_workers < 1:
+            raise ValueError("autoscale_min_workers must be >= 1")
+        if self.autoscale_max_workers < self.autoscale_min_workers:
+            raise ValueError(
+                "autoscale_max_workers must be >= autoscale_min_workers"
+            )
+        if self.autoscale_interval_s <= 0:
+            raise ValueError("autoscale_interval_s must be > 0")
+        if self.autoscale_down_queue_per_worker < 0:
+            raise ValueError("autoscale_down_queue_per_worker must be >= 0")
+        if (
+            self.autoscale_up_queue_per_worker
+            <= self.autoscale_down_queue_per_worker
+        ):
+            raise ValueError(
+                "autoscale_up_queue_per_worker must exceed "
+                "autoscale_down_queue_per_worker"
+            )
+        if self.autoscale_cooldown_s < 0:
+            raise ValueError("autoscale_cooldown_s must be >= 0")
+        if self.autoscale_sustain < 1:
+            raise ValueError("autoscale_sustain must be >= 1")
         # validate eagerly so a typo'd name fails at config time, not
         # at service start (env fallback is deliberately not consulted
         # here — it is resolved when the service starts)
@@ -116,6 +184,13 @@ class ServiceConfig:
             kwargs["backend_workers"] = int(env[BACKEND_WORKERS_ENV_VAR])
         if env.get(TRANSFORM_CACHE_ENV_VAR):
             kwargs["transform_cache_entries"] = int(env[TRANSFORM_CACHE_ENV_VAR])
+        if env.get(DEADLINE_ENV_VAR):
+            kwargs["default_deadline_s"] = float(env[DEADLINE_ENV_VAR])
+        if env.get(AUTOSCALE_ENV_VAR):
+            kwargs["autoscale"] = env[AUTOSCALE_ENV_VAR].lower() not in (
+                "0",
+                "false",
+            )
         kwargs.update(overrides)
         return cls(**kwargs)  # type: ignore[arg-type]
 
@@ -126,7 +201,9 @@ def replace_config(config: ServiceConfig, **changes: object) -> ServiceConfig:
 
 
 __all__ = [
+    "AUTOSCALE_ENV_VAR",
     "BACKEND_WORKERS_ENV_VAR",
+    "DEADLINE_ENV_VAR",
     "TRANSFORM_CACHE_ENV_VAR",
     "ServiceConfig",
     "replace_config",

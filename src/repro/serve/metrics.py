@@ -98,6 +98,17 @@ class ServiceMetrics:
         #: connections torn down abnormally, keyed by reason
         #: ("protocol:<reason>", "disconnect", "internal", …)
         self.conn_errors: Counter[str] = Counter()
+        #: requests shed to defend deadlines/tiers, keyed by
+        #: (reason, tier) — "hopeless" (admission: the kernel estimate
+        #: alone exceeds the deadline), "predicted-miss" (dispatch:
+        #: queue wait + estimate exceeds it), "watermark" (a reduced
+        #: per-tier admission limit rejected it), "missed" (completion:
+        #: the batch finished past the budget, so the late OK became a
+        #: TIMEOUT — KEYGEN exempt)
+        self.sheds: Counter[tuple[str, int]] = Counter()
+        #: worker-pool resizes applied by the autoscaler, keyed by
+        #: direction ("up"/"down")
+        self.autoscale_events: Counter[str] = Counter()
         self.latency: dict[str, LatencyHistogram] = {}
         #: per-stage request-path time, keyed by stage name
         #: ("admission"/"queue"/"dispatch"/"kernel"/"reply") — fed by
@@ -143,6 +154,16 @@ class ServiceMetrics:
         """Count one abnormally terminated connection."""
         with self._lock:
             self.conn_errors[reason] += 1
+
+    def record_shed(self, reason: str, tier: int) -> None:
+        """Count one request shed to defend a deadline or tier limit."""
+        with self._lock:
+            self.sheds[reason, tier] += 1
+
+    def record_autoscale(self, direction: str) -> None:
+        """Count one applied worker-pool resize (``"up"``/``"down"``)."""
+        with self._lock:
+            self.autoscale_events[direction] += 1
 
     def observe_latency(self, op: str, micros: float) -> None:
         """Record one request's queue-to-response service time (µs)."""
@@ -196,6 +217,11 @@ class ServiceMetrics:
                     for (site, kind), count in sorted(self.faults.items())
                 },
                 "connection_errors": dict(self.conn_errors),
+                "sheds": {
+                    f"{reason}:{tier}": count
+                    for (reason, tier), count in sorted(self.sheds.items())
+                },
+                "autoscale_events": dict(self.autoscale_events),
                 "batch_sizes": {
                     str(size): count
                     for size, count in sorted(self.batch_sizes.items())
@@ -246,6 +272,25 @@ class ServiceMetrics:
         ]
         for reason, count in sorted(snap["connection_errors"].items()):
             lines.append(f'kem_connection_errors_total{{reason="{reason}"}} {count}')
+        lines += [
+            "# HELP kem_shed_total requests shed to defend deadlines,"
+            " by reason and tier",
+            "# TYPE kem_shed_total counter",
+        ]
+        for key, count in sorted(snap["sheds"].items()):
+            reason, tier = key.rsplit(":", 1)
+            lines.append(
+                f'kem_shed_total{{reason="{reason}",tier="{tier}"}} {count}'
+            )
+        lines += [
+            "# HELP kem_autoscale_events_total applied worker-pool resizes,"
+            " by direction",
+            "# TYPE kem_autoscale_events_total counter",
+        ]
+        for direction, count in sorted(snap["autoscale_events"].items()):
+            lines.append(
+                f'kem_autoscale_events_total{{direction="{direction}"}} {count}'
+            )
         lines += [
             "# HELP kem_batch_flushes_total dispatched batches, by trigger",
             "# TYPE kem_batch_flushes_total counter",

@@ -6,24 +6,36 @@ Every message — request or response — is one frame:
 
     offset  size  field
     0       2     magic   b"LK"
-    2       1     version (1 = plain, 2 = traced)
+    2       1     version (1–4; ``version - 1`` is an extension bitmask)
     3       1     op      (Op: KEYGEN/ENCAPS/DECAPS/INFO/REMOVE_KEY)
     4       1     status  (Status; always OK in requests)
     5       1     param   (parameter-set id, PARAM_NONE for INFO)
     6       4     request id, big-endian (echoed in the response)
     10      4     payload length, big-endian
-    14      ...   payload
+    14      ...   extensions (trace, then QoS), then payload
 
-**Trace extension** (version 2): a frame whose version byte is 2
-carries a 12-byte trace-context extension *between* the fixed header
-and the payload — an 8-byte trace id followed by the 4-byte id of the
-span that caused the frame (both big-endian), decoded into
-:class:`repro.trace.TraceContext`.  The announced payload length does
-not include the extension.  Version-1 frames are unchanged on the
-wire, so tracing is strictly opt-in per frame: clients emit version 2
-only when they carry a live span, and servers echo a request's trace
+The version byte encodes which optional extensions sit *between* the
+fixed header and the payload: ``version - 1`` is a bitmask with bit 0
+for the trace extension and bit 1 for the QoS extension, so version 1
+is the plain pre-extension frame, 2 is traced, 3 carries QoS and 4
+carries both (trace bytes first).  The announced payload length never
+includes extensions, and a version-1 frame is bit-identical to the
+original protocol — every extension is strictly opt-in per frame.
+
+**Trace extension** (bit 0): 12 bytes — an 8-byte trace id followed by
+the 4-byte id of the span that caused the frame (both big-endian),
+decoded into :class:`repro.trace.TraceContext`.  Clients emit it only
+when they carry a live span, and servers echo a request's trace
 context on its response so the caller can stitch the round trip into
 one trace.
+
+**QoS extension** (bit 1): 5 bytes — a 4-byte relative deadline in
+microseconds (big-endian; 0 = no deadline, only a tier) followed by a
+1-byte priority tier (0 = most latency-sensitive), decoded into
+:class:`QosSpec`.  The deadline is a *budget*, not a wall-clock
+timestamp: the server measures it from admission, so clients and
+servers need no clock agreement.  Requests carry QoS; responses never
+echo it (the server acted on it already).
 
 The 4-byte request id lets one connection multiplex many in-flight
 requests: responses carry the id of the request they answer and may
@@ -75,6 +87,16 @@ VERSION = 1
 #: extension (12 bytes between header and payload).
 VERSION_TRACED = 2
 
+#: Version byte of a frame carrying only the QoS extension.
+VERSION_QOS = 3
+
+#: Version byte of a frame carrying both extensions (trace bytes first).
+VERSION_TRACED_QOS = 4
+
+#: ``version - 1`` bitmask bits selecting the optional extensions.
+_FLAG_TRACE = 0x1
+_FLAG_QOS = 0x2
+
 #: Upper bound on payload size; a frame announcing more is rejected
 #: before any allocation (malformed peers must not balloon memory).
 MAX_PAYLOAD = 1 << 20
@@ -92,7 +114,57 @@ _TRACE_EXT = struct.Struct(">QI")
 #: Size of the version-2 trace-context extension in bytes.
 TRACE_EXT_SIZE = _TRACE_EXT.size
 
+_QOS_EXT = struct.Struct(">IB")
+
+#: Size of the QoS extension in bytes (deadline µs + tier).
+QOS_EXT_SIZE = _QOS_EXT.size
+
+#: Largest deadline the 4-byte wire field can carry (µs; ~71 minutes).
+MAX_DEADLINE_US = (1 << 32) - 1
+
 _KEY_ID = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """Per-request quality-of-service hints carried by the QoS extension.
+
+    ``deadline_us`` is a *relative* latency budget in microseconds
+    (0 = no deadline); the server measures it from admission, sheds
+    work predicted to miss it, and answers ``TIMEOUT``/``BUSY`` instead
+    of burning kernel time on a response the client will discard.
+    ``tier`` is the priority class (0 = interactive, higher = more
+    sheddable); the server maps tiers beyond its configured watermark
+    table onto the last (most sheddable) tier.
+    """
+
+    deadline_us: int = 0
+    tier: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.deadline_us <= MAX_DEADLINE_US:
+            raise ProtocolError(
+                f"deadline_us must be in [0, {MAX_DEADLINE_US}]", "bad-qos"
+            )
+        if not 0 <= self.tier <= 0xFF:
+            raise ProtocolError("tier must fit one byte", "bad-qos")
+
+    @property
+    def deadline_s(self) -> float | None:
+        """The deadline budget in seconds (``None`` when unset)."""
+        return self.deadline_us / 1e6 if self.deadline_us else None
+
+
+def qos_for(deadline_s: float | None = None, tier: int = 0) -> QosSpec | None:
+    """Build the wire QoS spec for client knobs (``None`` = no extension)."""
+    if deadline_s is None and tier == 0:
+        return None
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError("deadline_s must be > 0 or None")
+    deadline_us = 0 if deadline_s is None else min(
+        MAX_DEADLINE_US, max(1, round(deadline_s * 1e6))
+    )
+    return QosSpec(deadline_us, tier)
 
 
 class Op(IntEnum):
@@ -175,10 +247,10 @@ def params_for_id(param_id: int) -> LacParams:
 class Frame:
     """One protocol message (either direction).
 
-    ``trace`` is the optional propagated trace context: when set, the
-    frame serializes as protocol version 2 with the 12-byte extension;
-    when ``None`` the wire bytes are identical to the pre-trace
-    protocol.
+    ``trace`` is the optional propagated trace context and ``qos`` the
+    optional per-request deadline/tier spec; each present extension
+    sets its bit in the version byte (so a frame with neither is
+    bit-identical to the pre-extension protocol).
     """
 
     op: Op
@@ -187,42 +259,51 @@ class Frame:
     status: Status = Status.OK
     payload: bytes = field(default=b"", repr=False)
     trace: TraceContext | None = None
+    qos: QosSpec | None = None
 
     def to_bytes(self) -> bytes:
-        """Serialize header (+ optional trace extension) + payload."""
+        """Serialize header (+ optional extensions) + payload."""
         if len(self.payload) > MAX_PAYLOAD:
             raise ProtocolError(
                 f"payload of {len(self.payload)} bytes too large", "oversized"
             )
+        version = VERSION
+        if self.trace is not None:
+            version += _FLAG_TRACE
+        if self.qos is not None:
+            version += _FLAG_QOS
         header = _HEADER.pack(
             MAGIC,
-            VERSION if self.trace is None else VERSION_TRACED,
+            version,
             int(self.op),
             int(self.status),
             self.param_id,
             self.request_id,
             len(self.payload),
         )
-        if self.trace is None:
-            return header + self.payload
-        extension = _TRACE_EXT.pack(self.trace.trace_id, self.trace.span_id)
-        return header + extension + self.payload
+        extensions = b""
+        if self.trace is not None:
+            extensions += _TRACE_EXT.pack(self.trace.trace_id, self.trace.span_id)
+        if self.qos is not None:
+            extensions += _QOS_EXT.pack(self.qos.deadline_us, self.qos.tier)
+        return header + extensions + self.payload
 
 
 def parse_header(header: bytes) -> tuple[Frame, int]:
     """Decode a 14-byte header into a payload-less frame + payload length.
 
     Raises :class:`ProtocolError` on bad magic, version, op, status or
-    an oversized announced payload.  A version-2 header is accepted;
-    use :func:`header_has_trace` to learn whether a trace extension
-    follows, and :func:`parse_trace_ext` to decode it into the frame.
+    an oversized announced payload.  Versions 1–4 are accepted; use
+    :func:`header_has_trace` / :func:`header_has_qos` to learn which
+    extensions follow, and :func:`parse_trace_ext` /
+    :func:`parse_qos_ext` to decode them into the frame.
     """
     if len(header) != HEADER_SIZE:
         raise ProtocolError(f"header must be {HEADER_SIZE} bytes", "truncated")
     magic, version, op, status, param_id, request_id, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}", "bad-magic")
-    if version not in (VERSION, VERSION_TRACED):
+    if not VERSION <= version <= VERSION_TRACED_QOS:
         raise ProtocolError(f"unsupported version {version}", "bad-version")
     try:
         op = Op(op)
@@ -238,17 +319,32 @@ def parse_header(header: bytes) -> tuple[Frame, int]:
 
 def header_has_trace(header: bytes) -> bool:
     """Whether this (already validated) header announces a trace extension."""
-    return header[2] == VERSION_TRACED
+    return bool((header[2] - VERSION) & _FLAG_TRACE)
+
+
+def header_has_qos(header: bytes) -> bool:
+    """Whether this (already validated) header announces a QoS extension."""
+    return bool((header[2] - VERSION) & _FLAG_QOS)
 
 
 def parse_trace_ext(extension: bytes) -> TraceContext:
-    """Decode the 12-byte version-2 trace extension."""
+    """Decode the 12-byte trace extension."""
     if len(extension) != TRACE_EXT_SIZE:
         raise ProtocolError(
             f"trace extension must be {TRACE_EXT_SIZE} bytes", "truncated"
         )
     trace_id, span_id = _TRACE_EXT.unpack(extension)
     return TraceContext(trace_id, span_id)
+
+
+def parse_qos_ext(extension: bytes) -> QosSpec:
+    """Decode the 5-byte QoS extension."""
+    if len(extension) != QOS_EXT_SIZE:
+        raise ProtocolError(
+            f"QoS extension must be {QOS_EXT_SIZE} bytes", "truncated"
+        )
+    deadline_us, tier = _QOS_EXT.unpack(extension)
+    return QosSpec(deadline_us, tier)
 
 
 def decode_frame(buf: bytes) -> tuple[Frame, int]:
@@ -267,6 +363,11 @@ def decode_frame(buf: bytes) -> tuple[Frame, int]:
             raise ProtocolError("truncated trace extension", "truncated")
         frame.trace = parse_trace_ext(buf[offset : offset + TRACE_EXT_SIZE])
         offset += TRACE_EXT_SIZE
+    if header_has_qos(buf[:HEADER_SIZE]):
+        if len(buf) < offset + QOS_EXT_SIZE:
+            raise ProtocolError("truncated QoS extension", "truncated")
+        frame.qos = parse_qos_ext(buf[offset : offset + QOS_EXT_SIZE])
+        offset += QOS_EXT_SIZE
     end = offset + length
     if len(buf) < end:
         raise ProtocolError("truncated payload", "truncated")
@@ -299,6 +400,13 @@ async def read_frame(reader: FrameReader) -> Frame | None:
             raise ProtocolError(
                 "connection closed mid-trace-extension", "truncated"
             ) from None
+    if header_has_qos(header):
+        try:
+            frame.qos = parse_qos_ext(await reader.readexactly(QOS_EXT_SIZE))
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(
+                "connection closed mid-qos-extension", "truncated"
+            ) from None
     if length:
         try:
             frame.payload = await reader.readexactly(length)
@@ -322,6 +430,10 @@ def recv_frame(sock: socket.socket) -> Frame | None:
         extension = _recv_exactly(sock, TRACE_EXT_SIZE)
         assert extension is not None
         frame.trace = parse_trace_ext(extension)
+    if header_has_qos(header):
+        extension = _recv_exactly(sock, QOS_EXT_SIZE)
+        assert extension is not None
+        frame.qos = parse_qos_ext(extension)
     if length:
         payload = _recv_exactly(sock, length)
         assert payload is not None

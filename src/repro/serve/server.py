@@ -9,9 +9,12 @@ between a request arriving and its response leaving:
    loop (sizes, key ids) and rejects early with ``BAD_REQUEST`` /
    ``NOT_FOUND``;
 2. admission control: during drain every request gets
-   ``SHUTTING_DOWN``; beyond ``high_watermark`` pending requests it
-   gets ``BUSY`` *without being queued* — the bounded queue is the
-   backpressure contract;
+   ``SHUTTING_DOWN``; beyond the request's *per-tier* watermark
+   (``high_watermark`` scaled by ``config.tier_watermarks``) it gets
+   ``BUSY`` *without being queued* — the bounded queue is the
+   backpressure contract — and a request whose deadline budget is
+   already below the expected batch service time is shed ``BUSY``
+   immediately (reason ``hopeless``);
 3. accepted requests enter the
    :class:`~repro.serve.scheduler.MicroBatchScheduler`, keyed by
    ``(op, key id)``;
@@ -20,7 +23,9 @@ between a request arriving and its response leaving:
    rest (flush-on-deadline);
 5. a dispatch submits to the service's :class:`repro.backend.KemBackend`
    (thread pool by default; multi-process via ``backend="process"``):
-   expired entries are answered ``TIMEOUT`` unexecuted, the rest go
+   expired entries — and entries whose queue wait plus the EWMA batch
+   estimate overshoots their deadline (reason ``predicted-miss``) —
+   are answered ``TIMEOUT`` unexecuted, the rest go
    through the backend's batched encaps/decaps/keygen kernels, and the
    responses fan back out to their connections with per-request ids;
 6. :meth:`KemService.shutdown` stops admission, drains every queue
@@ -98,6 +103,7 @@ from repro.serve.protocol import (
     write_frame,
 )
 from repro.serve.scheduler import AdaptiveDeadlinePolicy, Batch, MicroBatchScheduler
+from repro.serve.slo import Autoscaler, KernelEstimator, predicted_miss
 from repro.trace import NULL_TRACER, Tracer, collect_tags
 
 _Respond = Callable[[Frame], Awaitable[None]]
@@ -130,6 +136,11 @@ class _Entry:
     enqueued_at: float
     key: HostedKey | None = None  # ENCAPS/DECAPS
     params: LacParams | None = None  # KEYGEN
+    #: effective deadline budget (wire QoS or the config default) and
+    #: priority tier — drive shedding and priority-aware flushing
+    deadline_s: float | None = None
+    tier: int = 0
+    shed_reason: str | None = None
     message: bytes | None = None  # ENCAPS (None = server-random)
     seed: bytes | None = None  # KEYGEN
     ct_bytes: bytes | None = None  # DECAPS
@@ -252,7 +263,25 @@ class KemService:
             policy=AdaptiveDeadlinePolicy(
                 max_wait_us=config.max_wait_us, min_wait_us=config.min_wait_us
             ),
+            priority_of=lambda e: e.tier,
         )
+        # per-tier admission limits: tier i admits while pending <
+        # high_watermark * tier_watermarks[i]; wire tiers beyond the
+        # table clamp to the last (most aggressively shed) entry
+        self._tier_limits: tuple[int, ...] = tuple(
+            int(config.high_watermark * fraction)
+            for fraction in config.tier_watermarks
+        )
+        self._estimator = KernelEstimator()
+        self._autoscaler = Autoscaler(
+            min_workers=config.autoscale_min_workers,
+            max_workers=config.autoscale_max_workers,
+            up_queue_per_worker=config.autoscale_up_queue_per_worker,
+            down_queue_per_worker=config.autoscale_down_queue_per_worker,
+            cooldown_s=config.autoscale_cooldown_s,
+            sustain=config.autoscale_sustain,
+        )
+        self._autoscale_task: asyncio.Task[None] | None = None
         self._backend = backend
         self._owns_backend = False
         self._keys: dict[int, HostedKey] = {}
@@ -311,6 +340,8 @@ class KemService:
             self.fault_plan.observer = self.metrics.record_fault
         self._wake = asyncio.Event()
         self._flusher = asyncio.create_task(self._flush_loop())
+        if self.config.autoscale:
+            self._autoscale_task = asyncio.create_task(self._autoscale_loop())
         self._started = True
         self._started_at = self._clock()
         return self
@@ -329,6 +360,13 @@ class KemService:
             self._launch_dispatch(batch)
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
+            try:
+                await self._autoscale_task
+            except asyncio.CancelledError:
+                pass
+            self._autoscale_task = None
         if self._flusher is not None:
             self._flusher.cancel()
             try:
@@ -624,14 +662,51 @@ class KemService:
             await respond(self._error(frame, Status.SHUTTING_DOWN, "draining"))
             self._trace_reject(frame, t_read, Status.SHUTTING_DOWN)
             return
-        if self._pending >= self.high_watermark:
+        qos = frame.qos
+        tier = min(qos.tier if qos is not None else 0, len(self._tier_limits) - 1)
+        deadline_s = (
+            qos.deadline_s
+            if qos is not None and qos.deadline_us
+            else self.config.default_deadline_s
+        )
+        # per-tier watermark: lower tiers stop admitting before the
+        # queue is full, reserving the remaining headroom for
+        # interactive traffic (tier 0 keeps the classic full-queue BUSY)
+        limit = self._tier_limits[tier]
+        if self._pending >= limit:
             await respond(
                 self._error(
                     frame, Status.BUSY, f"{self._pending} requests pending"
                 )
             )
-            self._trace_reject(frame, t_read, Status.BUSY)
+            if limit < self.high_watermark:
+                self.metrics.record_shed("watermark", tier)
+                self._trace_reject(
+                    frame, t_read, Status.BUSY,
+                    shed_reason="watermark", tier=tier,
+                )
+            else:
+                self._trace_reject(frame, t_read, Status.BUSY)
             return
+        if self.config.shed_deadlines and deadline_s is not None:
+            # hopeless check: when one batch already takes longer than
+            # the whole budget, admitting only manufactures a TIMEOUT —
+            # answer BUSY now so the client's retry policy backs off
+            estimate = self._estimator.batch_seconds((op.name, frame.param_id))
+            if estimate is not None and predicted_miss(0.0, estimate, deadline_s):
+                await respond(
+                    self._error(
+                        frame, Status.BUSY,
+                        f"deadline {deadline_s:.3f}s below expected "
+                        f"{estimate:.3f}s service time",
+                    )
+                )
+                self.metrics.record_shed("hopeless", tier)
+                self._trace_reject(
+                    frame, t_read, Status.BUSY,
+                    shed_reason="hopeless", tier=tier,
+                )
+                return
         try:
             entry = self._parse_request(frame, respond)
         except ProtocolError as exc:
@@ -642,6 +717,8 @@ class KemService:
             await respond(self._error(frame, Status.NOT_FOUND, str(exc)))
             self._trace_reject(frame, t_read, Status.NOT_FOUND)
             return
+        entry.deadline_s = deadline_s
+        entry.tier = tier
         if tracer.enabled:
             entry.t_read = t_read
             if frame.trace is not None:
@@ -716,6 +793,66 @@ class KemService:
                 pass
             wake.clear()
 
+    # ------------------------------------------------------------------
+    # autoscaling
+    # ------------------------------------------------------------------
+
+    def autoscale_tick(self) -> bool:
+        """One autoscaler decision applied to the backend; True on resize.
+
+        Reads queue depth (accepted-but-unanswered requests), the
+        current worker count, and a Little's-law demand estimate
+        (arrival rate x EWMA per-op kernel seconds), asks the
+        :class:`~repro.serve.slo.Autoscaler` for a target, and applies
+        it with :meth:`repro.backend.KemBackend.resize`.  Backends that
+        decline to resize (inline, borrowed executors, the shared
+        default) make this a no-op.  Public and synchronous so tests
+        and benchmarks can drive it deterministically without running
+        the timer loop.
+        """
+        backend = self._backend
+        if backend is None:
+            return False
+        workers = backend.workers
+        if workers is None:
+            return False
+        gap_us = self._scheduler.policy.ewma_gap_us
+        op_seconds = self._estimator.global_op_seconds()
+        demand = 0
+        if gap_us is not None and gap_us > 0 and op_seconds is not None:
+            demand = int((1e6 / gap_us) * op_seconds + 0.999)
+        now = self._clock()
+        target = self._autoscaler.decide(now, self._pending, workers, demand)
+        if target == workers:
+            return False
+        if not backend.resize(target):
+            return False
+        direction = "up" if target > workers else "down"
+        self.metrics.record_autoscale(direction)
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                "autoscaler.resize",
+                now,
+                self._clock() - now,
+                self.tracer.new_trace_id(),
+                tags={
+                    "direction": direction,
+                    "workers_from": workers,
+                    "workers_to": target,
+                    "queue_depth": self._pending,
+                    "demand_workers": demand,
+                },
+            )
+        return True
+
+    async def _autoscale_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.autoscale_interval_s)
+            try:
+                self.autoscale_tick()
+            except Exception:  # noqa: BLE001 - scaling must never kill serving
+                self.metrics.record_conn_error("autoscale-internal")
+
     def _launch_dispatch(self, batch: Batch) -> None:
         self.metrics.adjust_queue_depth(-len(batch.entries))
         self.metrics.record_batch(batch.key[0].name, len(batch.entries), batch.trigger)
@@ -732,22 +869,42 @@ class KemService:
                 entry.t_flushed = now
                 entry.batch_size = len(batch.entries)
                 entry.trigger = batch.trigger
+        shed_deadlines = self.config.shed_deadlines
+        estimate = (
+            self._estimator.batch_seconds((op.name, batch.entries[0].frame.param_id))
+            if shed_deadlines
+            else None
+        )
         live: list[_Entry] = []
         for entry in batch.entries:
-            if (
-                self.request_timeout is not None
-                and now - entry.enqueued_at > self.request_timeout
+            waited = now - entry.enqueued_at
+            if self.request_timeout is not None and waited > self.request_timeout:
+                await self._finish(
+                    entry, Status.TIMEOUT, f"queued {waited:.3f}s".encode()
+                )
+            elif (
+                shed_deadlines
+                and entry.deadline_s is not None
+                and predicted_miss(waited, estimate, entry.deadline_s)
             ):
+                # the wait already spent plus the expected kernel time
+                # overshoots the budget: answer TIMEOUT *before* burning
+                # backend capacity on a response nobody will use
+                self.metrics.record_shed("predicted-miss", entry.tier)
+                entry.shed_reason = "predicted-miss"
                 await self._finish(
                     entry,
                     Status.TIMEOUT,
-                    f"queued {now - entry.enqueued_at:.3f}s".encode(),
+                    f"shed: queued {waited:.3f}s + expected "
+                    f"{estimate or 0.0:.3f}s exceeds deadline "
+                    f"{entry.deadline_s:.3f}s".encode(),
                 )
             else:
                 live.append(entry)
         if not live:
             return
         self.metrics.adjust_inflight(+1)
+        t_exec = self._clock()
         try:
             payloads = await self._execute(op, live)
         except Exception as exc:  # noqa: BLE001 - fan the failure out
@@ -772,6 +929,13 @@ class KemService:
                     first.trace_id,
                     tags=batch_tags,
                 )
+        # successful batches feed the estimator (failures would poison
+        # the EWMA with fault-injection stalls and crash-restart time)
+        self._estimator.observe(
+            (op.name, live[0].frame.param_id),
+            self._clock() - t_exec,
+            len(live),
+        )
         if len(payloads) != len(live):
             # a kernel returning the wrong count must not strand
             # requests (they would leak out of the pending gauge)
@@ -780,8 +944,31 @@ class KemService:
                     entry, Status.INTERNAL, b"batch result count mismatch"
                 )
             return
+        t_done = self._clock()
         for entry, payload in zip(live, payloads, strict=True):
-            await self._finish(entry, Status.OK, payload)
+            if (
+                shed_deadlines
+                and entry.deadline_s is not None
+                and op is not Op.KEYGEN
+                and t_done - entry.enqueued_at > entry.deadline_s
+            ):
+                # completed past the budget (backend-pool queueing the
+                # dispatch-time prediction could not see): a late OK is
+                # worthless to a deadline-carrying caller, so answer
+                # TIMEOUT — this is what makes "accepted-and-OK implies
+                # within SLO" a server-side guarantee.  KEYGEN is
+                # exempt: its response names a now-hosted key the
+                # client must learn about either way
+                self.metrics.record_shed("missed", entry.tier)
+                entry.shed_reason = "missed"
+                await self._finish(
+                    entry,
+                    Status.TIMEOUT,
+                    f"completed {t_done - entry.enqueued_at:.3f}s "
+                    f"past a {entry.deadline_s:.3f}s deadline".encode(),
+                )
+            else:
+                await self._finish(entry, Status.OK, payload)
 
     def _kernel_wrapper(
         self, entries: list[_Entry]
@@ -925,6 +1112,10 @@ class KemService:
         tags: dict[str, Any] = {"op": frame.op.name, "status": status.name}
         if entry.key is not None:
             tags["key_id"] = entry.key.key_id
+        if entry.tier:
+            tags["tier"] = entry.tier
+        if entry.shed_reason is not None:
+            tags["shed_reason"] = entry.shed_reason
         if entry.batch_size:
             tags["batch_size"] = entry.batch_size
             tags["trigger"] = entry.trigger
@@ -985,6 +1176,14 @@ class KemService:
                 "high_watermark": self.high_watermark,
                 "request_timeout_s": self.request_timeout,
                 "backend": self._backend.name if self._backend is not None else None,
+                "workers": (
+                    self._backend.workers if self._backend is not None else None
+                ),
+                "default_deadline_s": self.config.default_deadline_s,
+                "shed_deadlines": self.config.shed_deadlines,
+                "tier_limits": list(self._tier_limits),
+                "autoscale": self.config.autoscale,
+                "estimator": self._estimator.snapshot(),
             }
             payload = json.dumps(snap).encode()
         return Frame(

@@ -1,0 +1,313 @@
+"""Tests for the open-loop load generator (`repro.loadgen`).
+
+Arrival processes are checked for seed determinism and for honest
+`mean_rate` declarations (the empirical rate over many draws must match
+what `at_rate` scaling assumes).  The generator's outcome mapping is
+exercised with fake senders raising each typed client error, including
+the hang guard, without a real service in the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from pathlib import Path
+
+import pytest
+
+from repro.errors import DeadlineExceeded, RequestTimedOut, ServiceBusy
+from repro.loadgen import (
+    LatencyRecorder,
+    MarkovModulatedProcess,
+    OpenLoopLoadGen,
+    PoissonProcess,
+    TierSpec,
+    TraceReplayProcess,
+    percentile,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DIURNAL_TRACE = REPO_ROOT / "benchmarks" / "traces" / "diurnal.json"
+
+
+def empirical_rate(process, n: int = 20_000) -> float:
+    gaps = list(itertools.islice(process.gaps(), n))
+    return n / sum(gaps)
+
+
+class TestPoissonProcess:
+    def test_same_seed_replays_exactly(self):
+        a = list(itertools.islice(PoissonProcess(50.0, seed=7).gaps(), 100))
+        b = list(itertools.islice(PoissonProcess(50.0, seed=7).gaps(), 100))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(itertools.islice(PoissonProcess(50.0, seed=1).gaps(), 10))
+        b = list(itertools.islice(PoissonProcess(50.0, seed=2).gaps(), 10))
+        assert a != b
+
+    def test_empirical_rate_matches_declared(self):
+        proc = PoissonProcess(200.0, seed=3)
+        assert empirical_rate(proc) == pytest.approx(200.0, rel=0.05)
+
+    def test_at_rate_rescales_and_keeps_seed(self):
+        proc = PoissonProcess(50.0, seed=9).at_rate(400.0)
+        assert proc.mean_rate == 400.0
+        assert proc.seed == 9
+        assert empirical_rate(proc) == pytest.approx(400.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+
+
+class TestMarkovModulatedProcess:
+    def test_declared_mean_rate_is_empirically_honest(self):
+        proc = MarkovModulatedProcess(40.0, burst_mult=8.0, seed=5)
+        assert empirical_rate(proc) == pytest.approx(proc.mean_rate, rel=0.05)
+
+    def test_at_rate_hits_the_requested_mean(self):
+        proc = MarkovModulatedProcess(40.0, seed=5).at_rate(100.0)
+        assert proc.mean_rate == pytest.approx(100.0)
+        assert empirical_rate(proc) == pytest.approx(100.0, rel=0.05)
+
+    def test_bursts_make_the_gap_distribution_heavier(self):
+        # burstiness shows up as higher gap variance than Poisson at
+        # the same mean rate
+        markov = MarkovModulatedProcess(40.0, burst_mult=16.0, seed=11)
+        poisson = PoissonProcess(markov.mean_rate, seed=11)
+
+        def cv2(process):  # squared coefficient of variation
+            gaps = list(itertools.islice(process.gaps(), 20_000))
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var / mean**2
+
+        assert cv2(markov) > cv2(poisson) * 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedProcess(0.0)
+        with pytest.raises(ValueError):
+            MarkovModulatedProcess(10.0, burst_mult=0.5)
+        with pytest.raises(ValueError):
+            MarkovModulatedProcess(10.0, p_enter=0.0)
+
+
+class TestTraceReplayProcess:
+    def test_mean_rate_is_cycle_average_for_any_curve(self):
+        proc = TraceReplayProcess(
+            (0.2, 1.8, 1.0, 1.0), rate=120.0, slot_s=0.5, seed=2
+        )
+        assert empirical_rate(proc) == pytest.approx(120.0, rel=0.05)
+
+    def test_committed_diurnal_trace_loads_and_replays(self):
+        proc = TraceReplayProcess.from_file(DIURNAL_TRACE, rate=80.0, seed=4)
+        assert len(proc.weights) == 24
+        assert empirical_rate(proc) == pytest.approx(80.0, rel=0.05)
+
+    def test_zero_weight_slot_is_silent(self):
+        # slot 1 (seconds [1, 2)) gets no arrivals at all
+        proc = TraceReplayProcess((1.0, 0.0), rate=500.0, slot_s=1.0, seed=6)
+        clock = 0.0
+        for gap in itertools.islice(proc.gaps(), 2_000):
+            clock += gap
+            assert not 1.0 <= clock % 2.0 < 2.0
+
+    def test_at_rate_keeps_the_curve(self):
+        proc = TraceReplayProcess((1.0, 3.0), rate=10.0, seed=1).at_rate(40.0)
+        assert proc.weights == (1.0, 3.0)
+        assert proc.mean_rate == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplayProcess((), rate=10.0)
+        with pytest.raises(ValueError):
+            TraceReplayProcess((1.0, -1.0), rate=10.0)
+        with pytest.raises(ValueError):
+            TraceReplayProcess((0.0, 0.0), rate=10.0)
+        with pytest.raises(ValueError):
+            TraceReplayProcess((1.0,), rate=0.0)
+        with pytest.raises(ValueError):
+            TraceReplayProcess((1.0,), rate=10.0, slot_s=0.0)
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 99.0) is None
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([0.3], 0.0) == 0.3
+        assert percentile([0.3], 50.0) == 0.3
+        assert percentile([0.3], 100.0) == 0.3
+
+    def test_nearest_rank_returns_observed_samples(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50.0) == 50.0
+        assert percentile(samples, 99.0) == 100.0
+        assert percentile(samples, 100.0) == 100.0
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestLatencyRecorder:
+    def test_accepted_counts_admitted_requests_only(self):
+        rec = LatencyRecorder()
+        rec.record("ok", 0.01)
+        rec.record("timeout", 0.5)
+        rec.record("busy", 0.001)
+        rec.record("late", 1.0)
+        assert rec.total == 4
+        assert rec.accepted == 2  # ok + timeout; sheds/lates are not
+        assert rec.ok_rate() == pytest.approx(0.25)
+
+    def test_unknown_outcome_is_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record("dropped", 0.1)
+
+    def test_percentiles_are_per_outcome(self):
+        rec = LatencyRecorder()
+        for ms in (10, 20, 30):
+            rec.record("ok", ms / 1e3)
+        rec.record("busy", 99.0)
+        assert rec.latency_percentile(99.0) == pytest.approx(0.03)
+        assert rec.latency_percentile(99.0, "busy") == 99.0
+        assert rec.latency_percentile(99.0, "late") is None
+
+    def test_summary_shape(self):
+        rec = LatencyRecorder()
+        rec.record("ok", 0.02)
+        rec.record("busy", 0.001)
+        out = rec.summary(duration_s=2.0)
+        assert out["total"] == 2
+        assert out["counts"]["ok"] == 1
+        assert out["counts"]["busy"] == 1
+        assert out["ok_rate"] == pytest.approx(0.5)
+        assert out["latency_ok_s"]["p99"] == pytest.approx(0.02)
+        assert out["ok_per_s"] == pytest.approx(0.5)
+        assert "tiers" not in out  # single default tier stays compact
+
+    def test_summary_breaks_out_tiers_when_mixed(self):
+        rec = LatencyRecorder()
+        rec.record("ok", 0.01, tier=0)
+        rec.record("busy", 0.001, tier=2)
+        out = rec.summary()
+        assert out["tiers"] == {"0": {"ok": 1}, "2": {"busy": 1}}
+
+
+class TestTierSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierSpec(tier=-1)
+        with pytest.raises(ValueError):
+            TierSpec(weight=0.0)
+        with pytest.raises(ValueError):
+            TierSpec(deadline_s=0.0)
+
+
+class TestOpenLoopLoadGen:
+    """Outcome mapping and scheduling against fake senders."""
+
+    def _run(self, send, **kwargs):
+        gen = OpenLoopLoadGen(
+            send,
+            PoissonProcess(2_000.0, seed=1),
+            max_requests=kwargs.pop("max_requests", 20),
+            **kwargs,
+        )
+        return asyncio.run(gen.run())
+
+    def test_typed_errors_map_to_the_outcome_vocabulary(self):
+        errors = iter(
+            [
+                None,
+                ServiceBusy("shed"),
+                RequestTimedOut("expired"),
+                DeadlineExceeded("late"),
+                RuntimeError("boom"),
+            ]
+        )
+
+        async def send(spec):
+            err = next(errors)
+            if err is not None:
+                raise err
+
+        rec = self._run(send, max_requests=5)
+        assert rec.counts == {
+            "ok": 1, "busy": 1, "timeout": 1, "late": 1, "error": 1
+        }
+
+    def test_hang_guard_records_late_instead_of_wedging(self):
+        async def send(spec):
+            await asyncio.sleep(3600.0)
+
+        rec = self._run(send, max_requests=3, hang_timeout_s=0.05)
+        assert rec.counts["late"] == 3
+        assert all(s >= 0.05 for s in rec.samples("late"))
+
+    def test_latency_counts_from_scheduled_arrival(self):
+        # a send that takes ~20 ms must record >= 20 ms even though the
+        # driver never falls behind
+        async def send(spec):
+            await asyncio.sleep(0.02)
+
+        rec = self._run(send, max_requests=4)
+        assert all(s >= 0.02 for s in rec.samples("ok"))
+
+    def test_tier_mix_follows_the_weights(self):
+        seen = []
+
+        async def send(spec):
+            seen.append(spec.tier)
+
+        tiers = (TierSpec(0, weight=3.0), TierSpec(2, weight=1.0))
+        rec = self._run(send, max_requests=400, tiers=tiers, seed=8)
+        assert rec.total == 400
+        share = seen.count(0) / len(seen)
+        assert 0.65 <= share <= 0.85  # ~0.75 by weight
+        assert rec.tier_counts[("ok", 2)] == seen.count(2)
+
+    def test_max_requests_bounds_the_run(self):
+        fired = 0
+
+        async def send(spec):
+            nonlocal fired
+            fired += 1
+
+        self._run(send, max_requests=7)
+        assert fired == 7
+
+    def test_duration_bounds_the_run(self):
+        async def send(spec):
+            pass
+
+        gen = OpenLoopLoadGen(
+            send, PoissonProcess(1_000.0, seed=2), duration_s=0.05
+        )
+        rec = asyncio.run(gen.run())
+        # ~50 arrivals expected; generous determinism-free envelope
+        assert 10 <= rec.total <= 120
+        assert gen.elapsed_s >= 0.05
+
+    def test_validation(self):
+        async def send(spec):
+            pass
+
+        arrivals = PoissonProcess(10.0)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGen(send, arrivals)  # unbounded
+        with pytest.raises(ValueError):
+            OpenLoopLoadGen(send, arrivals, duration_s=0.0)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGen(send, arrivals, max_requests=0)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGen(send, arrivals, max_requests=1, tiers=())
+        with pytest.raises(ValueError):
+            OpenLoopLoadGen(
+                send, arrivals, max_requests=1, hang_timeout_s=0.0
+            )

@@ -1,0 +1,252 @@
+"""Unit tests for the SLO building blocks: estimator, shed rule,
+autoscaler hysteresis, priority-aware flushing, per-tier admission.
+
+Everything here runs on fake clocks — the components take timestamps
+as arguments, so the tests pin exact decision boundaries (sheds iff
+predicted miss, no flapping under oscillating load) without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.lac.params import LAC_128
+from repro.serve import KemService, ServiceConfig
+from repro.serve.protocol import QosSpec, qos_for
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.slo import Autoscaler, KernelEstimator, predicted_miss
+
+
+class TestKernelEstimator:
+    def test_cold_estimator_predicts_nothing(self):
+        est = KernelEstimator()
+        assert est.batch_seconds(("ENCAPS", 1)) is None
+        assert est.op_seconds(("ENCAPS", 1)) is None
+        assert est.global_op_seconds() is None
+
+    def test_first_sample_is_adopted_verbatim(self):
+        est = KernelEstimator()
+        est.observe(("ENCAPS", 1), 0.08, 4)
+        assert est.batch_seconds(("ENCAPS", 1)) == pytest.approx(0.08)
+        assert est.op_seconds(("ENCAPS", 1)) == pytest.approx(0.02)
+
+    def test_ewma_moves_toward_new_samples(self):
+        est = KernelEstimator(alpha=0.5)
+        key = ("ENCAPS", 1)
+        est.observe(key, 0.10, 10)
+        est.observe(key, 0.20, 10)
+        assert est.batch_seconds(key) == pytest.approx(0.15)
+        assert est.op_seconds(key) == pytest.approx(0.015)
+
+    def test_unseen_key_falls_back_to_global(self):
+        est = KernelEstimator()
+        est.observe(("ENCAPS", 1), 0.05, 5)
+        assert est.batch_seconds(("DECAPS", 2)) == pytest.approx(0.05)
+        assert est.op_seconds(("DECAPS", 2)) == pytest.approx(0.01)
+
+    def test_degenerate_samples_are_ignored(self):
+        est = KernelEstimator()
+        est.observe(("ENCAPS", 1), 0.1, 0)  # empty batch
+        est.observe(("ENCAPS", 1), -1.0, 4)  # negative clock skew
+        assert est.batch_seconds(("ENCAPS", 1)) is None
+
+    def test_snapshot_is_json_shaped(self):
+        est = KernelEstimator()
+        est.observe(("ENCAPS", 1), 0.05, 5)
+        snap = est.snapshot()
+        assert snap == {"('ENCAPS', 1)": 0.05}
+
+
+class TestPredictedMiss:
+    """Sheds iff predicted miss — the exact boundary, all edges."""
+
+    def test_no_deadline_never_sheds(self):
+        assert predicted_miss(1e9, 1e9, None) is False
+
+    def test_predicted_overrun_sheds(self):
+        assert predicted_miss(0.3, 0.3, 0.5) is True
+
+    def test_fitting_request_is_not_shed(self):
+        assert predicted_miss(0.1, 0.2, 0.5) is False
+
+    def test_exact_fit_is_not_shed(self):
+        # the budget is an inclusive bound: == deadline still admits
+        assert predicted_miss(0.2, 0.3, 0.5) is False
+
+    def test_no_estimate_sheds_only_on_certain_miss(self):
+        assert predicted_miss(0.2, None, 0.5) is False
+        assert predicted_miss(0.6, None, 0.5) is True
+
+
+class TestAutoscaler:
+    def test_scales_up_on_deep_queue(self):
+        auto = Autoscaler(max_workers=8, up_queue_per_worker=4.0)
+        assert auto.decide(0.0, queue_depth=10, workers=2) == 3
+
+    def test_scales_up_on_demand_even_with_empty_queue(self):
+        auto = Autoscaler(max_workers=8)
+        assert auto.decide(0.0, queue_depth=0, workers=2, demand_workers=5) == 3
+
+    def test_cooldown_gates_consecutive_upscales(self):
+        auto = Autoscaler(max_workers=8, cooldown_s=2.0)
+        assert auto.decide(0.0, 100, 2) == 3
+        assert auto.decide(1.0, 100, 3) == 3  # still cooling
+        assert auto.decide(2.5, 100, 3) == 4
+
+    def test_never_exceeds_max_workers(self):
+        auto = Autoscaler(max_workers=4, cooldown_s=0.0)
+        assert auto.decide(0.0, 1000, 4) == 4
+
+    def test_scale_down_requires_sustained_quiet(self):
+        auto = Autoscaler(max_workers=8, cooldown_s=0.0, sustain=3)
+        assert auto.decide(0.0, 0, 4) == 4  # streak 1
+        assert auto.decide(1.0, 0, 4) == 4  # streak 2
+        assert auto.decide(2.0, 0, 4) == 3  # streak 3: shrink
+
+    def test_busy_reading_resets_the_quiet_streak(self):
+        auto = Autoscaler(
+            max_workers=8, cooldown_s=0.0, sustain=2, up_queue_per_worker=4.0
+        )
+        assert auto.decide(0.0, 0, 4) == 4  # quiet, streak 1
+        assert auto.decide(1.0, 8, 4) == 4  # busy-ish (2/worker): reset
+        assert auto.decide(2.0, 0, 4) == 4  # streak 1 again
+        assert auto.decide(3.0, 0, 4) == 3  # streak 2: now shrink
+
+    def test_never_shrinks_below_min_workers(self):
+        auto = Autoscaler(min_workers=2, cooldown_s=0.0, sustain=1)
+        assert auto.decide(0.0, 0, 2) == 2
+
+    def test_demand_blocks_scale_down(self):
+        # queue is empty but arrivals still need the pool: no shrink
+        auto = Autoscaler(cooldown_s=0.0, sustain=1)
+        assert auto.decide(0.0, 0, 4, demand_workers=4) == 4
+
+    def test_oscillating_load_does_not_flap(self):
+        """Alternating busy/idle readings must not bounce the pool."""
+        auto = Autoscaler(
+            max_workers=8, cooldown_s=2.0, sustain=3, up_queue_per_worker=4.0
+        )
+        workers = 2
+        directions = []
+        for i in range(40):
+            depth = 100 if i % 2 == 0 else 0
+            target = auto.decide(i * 0.1, depth, workers)
+            if target != workers:
+                directions.append("up" if target > workers else "down")
+                workers = target
+        # only cooldown-paced upscales; the idle readings never sustain
+        # long enough to shrink — zero down events, no up/down churn
+        assert "down" not in directions
+        assert 1 <= len(directions) <= 3
+
+    def test_out_of_band_worker_counts_are_clamped(self):
+        auto = Autoscaler(min_workers=2, max_workers=4)
+        assert auto.decide(0.0, 0, 1) == 2
+        assert auto.decide(10.0, 0, 9) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autoscaler(min_workers=0)
+        with pytest.raises(ValueError):
+            Autoscaler(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            Autoscaler(up_queue_per_worker=1.0, down_queue_per_worker=1.0)
+        with pytest.raises(ValueError):
+            Autoscaler(sustain=0)
+
+
+class TestPriorityFlushing:
+    def test_poll_orders_due_batches_most_urgent_first(self):
+        sched = MicroBatchScheduler(
+            max_batch=8, priority_of=lambda e: e[0]
+        )
+        # entries are (tier, name) tuples; three keys opened same beat
+        sched.submit("batch-key", (2, "a"), now=0.0)
+        sched.submit("interactive-key", (0, "b"), now=0.0)
+        sched.submit("standard-key", (1, "c"), now=0.0)
+        batches = sched.poll(now=10.0)
+        tiers = [min(e[0] for e in b.entries) for b in batches]
+        assert tiers == [0, 1, 2]
+
+    def test_drain_orders_by_priority_too(self):
+        sched = MicroBatchScheduler(max_batch=8, priority_of=lambda e: e)
+        sched.submit("k1", 3, now=0.0)
+        sched.submit("k2", 1, now=0.0)
+        assert [b.entries for b in sched.drain()] == [[1], [3]]
+
+    def test_without_priority_of_order_is_submission_order(self):
+        sched = MicroBatchScheduler(max_batch=8)
+        sched.submit("k1", 3, now=0.0)
+        sched.submit("k2", 1, now=0.0)
+        assert [b.entries for b in sched.poll(10.0)] == [[3], [1]]
+
+
+class TestTierWatermarks:
+    """Per-tier admission limits on a real (but idle) service."""
+
+    def _service(self, **kwargs) -> KemService:
+        return KemService(ServiceConfig(**kwargs))
+
+    def test_tier_limits_scale_the_high_watermark(self):
+        svc = self._service(
+            high_watermark=100, tier_watermarks=(1.0, 0.75, 0.5)
+        )
+        assert svc._tier_limits == (100, 75, 50)
+
+    def test_default_tier_zero_limit_equals_high_watermark(self):
+        svc = self._service(high_watermark=64)
+        assert svc._tier_limits[0] == 64
+
+    def test_wire_tiers_beyond_table_clamp_to_last(self):
+        async def main():
+            svc = self._service(
+                high_watermark=100, tier_watermarks=(1.0, 0.5)
+            )
+            await svc.start()
+            key_id = svc.add_keypair(LAC_128, seed=b"\x07" * (LAC_128.seed_bytes + 32))
+            svc._pending = 60  # above the tier-1 limit, below tier-0
+            responses = []
+
+            async def respond(frame):
+                responses.append(frame)
+
+            from repro.serve.protocol import (
+                Frame,
+                Op,
+                id_for_params,
+                pack_encaps_request,
+            )
+
+            pid = id_for_params(LAC_128)
+            # tier 9 clamps onto the last (0.5) watermark: rejected
+            frame = Frame(
+                Op.ENCAPS, 1, pid,
+                payload=pack_encaps_request(key_id, None),
+                qos=QosSpec(deadline_us=0, tier=9),
+            )
+            await svc._handle_frame(frame, respond)
+            assert responses[-1].status.name == "BUSY"
+            shed = svc.metrics.snapshot()["sheds"]
+            assert shed.get("watermark:1") == 1
+            # tier 0 still has headroom at the same depth
+            frame0 = Frame(
+                Op.ENCAPS, 2, pid, payload=pack_encaps_request(key_id, None)
+            )
+            await svc._handle_frame(frame0, respond)
+            assert len(responses) == 1  # accepted: no reject response
+            svc._pending -= 1  # release the accepted entry for shutdown
+            svc._scheduler._queues.clear()
+            await svc.shutdown()
+
+        asyncio.run(main())
+
+    def test_qos_helper_and_validation(self):
+        assert qos_for() is None
+        spec = qos_for(deadline_s=0.25, tier=2)
+        assert spec is not None
+        assert spec.deadline_us == 250_000
+        assert spec.deadline_s == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            qos_for(deadline_s=0.0)
