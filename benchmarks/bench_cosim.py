@@ -1,0 +1,222 @@
+"""Cosim benchmark: served-path cycle counts on the simulated ISE core.
+
+The :class:`repro.backend.CosimBackend` claims its per-request cycle
+tallies are *not approximations*: a request served through the full
+protocol path (wire framing, scheduler, backend dispatch) with the
+deterministic KAT inputs must reproduce the offline Table I/II model
+predictions (:func:`repro.backend.cosim.model_cycles`) **exactly**,
+and the answers themselves must be bit-identical to the frozen
+known-answer vectors.  This driver pins both claims, per parameter set
+and per profile:
+
+1. **serve** — a :class:`~repro.serve.ThreadedService` on a
+   ``CosimBackend`` runs the KAT sequence (``keygen(SEED)`` →
+   ``encaps(MESSAGE)`` → ``decaps``) and the response digests are
+   checked against the committed known-answer vectors;
+2. **pin** — the backend's per-op ``last_cycles`` tallies are compared
+   to the offline :class:`repro.cosim.CycleModel` predictions with
+   **exact equality** (cycles are modelled, not timed, so there is no
+   tolerance — a one-cycle drift is a real behavioural change);
+3. **speedup** — the ref/ise total-cycle ratio is recorded next to the
+   paper's Table II figure (:data:`repro.eval.table2.PAPER_SPEEDUPS`).
+
+All numbers are deterministic and machine-independent, so
+``--baseline BENCH_cosim.json`` gates with exact equality against the
+committed report.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cosim.py            # full
+    PYTHONPATH=src python benchmarks/bench_cosim.py --smoke    # CI
+
+``--smoke`` covers LAC-128 only (both profiles); the full run covers
+every parameter set.  See ``docs/COSIM.md`` for the backend and
+``docs/PERFORMANCE.md`` for where these numbers sit in the story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+from pathlib import Path
+
+from _report import finalize, load_baseline, platform_fields
+
+from repro.backend import CosimBackend
+from repro.backend.cosim import model_cycles
+from repro.eval.table2 import PAPER_SPEEDUPS
+from repro.lac.params import ALL_PARAMS, LAC_128, LacParams
+from repro.serve import KemClient, ServiceConfig, ThreadedService
+
+#: the deterministic KAT inputs — identical to the offline cycle
+#: model's (``seed = bytes(range(64))``, ``message = seed[:32]``), which
+#: is what makes exact served-vs-offline equality possible: DECAPS
+#: cycles are data-dependent through the FO re-encryption
+SEED = bytes(range(64))
+MESSAGE = bytes(range(32))
+
+#: scheme -> (sha256(pk), sha256(ct), shared_secret) — the served
+#: answers must match the frozen vectors (tests/test_known_answers.py)
+KAT_DIGESTS = {
+    "LAC-128": (
+        "fedbba391357ba4930e01b9bbaf39933b95501e5052dd94b2a3583e7e14b4403",
+        "528aa646e159d82061cbcb9c610ec0c79ef0bdf0fe012fab60777e8a9ab3fa1b",
+        "7380bf05d14ad10198673274599fcb4d85c39e19a026d4f9a2f50866eac4e6fc",
+    ),
+    "LAC-192": (
+        "87284a6ac90bf08f6d02dfaf2520627e6ed8c8b6826e62a7056318b42cddb9ec",
+        "342a3be463df82337d6cf6afc01c91199c3145465285652c8566265be6311243",
+        "e8cef10478833b616ac60b5475c403382e4d5b884e340b81ef00b59fb98f4eb9",
+    ),
+    "LAC-256": (
+        "d5b22ed9495fb6fed321c24a0877e225ae033add7926eff7a80e40686ea9113d",
+        "e9cbd7590bd1b2ac0472e6c262d54c46cc7ea221fad6dec97ba2c635a5a4317a",
+        "a507e318dc2b91d213e78b231fb35b2ceb64397b148cdde036da5b1e3204eaec",
+    ),
+}
+
+#: the two Table II columns the speedup claim is built from
+PROFILES = ("ref", "ise")
+
+OPS = ("KEYGEN", "ENCAPS", "DECAPS")
+
+
+def serve_kat(params: LacParams, profile: str) -> tuple[dict[str, int], list[str]]:
+    """Serve the KAT sequence on a cosim backend; return served cycles.
+
+    The returned dict maps op name to the backend's ``last_cycles`` for
+    that op — the modelled cost of the one KAT request.  ``failures``
+    collects any bit-identity violations.
+    """
+    failures: list[str] = []
+    pk_digest, ct_digest, shared_hex = KAT_DIGESTS[params.name]
+    backend = CosimBackend(profile=profile)
+    with ThreadedService(ServiceConfig(max_batch=4), backend=backend) as svc:
+        client = KemClient(svc.connect())
+        key_id, pk = client.keygen(params, SEED)
+        if hashlib.sha256(pk.to_bytes()).hexdigest() != pk_digest:
+            failures.append(f"{params.name}/{profile}: served public key drifted")
+        ct_bytes, shared = client.encaps(key_id, MESSAGE)
+        if hashlib.sha256(ct_bytes).hexdigest() != ct_digest:
+            failures.append(f"{params.name}/{profile}: served ciphertext drifted")
+        if shared.hex() != shared_hex:
+            failures.append(f"{params.name}/{profile}: served shared secret drifted")
+        if client.decaps(key_id, ct_bytes).hex() != shared_hex:
+            failures.append(f"{params.name}/{profile}: served decaps drifted")
+        client.close()
+        tallies = backend.cycle_tallies()
+    served = {op: tallies[f"{op}:{params.name}"]["last_cycles"] for op in OPS}
+    return served, failures
+
+
+def bench_param(params: LacParams) -> tuple[dict, list[str]]:
+    """Both profiles for one parameter set: serve, pin, speedup."""
+    failures: list[str] = []
+    profiles: dict[str, dict] = {}
+    for profile in PROFILES:
+        served, kat_failures = serve_kat(params, profile)
+        failures.extend(kat_failures)
+        predicted = model_cycles(params, profile)
+        ops = {}
+        for op, field in (
+            ("KEYGEN", "key_generation"),
+            ("ENCAPS", "encapsulation"),
+            ("DECAPS", "decapsulation"),
+        ):
+            offline = int(getattr(predicted, field))
+            ops[op] = {"served_cycles": served[op], "offline_cycles": offline}
+            if served[op] != offline:
+                failures.append(
+                    f"{params.name}/{profile}/{op}: served {served[op]} != "
+                    f"offline model {offline} (must be exactly equal)"
+                )
+        profiles[profile] = {
+            "ops": ops,
+            "total_cycles": sum(served.values()),
+        }
+        print(
+            f"  {params.name:8} {profile:4}  "
+            + "  ".join(f"{op} {served[op]:>9,}" for op in OPS),
+            flush=True,
+        )
+
+    speedup = profiles["ref"]["total_cycles"] / profiles["ise"]["total_cycles"]
+    row = {
+        "params": params.name,
+        "profiles": profiles,
+        "speedup_ref_over_ise": round(speedup, 2),
+        "paper_speedup": PAPER_SPEEDUPS[params.name],
+    }
+    return row, failures
+
+
+def run(smoke: bool, output: Path, baseline: Path | None) -> dict:
+    """Serve every (parameter set, profile) pair, write the report, gate."""
+    param_sets = (LAC_128,) if smoke else ALL_PARAMS
+    rows = []
+    failures: list[str] = []
+    for params in param_sets:
+        print(f"{params.name}:", flush=True)
+        row, row_failures = bench_param(params)
+        rows.append(row)
+        failures.extend(row_failures)
+
+    report = {
+        "benchmark": "served-path cosim cycle counts (Table I/II regression)",
+        "smoke": smoke,
+        **platform_fields(),
+        "cosim": rows,
+    }
+
+    print(f"\n{'set':8} {'ref total':>12} {'ise total':>12} {'speedup':>8} {'paper':>6}")
+    for row in rows:
+        print(
+            f"{row['params']:8} "
+            f"{row['profiles']['ref']['total_cycles']:>12,} "
+            f"{row['profiles']['ise']['total_cycles']:>12,} "
+            f"{row['speedup_ref_over_ise']:>7.2f}x "
+            f"{row['paper_speedup']:>5.2f}x"
+        )
+
+    # cycles are modelled, not timed: the committed baseline is gated
+    # with exact equality, machine speed notwithstanding
+    committed = load_baseline(baseline)
+    if committed is not None:
+        old_rows = {row["params"]: row for row in committed["cosim"]}
+        for row in rows:
+            old = old_rows.get(row["params"])
+            if old is None:
+                continue
+            for profile, measured in row["profiles"].items():
+                old_profile = old["profiles"].get(profile)
+                if old_profile is None:
+                    continue
+                for op, cycles in measured["ops"].items():
+                    old_cycles = old_profile["ops"][op]["served_cycles"]
+                    if cycles["served_cycles"] != old_cycles:
+                        failures.append(
+                            f"{row['params']}/{profile}/{op}: served "
+                            f"{cycles['served_cycles']} != committed "
+                            f"{old_cycles} (cycle model drifted)"
+                        )
+
+    return finalize(report, failures, output, "cosim cycle pins not met")
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: LAC-128 only (both profiles)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_cosim.json to compare exactly against")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the committed-baseline comparison "
+                             "(served-vs-offline equality is still asserted)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_cosim.json")
+    args = parser.parse_args()
+    run(args.smoke, args.output, None if args.no_baseline else args.baseline)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,12 @@ and the throughput against sequential single-shot ``encaps`` on the
 same machine.  Ends with the synchronous client for scripts that want
 no asyncio.
 
+The execution backend is a config choice: swap
+``ServiceConfig(backend="cosim")`` into either demo to serve the same
+traffic on the simulated ISE core, where every response also carries
+the modelled cycle cost (``docs/COSIM.md``) — slower, serial, but
+cycle-exact against Tables I/II.
+
 Run:  python examples/kem_service.py
 """
 

@@ -27,6 +27,7 @@ from repro.backend import (
     BACKEND_ENV_VAR,
     BACKEND_NAMES,
     DEFAULT_BACKEND,
+    CosimBackend,
     InlineBackend,
     KemBackend,
     ProcessBackend,
@@ -100,6 +101,7 @@ __all__ = [
     # execution backends
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
+    "CosimBackend",
     "DEFAULT_BACKEND",
     "InlineBackend",
     "KemBackend",

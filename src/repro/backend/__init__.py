@@ -2,7 +2,7 @@
 
 Where batched kernels *execute* is a deployment decision, not an API
 one — this package pins the contract (:class:`KemBackend`) and ships
-three implementations:
+four implementations:
 
 ============  =========================================================
 ``inline``    :class:`InlineBackend` — synchronous, caller's thread
@@ -10,6 +10,9 @@ three implementations:
               behavior-identical to the old ``shared_executor()`` path)
 ``process``   :class:`ProcessBackend` — supervised worker processes
               (GIL-free, per-worker warmup, bounded crash restart)
+``cosim``     :class:`CosimBackend` — the simulated ISE core: annotated
+              scalar drivers with per-request cycle counting, priced
+              by the calibrated Table I/II model
 ============  =========================================================
 
 Select by name with :func:`create_backend`, by configuration with
@@ -27,6 +30,12 @@ from repro.backend.base import (
     create_backend,
     resolve_backend_name,
 )
+from repro.backend.cosim import (
+    COSIM_PROFILE_ENV_VAR,
+    DEFAULT_COSIM_PROFILE,
+    CosimBackend,
+    model_cycles,
+)
 from repro.backend.inline import InlineBackend
 from repro.backend.process import ProcessBackend, WorkerKeyMiss
 from repro.backend.shm import SegmentPool, shm_available
@@ -39,7 +48,10 @@ from repro.backend.thread import (
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
+    "COSIM_PROFILE_ENV_VAR",
+    "CosimBackend",
     "DEFAULT_BACKEND",
+    "DEFAULT_COSIM_PROFILE",
     "DEFAULT_THREAD_WORKERS",
     "InlineBackend",
     "KemBackend",
@@ -50,6 +62,7 @@ __all__ = [
     "WorkerKeyMiss",
     "create_backend",
     "default_thread_backend",
+    "model_cycles",
     "resolve_backend_name",
     "shm_available",
 ]

@@ -12,7 +12,10 @@ benchmarks never hard-wire a particular pool again:
   behavior-identical to the pre-backend ``shared_executor()`` path);
 * :class:`repro.backend.ProcessBackend` — a supervised process pool
   (GIL-free parallelism; workers warm their own GF/ring tables, crash
-  detection with bounded restart).
+  detection with bounded restart);
+* :class:`repro.backend.CosimBackend` — the simulated ISE core: every
+  request runs through the annotated cosim drivers with a per-request
+  cycle counter, priced by the calibrated Table I/II model.
 
 Every implementation provides the same contract:
 
@@ -328,6 +331,7 @@ def create_backend(
     shared default backend — the executor-reuse behavior the serving
     layer has always had — whose :meth:`~KemBackend.close` is a no-op.
     """
+    from repro.backend.cosim import CosimBackend
     from repro.backend.inline import InlineBackend
     from repro.backend.process import ProcessBackend
     from repro.backend.thread import ThreadBackend, default_thread_backend
@@ -341,6 +345,10 @@ def create_backend(
         return InlineBackend(cache_entries=cache_entries)
     if resolved == "process":
         return ProcessBackend(workers=workers, cache_entries=cache_entries)
+    if resolved == "cosim":
+        # one simulated in-order core: sizing knobs do not apply (the
+        # profile comes from $REPRO_COSIM_PROFILE or the constructor)
+        return CosimBackend()
     if workers is None and fan_out is None and cache_entries is None:
         return default_thread_backend()
     return ThreadBackend(
@@ -349,4 +357,4 @@ def create_backend(
 
 
 #: Names accepted by :func:`create_backend` / ``ServiceConfig.backend``.
-BACKEND_NAMES = ("inline", "thread", "process")
+BACKEND_NAMES = ("inline", "thread", "process", "cosim")

@@ -1,0 +1,306 @@
+"""The cosimulation backend: serve traffic on the simulated ISE core.
+
+Every other backend executes the vectorized numpy kernels; this one
+routes each request through the *annotated scalar drivers* of the
+paper's co-design (:class:`repro.cosim.accelerated.IseMultiplier`,
+:class:`repro.cosim.accelerated.IseBchDecoder` and the counted
+reference paths), with one :class:`repro.metrics.OpCounter` per
+request, and prices the recorded operations with the calibrated
+:mod:`repro.cosim.costs` tables.  The results are **bit-identical** to
+the scalar :class:`repro.lac.LacKem` — only the execution schedule
+(and therefore the modelled cycle count) differs per profile:
+
+* ``"ise"`` (default) — MUL TER transactions, MUL CHIEN-backed
+  constant-time decoding, accelerator-priced SHA-256 and ``pq.modq``;
+* ``"ref"`` — the reference software schedule (Table II's baseline);
+* ``"const_bch"`` — the reference with the constant-time BCH decoder.
+
+Batches run serially on one owned worker thread — the software
+analogue of a single in-order RISC-V core — so the event loop stays
+responsive while a request "executes on the hardware".  Per-op cycle
+tallies surface through :meth:`CosimBackend.stats` (and from there the
+service's ``kem_cosim_cycles_total`` metrics) and, when tracing is on,
+as ``cycles_ref``/``cycles_ise`` span tags on the ``kernel`` stage.
+
+The tallies are not approximations: a request served with the
+deterministic KAT inputs reproduces the offline Table I/II model
+predictions *exactly* (``tests/test_cosim_backend_cycles.py`` and
+``benchmarks/bench_cosim.py`` pin that equality).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from repro.backend.base import KemBackend, KernelWrapper
+from repro.cosim.costs import ISE_COSTS, REFERENCE_COSTS, CycleCosts, price
+from repro.cosim.protocol import PROFILES, CycleModel, ProtocolCycles
+from repro.lac.kem import EncapsResult, KemKeyPair, KemSecretKey, LacKem
+from repro.lac.params import LacParams
+from repro.lac.pke import Ciphertext, PublicKey
+from repro.metrics import OpCounter
+from repro.trace import annotate, current_tags
+
+#: Environment variable selecting the cosim profile when the backend is
+#: created by name (``create_backend("cosim")`` / ``ServiceConfig``).
+COSIM_PROFILE_ENV_VAR = "REPRO_COSIM_PROFILE"
+
+#: The profile used when neither argument nor environment names one.
+DEFAULT_COSIM_PROFILE = "ise"
+
+#: ``ProtocolCycles`` field per wire op name.
+_OP_FIELDS = {
+    "KEYGEN": "key_generation",
+    "ENCAPS": "encapsulation",
+    "DECAPS": "decapsulation",
+}
+
+_MODEL_LOCK = threading.Lock()
+_MODEL_CYCLES: dict[tuple[str, str], ProtocolCycles] = {}
+
+
+def model_cycles(params: LacParams, profile: str) -> ProtocolCycles:
+    """The offline Table II prediction for ``(params, profile)``, cached.
+
+    One :meth:`repro.cosim.CycleModel.measure_protocol` run per pair per
+    process: the predictions are deterministic (fixed seed/message), so
+    the cache makes repeated services, benchmarks and the SLO priors
+    share a single measurement.
+    """
+    key = (params.name, profile)
+    with _MODEL_LOCK:
+        cached = _MODEL_CYCLES.get(key)
+    if cached is not None:
+        return cached
+    measured = CycleModel(params, profile).measure_protocol()
+    with _MODEL_LOCK:
+        return _MODEL_CYCLES.setdefault(key, measured)
+
+
+class CosimBackend(KemBackend):
+    """Execute KEM kernels on the cycle-counted simulated ISE core."""
+
+    name = "cosim"
+
+    def __init__(self, profile: str | None = None) -> None:
+        resolved = (
+            profile
+            or os.environ.get(COSIM_PROFILE_ENV_VAR)
+            or DEFAULT_COSIM_PROFILE
+        )
+        if resolved not in PROFILES:
+            raise ValueError(
+                f"cosim profile must be one of {PROFILES}, got {resolved!r}"
+            )
+        # The simulated core runs the scalar drivers; the vectorized
+        # per-key transform cache never participates, so it stays off.
+        super().__init__(cache_entries=0)
+        self.profile = resolved
+        self.costs: CycleCosts = ISE_COSTS if resolved == "ise" else REFERENCE_COSTS
+        self._models_lock = threading.Lock()
+        self._models: dict[str, CycleModel] = {}
+        self._executor: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-cosim"
+        )
+        self._cycles_lock = threading.Lock()
+        self._cycles: dict[tuple[str, str], dict[str, int]] = {}
+        self._last_counters: dict[tuple[str, str], OpCounter] = {}
+
+    # ------------------------------------------------------------------
+    # the simulated core
+    # ------------------------------------------------------------------
+
+    def _model_for(self, params: LacParams) -> CycleModel:
+        """The per-parameter-set cycle model (same construction as offline)."""
+        with self._models_lock:
+            model = self._models.get(params.name)
+            if model is None:
+                model = self._models[params.name] = CycleModel(
+                    params, self.profile
+                )
+            return model
+
+    def _record(self, op: str, params: LacParams, counter: OpCounter) -> int:
+        """Price one request's counter into the per-(op, params) tallies."""
+        cycles = price(counter, self.costs)
+        key = (op, params.name)
+        with self._cycles_lock:
+            record = self._cycles.get(key)
+            if record is None:
+                record = self._cycles[key] = {
+                    "ops": 0,
+                    "cycles": 0,
+                    "last_cycles": 0,
+                }
+            record["ops"] += 1
+            record["cycles"] += cycles
+            record["last_cycles"] = cycles
+            self._last_counters[key] = counter
+        return cycles
+
+    def _run_batch(
+        self,
+        op: str,
+        params: LacParams,
+        items: Sequence[Any],
+        run_one: Callable[[LacKem, Any, OpCounter], Any],
+    ) -> list[Any]:
+        """Execute ``items`` serially with one counter per request."""
+        kem = self._model_for(params).kem
+        results: list[Any] = []
+        batch_cycles = 0
+        for item in items:
+            counter = OpCounter()
+            results.append(run_one(kem, item, counter))
+            batch_cycles += self._record(op, params, counter)
+        if current_tags() is not None:
+            # span tags for the kernel stage; the reference prediction
+            # is computed (and cached) only when a trace sink is active
+            tags: dict[str, Any] = {
+                "cosim_profile": self.profile,
+                "cosim_cycles": batch_cycles,
+            }
+            if self.profile == "ise":
+                tags["cycles_ise"] = batch_cycles
+                reference = model_cycles(params, "ref")
+                tags["cycles_ref"] = len(results) * getattr(
+                    reference, _OP_FIELDS[op]
+                )
+            else:
+                tags["cycles_ref"] = batch_cycles
+            annotate(**tags)
+        return results
+
+    def _submit(
+        self, wrapper: KernelWrapper | None, work: Callable[[], Any]
+    ) -> Future[Any]:
+        self._check_open()
+        executor = self._executor
+        assert executor is not None
+        return executor.submit(self._tracked, wrapper, work)
+
+    # ------------------------------------------------------------------
+    # the contract
+    # ------------------------------------------------------------------
+
+    def submit_encaps(
+        self,
+        params: LacParams,
+        pk: PublicKey,
+        messages: Sequence[bytes],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[EncapsResult]]:
+        """Encapsulate ``messages`` on the simulated core, one by one."""
+        batch = list(messages)
+        if not batch:
+            return self._done([])
+        return self._submit(
+            wrapper,
+            lambda: self._run_batch(
+                "ENCAPS",
+                params,
+                batch,
+                lambda kem, message, counter: kem.encaps(
+                    pk, message=message, counter=counter
+                ),
+            ),
+        )
+
+    def submit_decaps(
+        self,
+        params: LacParams,
+        keys: KemSecretKey,
+        ciphertexts: Sequence[Ciphertext],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[bytes]]:
+        """Decapsulate ``ciphertexts`` on the simulated core, one by one."""
+        batch = list(ciphertexts)
+        if not batch:
+            return self._done([])
+        return self._submit(
+            wrapper,
+            lambda: self._run_batch(
+                "DECAPS",
+                params,
+                batch,
+                lambda kem, ciphertext, counter: kem.decaps(
+                    keys, ciphertext, counter
+                ),
+            ),
+        )
+
+    def submit_keygen(
+        self,
+        params: LacParams,
+        seeds: Sequence[bytes | None],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[list[KemKeyPair]]:
+        """Generate one key pair per seed on the simulated core."""
+        batch = list(seeds)
+        if not batch:
+            return self._done([])
+        return self._submit(
+            wrapper,
+            lambda: self._run_batch(
+                "KEYGEN",
+                params,
+                batch,
+                lambda kem, seed, counter: kem.keygen(
+                    seed=seed, counter=counter
+                ),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Drain the simulated core's worker thread; idempotent."""
+        if self._closed:
+            return
+        super().close(wait)
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def cycle_tallies(self) -> dict[str, dict[str, int]]:
+        """Per-``(op, params)`` cycle tallies, keyed ``"OP:params-name"``.
+
+        Each entry carries ``ops`` (requests executed), ``cycles``
+        (total modelled cycles) and ``last_cycles`` (the most recent
+        request — what the golden regression tests compare against the
+        offline model predictions).
+        """
+        with self._cycles_lock:
+            return {
+                f"{op}:{name}": dict(record)
+                for (op, name), record in sorted(self._cycles.items())
+            }
+
+    def last_counter(self, op: str, params: LacParams) -> OpCounter | None:
+        """The most recent request's counter for ``(op, params)``.
+
+        Keeps the full phase-attributed breakdown reachable, so tests
+        can compare served-path *phase* cycles (Table I's columns)
+        against the offline model, not just the totals.
+        """
+        with self._cycles_lock:
+            return self._last_counters.get((op, params.name))
+
+    def stats(self) -> dict[str, Any]:
+        """Base counters plus the per-op cycle tallies and the profile."""
+        out = super().stats()
+        out["cosim"] = {
+            "profile": self.profile,
+            "cycles": self.cycle_tallies(),
+        }
+        return out

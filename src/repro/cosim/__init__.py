@@ -16,15 +16,19 @@ Cycle counts are *measured by executing* the annotated code on real
 data, so data-dependent timing (Table I) emerges from real control
 flow.  Per-operation prices are calibrated once against the paper's
 reference column and documented in :mod:`repro.cosim.costs`.
+
+The cycle model is also *servable*: :class:`repro.backend.CosimBackend`
+routes live KEM traffic through these annotated drivers and reproduces
+the offline predictions exactly (see ``docs/COSIM.md``).
 """
 
-from repro.cosim.costs import CycleCosts, REFERENCE_COSTS, ISE_COSTS, price
 from repro.cosim.accelerated import IseBchDecoder, IseMultiplier
+from repro.cosim.costs import ISE_COSTS, REFERENCE_COSTS, CycleCosts, price
 from repro.cosim.protocol import (
+    PROFILES,
+    CycleModel,
     KernelCycles,
     ProtocolCycles,
-    CycleModel,
-    PROFILES,
 )
 
 __all__ = [

@@ -38,7 +38,7 @@ class IseMultiplier:
     Sec. IV-A area/performance ablation at protocol level).
     """
 
-    def __init__(self, unit: MulTerUnit | None = None):
+    def __init__(self, unit: MulTerUnit | None = None) -> None:
         self.unit = unit or MulTerUnit(UNIT_LEN)
 
     # ------------------------------------------------------------------
@@ -65,15 +65,15 @@ class IseMultiplier:
             counter.count("call")
             transfers = unit.input_transfers
             counter.count("load", 10 * transfers)  # 5 general + 5 ternary lbu
-            counter.count("alu", 30 * transfers)   # code mapping + rs1/rs2 packing
+            counter.count("alu", 30 * transfers)  # code mapping + rs1/rs2 packing
             counter.count("pq_issue", transfers)
             counter.count("loop", transfers)
-            counter.count("pq_issue")              # start
+            counter.count("pq_issue")  # start
             counter.count("alu", 2)
             counter.count("pq_busy", unit.compute_cycles)
             reads = unit.output_transfers
             counter.count("pq_issue", reads)
-            counter.count("store", reads)          # one packed word per read
+            counter.count("store", reads)  # one packed word per read
             counter.count("alu", reads)
             counter.count("loop", reads)
         return unit.multiply(ternary, general, negacyclic)
@@ -140,7 +140,7 @@ class IseMultiplier:
 class IseBchDecoder:
     """Constant-time BCH decode with the MUL CHIEN accelerator."""
 
-    def __init__(self, code: BCHCode, unit: ChienUnit | None = None):
+    def __init__(self, code: BCHCode, unit: ChienUnit | None = None) -> None:
         if code.t % PARALLEL_MULTIPLIERS:
             raise ValueError("the Chien unit needs t divisible by 4")
         self.code = code
@@ -200,8 +200,8 @@ class IseBchDecoder:
                     partial[i] ^= unit.step()
                     counter.count("pq_issue")
                     counter.count("pq_busy", unit.cycles_per_step)
-                    counter.count("load")    # partial[i]
-                    counter.count("alu")     # xor
+                    counter.count("load")  # partial[i]
+                    counter.count("alu")  # xor
                     counter.count("store")
                     counter.count("loop")
             # combine with lambda_0 and apply masked flips

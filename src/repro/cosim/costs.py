@@ -41,8 +41,8 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from collections import Counter
+from dataclasses import dataclass, replace
 
 from repro.metrics import OpCounter
 

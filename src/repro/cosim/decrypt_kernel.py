@@ -164,7 +164,9 @@ def run_decrypt_kernel(
     pk, sk = pke.keygen(bytes(range(32)))
     rng = np.random.default_rng(seed)
     message = bytes(rng.integers(0, 256, 32, dtype=np.uint8))
-    ct = pke.encrypt(pk, message, coins=bytes(rng.integers(0, 256, 32, dtype=np.uint8)))
+    ct = pke.encrypt(
+        pk, message, coins=bytes(rng.integers(0, 256, 32, dtype=np.uint8))
+    )
 
     # golden reference: what the Python codec computes
     us = pke.ring.mul(sk.s.to_zq(), ct.u)
@@ -186,9 +188,15 @@ def run_decrypt_kernel(
     out_base = v_base + slots
 
     source = _DECRYPT_SOURCE.format(
-        u_base=u_base, s_base=s_base, v_base=v_base, out_base=out_base,
-        n=n, slots=slots, transfers=-(-n // 5),
-        start_ctrl=1 << 28, read_ctrl=2 << 28,
+        u_base=u_base,
+        s_base=s_base,
+        v_base=v_base,
+        out_base=out_base,
+        n=n,
+        slots=slots,
+        transfers=-(-n // 5),
+        start_ctrl=1 << 28,
+        read_ctrl=2 << 28,
     )
     program = Assembler().assemble(source)
     cpu = Cpu(Memory(1 << 20), PqAlu(n))

@@ -9,7 +9,9 @@ larger modulus that LAC's byte-sized coefficients avoid.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -41,13 +43,13 @@ class AcceleratedNtt:
     writes plus the full transform stall.
     """
 
-    def __init__(self, unit: NttAccelUnit | None = None):
+    def __init__(self, unit: NttAccelUnit | None = None) -> None:
         self.unit = unit or NttAccelUnit(1024)
         self.counter: OpCounter | None = None
 
     def _charge(self) -> None:
         counter = ensure_counter(self.counter)
-        counter.count("pq_issue", 8)   # configuration/doorbell writes
+        counter.count("pq_issue", 8)  # configuration/doorbell writes
         counter.count("pq_busy", self.unit.transform_cycles)
 
     def forward(self, poly: np.ndarray) -> np.ndarray:
@@ -69,7 +71,11 @@ class NewHopeCycles(ProtocolCycles):
 class NewHopeCycleModel:
     """Cycle measurement for the accelerated NewHope1024 CPA KEM."""
 
-    def __init__(self, params: NewHopeParams = NEWHOPE_1024, seed: bytes | None = None):
+    def __init__(
+        self,
+        params: NewHopeParams = NEWHOPE_1024,
+        seed: bytes | None = None,
+    ) -> None:
         self.params = params
         self.seed = seed or bytes(range(32))
         self.transformer = AcceleratedNtt(NttAccelUnit(params.n, params.q))
@@ -78,7 +84,7 @@ class NewHopeCycleModel:
 
     # ------------------------------------------------------------------
 
-    def _measure(self, fn) -> int:
+    def _measure(self, fn: Callable[[OpCounter], None]) -> int:
         counter = OpCounter()
         self.transformer.counter = counter
         try:
@@ -102,13 +108,12 @@ class NewHopeCycleModel:
 
     def measure_gen_a(self) -> int:
         """Cycles of one GenA call ([8]'s 42,050-cycle kernel)."""
-        return self._measure(
-            lambda c: gen_a(self.seed, self.params, c)
-        )
+        return self._measure(lambda c: gen_a(self.seed, self.params, c))
 
     def measure_sample_poly(self) -> int:
         """Cycles of one binomial polynomial sample."""
-        def run(counter):
+
+        def run(counter: OpCounter) -> None:
             prng = ShakePrng(self.seed, counter=counter)
             sample_binomial(prng, self.params, counter)
 
@@ -117,7 +122,7 @@ class NewHopeCycleModel:
     def measure_multiplication(self) -> int:
         """2 forward + 1 inverse transform + pointwise ([8]'s "> 73,827")."""
 
-        def run(counter):
+        def run(counter: OpCounter) -> None:
             rng = np.random.default_rng(7)
             a = rng.integers(0, self.params.q, self.params.n)
             b = rng.integers(0, self.params.q, self.params.n)
@@ -161,7 +166,7 @@ class NewHopeCycleModel:
         sk = kem.keygen(seed=self.seed + bytes(32))
         ct, shared = kem.encaps(sk, message=self.seed)
 
-        def run(counter):
+        def run(counter: OpCounter) -> None:
             if kem.decaps(sk, ct, counter) != shared:
                 raise AssertionError("NewHope CCA decapsulation mismatch")
             self._charge_packing(counter, 1)
@@ -170,18 +175,18 @@ class NewHopeCycleModel:
 
     def measure_protocol(self) -> ProtocolCycles:
         """Full CPA KEM measurement, [8]'s Table II row."""
-        keys_box = {}
+        keys_box: dict[str, Any] = {}
 
-        def run_keygen(counter):
+        def run_keygen(counter: OpCounter) -> None:
             keys_box["keys"] = self.kem.keygen(self.seed, counter)
             self._charge_packing(counter, 2)  # pk poly + sk poly
 
         keygen_cycles = self._measure(run_keygen)
         keys = keys_box["keys"]
 
-        ct_box = {}
+        ct_box: dict[str, Any] = {}
 
-        def run_encaps(counter):
+        def run_encaps(counter: OpCounter) -> None:
             ct_box["ct"], ct_box["ss"] = self.kem.encaps(
                 keys, message=self.seed, counter=counter
             )
@@ -189,7 +194,7 @@ class NewHopeCycleModel:
 
         encaps_cycles = self._measure(run_encaps)
 
-        def run_decaps(counter):
+        def run_decaps(counter: OpCounter) -> None:
             shared = self.kem.decaps(keys, ct_box["ct"], counter)
             if shared != ct_box["ss"]:
                 raise AssertionError("NewHope decapsulation mismatch")

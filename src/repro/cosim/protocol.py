@@ -23,17 +23,20 @@ multiplication, one decode.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bch.decoder import DecodeResult
 from repro.cosim.accelerated import IseBchDecoder, IseMultiplier
-from repro.cosim.costs import CycleCosts, ISE_COSTS, REFERENCE_COSTS, price
+from repro.cosim.costs import ISE_COSTS, REFERENCE_COSTS, CycleCosts, price
 from repro.hashes.prng import Sha256Prng
 from repro.lac.kem import LacKem
 from repro.lac.params import LacParams
 from repro.lac.sampling import gen_a, sample_ternary_fixed_weight
 from repro.metrics import OpCounter
+from repro.ring.poly import PolyRing
 from repro.ring.ternary import TernaryPoly, ternary_mul, ternary_mul_truncated
 
 #: The three RISC-V configurations of Table II.
@@ -67,12 +70,29 @@ class ProtocolCycles:
         return self.key_generation + self.encapsulation + self.decapsulation
 
 
-def _reference_multiplier(ring, ternary, general, counter=None):
+#: The multiplier-strategy surface :class:`repro.lac.pke.LacPke` calls.
+MultiplierFn = Callable[
+    [PolyRing, TernaryPoly, np.ndarray, OpCounter | None], np.ndarray
+]
+
+
+def _reference_multiplier(
+    ring: PolyRing,
+    ternary: TernaryPoly,
+    general: np.ndarray,
+    counter: OpCounter | None = None,
+) -> np.ndarray:
     """The reference implementation's O(n^2) schedule, cycle-annotated."""
     return ternary_mul(ring, ternary, general, counter)
 
 
-def _reference_v_multiplier(ring, ternary, general, slots, counter=None):
+def _reference_v_multiplier(
+    ring: PolyRing,
+    ternary: TernaryPoly,
+    general: np.ndarray,
+    slots: int,
+    counter: OpCounter | None = None,
+) -> np.ndarray:
     return ternary_mul_truncated(ring, ternary, general, slots, counter)
 
 
@@ -85,13 +105,15 @@ class CycleModel:
         profile: str,
         seed: bytes | None = None,
         mul_ter_length: int | None = None,
-    ):
+    ) -> None:
         if profile not in PROFILES:
             raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
         self.params = params
         self.profile = profile
         self.seed = seed or bytes(range(64))
         self.costs: CycleCosts = ISE_COSTS if profile == "ise" else REFERENCE_COSTS
+        self._multiplier: MultiplierFn
+        self._bch_decoder: IseBchDecoder | None
 
         if profile == "ise":
             if mul_ter_length is None:
@@ -151,7 +173,7 @@ class CycleModel:
         self._decode_with_errors(errors, counter)
         return self._price(counter)
 
-    def _decode_with_errors(self, errors: int, counter: OpCounter):
+    def _decode_with_errors(self, errors: int, counter: OpCounter) -> DecodeResult:
         from repro.bch.encoder import BCHEncoder
 
         code = self.params.bch
@@ -163,6 +185,7 @@ class CycleModel:
             codeword = codeword.copy()
             codeword[positions] ^= 1
         if self.profile == "ise":
+            assert self._bch_decoder is not None
             return self._bch_decoder.decode(codeword, counter)
         if self.profile == "const_bch":
             return self.kem.pke.codec.ct_decoder.decode(codeword, counter)

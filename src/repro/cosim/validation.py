@@ -86,7 +86,9 @@ def validate_modq_kernel(count: int = 64, use_ise: bool = True) -> KernelValidat
     values = rng.integers(0, 1 << 32, count, dtype=np.uint64)
     src, dst = DATA_BASE, DATA_BASE + 4 * count
     source = _MODQ_TEMPLATE.format(
-        src=src, dst=dst, count=count,
+        src=src,
+        dst=dst,
+        count=count,
         setup="" if use_ise else "    li   t2, 251",
         reduce="    pq.modq t1, t0" if use_ise else "    remu t1, t0, t2",
     )
@@ -167,7 +169,8 @@ def validate_mul_ter_kernel(length: int = 512) -> KernelValidation:
     ternary = rng.integers(-1, 2, length).astype(np.int64)
     general = rng.integers(0, 251, length).astype(np.int64)
 
-    rs1_words, rs2_words = [], []
+    rs1_words: list[int] = []
+    rs2_words: list[int] = []
     for base in range(0, length, 5):
         stop = min(base + 5, length)
         rs1, rs2 = PqAlu.pack_mul_ter_input(
@@ -185,9 +188,13 @@ def validate_mul_ter_kernel(length: int = 512) -> KernelValidation:
     out = rs2tab + 4 * transfers
 
     source = _MUL_TER_SOURCE.format(
-        rs1tab=rs1tab, rs2tab=rs2tab, out=out,
-        transfers=transfers, reads=reads,
-        start_ctrl=1 << 28, read_ctrl=2 << 28,
+        rs1tab=rs1tab,
+        rs2tab=rs2tab,
+        out=out,
+        transfers=transfers,
+        reads=reads,
+        start_ctrl=1 << 28,
+        read_ctrl=2 << 28,
     )
     preload = {
         rs1tab: b"".join(w.to_bytes(4, "little") for w in rs1_words),
@@ -266,8 +273,11 @@ def validate_sha256_kernel() -> KernelValidation:
     block = bytes(range(64))
     msg, digest = DATA_BASE, DATA_BASE + 64
     source = _SHA_SOURCE.format(
-        msg=msg, digest=digest,
-        reset_ctrl=3 << 28, hash_ctrl=1 << 28, read_ctrl=2 << 28,
+        msg=msg,
+        digest=digest,
+        reset_ctrl=3 << 28,
+        hash_ctrl=1 << 28,
+        read_ctrl=2 << 28,
     )
     cpu = _run(source, {msg: block})
 
@@ -415,13 +425,13 @@ def validate_chien_kernel(probes: int = 64) -> KernelValidation:
     start = 112
     root_exponents = [120, 150, 160]
     locator = PolyGF.one(GF512)
-    for l in root_exponents:
-        locator = locator * PolyGF(GF512, [1, GF512.inv(GF512.alpha_pow(l))])
+    for exp in root_exponents:
+        locator = locator * PolyGF(GF512, [1, GF512.inv(GF512.alpha_pow(exp))])
     lambdas = locator.coeffs + [0] * (17 - len(locator.coeffs))
 
     unit = ChienUnit()
     groups = 4  # t = 16
-    load_words = []
+    load_words: list[int] = []
     for group in range(groups):
         left, right, _ = unit.group_elements(lambdas, group, start)
         rs1_l, rs2_l = PqAlu.pack_chien_load(left, right=False)
@@ -431,8 +441,11 @@ def validate_chien_kernel(probes: int = 64) -> KernelValidation:
     loadtab = DATA_BASE
     partial = DATA_BASE + 4 * len(load_words)
     source = _CHIEN_SOURCE.format(
-        loadtab=loadtab, partial=partial,
-        groups=groups, probes=probes, step_ctrl=2 << 28,
+        loadtab=loadtab,
+        partial=partial,
+        groups=groups,
+        probes=probes,
+        step_ctrl=2 << 28,
     )
     preload = {
         loadtab: b"".join(w.to_bytes(4, "little") for w in load_words),
@@ -538,8 +551,6 @@ def validate_syndrome_kernel(errors: int = 5) -> KernelValidation:
     subtract in the exponent update (whose count the host computes
     from public quantities only — i and j, never the codeword).
     """
-    import numpy as np
-
     from repro.bch.code import LAC_BCH_128_256
     from repro.bch.ct_decoder import ConstantTimeBCHDecoder
     from repro.bch.encoder import BCHEncoder
@@ -562,8 +573,11 @@ def validate_syndrome_kernel(errors: int = 5) -> KernelValidation:
     synd_base = antilog_base + len(antilog)
 
     source = _SYNDROME_SOURCE.format(
-        word=word_base, antilog=antilog_base, synd=synd_base,
-        nbits=code.n, twot=two_t,
+        word=word_base,
+        antilog=antilog_base,
+        synd=synd_base,
+        nbits=code.n,
+        twot=two_t,
     )
     preload = {
         word_base: bytes(int(b) for b in word),

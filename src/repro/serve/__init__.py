@@ -18,7 +18,11 @@ request path (:mod:`repro.trace`), and
 ``benchmarks/bench_service.py`` for measured end-to-end throughput.
 """
 
-from repro.serve.config import BACKEND_WORKERS_ENV_VAR, ServiceConfig
+from repro.serve.config import (
+    BACKEND_WORKERS_ENV_VAR,
+    CYCLE_PRIORS_ENV_VAR,
+    ServiceConfig,
+)
 from repro.serve.client import (
     AsyncKemClient,
     BadRequest,
@@ -52,10 +56,12 @@ from repro.serve.scheduler import (
 )
 from repro.serve.server import HostedKey, KemService, ThreadedService
 from repro.serve.slo import (
+    DEFAULT_CYCLE_PRIORS_HZ,
     TIER_BATCH,
     TIER_INTERACTIVE,
     TIER_STANDARD,
     Autoscaler,
+    CycleCostEstimator,
     KernelEstimator,
     predicted_miss,
 )
@@ -67,6 +73,9 @@ __all__ = [
     "BACKEND_WORKERS_ENV_VAR",
     "BadRequest",
     "Batch",
+    "CYCLE_PRIORS_ENV_VAR",
+    "CycleCostEstimator",
+    "DEFAULT_CYCLE_PRIORS_HZ",
     "DeadlineExceeded",
     "Frame",
     "HostedKey",

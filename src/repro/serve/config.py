@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 from typing import Mapping
 
 from repro.backend.base import BACKEND_ENV_VAR, resolve_backend_name
+from repro.serve.slo import DEFAULT_CYCLE_PRIORS_HZ
 
 #: Environment variable sizing the backend worker pool (``from_env``).
 BACKEND_WORKERS_ENV_VAR = "REPRO_KEM_BACKEND_WORKERS"
@@ -30,6 +31,10 @@ DEADLINE_ENV_VAR = "REPRO_KEM_DEADLINE_S"
 #: Environment variable enabling the worker autoscaler (``from_env``;
 #: any non-empty value other than ``0``/``false`` turns it on).
 AUTOSCALE_ENV_VAR = "REPRO_KEM_AUTOSCALE"
+
+#: Environment variable naming the cycle-model profile that seeds the
+#: SLO estimator with priors (``from_env``; empty = no priors).
+CYCLE_PRIORS_ENV_VAR = "REPRO_KEM_CYCLE_PRIORS"
 
 
 @dataclass(frozen=True)
@@ -86,7 +91,19 @@ class ServiceConfig:
         bounds of the pool, the evaluation period, the per-worker
         queue-depth thresholds of the hysteresis band, the
         post-resize cooldown and the consecutive-quiet-decisions
-        requirement before shrinking.
+        requirement before shrinking;
+    ``cycle_priors``
+        cycle-model profile (``"ref"``/``"const_bch"``/``"ise"``) that
+        seeds the SLO estimator with predicted per-``(op, parameter
+        set)`` kernel costs before any batch has run
+        (:class:`repro.serve.slo.CycleCostEstimator`); ``None`` (the
+        default) keeps the classic cold-start EWMA.  Works with every
+        backend — the prior describes the modelled core, the EWMA
+        takes over as real observations arrive;
+    ``cycle_priors_hz``
+        the calibrated cycles-per-second figure converting cycle
+        predictions into estimator seconds (see
+        :data:`repro.serve.slo.DEFAULT_CYCLE_PRIORS_HZ`).
     """
 
     max_batch: int = 64
@@ -109,6 +126,8 @@ class ServiceConfig:
     autoscale_down_queue_per_worker: float = 0.5
     autoscale_cooldown_s: float = 2.0
     autoscale_sustain: int = 3
+    cycle_priors: str | None = None
+    cycle_priors_hz: float = DEFAULT_CYCLE_PRIORS_HZ
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -158,6 +177,15 @@ class ServiceConfig:
             raise ValueError("autoscale_cooldown_s must be >= 0")
         if self.autoscale_sustain < 1:
             raise ValueError("autoscale_sustain must be >= 1")
+        if self.cycle_priors_hz <= 0:
+            raise ValueError("cycle_priors_hz must be > 0")
+        if self.cycle_priors is not None:
+            from repro.cosim import PROFILES
+
+            if self.cycle_priors not in PROFILES:
+                raise ValueError(
+                    f"cycle_priors must be one of {PROFILES} or None"
+                )
         # validate eagerly so a typo'd name fails at config time, not
         # at service start (env fallback is deliberately not consulted
         # here — it is resolved when the service starts)
@@ -191,6 +219,8 @@ class ServiceConfig:
                 "0",
                 "false",
             )
+        if env.get(CYCLE_PRIORS_ENV_VAR):
+            kwargs["cycle_priors"] = env[CYCLE_PRIORS_ENV_VAR]
         kwargs.update(overrides)
         return cls(**kwargs)  # type: ignore[arg-type]
 
@@ -203,6 +233,7 @@ def replace_config(config: ServiceConfig, **changes: object) -> ServiceConfig:
 __all__ = [
     "AUTOSCALE_ENV_VAR",
     "BACKEND_WORKERS_ENV_VAR",
+    "CYCLE_PRIORS_ENV_VAR",
     "DEADLINE_ENV_VAR",
     "TRANSFORM_CACHE_ENV_VAR",
     "ServiceConfig",

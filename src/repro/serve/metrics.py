@@ -358,6 +358,30 @@ class ServiceMetrics:
                         f'kem_transform_cache_entries{{backend="{name}"}} '
                         f'{cache["entries"]}',
                     ]
+            cosim = backend.get("cosim")
+            if cosim and cosim.get("cycles"):
+                profile = cosim.get("profile", "unknown")
+                lines += [
+                    "# HELP kem_cosim_cycles_total modelled cycles executed"
+                    " on the simulated ISE core, by op and profile",
+                    "# TYPE kem_cosim_cycles_total counter",
+                    "# HELP kem_cosim_ops_total requests executed on the"
+                    " simulated ISE core, by op and profile",
+                    "# TYPE kem_cosim_ops_total counter",
+                ]
+                for key, record in sorted(cosim["cycles"].items()):
+                    op, params = key.split(":", 1)
+                    labels = (
+                        f'op="{op}",profile="{profile}",params="{params}"'
+                    )
+                    lines.append(
+                        f"kem_cosim_cycles_total{{{labels}}} "
+                        f'{record.get("cycles", 0)}'
+                    )
+                    lines.append(
+                        f"kem_cosim_ops_total{{{labels}}} "
+                        f'{record.get("ops", 0)}'
+                    )
         if snap["stage_us"]:
             lines += [
                 "# HELP kem_stage_seconds request-path time per serving stage",

@@ -103,7 +103,12 @@ from repro.serve.protocol import (
     write_frame,
 )
 from repro.serve.scheduler import AdaptiveDeadlinePolicy, Batch, MicroBatchScheduler
-from repro.serve.slo import Autoscaler, KernelEstimator, predicted_miss
+from repro.serve.slo import (
+    Autoscaler,
+    CycleCostEstimator,
+    KernelEstimator,
+    predicted_miss,
+)
 from repro.trace import NULL_TRACER, Tracer, collect_tags
 
 _Respond = Callable[[Frame], Awaitable[None]]
@@ -272,7 +277,19 @@ class KemService:
             int(config.high_watermark * fraction)
             for fraction in config.tier_watermarks
         )
-        self._estimator = KernelEstimator()
+        # with cycle_priors configured, the estimator starts seeded
+        # from the calibrated cycle model: the first request's
+        # hopeless/predicted-miss decisions already have a per-(op,
+        # param set) cost instead of a cold "no prediction, admit"
+        priors = (
+            CycleCostEstimator(
+                profile=config.cycle_priors,
+                clock_hz=config.cycle_priors_hz,
+            ).priors()
+            if config.cycle_priors is not None
+            else None
+        )
+        self._estimator = KernelEstimator(priors=priors)
         self._autoscaler = Autoscaler(
             min_workers=config.autoscale_min_workers,
             max_workers=config.autoscale_max_workers,
@@ -674,13 +691,16 @@ class KemService:
         # interactive traffic (tier 0 keeps the classic full-queue BUSY)
         limit = self._tier_limits[tier]
         if self._pending >= limit:
+            # count the shed before the response goes out: once the
+            # client sees BUSY the metric must already be observable
+            if limit < self.high_watermark:
+                self.metrics.record_shed("watermark", tier)
             await respond(
                 self._error(
                     frame, Status.BUSY, f"{self._pending} requests pending"
                 )
             )
             if limit < self.high_watermark:
-                self.metrics.record_shed("watermark", tier)
                 self._trace_reject(
                     frame, t_read, Status.BUSY,
                     shed_reason="watermark", tier=tier,
@@ -694,6 +714,9 @@ class KemService:
             # answer BUSY now so the client's retry policy backs off
             estimate = self._estimator.batch_seconds((op.name, frame.param_id))
             if estimate is not None and predicted_miss(0.0, estimate, deadline_s):
+                # count the shed before the response goes out: once the
+                # client sees BUSY the metric must already be observable
+                self.metrics.record_shed("hopeless", tier)
                 await respond(
                     self._error(
                         frame, Status.BUSY,
@@ -701,7 +724,6 @@ class KemService:
                         f"{estimate:.3f}s service time",
                     )
                 )
-                self.metrics.record_shed("hopeless", tier)
                 self._trace_reject(
                     frame, t_read, Status.BUSY,
                     shed_reason="hopeless", tier=tier,
@@ -1183,6 +1205,7 @@ class KemService:
                 "shed_deadlines": self.config.shed_deadlines,
                 "tier_limits": list(self._tier_limits),
                 "autoscale": self.config.autoscale,
+                "cycle_priors": self.config.cycle_priors,
                 "estimator": self._estimator.snapshot(),
             }
             payload = json.dumps(snap).encode()

@@ -1,8 +1,8 @@
 """Backend conformance suite: every :class:`repro.backend.KemBackend`
 implementation must be bit-identical to the scalar :class:`LacKem`.
 
-The suite runs the same contract checks over the inline, thread and
-process backends — encaps/decaps/keygen parity (including implicit
+The suite runs the same contract checks over the inline, thread,
+process and cosim backends — encaps/decaps/keygen parity (including implicit
 rejection of tampered ciphertexts), degenerate batch sizes, the
 ``wrapper`` execution hook, ``close()`` idempotence and the stats
 counters — then covers the registry (name/env selection), the process
@@ -22,7 +22,9 @@ import pytest
 from repro.backend import (
     BACKEND_ENV_VAR,
     BACKEND_NAMES,
+    COSIM_PROFILE_ENV_VAR,
     DEFAULT_BACKEND,
+    CosimBackend,
     InlineBackend,
     KemBackend,
     ProcessBackend,
@@ -36,7 +38,13 @@ from repro.faults.plan import KIND_CRASH, SITE_BACKEND, FaultPlan, FaultSpec
 from repro.lac.kem import LacKem
 from repro.lac.params import ALL_PARAMS, LAC_128
 from repro.lac.pke import Ciphertext
-from repro.serve import AsyncKemClient, KemService, ServiceConfig
+from repro.serve import (
+    AsyncKemClient,
+    KemClient,
+    KemService,
+    ServiceConfig,
+    ThreadedService,
+)
 
 SEED = bytes(range(64))
 
@@ -49,10 +57,20 @@ def process_backend():
     backend.close()
 
 
-@pytest.fixture(params=["inline", "thread", "process"])
-def backend(request, process_backend):
+@pytest.fixture(scope="module")
+def cosim_backend():
+    backend = CosimBackend()
+    yield backend  # module-scoped: the cycle models are built once
+    backend.close()
+
+
+@pytest.fixture(params=["inline", "thread", "process", "cosim"])
+def backend(request, process_backend, cosim_backend):
     if request.param == "process":
         yield process_backend  # module-scoped: spawn cost paid once
+        return
+    if request.param == "cosim":
+        yield cosim_backend
         return
     impl: KemBackend = (
         InlineBackend() if request.param == "inline" else ThreadBackend(workers=2)
@@ -185,7 +203,11 @@ class TestConformance:
 
 
 class TestLifecycle:
-    @pytest.mark.parametrize("make", [InlineBackend, lambda: ThreadBackend(workers=1)])
+    @pytest.mark.parametrize(
+        "make",
+        [InlineBackend, lambda: ThreadBackend(workers=1), CosimBackend],
+        ids=["inline", "thread", "cosim"],
+    )
     def test_close_is_idempotent_and_rejects_new_work(self, make, scalar):
         _, pair = scalar
         backend = make()
@@ -208,11 +230,19 @@ class TestLifecycle:
         backend = ThreadBackend(workers=1)
         assert backend.kill_worker() is False
         backend.close()
+        cosim = CosimBackend()
+        assert cosim.kill_worker() is False  # the simulated core never dies
+        cosim.close()
+
+    def test_cosim_opts_out_of_autoscaling(self):
+        backend = CosimBackend()
+        assert backend.workers is None  # one simulated core, not a pool
+        backend.close()
 
 
 class TestRegistry:
     def test_backend_names(self):
-        assert BACKEND_NAMES == ("inline", "thread", "process")
+        assert BACKEND_NAMES == ("inline", "thread", "process", "cosim")
         assert DEFAULT_BACKEND in BACKEND_NAMES
 
     def test_resolve_explicit_beats_env(self, monkeypatch):
@@ -239,6 +269,22 @@ class TestRegistry:
         sized.close()
         with pytest.raises(ValueError):
             create_backend("thread", workers=0)
+
+    def test_create_backend_cosim_resolves_profile(self, monkeypatch):
+        monkeypatch.delenv(COSIM_PROFILE_ENV_VAR, raising=False)
+        backend = create_backend("cosim")
+        assert isinstance(backend, CosimBackend)
+        assert backend.profile == "ise"
+        backend.close()
+        monkeypatch.setenv(COSIM_PROFILE_ENV_VAR, "ref")
+        from_env = create_backend("cosim")
+        assert from_env.profile == "ref"
+        from_env.close()
+        explicit = CosimBackend(profile="const_bch")
+        assert explicit.profile == "const_bch"
+        explicit.close()
+        with pytest.raises(ValueError, match="cosim profile"):
+            CosimBackend(profile="fpga")
 
     def test_plain_thread_request_shares_the_default_backend(self):
         first = create_backend("thread")
@@ -409,3 +455,28 @@ class TestProcessServiceParity:
             await svc.shutdown()
 
         asyncio.run(asyncio.wait_for(main(), 60.0))
+
+
+class TestCosimServiceParity:
+    """Acceptance: ``ServiceConfig(backend="cosim")`` serves every
+    parameter set bit-identical to the scalar KEM through the full
+    protocol path (the scalar itself is pinned by the frozen vectors in
+    ``tests/test_known_answers.py``)."""
+
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=lambda p: p.name)
+    def test_all_param_sets_roundtrip(self, params):
+        kem = LacKem(params)
+        pair = kem.keygen(SEED)
+        message = bytes(range(params.message_bytes))
+        reference = kem.encaps(pair.public_key, message=message)
+        with ThreadedService(
+            ServiceConfig(max_batch=4, backend="cosim")
+        ) as svc:
+            client = KemClient(svc.connect())
+            key_id, pk = client.keygen(params, SEED)
+            assert pk.to_bytes() == pair.public_key.to_bytes()
+            ct_bytes, shared = client.encaps(key_id, message)
+            assert ct_bytes == reference.ciphertext.to_bytes()
+            assert shared == reference.shared_secret
+            assert client.decaps(key_id, ct_bytes) == shared
+            client.close()

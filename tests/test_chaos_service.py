@@ -89,7 +89,12 @@ class Reference:
         return result.ciphertext.to_bytes(), result.shared_secret
 
 
-async def chaos_client(svc: KemService, index: int, outcomes: list[str]) -> None:
+async def chaos_client(
+    svc: KemService,
+    index: int,
+    outcomes: list[str],
+    ops: int = OPS_PER_CLIENT,
+) -> None:
     """One client's workload: keygen, then encaps/decaps round trips.
 
     Every completed result is checked bit-for-bit against the scalar
@@ -106,7 +111,7 @@ async def chaos_client(svc: KemService, index: int, outcomes: list[str]) -> None
             outcomes.append("keygen-failed")
             return
         assert pk.to_bytes() == reference.pair.public_key.to_bytes()
-        for op in range(OPS_PER_CLIENT):
+        for op in range(ops):
             want_ct, want_ss = reference.expect(index, op)
             try:
                 ct_bytes, shared = await client.encaps(
@@ -171,6 +176,51 @@ def test_chaos_storm_async(seed):
     outcomes = asyncio.run(asyncio.wait_for(main(), RUN_DEADLINE_S))
     # at least one op per client reached a terminal outcome
     assert len(outcomes) >= CLIENTS
+
+
+@pytest.mark.timing
+@pytest.mark.parametrize("seed", CHAOS_SEEDS[:1])
+def test_chaos_storm_on_the_cosim_backend(seed):
+    """The same storm served by the simulated ISE core (smaller dose
+    and workload: the core executes requests serially, one modelled
+    cycle count at a time).  The ``backend:crash`` fault site is a
+    counted no-op on this backend — there is no worker process to kill
+    (``CosimBackend.kill_worker()`` is ``False``) — so a fired crash
+    must land in the fault ledger without surfacing as an untyped
+    failure or costing a request."""
+
+    clients, ops = 2, 3
+
+    async def main():
+        plan = random_plan(seed, intensity=0.10)
+        svc = await KemService(
+            ServiceConfig(backend="cosim", max_batch=4, request_timeout=5.0),
+            fault_plan=plan,
+        ).start()
+        outcomes: list[str] = []
+        await asyncio.gather(
+            *[chaos_client(svc, i, outcomes, ops=ops) for i in range(clients)]
+        )
+
+        survivor = AsyncKemClient(
+            *(await svc.connect()), retry=CHAOS_RETRY, reconnect=svc.connect
+        )
+        snap = await survivor.info()
+        assert snap["service"]["backend"] == "cosim"
+        await survivor.aclose()
+        await svc.shutdown()
+
+        assert outcomes.count("roundtrip-ok") > 0
+        fired = {
+            f"{site}:{kind}": count
+            for (site, kind), count in sorted(plan.fired.items())
+        }
+        assert svc.metrics.snapshot()["faults"] == fired
+        assert sum(fired.values()) == plan.total_fired()
+        return outcomes
+
+    outcomes = asyncio.run(asyncio.wait_for(main(), RUN_DEADLINE_S))
+    assert len(outcomes) >= clients
 
 
 @pytest.mark.parametrize("seed", CHAOS_SEEDS[:1])

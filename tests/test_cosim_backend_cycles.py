@@ -1,0 +1,230 @@
+"""Golden cycle regressions for the cosim backend and its SLO priors.
+
+Three claims are pinned here with **exact equality** (cycles are
+modelled, not timed — there is no tolerance to hide behind):
+
+1. a request served through :class:`repro.backend.CosimBackend` with
+   the deterministic KAT inputs costs exactly what the offline
+   :class:`repro.cosim.CycleModel` predicts for the same inputs
+   (Table II), for both the reference and the ISE profiles — the
+   serving layer adds protocol machinery but not a single modelled
+   cycle;
+2. the BCH *decode phases* of the ISE profile (Table I's columns) are
+   constant-schedule: two decapsulations of different ciphertexts
+   price every decode phase identically;
+3. the cycle-model priors close the estimator's cold-start window:
+   the very first request is predicted (and, when hopeless, shed)
+   before any batch has ever run.
+"""
+
+import pytest
+
+from repro.backend import CosimBackend
+from repro.backend.cosim import model_cycles
+from repro.cosim.costs import ISE_COSTS, price_phases
+from repro.lac.params import ALL_PARAMS, LAC_128
+from repro.serve import (
+    CycleCostEstimator,
+    KemClient,
+    KernelEstimator,
+    ServiceBusy,
+    ServiceConfig,
+    ThreadedService,
+    predicted_miss,
+)
+from repro.serve.protocol import id_for_params
+
+SEED = bytes(range(64))
+MESSAGE = bytes(range(32))  # == the cycle model's seed[:32]
+
+#: the constant-schedule phases of the ISE decoder (Table I's columns)
+DECODE_PHASES = ("syndrome", "error_locator", "chien")
+
+
+def _serve_kat(backend, params):
+    """keygen(SEED) -> encaps(MESSAGE) -> decaps on the backend itself."""
+    (pair,) = backend.submit_keygen(params, [SEED]).result()
+    (enc,) = backend.submit_encaps(
+        params, pair.public_key, [MESSAGE]
+    ).result()
+    (shared,) = backend.submit_decaps(
+        params, pair.secret_key, [enc.ciphertext]
+    ).result()
+    assert shared == enc.shared_secret
+    return pair, enc
+
+
+class TestGoldenCycles:
+    """Served cycles == offline model predictions, exactly."""
+
+    @pytest.mark.parametrize("profile", ["ref", "ise"])
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=lambda p: p.name)
+    def test_served_cycles_equal_offline_prediction(self, params, profile):
+        predicted = model_cycles(params, profile)
+        backend = CosimBackend(profile=profile)
+        try:
+            _serve_kat(backend, params)
+            tallies = backend.cycle_tallies()
+        finally:
+            backend.close()
+        served = {
+            op: tallies[f"{op}:{params.name}"]["last_cycles"]
+            for op in ("KEYGEN", "ENCAPS", "DECAPS")
+        }
+        assert served["KEYGEN"] == predicted.key_generation
+        assert served["ENCAPS"] == predicted.encapsulation
+        assert served["DECAPS"] == predicted.decapsulation
+
+    def test_tallies_accumulate_and_stats_surface_them(self):
+        backend = CosimBackend()
+        try:
+            _serve_kat(backend, LAC_128)
+            _serve_kat(backend, LAC_128)
+            tallies = backend.cycle_tallies()
+            stats = backend.stats()
+        finally:
+            backend.close()
+        predicted = model_cycles(LAC_128, "ise")
+        record = tallies["KEYGEN:LAC-128"]
+        assert record["ops"] == 2
+        assert record["last_cycles"] == predicted.key_generation
+        assert record["cycles"] == 2 * predicted.key_generation
+        assert stats["cosim"]["profile"] == "ise"
+        assert stats["cosim"]["cycles"] == tallies
+
+    def test_service_metrics_pin_the_cycle_counts(self):
+        """Through the full protocol path, the exported metrics carry
+        the exact Table II numbers."""
+        predicted = model_cycles(LAC_128, "ise")
+        backend = CosimBackend()
+        with ThreadedService(
+            ServiceConfig(max_batch=4), backend=backend
+        ) as svc:
+            client = KemClient(svc.connect())
+            key_id, _pk = client.keygen(LAC_128, SEED)
+            ct_bytes, shared = client.encaps(key_id, MESSAGE)
+            assert client.decaps(key_id, ct_bytes) == shared
+            client.close()
+            text = svc.service.metrics.render_text()
+        backend.close()
+        for op, cycles in (
+            ("KEYGEN", predicted.key_generation),
+            ("ENCAPS", predicted.encapsulation),
+            ("DECAPS", predicted.decapsulation),
+        ):
+            label = f'op="{op}",profile="ise",params="LAC-128"'
+            assert f"kem_cosim_cycles_total{{{label}}} {cycles}" in text
+            assert f"kem_cosim_ops_total{{{label}}} 1" in text
+
+
+class TestConstantSchedule:
+    """Table I: the ISE decode phases cost the same for any input."""
+
+    def test_decode_phases_identical_across_ciphertexts(self):
+        backend = CosimBackend(profile="ise")
+        try:
+            (pair,) = backend.submit_keygen(LAC_128, [SEED]).result()
+            phase_prices = []
+            for message in (MESSAGE, bytes(32), b"\xff" * 32):
+                (enc,) = backend.submit_encaps(
+                    LAC_128, pair.public_key, [message]
+                ).result()
+                backend.submit_decaps(
+                    LAC_128, pair.secret_key, [enc.ciphertext]
+                ).result()
+                counter = backend.last_counter("DECAPS", LAC_128)
+                assert counter is not None
+                phase_prices.append(price_phases(counter, ISE_COSTS))
+        finally:
+            backend.close()
+        first = phase_prices[0]
+        present = [p for p in DECODE_PHASES if p in first]
+        assert present, f"no decode phases recorded (have {sorted(first)})"
+        for other in phase_prices[1:]:
+            for phase in present:
+                assert other[phase] == first[phase], phase
+
+
+class TestCyclePriors:
+    """Layer 2: the cycle model seeds the SLO estimator."""
+
+    def test_estimator_prior_stands_in_until_observed(self):
+        key = ("ENCAPS", 0)
+        estimator = KernelEstimator(priors={key: 0.5})
+        # before any observation the prior is the estimate...
+        assert estimator.batch_seconds(key) == 0.5
+        assert estimator.op_seconds(key) == 0.5
+        # ...an unknown key has neither prior nor global fallback...
+        assert estimator.batch_seconds(("DECAPS", 0)) is None
+        # ...a real observation immediately shadows the prior...
+        estimator.observe(key, 2.0, ops=1)
+        assert estimator.batch_seconds(key) == 2.0
+        # ...and a prior still beats the cross-key global EWMA
+        other = ("KEYGEN", 0)
+        estimator2 = KernelEstimator(priors={other: 0.25})
+        estimator2.observe(("ENCAPS", 1), 8.0, ops=1)
+        assert estimator2.batch_seconds(other) == 0.25
+        assert estimator2.batch_seconds(("DECAPS", 1)) == 8.0  # global
+
+    def test_cycle_cost_estimator_matches_the_model(self):
+        predicted = model_cycles(LAC_128, "ise")
+        estimator = CycleCostEstimator(profile="ise", clock_hz=1_000_000.0)
+        assert estimator.op_cycles(LAC_128, "KEYGEN") == predicted.key_generation
+        assert estimator.op_seconds(LAC_128, "DECAPS") == (
+            predicted.decapsulation / 1_000_000.0
+        )
+        priors = estimator.priors([LAC_128])
+        param_id = id_for_params(LAC_128)
+        assert set(priors) == {
+            ("KEYGEN", param_id),
+            ("ENCAPS", param_id),
+            ("DECAPS", param_id),
+        }
+        assert priors[("ENCAPS", param_id)] == (
+            predicted.encapsulation / 1_000_000.0
+        )
+        with pytest.raises(KeyError):
+            estimator.op_cycles(LAC_128, "INFO")
+        with pytest.raises(ValueError):
+            CycleCostEstimator(profile="fpga")
+        with pytest.raises(ValueError):
+            CycleCostEstimator(clock_hz=0.0)
+
+    def test_no_cold_start_mispredict_window(self):
+        """The fake-clock shedding rule, driven by a prior: at queue
+        wait zero — the very first request — the prediction already
+        sheds a hopeless deadline and admits a feasible one."""
+        estimator = KernelEstimator(
+            priors=CycleCostEstimator(
+                profile="ise", clock_hz=1_000_000.0
+            ).priors([LAC_128])
+        )
+        key = ("KEYGEN", id_for_params(LAC_128))
+        estimate = estimator.batch_seconds(key)
+        assert estimate is not None  # predicted before any batch ran
+        assert predicted_miss(0.0, estimate, estimate / 2) is True
+        assert predicted_miss(0.0, estimate, estimate * 2) is False
+        # without priors, the same cold request is admitted on no
+        # prediction — the window the priors exist to close
+        assert KernelEstimator().batch_seconds(key) is None
+        assert predicted_miss(0.0, None, estimate / 2) is False
+
+    def test_first_request_is_shed_hopeless_through_the_service(self):
+        """End to end: a service seeded with cycle priors at a 1 Hz
+        calibrated clock predicts every request to take ~1e5..1e6
+        seconds, so the very first request is shed BUSY — no
+        cold-start free pass."""
+        config = ServiceConfig(
+            backend="inline",
+            cycle_priors="ise",
+            cycle_priors_hz=1.0,
+            default_deadline_s=0.05,
+            shed_deadlines=True,
+        )
+        with ThreadedService(config) as svc:
+            client = KemClient(svc.connect())
+            with pytest.raises(ServiceBusy, match="below expected"):
+                client.keygen(LAC_128, SEED)
+            client.close()
+            sheds = svc.service.metrics.snapshot()["sheds"]
+        assert sheds.get("hopeless:0") == 1

@@ -10,7 +10,9 @@ families the paper accelerates:
 * BCH encode -> inject up to t errors -> constant-time decode
   roundtrips for both LAC codes;
 * the two-level splitting (Algorithms 1-2) against direct length-1024
-  multiplication.
+  multiplication;
+* the annotated ISE drivers (MUL TER, MUL CHIEN) against the
+  vectorized kernels — the cosim backend's bit-identity seam.
 
 The sweep is CI-shaped: ``max_examples`` is capped (override with the
 ``REPRO_PROPERTY_MAX_EXAMPLES`` env var), every strategy draws plain
@@ -27,6 +29,7 @@ from hypothesis import strategies as st
 
 from repro.bch.code import LAC_BCH_128_256, LAC_BCH_192
 from repro.bch.ct_decoder import ConstantTimeBCHDecoder
+from repro.cosim import IseBchDecoder, IseMultiplier
 from repro.gf.field import GF512
 from repro.ring.poly import PolyRing
 from repro.ring.splitting import UNIT_LEN, split_mul_high, split_mul_low
@@ -212,3 +215,65 @@ class TestBCHRoundtrip:
         assert result.success
         assert result.errors_found == 0
         assert np.array_equal(result.codeword, word)
+
+
+def _ternary_operands(
+    ring: PolyRing, seed: int
+) -> tuple[TernaryPoly, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    ternary = TernaryPoly(rng.integers(-1, 2, ring.n).astype(np.int8))
+    return ternary, ring.random(rng)
+
+
+class TestIseDriverDifferential:
+    """The annotated ISE drivers are the same functions as the
+    vectorized kernels — the cosim backend's bit-identity claim,
+    checked at the kernel seam under random inputs."""
+
+    @given(seed=seeds, negacyclic=st.booleans())
+    @SLOW_SWEEP
+    def test_mul_ter_unit_matches_ring_mul_512(self, seed, negacyclic):
+        ring = PolyRing(UNIT_LEN, negacyclic=negacyclic)
+        ternary, general = _ternary_operands(ring, seed)
+        got = IseMultiplier()(ring, ternary, general)
+        expected = ring.mul(
+            np.mod(ternary.coeffs.astype(np.int64), ring.q), general
+        )
+        assert np.array_equal(got, expected)
+
+    @given(seed=seeds)
+    @SLOW_SWEEP
+    def test_mul_ter_split_path_matches_ring_mul_1024(self, seed):
+        # LAC-192/256's n = 1024: the driver takes Algorithms 1-2
+        # through two length-512 unit transactions
+        ring = PolyRing(2 * UNIT_LEN)
+        ternary, general = _ternary_operands(ring, seed)
+        got = IseMultiplier()(ring, ternary, general)
+        expected = ring.mul(
+            np.mod(ternary.coeffs.astype(np.int64), ring.q), general
+        )
+        assert np.array_equal(got, expected)
+
+    @given(seed=seeds, n_errors=st.integers(min_value=0, max_value=16))
+    @SLOW_SWEEP
+    def test_mul_chien_decoder_matches_software_t16(self, seed, n_errors):
+        self._chien_differential(LAC_BCH_128_256, seed, n_errors)
+
+    @given(seed=seeds, n_errors=st.integers(min_value=0, max_value=8))
+    @SWEEP
+    def test_mul_chien_decoder_matches_software_t8(self, seed, n_errors):
+        self._chien_differential(LAC_BCH_192, seed, n_errors)
+
+    @staticmethod
+    def _chien_differential(code, seed, n_errors):
+        # the accelerated Chien search only sweeps the message window
+        # (all the KEM ever reads), so correctable errors live there
+        message, codeword, word = make_word(
+            code, n_errors, seed=seed, error_region=(code.parity_bits, code.n)
+        )
+        ise = IseBchDecoder(code).decode(word)
+        software = ConstantTimeBCHDecoder(code).decode(word)
+        assert ise.success == software.success
+        assert ise.errors_found == software.errors_found == n_errors
+        assert np.array_equal(ise.message, software.message)
+        assert np.array_equal(ise.message, message)
