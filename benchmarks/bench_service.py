@@ -22,13 +22,21 @@ the service — ``thread`` (the default pool), ``process`` (the
 supervised multi-process pool) or ``both`` (the default: one row per
 backend, the thread-vs-process comparison of ``docs/PERFORMANCE.md``).
 
+``--scheme`` picks which registered KEM families to measure —
+``lac`` (the default, and the only one the speedup floor binds),
+``newhope`` (the sequential-Python reference scheme served through the
+generic registry path) or ``all``.  NewHope rows run with reduced
+request counts (its pure-Python CCA transform is ~30-50 ms/op) and
+carry a ``scheme`` field; the floors never bind them.
+
 ``--smoke`` keeps the 64-way concurrency (the speedup depends on it)
 but trims request counts and parameter sets so the job finishes in
 seconds.  ``--baseline BENCH_service.json`` additionally fails if the
 measured served throughput drops more than 30% below the committed
-numbers for any common (parameter set, backend) pair — the CI
-regression gate.  Baselines written before the backend axis existed
-are treated as thread-backend numbers.
+numbers for any common (scheme, parameter set, backend) triple — the
+CI regression gate.  Baselines written before the backend axis existed
+are treated as thread-backend numbers; rows written before the scheme
+axis existed are treated as LAC numbers.
 
 See ``docs/SERVICE.md`` for the architecture being measured.
 """
@@ -37,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import secrets
 import time
 from pathlib import Path
 
@@ -44,6 +53,8 @@ from _report import finalize, load_baseline, platform_fields
 
 from repro.lac.kem import LacKem
 from repro.lac.params import ALL_PARAMS, LAC_256
+from repro.newhope.params import NEWHOPE_512, NEWHOPE_1024
+from repro.schemes import resolve
 from repro.serve import AsyncKemClient, KemService, ServiceConfig
 
 #: acceptance floor: served throughput under 64 concurrent clients
@@ -57,15 +68,36 @@ MIN_SERVICE_SPEEDUP = 5.0
 #: of the committed numbers
 BASELINE_FLOOR = 0.70
 
+#: per-scheme parameter sets: (full sweep, smoke subset)
+SCHEME_PARAM_SETS = {
+    "lac": (tuple(ALL_PARAMS), (LAC_256,)),
+    "newhope": ((NEWHOPE_512, NEWHOPE_1024), (NEWHOPE_512,)),
+}
+
+#: non-LAC schemes run their pure-Python reference transform per op
+#: (~30-50 ms each), so their rows use ``requests // NON_LAC_DIVISOR``
+#: requests per client to keep the sweep bounded
+NON_LAC_DIVISOR = 8
+
 
 def bench_sequential(params, ops: int) -> float:
     """Sequential single-shot scalar encaps throughput (ops/s)."""
-    kem = LacKem(params)
-    pair = kem.keygen(b"\x2a" * (params.seed_bytes + 32))
-    kem.encaps(pair.public_key)  # warm caches outside the timed window
+    scheme, params = resolve(params)
+    if scheme.name == "lac":
+        kem = LacKem(params)
+        pair = kem.keygen(b"\x2a" * (params.seed_bytes + 32))
+        kem.encaps(pair.public_key)  # warm caches outside the timed window
+        start = time.perf_counter()
+        for _ in range(ops):
+            kem.encaps(pair.public_key)
+        return ops / (time.perf_counter() - start)
+    # generic registry path: the same encaps_one the service dispatches
+    pair = scheme.keygen(params, bytes(range(scheme.seed_len(params))))
+    message_bytes = scheme.message_bytes(params)
+    scheme.encaps_one(params, pair, secrets.token_bytes(message_bytes))
     start = time.perf_counter()
     for _ in range(ops):
-        kem.encaps(pair.public_key)
+        scheme.encaps_one(params, pair, secrets.token_bytes(message_bytes))
     return ops / (time.perf_counter() - start)
 
 
@@ -165,29 +197,41 @@ def run(
     baseline: Path | None,
     gate: bool = True,
     backends: tuple[str, ...] = ("thread", "process"),
+    schemes: tuple[str, ...] = ("lac",),
 ) -> dict:
-    """Measure every (parameter set, backend), write the report, gate.
+    """Measure every (scheme, parameter set, backend), write, gate.
 
     With ``gate=False`` (the ``--no-baseline`` escape hatch) the report
     is still written but no floor — speedup or baseline — is enforced:
     chaos/fault-injection CI runs share the machine with the service
     under test and must not be perf-gated.
     """
-    param_sets = (LAC_256,) if smoke else ALL_PARAMS
     rows = []
-    for params in param_sets:
-        sequential = bench_sequential(params, seq_ops)
-        for backend in backends:
-            row = asyncio.run(
-                bench_service(
-                    params, clients, requests, max_batch, max_wait_us,
-                    backend=backend,
+    for scheme_name in schemes:
+        full, smoke_subset = SCHEME_PARAM_SETS[scheme_name]
+        param_sets = smoke_subset if smoke else full
+        scheme_requests = (
+            requests if scheme_name == "lac"
+            else max(1, requests // NON_LAC_DIVISOR)
+        )
+        scheme_seq_ops = (
+            seq_ops if scheme_name == "lac"
+            else max(4, seq_ops // NON_LAC_DIVISOR)
+        )
+        for params in param_sets:
+            sequential = bench_sequential(params, scheme_seq_ops)
+            for backend in backends:
+                row = asyncio.run(
+                    bench_service(
+                        params, clients, scheme_requests, max_batch,
+                        max_wait_us, backend=backend,
+                    )
                 )
-            )
-            row["backend"] = backend
-            row["sequential_ops_per_s"] = sequential
-            row["speedup"] = row["service_ops_per_s"] / sequential
-            rows.append(row)
+                row["scheme"] = scheme_name
+                row["backend"] = backend
+                row["sequential_ops_per_s"] = sequential
+                row["speedup"] = row["service_ops_per_s"] / sequential
+                rows.append(row)
 
     # the thread-vs-process comparison of docs/PERFORMANCE.md, made
     # explicit per parameter set (None when only one backend measured)
@@ -208,18 +252,19 @@ def run(
         "max_batch": max_batch,
         "max_wait_us": max_wait_us,
         "backends": list(backends),
+        "schemes": list(schemes),
         **platform_fields(),
         "service": rows,
     }
 
     print(
-        f"{'set':8} {'backend':>8} {'sequential':>12} {'served':>12} "
+        f"{'set':12} {'backend':>8} {'sequential':>12} {'served':>12} "
         f"{'speedup':>8} {'mean batch':>11} {'p99 (us)':>9} {'cache':>6}"
     )
     for row in rows:
         hit_rate = row.get("cache_hit_rate")
         print(
-            f"{row['params']:8} {row['backend']:>8} "
+            f"{row['params']:12} {row['backend']:>8} "
             f"{row['sequential_ops_per_s']:6.0f} ops/s "
             f"{row['service_ops_per_s']:6.0f} ops/s {row['speedup']:7.1f}x "
             f"{row['mean_batch_size']:10.1f} {row['latency_p99_us']:9.0f} "
@@ -228,7 +273,9 @@ def run(
 
     failures = []
     for row in rows if gate else []:
-        # the speedup floor binds the default (thread) backend only
+        # the speedup floor binds LAC on the default (thread) backend
+        # only; non-LAC schemes run the sequential reference transform
+        # and are measured, never floor-gated
         if (
             row["params"] == LAC_256.name
             and row["backend"] == "thread"
@@ -241,11 +288,15 @@ def run(
     baseline_report = load_baseline(baseline) if gate else None
     if baseline_report is not None:
         committed = {
-            (row["params"], row.get("backend", "thread")): row
+            (
+                row.get("scheme", "lac"),
+                row["params"],
+                row.get("backend", "thread"),
+            ): row
             for row in baseline_report["service"]
         }
         for row in rows:
-            old = committed.get((row["params"], row["backend"]))
+            old = committed.get((row["scheme"], row["params"], row["backend"]))
             if old is None:
                 continue
             floor = BASELINE_FLOOR * old["service_ops_per_s"]
@@ -275,8 +326,12 @@ def main() -> None:
     parser.add_argument("--backend", choices=("thread", "process", "both"),
                         default="both",
                         help="execution backend(s) to measure (default both)")
+    parser.add_argument("--scheme", choices=("lac", "newhope", "all"),
+                        default="lac",
+                        help="KEM scheme(s) to measure (default lac)")
     parser.add_argument("--smoke", action="store_true",
-                        help="quick CI mode: LAC-256 only, fewer requests")
+                        help="quick CI mode: one parameter set per "
+                             "scheme, fewer requests")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="committed BENCH_service.json to regression-check against")
     parser.add_argument("--no-baseline", action="store_true",
@@ -291,12 +346,16 @@ def main() -> None:
     backends = (
         ("thread", "process") if args.backend == "both" else (args.backend,)
     )
+    schemes = (
+        ("lac", "newhope") if args.scheme == "all" else (args.scheme,)
+    )
     run(
         args.clients, requests, seq_ops, args.max_batch, args.max_wait_us,
         args.smoke, args.output,
         None if args.no_baseline else args.baseline,
         gate=not args.no_baseline,
         backends=backends,
+        schemes=schemes,
     )
 
 

@@ -8,11 +8,23 @@ unified error hierarchy::
 
     from repro.api import (
         LAC_128, LacKem,                       # the KEM itself
+        resolve, ParamId, KemScheme,           # the scheme registry
         ServiceConfig, ThreadedService,        # serving
+        TenantQuota,                           # multi-tenancy
         KemClient, RetryPolicy,                # clients
         create_backend, ProcessBackend,        # execution backends
         KemError,                              # catch-all error base
     )
+
+Key registration and dispatch are scheme-aware: anywhere the stack
+accepts a parameter spec (``ThreadedService.add_keypair``, client
+``keygen``/``encaps``/``decaps``, ``resolve`` itself), a ``ParamId``
+such as ``ParamId("newhope", "newhope1024")``, a registered params
+object (``LAC_128``, ``NEWHOPE_1024``), a bare name (``"lac-256"``)
+or a wire id all work.  Bare ``LacParams`` values keep working
+unchanged — they resolve to the registered LAC scheme — and the old
+LAC-only protocol helpers (``id_for_params``/``params_for_id``) remain
+importable as ``DeprecationWarning`` shims.
 
 Everything re-exported here is covered by the deprecation policy in
 ``docs/SERVICE.md``: names stay importable from this module across
@@ -57,6 +69,7 @@ from repro.errors import (
     ServiceClosed,
     ServiceDraining,
     ServiceError,
+    UnsupportedScheme,
     WorkerCrashed,
 )
 from repro.faults import FaultPlan, FaultSpec, random_plan
@@ -74,12 +87,26 @@ from repro.lac import (
     PublicKey,
 )
 from repro.lac.kem import EncapsResult
+from repro.newhope import NEWHOPE_512, NEWHOPE_1024, NewHopeParams
+from repro.schemes import (
+    LAC_SCHEME,
+    NEWHOPE_SCHEME,
+    KemScheme,
+    ParamId,
+    SchemeId,
+    all_schemes,
+    resolve,
+    scheme_for,
+    wire_id_for_params,
+)
 from repro.serve import (
+    DEFAULT_TENANT,
     AsyncKemClient,
     KemClient,
     KemService,
     RetryPolicy,
     ServiceConfig,
+    TenantQuota,
     ThreadedService,
 )
 from repro.trace import NULL_TRACER, Tracer, stage_breakdown
@@ -98,6 +125,19 @@ __all__ = [
     "LacParams",
     "LacPke",
     "PublicKey",
+    # the scheme registry
+    "KemScheme",
+    "LAC_SCHEME",
+    "NEWHOPE_1024",
+    "NEWHOPE_512",
+    "NEWHOPE_SCHEME",
+    "NewHopeParams",
+    "ParamId",
+    "SchemeId",
+    "all_schemes",
+    "resolve",
+    "scheme_for",
+    "wire_id_for_params",
     # execution backends
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
@@ -112,10 +152,12 @@ __all__ = [
     "resolve_backend_name",
     # serving
     "AsyncKemClient",
+    "DEFAULT_TENANT",
     "KemClient",
     "KemService",
     "RetryPolicy",
     "ServiceConfig",
+    "TenantQuota",
     "ThreadedService",
     # clustering
     "ClusterClient",
@@ -144,5 +186,6 @@ __all__ = [
     "ServiceClosed",
     "ServiceDraining",
     "ServiceError",
+    "UnsupportedScheme",
     "WorkerCrashed",
 ]

@@ -151,6 +151,69 @@ class KemBackend(ABC):
         """Generate a single key pair synchronously (convenience)."""
         return self.submit_keygen(params, [seed]).result()[0]
 
+    # ------------------------------------------------------------------
+    # the scheme seam (generic, non-LAC execution)
+    # ------------------------------------------------------------------
+
+    def supports_scheme(self, scheme: Any) -> bool:
+        """Whether this backend can faithfully execute ``scheme``.
+
+        The default is permissive: generic work routed through
+        :meth:`submit_task` runs any registered
+        :class:`repro.schemes.KemScheme`.  Backends whose results
+        carry model-derived semantics beyond the bytes (the cosim
+        backend's cycle tallies) override this to decline schemes
+        their model does not cover.
+        """
+        return True
+
+    def register_scheme_key(self, scheme: Any, params: Any, pair: Any) -> list[bytes]:
+        """Scheme-aware twin of :meth:`register_key`.
+
+        Raises :class:`repro.errors.UnsupportedScheme` when
+        :meth:`supports_scheme` declines — at *registration*, so a
+        misconfigured deployment fails before any traffic does.  LAC
+        pairs take the historical cache-warming path; other schemes
+        currently have no backend-side cache and return no
+        fingerprints.
+        """
+        if not self.supports_scheme(scheme):
+            from repro.errors import UnsupportedScheme
+
+            raise UnsupportedScheme(
+                f"backend {self.name!r} does not support scheme {scheme.name!r}"
+            )
+        if isinstance(params, LacParams):
+            return self.register_key(params, pair.public_key, pair.secret_key)
+        return []
+
+    def submit_task(
+        self,
+        fn: Callable[[], Any],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[Any]:
+        """Run an arbitrary kernel closure in this backend's context.
+
+        The generic execution hook for non-LAC schemes: the serving
+        layer submits ``scheme.encaps_many``/``decaps_many`` closures
+        here, keeping the typed LAC fast path untouched.  The base
+        implementation runs inline in the caller's thread (correct for
+        every backend, concurrent for none); pool backends override it
+        to use their workers.  Process pools keep the inline default —
+        ad-hoc closures are not picklable, and the numpy kernels the
+        closures wrap release the GIL anyway.
+        """
+        self._check_open()
+        future: Future[Any] = Future()
+        if not future.set_running_or_notify_cancel():  # pragma: no cover
+            return future
+        try:
+            future.set_result(self._tracked(wrapper, fn))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
     def warmup(self, params_list: Sequence[LacParams] | None = None) -> None:
         """Run one tiny roundtrip per parameter set through the backend.
 

@@ -187,6 +187,18 @@ class CosimBackend(KemBackend):
     # the contract
     # ------------------------------------------------------------------
 
+    def supports_scheme(self, scheme: Any) -> bool:
+        """Only LAC: the Table I/II cycle model covers nothing else.
+
+        Running another scheme here would return correct bytes with
+        *wrong* (unmodelled) cycle tallies — worse than failing, since
+        the tallies are the backend's whole point.  Registration of a
+        non-LAC key therefore raises
+        :class:`repro.errors.UnsupportedScheme` (via
+        :meth:`~repro.backend.base.KemBackend.register_scheme_key`).
+        """
+        return getattr(scheme, "name", None) == "lac"
+
     def submit_encaps(
         self,
         params: LacParams,
@@ -257,6 +269,20 @@ class CosimBackend(KemBackend):
                 ),
             ),
         )
+
+    def submit_task(
+        self,
+        fn: Callable[[], Any],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[Any]:
+        """Run a generic closure serially on the simulated core's thread.
+
+        No cycle accounting — only LAC work routed through the typed
+        ``submit_*`` hooks is priced (and key registration already
+        rejects non-LAC schemes on this backend).
+        """
+        return self._submit(wrapper, fn)
 
     # ------------------------------------------------------------------
     # lifecycle / introspection

@@ -188,6 +188,15 @@ class ThreadBackend(KemBackend):
             wrapper, lambda: [kem.keygen(seed) for seed in batch]
         )
 
+    def submit_task(
+        self,
+        fn: Callable[[], Any],
+        *,
+        wrapper: KernelWrapper | None = None,
+    ) -> Future[Any]:
+        """Run a generic kernel closure on a pool thread."""
+        return self._submit(wrapper, fn)
+
     def stats(self) -> dict[str, Any]:
         """Submission counters plus the pool size."""
         out = super().stats()

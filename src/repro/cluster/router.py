@@ -81,7 +81,7 @@ from repro.faults.plan import (
     SITE_ROUTER_FORWARD,
     FaultPlan,
 )
-from repro.lac.params import LacParams
+from repro.schemes import wire_id_for_params
 from repro.serve.client import AsyncKemClient
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -91,9 +91,8 @@ from repro.serve.protocol import (
     FrameWriter,
     Op,
     Status,
-    id_for_params,
     pack_key_id,
-    params_for_id,
+    params_for_wire_id,
     read_frame,
     unpack_key_id,
     unpack_keygen_response,
@@ -117,7 +116,7 @@ class _RoutedKey:
     """One cluster-hosted key: global id, seed, and where it lives."""
 
     key_id: int
-    params: LacParams
+    params: Any  # any registered scheme's parameter set
     seed: bytes
     pk: bytes
     #: member name -> member-local key id
@@ -659,7 +658,7 @@ class ClusterRouter:
                 self._error(frame, Status.NOT_FOUND, f"unknown key id {gid}")
             )
             return Status.NOT_FOUND
-        if frame.param_id != id_for_params(key.params):
+        if frame.param_id != wire_id_for_params(key.params):
             await respond(
                 self._error(
                     frame,
@@ -745,11 +744,11 @@ class ClusterRouter:
     ) -> Status:
         """Mint a global key: seeded registration on the placement chain."""
         try:
-            params = params_for_id(frame.param_id)
+            scheme, params = params_for_wire_id(frame.param_id)
         except ProtocolError as exc:
             await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
             return Status.BAD_REQUEST
-        seed_len = params.seed_bytes + 32
+        seed_len = scheme.seed_len(params)
         if frame.payload and len(frame.payload) != seed_len:
             await respond(
                 self._error(
@@ -818,7 +817,7 @@ class ClusterRouter:
 
     async def _register_key_on(self, member: str, key: _RoutedKey) -> bool:
         """Seeded re-registration of one key on one member (rebalance)."""
-        frame = Frame(Op.KEYGEN, 0, id_for_params(key.params))
+        frame = Frame(Op.KEYGEN, 0, wire_id_for_params(key.params))
         try:
             response = await self._forward_once(
                 member, frame, key.seed, 0, draw_faults=False

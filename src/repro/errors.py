@@ -21,6 +21,7 @@ The hierarchy::
     │   ├── ServiceClosed         "closed"
     │   └── DeadlineExceeded      "deadline"
     ├── BackendError              "backend"
+    │   ├── UnsupportedScheme     "unsupported-scheme"
     │   └── WorkerCrashed         "worker-crashed"
     └── InjectedFault             "injected-fault"  (also a RuntimeError)
 
@@ -147,6 +148,18 @@ class BackendError(KemError):
     reason = "backend"
 
 
+class UnsupportedScheme(BackendError):
+    """A backend refused a scheme it cannot execute faithfully.
+
+    Raised at *registration* time — e.g. the cosim backend models LAC
+    cycle costs only, so accepting a NewHope key would silently produce
+    wrong tallies.  Failing the registration keeps the error at the
+    seam where the operator can still pick a different backend.
+    """
+
+    reason = "unsupported-scheme"
+
+
 class WorkerCrashed(BackendError):
     """A backend worker process died mid-batch.
 
@@ -184,5 +197,6 @@ __all__ = [
     "ServiceClosed",
     "ServiceDraining",
     "ServiceError",
+    "UnsupportedScheme",
     "WorkerCrashed",
 ]

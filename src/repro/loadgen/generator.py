@@ -52,12 +52,16 @@ class TierSpec:
 
     ``weight`` is the relative share of arrivals assigned to this
     tier; ``deadline_s`` is the per-request budget the sender should
-    attach as wire QoS (``None`` = no deadline).
+    attach as wire QoS (``None`` = no deadline); ``tenant`` is the
+    tenant id the sender should declare on the wire, so one generator
+    can emit a multi-tenant mix and the recorder keeps the per-tenant
+    outcome ledger.
     """
 
     tier: int = 0
     weight: float = 1.0
     deadline_s: float | None = None
+    tenant: int = 0
 
     def __post_init__(self) -> None:
         if self.tier < 0:
@@ -66,6 +70,8 @@ class TierSpec:
             raise ValueError("weight must be positive")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive (or None)")
+        if self.tenant < 0:
+            raise ValueError("tenant must be >= 0")
 
 
 class OpenLoopLoadGen:
@@ -160,7 +166,9 @@ class OpenLoopLoadGen:
             raise
         except Exception:  # noqa: BLE001 - the mix is the measurement
             outcome = "error"
-        self.recorder.record(outcome, self._clock() - scheduled, spec.tier)
+        self.recorder.record(
+            outcome, self._clock() - scheduled, spec.tier, tenant=spec.tenant
+        )
 
 
 __all__ = ["OpenLoopLoadGen", "Send", "TierSpec"]

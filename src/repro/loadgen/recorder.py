@@ -55,15 +55,22 @@ class LatencyRecorder:
     def __init__(self) -> None:
         self.counts: Counter[str] = Counter()
         self.tier_counts: Counter[tuple[str, int]] = Counter()
+        self.tenant_counts: Counter[tuple[str, int]] = Counter()
         self._samples: dict[str, list[float]] = {o: [] for o in OUTCOMES}
+        self._tenant_ok: dict[int, list[float]] = {}
 
-    def record(self, outcome: str, latency_s: float, tier: int = 0) -> None:
+    def record(
+        self, outcome: str, latency_s: float, tier: int = 0, tenant: int = 0
+    ) -> None:
         """Store one observation (latency from *scheduled* arrival)."""
         if outcome not in self._samples:
             raise ValueError(f"unknown outcome {outcome!r}")
         self.counts[outcome] += 1
         self.tier_counts[(outcome, tier)] += 1
+        self.tenant_counts[(outcome, tenant)] += 1
         self._samples[outcome].append(latency_s)
+        if outcome == "ok":
+            self._tenant_ok.setdefault(tenant, []).append(latency_s)
 
     # ------------------------------------------------------------------
 
@@ -86,6 +93,22 @@ class LatencyRecorder:
     ) -> float | None:
         """Exact percentile of one outcome's latencies (seconds)."""
         return percentile(self._samples[outcome], p)
+
+    def tenant_latency_percentile(self, tenant: int, p: float) -> float | None:
+        """Exact percentile of one tenant's ``ok`` latencies (seconds)."""
+        return percentile(self._tenant_ok.get(tenant, []), p)
+
+    def tenant_ledger(self) -> dict[int, dict[str, int]]:
+        """Per-tenant outcome counts (every scheduled request accounted)."""
+        tenants = sorted({tenant for _, tenant in self.tenant_counts})
+        return {
+            tenant: {
+                o: self.tenant_counts[(o, tenant)]
+                for o in OUTCOMES
+                if self.tenant_counts[(o, tenant)]
+            }
+            for tenant in tenants
+        }
 
     def ok_rate(self) -> float:
         """Fraction of all scheduled requests that ended ``ok``."""
@@ -119,6 +142,12 @@ class LatencyRecorder:
                     if self.tier_counts[(o, tier)]
                 }
                 for tier in tiers
+            }
+        tenants = sorted({tenant for _, tenant in self.tenant_counts})
+        if tenants != [0]:
+            out["tenants"] = {
+                str(tenant): ledger
+                for tenant, ledger in self.tenant_ledger().items()
             }
         if duration_s is not None and duration_s > 0:
             out["duration_s"] = round(duration_s, 3)

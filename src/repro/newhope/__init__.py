@@ -19,13 +19,13 @@ SHA256 core; LAC pays for its error-correcting decoder but wins on
 key and ciphertext sizes.
 """
 
-from repro.newhope.params import NEWHOPE_1024, NEWHOPE_512, NewHopeParams
 from repro.newhope.cpa import (
     NewHopeCiphertext,
     NewHopeCpaKem,
     NewHopeKeyPair,
     NewHopePke,
 )
+from repro.newhope.params import NEWHOPE_1024, NEWHOPE_512, NewHopeParams
 
 __all__ = [
     "NEWHOPE_512",

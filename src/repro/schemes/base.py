@@ -1,0 +1,137 @@
+"""The ``KemScheme`` seam: one protocol for every served KEM.
+
+Before this package the serving stack spoke exactly one dialect —
+``LacParams`` in, LAC ciphertexts out — even though the repo already
+carried a complete NewHope CCA KEM and a hybrid channel.  A
+:class:`KemScheme` adapter narrows a scheme to the five things the
+serving stack actually needs:
+
+* **keygen** from an explicit seed (so restarts re-derive hosted keys),
+* **batch encaps/decaps over wire bytes** (the scheduler coalesces
+  per key; the transport never sees scheme-native objects),
+* **wire sizes** for request validation and response parsing,
+* **param-set enumeration** so the registry can assign stable ids,
+* the **public-key serialization** returned by KEYGEN.
+
+Adapters are stateless aside from caching scheme-native engines per
+parameter set; a ``pair`` is whatever the scheme's ``keygen`` returns
+and is treated as opaque by every caller (the LAC pair is a
+``KemKeyPair``, the NewHope pair is the ``NewHopeCcaSecretKey`` that
+carries its own public material).
+
+This module depends only on the math packages (``repro.lac``,
+``repro.newhope``) — never on ``repro.serve`` or ``repro.backend`` —
+so the protocol codec and the backend seam can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import Any
+
+
+class KemScheme(ABC):
+    """One KEM family the serving stack can host.
+
+    ``scheme_id`` is the stable wire identity (the high nibble of the
+    frame param byte); ``name`` is the stable human label used in
+    metrics and benchmarks.  Parameter sets are enumerated by
+    :attr:`param_sets` and addressed on the wire by their index in it,
+    so the tuple order is part of the wire protocol — append only.
+    """
+
+    #: Stable wire scheme id (high nibble of the frame param byte).
+    scheme_id: int
+    #: Stable lowercase label ("lac", "newhope").
+    name: str
+
+    # ------------------------------------------------------------------
+    # parameter enumeration
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def param_sets(self) -> tuple[Any, ...]:
+        """All parameter sets, in wire-id order (append only)."""
+
+    def param_index(self, params: Any) -> int:
+        """The wire index of ``params`` within :attr:`param_sets`."""
+        for index, candidate in enumerate(self.param_sets):
+            if candidate is params or candidate.name == params.name:
+                return index
+        raise ValueError(
+            f"{params.name!r} is not a registered {self.name} parameter set"
+        )
+
+    @abstractmethod
+    def owns_params(self, params: Any) -> bool:
+        """Whether ``params`` is this scheme's parameter type."""
+
+    # ------------------------------------------------------------------
+    # size metadata (bytes on the wire)
+    # ------------------------------------------------------------------
+
+    def seed_len(self, params: Any) -> int:
+        """KEYGEN seed length: PKE seed + implicit-rejection secret."""
+        return int(params.seed_bytes) + 32
+
+    def message_bytes(self, params: Any) -> int:
+        """Fixed encapsulation message size (32 for both families)."""
+        return int(params.message_bytes)
+
+    def shared_secret_bytes(self, params: Any) -> int:
+        """Shared-secret size (32 for both families)."""
+        return 32
+
+    @abstractmethod
+    def public_key_wire_bytes(self, params: Any) -> int:
+        """Serialized public-key size as returned by KEYGEN."""
+
+    @abstractmethod
+    def ciphertext_wire_bytes(self, params: Any) -> int:
+        """Serialized ciphertext size as carried by ENCAPS/DECAPS."""
+
+    # ------------------------------------------------------------------
+    # the KEM itself (wire-byte in, wire-byte out)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def keygen(self, params: Any, seed: bytes | None = None) -> Any:
+        """Generate a key pair; ``seed`` (``seed_len`` bytes) fixes it."""
+
+    @abstractmethod
+    def public_key_bytes_of(self, params: Any, pair: Any) -> bytes:
+        """Serialize the pair's public key for the KEYGEN response."""
+
+    @abstractmethod
+    def encaps_many(
+        self, params: Any, pair: Any, messages: Sequence[bytes]
+    ) -> list[tuple[bytes, bytes]]:
+        """Encapsulate a batch; returns ``(ct_bytes, shared)`` pairs.
+
+        Positionally bit-identical to the scheme's scalar reference
+        with the same messages — that parity is what the conformance
+        sweep pins.
+        """
+
+    @abstractmethod
+    def decaps_many(
+        self, params: Any, pair: Any, ciphertexts: Sequence[bytes]
+    ) -> list[bytes]:
+        """Decapsulate a batch of wire ciphertexts (implicit rejection)."""
+
+    # ------------------------------------------------------------------
+
+    def encaps_one(
+        self, params: Any, pair: Any, message: bytes
+    ) -> tuple[bytes, bytes]:
+        """Single encapsulation (the SESSION_OPEN handshake path)."""
+        return self.encaps_many(params, pair, [message])[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KemScheme {self.name} id={self.scheme_id}>"
+
+
+__all__ = ["KemScheme"]

@@ -22,6 +22,7 @@ from repro.serve.config import (
     BACKEND_WORKERS_ENV_VAR,
     CYCLE_PRIORS_ENV_VAR,
     ServiceConfig,
+    TenantQuota,
 )
 from repro.serve.client import (
     AsyncKemClient,
@@ -38,8 +39,12 @@ from repro.serve.client import (
 )
 from repro.serve.metrics import LatencyHistogram, ServiceMetrics
 from repro.serve.protocol import (
+    DEFAULT_TENANT,
     QOS_EXT_SIZE,
+    SESSION_NONCE_SIZE,
+    SESSION_TAG_SIZE,
     TRACE_EXT_SIZE,
+    VERSION_MAX,
     VERSION_QOS,
     VERSION_TRACED,
     Frame,
@@ -52,6 +57,7 @@ from repro.serve.protocol import (
 from repro.serve.scheduler import (
     AdaptiveDeadlinePolicy,
     Batch,
+    DeficitRoundRobin,
     MicroBatchScheduler,
 )
 from repro.serve.server import HostedKey, KemService, ThreadedService
@@ -76,7 +82,9 @@ __all__ = [
     "CYCLE_PRIORS_ENV_VAR",
     "CycleCostEstimator",
     "DEFAULT_CYCLE_PRIORS_HZ",
+    "DEFAULT_TENANT",
     "DeadlineExceeded",
+    "DeficitRoundRobin",
     "Frame",
     "HostedKey",
     "KemClient",
@@ -91,6 +99,8 @@ __all__ = [
     "QosSpec",
     "RequestTimedOut",
     "RetryPolicy",
+    "SESSION_NONCE_SIZE",
+    "SESSION_TAG_SIZE",
     "ServiceBusy",
     "ServiceClosed",
     "ServiceConfig",
@@ -98,11 +108,13 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "Status",
+    "TenantQuota",
     "ThreadedService",
     "TIER_BATCH",
     "TIER_INTERACTIVE",
     "TIER_STANDARD",
     "TRACE_EXT_SIZE",
+    "VERSION_MAX",
     "VERSION_QOS",
     "VERSION_TRACED",
     "predicted_miss",

@@ -34,10 +34,11 @@ import socket
 import time
 from collections.abc import Awaitable, Callable
 from dataclasses import dataclass
-from typing import TypeVar
+from typing import Any, TypeVar
 
 from repro.lac.params import LacParams
 from repro.lac.pke import PublicKey
+from repro.schemes import resolve, wire_id_for_params
 from repro.serve.protocol import (
     PARAM_NONE,
     Frame,
@@ -45,16 +46,19 @@ from repro.serve.protocol import (
     ProtocolError,
     QosSpec,
     Status,
-    id_for_params,
     pack_decaps_request,
     pack_encaps_request,
     pack_key_id,
+    pack_open_request,
+    pack_seal_request,
+    pack_session_open_request,
     qos_for,
     read_frame,
     recv_frame,
     send_frame,
     unpack_encaps_response,
     unpack_keygen_response,
+    unpack_session_open_response,
     write_frame,
 )
 from repro.trace import NULL_TRACER, TraceContext, Tracer
@@ -171,15 +175,21 @@ def raise_for_status(frame: Frame) -> Frame:
 
 
 class _KeyRegistry:
-    """key id -> parameter set, learned from keygen or registered."""
+    """key id -> parameter set, learned from keygen or registered.
+
+    Holds parameter sets of *any* registered scheme (resolved through
+    :func:`repro.schemes.resolve`, so names, wire ids and
+    :class:`~repro.schemes.ParamId` specs all work).
+    """
 
     def __init__(self) -> None:
-        self._params: dict[int, LacParams] = {}
+        self._params: dict[int, Any] = {}
 
-    def register(self, key_id: int, params: LacParams) -> None:
+    def register(self, key_id: int, spec: Any) -> None:
+        _, params = resolve(spec)
         self._params[key_id] = params
 
-    def params(self, key_id: int) -> LacParams:
+    def params(self, key_id: int) -> Any:
         try:
             return self._params[key_id]
         except KeyError:
@@ -259,10 +269,11 @@ class AsyncKemClient:
             reader, writer, retry=retry, reconnect=redial if auto_reconnect else None
         )
 
-    def register_key(self, key_id: int, params: LacParams) -> None:
+    def register_key(self, key_id: int, spec: Any) -> None:
         """Teach the client a hosted key's parameter set (for keys it
-        did not create itself, e.g. pre-provisioned server keys)."""
-        self._keys.register(key_id, params)
+        did not create itself, e.g. pre-provisioned server keys).
+        ``spec`` is anything :func:`repro.schemes.resolve` accepts."""
+        self._keys.register(key_id, spec)
 
     # ------------------------------------------------------------------
 
@@ -274,6 +285,7 @@ class AsyncKemClient:
         *,
         trace: TraceContext | None = None,
         qos: QosSpec | None = None,
+        tenant: int | None = None,
     ) -> Frame:
         """Send one frame and await its matching response (any status).
 
@@ -287,6 +299,11 @@ class AsyncKemClient:
         (build one with :func:`repro.serve.protocol.qos_for`); the
         server may shed the request ``BUSY``/``TIMEOUT`` when the
         budget cannot be met.
+
+        ``tenant`` declares the request's tenant on the wire (the QoS
+        extension's sibling byte); the server applies that tenant's
+        quotas and fair-share.  ``None`` omits the extension (the
+        server reads tenant 0).
         """
         if self._read_task is None or self._read_task.done():
             # (re)start the reader: bound to the *current* connection's
@@ -308,7 +325,10 @@ class AsyncKemClient:
         try:
             write_frame(
                 self._writer,
-                Frame(op, request_id, param_id, payload=payload, trace=trace, qos=qos),
+                Frame(
+                    op, request_id, param_id, payload=payload, trace=trace,
+                    qos=qos, tenant=tenant,
+                ),
             )
             await self._writer.drain()
             response = await future
@@ -415,28 +435,41 @@ class AsyncKemClient:
 
     async def keygen(
         self,
-        params: LacParams,
+        spec: Any,
         seed: bytes | None = None,
         *,
         deadline_s: float | None = None,
         tier: int = 0,
-    ) -> tuple[int, PublicKey]:
+        tenant: int | None = None,
+    ) -> tuple[int, PublicKey | bytes]:
         """Generate and host a key pair; returns (key id, public key).
+
+        ``spec`` is anything :func:`repro.schemes.resolve` accepts —
+        a parameter object (:class:`LacParams`, the pre-PR-10
+        signature), a :class:`~repro.schemes.ParamId`, a name
+        (``"NewHope512"``) or a wire id.  LAC keys return a parsed
+        :class:`PublicKey`; other schemes return the raw public-key
+        wire bytes.
 
         ``deadline_s``/``tier`` attach a wire QoS extension — the
         server sheds the request rather than serve it past the budget.
+        ``tenant`` declares the tenant the key (and request) belongs to.
         """
+        _, params = resolve(spec)
         qos = qos_for(deadline_s=deadline_s, tier=tier)
 
-        async def attempt() -> tuple[int, PublicKey]:
+        async def attempt() -> tuple[int, PublicKey | bytes]:
             frame = raise_for_status(
                 await self.request(
-                    Op.KEYGEN, id_for_params(params), seed or b"", qos=qos
+                    Op.KEYGEN, wire_id_for_params(params), seed or b"",
+                    qos=qos, tenant=tenant,
                 )
             )
             key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
             self._keys.register(key_id, params)
-            return key_id, PublicKey.from_bytes(params, pk_bytes)
+            if isinstance(params, LacParams):
+                return key_id, PublicKey.from_bytes(params, pk_bytes)
+            return key_id, pk_bytes
 
         return await self._call_with_retry(Op.KEYGEN, attempt)
 
@@ -447,6 +480,7 @@ class AsyncKemClient:
         *,
         deadline_s: float | None = None,
         tier: int = 0,
+        tenant: int | None = None,
     ) -> tuple[bytes, bytes]:
         """Encapsulate against a hosted key; returns (ct bytes, secret)."""
         params = self._keys.params(key_id)
@@ -456,9 +490,10 @@ class AsyncKemClient:
             frame = raise_for_status(
                 await self.request(
                     Op.ENCAPS,
-                    id_for_params(params),
+                    wire_id_for_params(params),
                     pack_encaps_request(key_id, message),
                     qos=qos,
+                    tenant=tenant,
                 )
             )
             return unpack_encaps_response(params, frame.payload)
@@ -472,6 +507,7 @@ class AsyncKemClient:
         *,
         deadline_s: float | None = None,
         tier: int = 0,
+        tenant: int | None = None,
     ) -> bytes:
         """Decapsulate a ciphertext; returns the 32-byte shared secret.
 
@@ -484,14 +520,108 @@ class AsyncKemClient:
             frame = raise_for_status(
                 await self.request(
                     Op.DECAPS,
-                    id_for_params(params),
+                    wire_id_for_params(params),
                     pack_decaps_request(key_id, ciphertext),
                     qos=qos,
+                    tenant=tenant,
                 )
             )
             return frame.payload
 
         return await self._call_with_retry(Op.DECAPS, attempt)
+
+    # -- the secure-channel session workload ---------------------------
+
+    async def open_session(
+        self,
+        key_id: int,
+        message: bytes | None = None,
+        *,
+        tenant: int | None = None,
+    ) -> tuple[int, bytes, bytes]:
+        """Open a secure channel on a hosted key.
+
+        Returns ``(session id, kem ct bytes, shared secret)`` — the
+        transcript prefix a :class:`repro.lac.hybrid.LacHybrid` opener
+        needs.  The session is scoped to ``tenant``.
+        """
+        params = self._keys.params(key_id)
+
+        async def attempt() -> tuple[int, bytes, bytes]:
+            frame = raise_for_status(
+                await self.request(
+                    Op.SESSION_OPEN,
+                    wire_id_for_params(params),
+                    pack_session_open_request(key_id, message),
+                    tenant=tenant,
+                )
+            )
+            return unpack_session_open_response(params, frame.payload)
+
+        return await self._call_with_retry(Op.SESSION_OPEN, attempt)
+
+    async def seal(
+        self,
+        session_id: int,
+        nonce: bytes,
+        plaintext: bytes,
+        *,
+        tenant: int | None = None,
+    ) -> bytes:
+        """Seal ``plaintext`` on an open session; returns body ‖ tag."""
+
+        async def attempt() -> bytes:
+            frame = raise_for_status(
+                await self.request(
+                    Op.SEAL,
+                    payload=pack_seal_request(session_id, nonce, plaintext),
+                    tenant=tenant,
+                )
+            )
+            return frame.payload
+
+        return await self._call_with_retry(Op.SEAL, attempt)
+
+    async def open_sealed(
+        self,
+        session_id: int,
+        nonce: bytes,
+        sealed: bytes,
+        *,
+        tenant: int | None = None,
+    ) -> bytes:
+        """Verify and decrypt ``sealed`` (body ‖ tag); returns plaintext.
+
+        Raises :class:`BadRequest` on authentication failure.
+        """
+
+        async def attempt() -> bytes:
+            frame = raise_for_status(
+                await self.request(
+                    Op.OPEN,
+                    payload=pack_open_request(session_id, nonce, sealed),
+                    tenant=tenant,
+                )
+            )
+            return frame.payload
+
+        return await self._call_with_retry(Op.OPEN, attempt)
+
+    async def close_session(
+        self, session_id: int, *, tenant: int | None = None
+    ) -> None:
+        """Close an open session (:class:`KeyNotFound` if absent)."""
+
+        async def attempt() -> None:
+            raise_for_status(
+                await self.request(
+                    Op.SESSION_CLOSE,
+                    payload=pack_key_id(session_id),
+                    tenant=tenant,
+                )
+            )
+
+        await self._call_with_retry(Op.SESSION_CLOSE, attempt)
 
     async def info(self, text: bool = False) -> dict | str:
         """Fetch service metrics (dict, or the ``/metrics`` text dump)."""
@@ -594,9 +724,10 @@ class KemClient:
         if self._retry is not None and self._retry.attempt_timeout_s is not None:
             self._sock.settimeout(self._retry.attempt_timeout_s)
 
-    def register_key(self, key_id: int, params: LacParams) -> None:
-        """Teach the client a hosted key's parameter set."""
-        self._keys.register(key_id, params)
+    def register_key(self, key_id: int, spec: Any) -> None:
+        """Teach the client a hosted key's parameter set (``spec`` is
+        anything :func:`repro.schemes.resolve` accepts)."""
+        self._keys.register(key_id, spec)
 
     def request(
         self,
@@ -605,6 +736,7 @@ class KemClient:
         payload: bytes = b"",
         *,
         qos: QosSpec | None = None,
+        tenant: int | None = None,
     ) -> Frame:
         """Send one frame and block for its response (any status)."""
         request_id = self._next_id = (self._next_id + 1) & 0xFFFFFFFF
@@ -616,7 +748,10 @@ class KemClient:
             t_start = tracer.clock()
         send_frame(
             self._sock,
-            Frame(op, request_id, param_id, payload=payload, trace=trace, qos=qos),
+            Frame(
+                op, request_id, param_id, payload=payload, trace=trace,
+                qos=qos, tenant=tenant,
+            ),
         )
         while True:
             frame = recv_frame(self._sock)
@@ -661,22 +796,34 @@ class KemClient:
 
     def keygen(
         self,
-        params: LacParams,
+        spec: Any,
         seed: bytes | None = None,
         *,
         deadline_s: float | None = None,
         tier: int = 0,
-    ) -> tuple[int, PublicKey]:
-        """Generate and host a key pair; returns (key id, public key)."""
+        tenant: int | None = None,
+    ) -> tuple[int, PublicKey | bytes]:
+        """Generate and host a key pair; returns (key id, public key).
+
+        ``spec`` is anything :func:`repro.schemes.resolve` accepts;
+        LAC keys return a parsed :class:`PublicKey`, other schemes the
+        raw public-key wire bytes.
+        """
+        _, params = resolve(spec)
         qos = qos_for(deadline_s=deadline_s, tier=tier)
 
-        def attempt() -> tuple[int, PublicKey]:
+        def attempt() -> tuple[int, PublicKey | bytes]:
             frame = raise_for_status(
-                self.request(Op.KEYGEN, id_for_params(params), seed or b"", qos=qos)
+                self.request(
+                    Op.KEYGEN, wire_id_for_params(params), seed or b"",
+                    qos=qos, tenant=tenant,
+                )
             )
             key_id, pk_bytes = unpack_keygen_response(params, frame.payload)
             self._keys.register(key_id, params)
-            return key_id, PublicKey.from_bytes(params, pk_bytes)
+            if isinstance(params, LacParams):
+                return key_id, PublicKey.from_bytes(params, pk_bytes)
+            return key_id, pk_bytes
 
         return self._call_with_retry(Op.KEYGEN, attempt)
 
@@ -687,6 +834,7 @@ class KemClient:
         *,
         deadline_s: float | None = None,
         tier: int = 0,
+        tenant: int | None = None,
     ) -> tuple[bytes, bytes]:
         """Encapsulate against a hosted key; returns (ct bytes, secret)."""
         params = self._keys.params(key_id)
@@ -696,9 +844,10 @@ class KemClient:
             frame = raise_for_status(
                 self.request(
                     Op.ENCAPS,
-                    id_for_params(params),
+                    wire_id_for_params(params),
                     pack_encaps_request(key_id, message),
                     qos=qos,
+                    tenant=tenant,
                 )
             )
             return unpack_encaps_response(params, frame.payload)
@@ -712,6 +861,7 @@ class KemClient:
         *,
         deadline_s: float | None = None,
         tier: int = 0,
+        tenant: int | None = None,
     ) -> bytes:
         """Decapsulate a ciphertext; returns the 32-byte shared secret.
 
@@ -724,14 +874,100 @@ class KemClient:
             frame = raise_for_status(
                 self.request(
                     Op.DECAPS,
-                    id_for_params(params),
+                    wire_id_for_params(params),
                     pack_decaps_request(key_id, ciphertext),
                     qos=qos,
+                    tenant=tenant,
                 )
             )
             return frame.payload
 
         return self._call_with_retry(Op.DECAPS, attempt)
+
+    # -- the secure-channel session workload ---------------------------
+
+    def open_session(
+        self,
+        key_id: int,
+        message: bytes | None = None,
+        *,
+        tenant: int | None = None,
+    ) -> tuple[int, bytes, bytes]:
+        """Open a secure channel; returns (session id, kem ct, secret)."""
+        params = self._keys.params(key_id)
+
+        def attempt() -> tuple[int, bytes, bytes]:
+            frame = raise_for_status(
+                self.request(
+                    Op.SESSION_OPEN,
+                    wire_id_for_params(params),
+                    pack_session_open_request(key_id, message),
+                    tenant=tenant,
+                )
+            )
+            return unpack_session_open_response(params, frame.payload)
+
+        return self._call_with_retry(Op.SESSION_OPEN, attempt)
+
+    def seal(
+        self,
+        session_id: int,
+        nonce: bytes,
+        plaintext: bytes,
+        *,
+        tenant: int | None = None,
+    ) -> bytes:
+        """Seal ``plaintext`` on an open session; returns body ‖ tag."""
+
+        def attempt() -> bytes:
+            frame = raise_for_status(
+                self.request(
+                    Op.SEAL,
+                    payload=pack_seal_request(session_id, nonce, plaintext),
+                    tenant=tenant,
+                )
+            )
+            return frame.payload
+
+        return self._call_with_retry(Op.SEAL, attempt)
+
+    def open_sealed(
+        self,
+        session_id: int,
+        nonce: bytes,
+        sealed: bytes,
+        *,
+        tenant: int | None = None,
+    ) -> bytes:
+        """Verify and decrypt ``sealed`` (body ‖ tag); returns plaintext."""
+
+        def attempt() -> bytes:
+            frame = raise_for_status(
+                self.request(
+                    Op.OPEN,
+                    payload=pack_open_request(session_id, nonce, sealed),
+                    tenant=tenant,
+                )
+            )
+            return frame.payload
+
+        return self._call_with_retry(Op.OPEN, attempt)
+
+    def close_session(
+        self, session_id: int, *, tenant: int | None = None
+    ) -> None:
+        """Close an open session (:class:`KeyNotFound` if absent)."""
+
+        def attempt() -> None:
+            raise_for_status(
+                self.request(
+                    Op.SESSION_CLOSE,
+                    payload=pack_key_id(session_id),
+                    tenant=tenant,
+                )
+            )
+
+        self._call_with_retry(Op.SESSION_CLOSE, attempt)
 
     def info(self, text: bool = False) -> dict | str:
         """Fetch service metrics (dict, or the ``/metrics`` text dump)."""

@@ -38,6 +38,47 @@ CYCLE_PRIORS_ENV_VAR = "REPRO_KEM_CYCLE_PRIORS"
 
 
 @dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits enforced by the service.
+
+    ``tenant`` is the wire tenant id the limits apply to.  ``None``
+    for any limit means unlimited.  ``max_keys`` caps hosted keys
+    (KEYGEN and programmatic registration both count);
+    ``max_inflight`` caps accepted-but-unanswered requests;
+    ``ops_per_s`` is a token-bucket rate with ``burst`` capacity
+    (default: one second's worth).  Over-quota requests are answered
+    ``BUSY`` and counted as ``kem_shed_total{reason="quota"}`` with
+    the tenant label.  Tenants without a configured quota are admitted
+    without limits (enforcement is opt-in per tenant).
+    """
+
+    tenant: int
+    max_keys: int | None = None
+    max_inflight: int | None = None
+    ops_per_s: float | None = None
+    burst: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tenant <= 0xFF:
+            raise ValueError("tenant id must fit one byte")
+        if self.max_keys is not None and self.max_keys < 0:
+            raise ValueError("max_keys must be >= 0 or None")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None")
+        if self.ops_per_s is not None and self.ops_per_s <= 0:
+            raise ValueError("ops_per_s must be > 0 or None")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError("burst must be >= 1 or None")
+
+    @property
+    def bucket_capacity(self) -> float:
+        """Token-bucket capacity: ``burst``, else one second of rate."""
+        if self.burst is not None:
+            return self.burst
+        return max(1.0, self.ops_per_s or 1.0)
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Tuning knobs of a :class:`repro.serve.KemService`.
 
@@ -128,6 +169,10 @@ class ServiceConfig:
     autoscale_sustain: int = 3
     cycle_priors: str | None = None
     cycle_priors_hz: float = DEFAULT_CYCLE_PRIORS_HZ
+    #: Per-tenant quotas (``()`` = no tenant is limited); see
+    #: :class:`TenantQuota` and the "Tenants" section of
+    #: ``docs/SERVICE.md``.
+    tenant_quotas: tuple[TenantQuota, ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -179,6 +224,13 @@ class ServiceConfig:
             raise ValueError("autoscale_sustain must be >= 1")
         if self.cycle_priors_hz <= 0:
             raise ValueError("cycle_priors_hz must be > 0")
+        seen_tenants = set()
+        for quota in self.tenant_quotas:
+            if not isinstance(quota, TenantQuota):
+                raise ValueError("tenant_quotas entries must be TenantQuota")
+            if quota.tenant in seen_tenants:
+                raise ValueError(f"duplicate quota for tenant {quota.tenant}")
+            seen_tenants.add(quota.tenant)
         if self.cycle_priors is not None:
             from repro.cosim import PROFILES
 
@@ -237,5 +289,6 @@ __all__ = [
     "DEADLINE_ENV_VAR",
     "TRANSFORM_CACHE_ENV_VAR",
     "ServiceConfig",
+    "TenantQuota",
     "replace_config",
 ]

@@ -98,14 +98,19 @@ class ServiceMetrics:
         #: connections torn down abnormally, keyed by reason
         #: ("protocol:<reason>", "disconnect", "internal", …)
         self.conn_errors: Counter[str] = Counter()
-        #: requests shed to defend deadlines/tiers, keyed by
-        #: (reason, tier) — "hopeless" (admission: the kernel estimate
-        #: alone exceeds the deadline), "predicted-miss" (dispatch:
-        #: queue wait + estimate exceeds it), "watermark" (a reduced
-        #: per-tier admission limit rejected it), "missed" (completion:
-        #: the batch finished past the budget, so the late OK became a
-        #: TIMEOUT — KEYGEN exempt)
-        self.sheds: Counter[tuple[str, int]] = Counter()
+        #: requests shed to defend deadlines/tiers/quotas, keyed by
+        #: (reason, tier, tenant) — "hopeless" (admission: the kernel
+        #: estimate alone exceeds the deadline), "predicted-miss"
+        #: (dispatch: queue wait + estimate exceeds it), "watermark" (a
+        #: reduced per-tier admission limit rejected it), "missed"
+        #: (completion: the batch finished past the budget, so the late
+        #: OK became a TIMEOUT — KEYGEN exempt), "quota" (admission:
+        #: the tenant exceeded its configured key/in-flight/ops-rate
+        #: quota)
+        self.sheds: Counter[tuple[str, int, int]] = Counter()
+        #: requests received per tenant (the wire's tenant extension
+        #: byte; 0 is the default tenant)
+        self.tenant_requests: Counter[int] = Counter()
         #: worker-pool resizes applied by the autoscaler, keyed by
         #: direction ("up"/"down")
         self.autoscale_events: Counter[str] = Counter()
@@ -155,10 +160,15 @@ class ServiceMetrics:
         with self._lock:
             self.conn_errors[reason] += 1
 
-    def record_shed(self, reason: str, tier: int) -> None:
-        """Count one request shed to defend a deadline or tier limit."""
+    def record_shed(self, reason: str, tier: int, tenant: int = 0) -> None:
+        """Count one request shed to defend a deadline, tier or quota."""
         with self._lock:
-            self.sheds[reason, tier] += 1
+            self.sheds[reason, tier, tenant] += 1
+
+    def record_tenant_request(self, tenant: int) -> None:
+        """Count one received request against its wire tenant."""
+        with self._lock:
+            self.tenant_requests[tenant] += 1
 
     def record_autoscale(self, direction: str) -> None:
         """Count one applied worker-pool resize (``"up"``/``"down"``)."""
@@ -218,8 +228,12 @@ class ServiceMetrics:
                 },
                 "connection_errors": dict(self.conn_errors),
                 "sheds": {
-                    f"{reason}:{tier}": count
-                    for (reason, tier), count in sorted(self.sheds.items())
+                    f"{reason}:{tier}:{tenant}": count
+                    for (reason, tier, tenant), count in sorted(self.sheds.items())
+                },
+                "tenant_requests": {
+                    str(tenant): count
+                    for tenant, count in sorted(self.tenant_requests.items())
                 },
                 "autoscale_events": dict(self.autoscale_events),
                 "batch_sizes": {
@@ -274,14 +288,22 @@ class ServiceMetrics:
             lines.append(f'kem_connection_errors_total{{reason="{reason}"}} {count}')
         lines += [
             "# HELP kem_shed_total requests shed to defend deadlines,"
-            " by reason and tier",
+            " by reason, tier and tenant",
             "# TYPE kem_shed_total counter",
         ]
         for key, count in sorted(snap["sheds"].items()):
-            reason, tier = key.rsplit(":", 1)
+            rest, tenant = key.rsplit(":", 1)
+            reason, tier = rest.rsplit(":", 1)
             lines.append(
-                f'kem_shed_total{{reason="{reason}",tier="{tier}"}} {count}'
+                f'kem_shed_total{{reason="{reason}",tenant="{tenant}",'
+                f'tier="{tier}"}} {count}'
             )
+        lines += [
+            "# HELP kem_tenant_requests_total requests received, by tenant",
+            "# TYPE kem_tenant_requests_total counter",
+        ]
+        for tenant, count in sorted(snap["tenant_requests"].items()):
+            lines.append(f'kem_tenant_requests_total{{tenant="{tenant}"}} {count}')
         lines += [
             "# HELP kem_autoscale_events_total applied worker-pool resizes,"
             " by direction",

@@ -6,19 +6,32 @@ Every message — request or response — is one frame:
 
     offset  size  field
     0       2     magic   b"LK"
-    2       1     version (1–4; ``version - 1`` is an extension bitmask)
-    3       1     op      (Op: KEYGEN/ENCAPS/DECAPS/INFO/REMOVE_KEY)
+    2       1     version (1–8; ``version - 1`` is an extension bitmask)
+    3       1     op      (Op: KEYGEN/ENCAPS/DECAPS/INFO/REMOVE_KEY/
+                          SESSION_OPEN/SEAL/OPEN/SESSION_CLOSE)
     4       1     status  (Status; always OK in requests)
-    5       1     param   (parameter-set id, PARAM_NONE for INFO)
+    5       1     param   (scheme-qualified parameter id, PARAM_NONE
+                          for INFO)
     6       4     request id, big-endian (echoed in the response)
     10      4     payload length, big-endian
-    14      ...   extensions (trace, then QoS), then payload
+    14      ...   extensions (trace, then QoS, then tenant), payload
+
+The ``param`` byte is scheme-qualified: the high nibble is the
+:class:`repro.schemes.SchemeId` and the low nibble the parameter-set
+index within that scheme (``scheme_id << 4 | param_index``).  LAC is
+scheme 0, so the historical LAC wire ids 0/1/2 are unchanged;
+NewHope512/1024 are 0x10/0x11.  The ``(scheme, param)`` pair is
+declared once at KEYGEN and implied by the key id afterwards —
+ENCAPS/DECAPS frames still carry it so the server can reject
+key/parameter mismatches without a lookup round trip.
 
 The version byte encodes which optional extensions sit *between* the
 fixed header and the payload: ``version - 1`` is a bitmask with bit 0
-for the trace extension and bit 1 for the QoS extension, so version 1
-is the plain pre-extension frame, 2 is traced, 3 carries QoS and 4
-carries both (trace bytes first).  The announced payload length never
+for the trace extension, bit 1 for the QoS extension and bit 2 for
+the tenant extension, so version 1 is the plain pre-extension frame,
+2 is traced, 3 carries QoS, 4 carries both, and 5–8 add the tenant
+byte to each of those shapes (extensions always serialize in
+trace → QoS → tenant order).  The announced payload length never
 includes extensions, and a version-1 frame is bit-identical to the
 original protocol — every extension is strictly opt-in per frame.
 
@@ -37,6 +50,12 @@ timestamp: the server measures it from admission, so clients and
 servers need no clock agreement.  Requests carry QoS; responses never
 echo it (the server acted on it already).
 
+**Tenant extension** (bit 2): 1 byte — the tenant id the request is
+accounted against (0 is the default tenant; omitting the extension
+means tenant 0).  The server enforces per-tenant quotas and
+fair-share on it and labels its metrics/trace spans with it; like
+QoS, responses never echo it.
+
 The 4-byte request id lets one connection multiplex many in-flight
 requests: responses carry the id of the request they answer and may
 arrive in any order (the micro-batch scheduler freely reorders across
@@ -53,7 +72,23 @@ DECAPS      key id (4) || ciphertext bytes              shared secret (32)
 INFO        empty (JSON snapshot) or ``b"text"``        UTF-8 metrics dump
 REMOVE_KEY  key id (4)                                  empty (``NOT_FOUND``
                                                         if not hosted)
+SESSION_    key id (4) || optional fixed message        session id (4) ||
+OPEN        (tests/KATs only)                           KEM ct bytes ||
+                                                        shared secret (32)
+SEAL        session id (4) || nonce (12) || plaintext   body || tag (32)
+OPEN        session id (4) || nonce (12) || body ||     plaintext
+            tag (32)
+SESSION_    session id (4)                              empty (``NOT_FOUND``
+CLOSE                                                   if unknown)
 ==========  ==========================================  =====================
+
+The SESSION ops carry the stateful secure-channel workload:
+SESSION_OPEN encapsulates under the named key (any registered scheme)
+and derives the channel keys exactly as
+:class:`repro.lac.hybrid.LacHybrid` does, so a transcript of
+``KEM ct || nonce || body || tag`` is bit-identical to the offline
+hybrid construction.  SEAL/OPEN then run the AEAD on the established
+session without touching the KEM again.
 
 Error responses (any non-OK :class:`Status`) carry a UTF-8 diagnostic
 string as payload.  All sizes are fixed by the parameter set, so the
@@ -69,12 +104,18 @@ from __future__ import annotations
 import asyncio
 import socket
 import struct
+import warnings
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Protocol
+from typing import Any, Protocol
 
 from repro.errors import ProtocolError
 from repro.lac.params import ALL_PARAMS, LacParams
+from repro.schemes import registry as _registry
+from repro.schemes.registry import (
+    params_for_wire_id as _params_for_wire_id,
+    wire_id_for_params,
+)
 from repro.trace import TraceContext
 
 #: First two bytes of every frame.
@@ -96,6 +137,10 @@ VERSION_TRACED_QOS = 4
 #: ``version - 1`` bitmask bits selecting the optional extensions.
 _FLAG_TRACE = 0x1
 _FLAG_QOS = 0x2
+_FLAG_TENANT = 0x4
+
+#: Highest version byte: all three extension bits set.
+VERSION_MAX = VERSION + _FLAG_TRACE + _FLAG_QOS + _FLAG_TENANT
 
 #: Upper bound on payload size; a frame announcing more is rejected
 #: before any allocation (malformed peers must not balloon memory).
@@ -118,6 +163,18 @@ _QOS_EXT = struct.Struct(">IB")
 
 #: Size of the QoS extension in bytes (deadline µs + tier).
 QOS_EXT_SIZE = _QOS_EXT.size
+
+#: Size of the tenant extension in bytes (one tenant id byte).
+TENANT_EXT_SIZE = 1
+
+#: The default tenant everything unlabelled is accounted against.
+DEFAULT_TENANT = 0
+
+#: Size of the AEAD nonce carried by SEAL/OPEN (LacHybrid's nonce).
+SESSION_NONCE_SIZE = 12
+
+#: Size of the AEAD tag carried by SEAL/OPEN (SHA-256 based HMAC-style).
+SESSION_TAG_SIZE = 32
 
 #: Largest deadline the 4-byte wire field can carry (µs; ~71 minutes).
 MAX_DEADLINE_US = (1 << 32) - 1
@@ -178,6 +235,15 @@ class Op(IntEnum):
     #: :meth:`repro.serve.KemService.remove_keypair`; the cluster
     #: router uses it to pull keys off members during rebalancing).
     REMOVE_KEY = 5
+    #: Open a secure-channel session: encapsulate under the named key
+    #: and derive the channel keys (``LacHybrid``-compatible).
+    SESSION_OPEN = 6
+    #: Encrypt-and-MAC a plaintext on an open session.
+    SEAL = 7
+    #: Verify-and-decrypt a sealed body on an open session.
+    OPEN = 8
+    #: Discard an open session's channel keys.
+    SESSION_CLOSE = 9
 
 
 class Status(IntEnum):
@@ -227,17 +293,50 @@ class FrameWriter(Protocol):
         ...
 
 
-#: Parameter-set ids on the wire, in ascending security order.
+#: LAC parameter-set ids on the wire, in ascending security order.
+#: (Scheme 0's low nibble; kept for the legacy shims below.)
 PARAM_IDS: dict[str, int] = {p.name: i for i, p in enumerate(ALL_PARAMS)}
 
 
+def params_for_wire_id(wire_id: int) -> tuple[Any, Any]:
+    """Decode a frame param byte into ``(scheme, params)``.
+
+    Thin wrapper over :func:`repro.schemes.params_for_wire_id` that
+    raises the protocol-typed error, since a bad param byte on the
+    wire is a framing problem, not a library misuse.
+    """
+    try:
+        return _params_for_wire_id(wire_id)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from None
+
+
 def id_for_params(params: LacParams) -> int:
-    """The wire id of a parameter set."""
+    """Deprecated: the LAC-only wire id of a parameter set.
+
+    Use :func:`repro.schemes.wire_id_for_params`, which qualifies the
+    id with the scheme (identical values for LAC parameter sets).
+    """
+    warnings.warn(
+        "id_for_params() is deprecated; use "
+        "repro.schemes.wire_id_for_params()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return PARAM_IDS[params.name]
 
 
 def params_for_id(param_id: int) -> LacParams:
-    """The parameter set behind a wire id (raises on unknown ids)."""
+    """Deprecated: the LAC parameter set behind a wire id.
+
+    Use :func:`params_for_wire_id`, which returns the owning scheme
+    alongside the parameter set and understands non-LAC ids.
+    """
+    warnings.warn(
+        "params_for_id() is deprecated; use params_for_wire_id()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not 0 <= param_id < len(ALL_PARAMS):
         raise ProtocolError(f"unknown parameter-set id {param_id}")
     return ALL_PARAMS[param_id]
@@ -247,10 +346,11 @@ def params_for_id(param_id: int) -> LacParams:
 class Frame:
     """One protocol message (either direction).
 
-    ``trace`` is the optional propagated trace context and ``qos`` the
-    optional per-request deadline/tier spec; each present extension
-    sets its bit in the version byte (so a frame with neither is
-    bit-identical to the pre-extension protocol).
+    ``trace`` is the optional propagated trace context, ``qos`` the
+    optional per-request deadline/tier spec and ``tenant`` the
+    optional tenant id (``None`` means the default tenant 0); each
+    present extension sets its bit in the version byte (so a frame
+    with none is bit-identical to the pre-extension protocol).
     """
 
     op: Op
@@ -260,6 +360,7 @@ class Frame:
     payload: bytes = field(default=b"", repr=False)
     trace: TraceContext | None = None
     qos: QosSpec | None = None
+    tenant: int | None = None
 
     def to_bytes(self) -> bytes:
         """Serialize header (+ optional extensions) + payload."""
@@ -267,11 +368,15 @@ class Frame:
             raise ProtocolError(
                 f"payload of {len(self.payload)} bytes too large", "oversized"
             )
+        if self.tenant is not None and not 0 <= self.tenant <= 0xFF:
+            raise ProtocolError("tenant id must fit one byte", "bad-tenant")
         version = VERSION
         if self.trace is not None:
             version += _FLAG_TRACE
         if self.qos is not None:
             version += _FLAG_QOS
+        if self.tenant is not None:
+            version += _FLAG_TENANT
         header = _HEADER.pack(
             MAGIC,
             version,
@@ -286,6 +391,8 @@ class Frame:
             extensions += _TRACE_EXT.pack(self.trace.trace_id, self.trace.span_id)
         if self.qos is not None:
             extensions += _QOS_EXT.pack(self.qos.deadline_us, self.qos.tier)
+        if self.tenant is not None:
+            extensions += bytes([self.tenant])
         return header + extensions + self.payload
 
 
@@ -293,17 +400,18 @@ def parse_header(header: bytes) -> tuple[Frame, int]:
     """Decode a 14-byte header into a payload-less frame + payload length.
 
     Raises :class:`ProtocolError` on bad magic, version, op, status or
-    an oversized announced payload.  Versions 1–4 are accepted; use
-    :func:`header_has_trace` / :func:`header_has_qos` to learn which
-    extensions follow, and :func:`parse_trace_ext` /
-    :func:`parse_qos_ext` to decode them into the frame.
+    an oversized announced payload.  Versions 1–8 are accepted; use
+    :func:`header_has_trace` / :func:`header_has_qos` /
+    :func:`header_has_tenant` to learn which extensions follow, and
+    :func:`parse_trace_ext` / :func:`parse_qos_ext` to decode them
+    into the frame.
     """
     if len(header) != HEADER_SIZE:
         raise ProtocolError(f"header must be {HEADER_SIZE} bytes", "truncated")
     magic, version, op, status, param_id, request_id, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}", "bad-magic")
-    if not VERSION <= version <= VERSION_TRACED_QOS:
+    if not VERSION <= version <= VERSION_MAX:
         raise ProtocolError(f"unsupported version {version}", "bad-version")
     try:
         op = Op(op)
@@ -325,6 +433,11 @@ def header_has_trace(header: bytes) -> bool:
 def header_has_qos(header: bytes) -> bool:
     """Whether this (already validated) header announces a QoS extension."""
     return bool((header[2] - VERSION) & _FLAG_QOS)
+
+
+def header_has_tenant(header: bytes) -> bool:
+    """Whether this (already validated) header announces a tenant byte."""
+    return bool((header[2] - VERSION) & _FLAG_TENANT)
 
 
 def parse_trace_ext(extension: bytes) -> TraceContext:
@@ -368,6 +481,11 @@ def decode_frame(buf: bytes) -> tuple[Frame, int]:
             raise ProtocolError("truncated QoS extension", "truncated")
         frame.qos = parse_qos_ext(buf[offset : offset + QOS_EXT_SIZE])
         offset += QOS_EXT_SIZE
+    if header_has_tenant(buf[:HEADER_SIZE]):
+        if len(buf) < offset + TENANT_EXT_SIZE:
+            raise ProtocolError("truncated tenant extension", "truncated")
+        frame.tenant = buf[offset]
+        offset += TENANT_EXT_SIZE
     end = offset + length
     if len(buf) < end:
         raise ProtocolError("truncated payload", "truncated")
@@ -407,6 +525,13 @@ async def read_frame(reader: FrameReader) -> Frame | None:
             raise ProtocolError(
                 "connection closed mid-qos-extension", "truncated"
             ) from None
+    if header_has_tenant(header):
+        try:
+            frame.tenant = (await reader.readexactly(TENANT_EXT_SIZE))[0]
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(
+                "connection closed mid-tenant-extension", "truncated"
+            ) from None
     if length:
         try:
             frame.payload = await reader.readexactly(length)
@@ -434,6 +559,10 @@ def recv_frame(sock: socket.socket) -> Frame | None:
         extension = _recv_exactly(sock, QOS_EXT_SIZE)
         assert extension is not None
         frame.qos = parse_qos_ext(extension)
+    if header_has_tenant(header):
+        extension = _recv_exactly(sock, TENANT_EXT_SIZE)
+        assert extension is not None
+        frame.tenant = extension[0]
     if length:
         payload = _recv_exactly(sock, length)
         assert payload is not None
@@ -482,14 +611,21 @@ def pack_encaps_request(key_id: int, message: bytes | None = None) -> bytes:
     return pack_key_id(key_id) + (message or b"")
 
 
-def unpack_encaps_response(params: LacParams, payload: bytes) -> tuple[bytes, bytes]:
-    """Split an ENCAPS OK-payload into (ciphertext bytes, shared secret)."""
-    expected = params.ciphertext_bytes + 32
+def unpack_encaps_response(params: Any, payload: bytes) -> tuple[bytes, bytes]:
+    """Split an ENCAPS OK-payload into (ciphertext bytes, shared secret).
+
+    ``params`` may be any registered scheme's parameter set (or a
+    :class:`repro.schemes.ParamId`/name); the ciphertext size is read
+    from the owning scheme's wire metadata.
+    """
+    scheme, resolved = _registry.resolve(params)
+    ct_bytes = scheme.ciphertext_wire_bytes(resolved)
+    expected = ct_bytes + scheme.shared_secret_bytes(resolved)
     if len(payload) != expected:
         raise ProtocolError(
             f"ENCAPS response must be {expected} bytes, got {len(payload)}"
         )
-    return payload[: params.ciphertext_bytes], payload[params.ciphertext_bytes:]
+    return payload[:ct_bytes], payload[ct_bytes:]
 
 
 def pack_decaps_request(key_id: int, ciphertext: bytes) -> bytes:
@@ -497,11 +633,60 @@ def pack_decaps_request(key_id: int, ciphertext: bytes) -> bytes:
     return pack_key_id(key_id) + ciphertext
 
 
-def unpack_keygen_response(params: LacParams, payload: bytes) -> tuple[int, bytes]:
+def unpack_keygen_response(params: Any, payload: bytes) -> tuple[int, bytes]:
     """Split a KEYGEN OK-payload into (key id, public-key bytes)."""
+    scheme, resolved = _registry.resolve(params)
+    pk_bytes = scheme.public_key_wire_bytes(resolved)
     key_id, pk = unpack_key_id(payload)
-    if len(pk) != params.public_key_bytes:
-        raise ProtocolError(
-            f"KEYGEN response pk must be {params.public_key_bytes} bytes"
-        )
+    if len(pk) != pk_bytes:
+        raise ProtocolError(f"KEYGEN response pk must be {pk_bytes} bytes")
     return key_id, pk
+
+
+# ---------------------------------------------------------------------------
+# secure-channel session payloads
+# ---------------------------------------------------------------------------
+
+
+def pack_session_open_request(key_id: int, message: bytes | None = None) -> bytes:
+    """SESSION_OPEN request: key id plus an optional fixed KEM message."""
+    return pack_key_id(key_id) + (message or b"")
+
+
+def unpack_session_open_response(
+    params: Any, payload: bytes
+) -> tuple[int, bytes, bytes]:
+    """Split a SESSION_OPEN OK-payload into (session id, KEM ct, shared)."""
+    scheme, resolved = _registry.resolve(params)
+    ct_bytes = scheme.ciphertext_wire_bytes(resolved)
+    expected = _KEY_ID.size + ct_bytes + scheme.shared_secret_bytes(resolved)
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"SESSION_OPEN response must be {expected} bytes, got {len(payload)}"
+        )
+    session_id, rest = unpack_key_id(payload)
+    return session_id, rest[:ct_bytes], rest[ct_bytes:]
+
+
+def pack_seal_request(session_id: int, nonce: bytes, plaintext: bytes) -> bytes:
+    """SEAL request: session id || nonce (12) || plaintext."""
+    if len(nonce) != SESSION_NONCE_SIZE:
+        raise ProtocolError(f"nonce must be {SESSION_NONCE_SIZE} bytes")
+    return pack_key_id(session_id) + nonce + plaintext
+
+
+def pack_open_request(session_id: int, nonce: bytes, sealed: bytes) -> bytes:
+    """OPEN request: session id || nonce (12) || body || tag (32)."""
+    if len(nonce) != SESSION_NONCE_SIZE:
+        raise ProtocolError(f"nonce must be {SESSION_NONCE_SIZE} bytes")
+    if len(sealed) < SESSION_TAG_SIZE:
+        raise ProtocolError("sealed body shorter than its tag")
+    return pack_key_id(session_id) + nonce + sealed
+
+
+def unpack_session_request(payload: bytes) -> tuple[int, bytes, bytes]:
+    """Split a SEAL/OPEN request into (session id, nonce, body)."""
+    session_id, rest = unpack_key_id(payload)
+    if len(rest) < SESSION_NONCE_SIZE:
+        raise ProtocolError("payload too short for a session nonce")
+    return session_id, rest[:SESSION_NONCE_SIZE], rest[SESSION_NONCE_SIZE:]

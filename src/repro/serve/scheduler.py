@@ -28,6 +28,16 @@ expects to take to fill the rest of the batch — under heavy load the
 wait collapses toward ``min_wait_us`` (the batch fills on its own
 anyway), under light load it is capped at ``max_wait_us`` so a lone
 request never stalls more than one bounded beat.
+
+**Multi-tenant fairness.**  With several tenants sharing one service
+(PR 10), dispatch order must not let one chatty tenant starve the
+others within a QoS tier.  :class:`DeficitRoundRobin` keeps a served-op
+deficit per tenant; when the scheduler is given a ``tenant_of``
+callable, batches flushing in the same beat are ordered by QoS tier
+first (unchanged) and then by how *under-served* their tenant is, and
+every dispatched batch charges its tenant's deficit.  The counters are
+relative — only differences matter — so they are periodically
+re-centred to stay bounded.
 """
 
 from __future__ import annotations
@@ -125,6 +135,58 @@ class AdaptiveDeadlinePolicy:
         return self._ewma_gap_us
 
 
+class DeficitRoundRobin:
+    """Deficit counters for tenant fair-share dispatch.
+
+    Each tenant accumulates "work served" (ops) in :meth:`charge`;
+    :meth:`balance` reports its counter relative to the *least*-served
+    tenant, so a tenant that has been served less sorts first.  Tenants
+    are created lazily at first sight with a deficit equal to the
+    current minimum (a newcomer is neither favoured nor punished for
+    history it was not part of).  Counters are re-centred whenever the
+    minimum drifts past ``recenter_at`` to keep the floats bounded over
+    long uptimes.
+    """
+
+    def __init__(self, recenter_at: float = 1e9) -> None:
+        if recenter_at <= 0:
+            raise ValueError("recenter_at must be positive")
+        self.recenter_at = recenter_at
+        self._served: dict[Hashable, float] = {}
+
+    def _floor(self) -> float:
+        return min(self._served.values()) if self._served else 0.0
+
+    def _touch(self, tenant: Hashable) -> None:
+        if tenant not in self._served:
+            self._served[tenant] = self._floor()
+
+    def charge(self, tenant: Hashable, ops: float) -> None:
+        """Record ``ops`` units of service dispatched for ``tenant``."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        self._touch(tenant)
+        self._served[tenant] += ops
+        floor = self._floor()
+        if floor > self.recenter_at:
+            for key in self._served:
+                self._served[key] -= floor
+
+    def balance(self, tenant: Hashable) -> float:
+        """``tenant``'s served count above the least-served tenant.
+
+        0.0 means maximally under-served (dispatch first); larger means
+        the tenant has already had more than its share this round.
+        """
+        self._touch(tenant)
+        return self._served[tenant] - self._floor()
+
+    def snapshot(self) -> dict[Hashable, float]:
+        """Relative served counters per tenant (min-normalised)."""
+        floor = self._floor()
+        return {tenant: served - floor for tenant, served in self._served.items()}
+
+
 @dataclass
 class Batch:
     """A flushed batch: its key, entries, and what triggered the flush."""
@@ -162,6 +224,12 @@ class MicroBatchScheduler:
     interactive work dispatches ahead of batch work that happened to
     expire in the same beat.  Entry order *within* a batch is
     untouched (a batch executes as one kernel call anyway).
+
+    ``tenant_of`` adds deficit-round-robin fair-share *within* a
+    priority level: ties on the QoS tier break toward the tenant whose
+    :class:`DeficitRoundRobin` balance is lowest, and every batch
+    returned from :meth:`poll`/:meth:`drain` (and flush-on-size from
+    :meth:`submit`) charges its tenant one deficit unit per entry.
     """
 
     def __init__(
@@ -169,12 +237,15 @@ class MicroBatchScheduler:
         max_batch: int = 64,
         policy: AdaptiveDeadlinePolicy | None = None,
         priority_of: Callable[[Any], int] | None = None,
+        tenant_of: Callable[[Any], Hashable] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         self.max_batch = max_batch
         self.policy = policy if policy is not None else AdaptiveDeadlinePolicy()
         self.priority_of = priority_of
+        self.tenant_of = tenant_of
+        self.fair_share = DeficitRoundRobin() if tenant_of is not None else None
         self._queues: dict[Hashable, _Queue] = {}
 
     # ------------------------------------------------------------------
@@ -198,18 +269,48 @@ class MicroBatchScheduler:
         queue.entries.append(entry)
         if len(queue.entries) >= self.max_batch:
             del self._queues[key]
-            return Batch(key, queue.entries, "size")
+            batch = Batch(key, queue.entries, "size")
+            self._charge(batch)
+            return batch
         return None
+
+    def _batch_tenant(self, batch: Batch) -> Hashable:
+        assert self.tenant_of is not None
+        return self.tenant_of(batch.entries[0])
+
+    def _charge(self, batch: Batch) -> None:
+        """Charge a dispatched batch to its tenant's deficit counter."""
+        if self.fair_share is not None:
+            self.fair_share.charge(self._batch_tenant(batch), len(batch.entries))
 
     def _ordered(self, batches: list[Batch]) -> list[Batch]:
         """Order flushed batches most-urgent-first (stable without a
-        ``priority_of``, so the default keeps submission order)."""
-        if self.priority_of is None or len(batches) < 2:
-            return batches
-        priority = self.priority_of
-        return sorted(
-            batches, key=lambda b: min(priority(e) for e in b.entries)
-        )
+        ``priority_of``, so the default keeps submission order), with
+        DRR fair-share breaking ties within a priority level, and
+        charge every returned batch to its tenant."""
+        if len(batches) >= 2 and (
+            self.priority_of is not None or self.fair_share is not None
+        ):
+            priority = self.priority_of
+            fair_share = self.fair_share
+
+            def sort_key(batch: Batch) -> tuple[float, float]:
+                tier = (
+                    min(priority(e) for e in batch.entries)
+                    if priority is not None
+                    else 0.0
+                )
+                balance = (
+                    fair_share.balance(self._batch_tenant(batch))
+                    if fair_share is not None
+                    else 0.0
+                )
+                return (tier, balance)
+
+            batches = sorted(batches, key=sort_key)
+        for batch in batches:
+            self._charge(batch)
+        return batches
 
     def poll(self, now: float) -> list[Batch]:
         """Flush every queue whose deadline has passed (urgent first)."""

@@ -1,7 +1,10 @@
 """The asyncio KEM service: transports, batching, backpressure, drain.
 
-:class:`KemService` hosts LAC key pairs and serves ``KEYGEN`` /
-``ENCAPS`` / ``DECAPS`` / ``INFO`` requests over the frame protocol of
+:class:`KemService` hosts key pairs of any registered
+:class:`repro.schemes.KemScheme` (LAC and NewHope ship registered) and
+serves ``KEYGEN`` / ``ENCAPS`` / ``DECAPS`` / ``INFO`` requests — plus
+the stateful secure-channel ops ``SESSION_OPEN`` / ``SEAL`` / ``OPEN``
+/ ``SESSION_CLOSE`` — over the frame protocol of
 :mod:`repro.serve.protocol`.  The interesting part is what happens
 between a request arriving and its response leaving:
 
@@ -17,7 +20,8 @@ between a request arriving and its response leaving:
    immediately (reason ``hopeless``);
 3. accepted requests enter the
    :class:`~repro.serve.scheduler.MicroBatchScheduler`, keyed by
-   ``(op, key id)``;
+   ``(op, key id, tenant)`` — per-tenant queues, with deficit-round-
+   robin fair-share breaking flush-order ties within a QoS tier;
 4. full batches (flush-on-size) dispatch immediately; a single timer
    task wakes at the scheduler's earliest adaptive deadline for the
    rest (flush-on-deadline);
@@ -31,6 +35,23 @@ between a request arriving and its response leaving:
 6. :meth:`KemService.shutdown` stops admission, drains every queue
    through the same dispatch path, awaits in-flight batches, then
    closes transports — no accepted request is ever dropped.
+
+**Multi-tenancy**: requests carry a wire tenant byte (protocol flag
+``0x4``; absent = tenant 0).  Tenants named in
+``ServiceConfig.tenant_quotas`` are admission-limited — hosted-key
+count, in-flight requests, and an ops/s token bucket — and an
+over-quota request is shed ``BUSY`` with
+``kem_shed_total{reason="quota",tenant=...}``.  Unlisted tenants are
+unlimited.  Tenants also label ``kem_tenant_requests_total``, the
+request trace spans, and the scheduler's fair-share counters.
+
+**Sessions**: ``SESSION_OPEN`` encapsulates against a hosted key of
+*any* registered scheme and derives an AEAD channel exactly as
+:class:`repro.lac.hybrid.LacHybrid` does, so a transcript of
+``kem_ct || nonce || body || tag`` is bit-identical to a ``LacHybrid``
+seal over the same inputs.  ``SEAL``/``OPEN`` run the channel; sessions
+are tenant-scoped (another tenant's session id is ``NOT_FOUND``) and
+answered inline, like ``INFO`` — they never enter the batch queue.
 
 Transports: ``serve_tcp`` (asyncio TCP), ``connect`` (an in-process
 ``socketpair`` — what the tests and the benchmark use; same frames, no
@@ -55,6 +76,7 @@ instrumentation site is a single false branch.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import secrets
 import socket
@@ -82,24 +104,28 @@ from repro.faults.plan import (
     FaultPlan,
     InjectedFault,
 )
-from repro.lac.kem import KemKeyPair, LacKem
+from repro.lac.hybrid import _derive_keys, _keystream, _tag
+from repro.lac.kem import LacKem
 from repro.lac.params import LacParams
 from repro.lac.pke import Ciphertext
-from repro.serve.config import ServiceConfig
+from repro.schemes import all_schemes, resolve, wire_id_for_params
+from repro.serve.config import ServiceConfig, TenantQuota
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
+    DEFAULT_TENANT,
     PARAM_NONE,
+    SESSION_TAG_SIZE,
     Frame,
     FrameReader,
     FrameWriter,
     Op,
     ProtocolError,
     Status,
-    id_for_params,
     pack_key_id,
-    params_for_id,
+    params_for_wire_id,
     read_frame,
     unpack_key_id,
+    unpack_session_request,
     write_frame,
 )
 from repro.serve.scheduler import AdaptiveDeadlinePolicy, Batch, MicroBatchScheduler
@@ -120,16 +146,24 @@ _T = TypeVar("_T")
 class HostedKey:
     """A key pair hosted by the service, addressable by ``key_id``.
 
-    ``fingerprints`` are the transform-cache handles returned by
-    :meth:`repro.backend.KemBackend.register_key`; kept so removal can
-    reclaim the key's cache entries.
+    ``scheme`` is the owning :class:`repro.schemes.KemScheme` and
+    ``wire_id`` its scheme-qualified param byte; ``kem`` is the cached
+    :class:`LacKem` for LAC keys (``None`` for other schemes — their
+    kernels run through the scheme adapter).  ``fingerprints`` are the
+    transform-cache handles returned by
+    :meth:`repro.backend.KemBackend.register_scheme_key`; kept so
+    removal can reclaim the key's cache entries.  ``tenant`` is the
+    tenant the key is charged to (quota accounting).
     """
 
     key_id: int
-    params: LacParams
-    kem: LacKem
-    pair: KemKeyPair
+    params: Any
+    kem: LacKem | None
+    pair: Any
     fingerprints: list[bytes] = field(default_factory=list)
+    scheme: Any = None
+    tenant: int = DEFAULT_TENANT
+    wire_id: int = 0
 
 
 @dataclass
@@ -140,11 +174,15 @@ class _Entry:
     respond: _Respond
     enqueued_at: float
     key: HostedKey | None = None  # ENCAPS/DECAPS
-    params: LacParams | None = None  # KEYGEN
+    params: Any = None  # KEYGEN
+    scheme: Any = None  # KEYGEN
     #: effective deadline budget (wire QoS or the config default) and
     #: priority tier — drive shedding and priority-aware flushing
     deadline_s: float | None = None
     tier: int = 0
+    #: the wire tenant (0 when the extension is absent) — drives quota
+    #: accounting, fair-share batching and the per-tenant metrics
+    tenant: int = DEFAULT_TENANT
     shed_reason: str | None = None
     message: bytes | None = None  # ENCAPS (None = server-random)
     seed: bytes | None = None  # KEYGEN
@@ -161,6 +199,57 @@ class _Entry:
     batch_size: int = 0
     trigger: str = ""
     kernel_tags: dict[str, Any] | None = None
+
+
+#: The session ops: answered inline (no batching), tenant-scoped.
+_SESSION_OPS = frozenset((Op.SESSION_OPEN, Op.SEAL, Op.OPEN, Op.SESSION_CLOSE))
+
+
+@dataclass
+class _TenantState:
+    """Runtime quota accounting for one configured tenant."""
+
+    quota: TenantQuota
+    keys: int = 0
+    inflight: int = 0
+    tokens: float = 0.0
+    last_refill: float | None = None
+
+    def refill(self, now: float) -> None:
+        """Top the token bucket up for the time elapsed since last seen."""
+        rate = self.quota.ops_per_s
+        if rate is None:
+            return
+        if self.last_refill is not None:
+            self.tokens = min(
+                self.quota.bucket_capacity,
+                self.tokens + (now - self.last_refill) * rate,
+            )
+        self.last_refill = now
+
+
+@dataclass
+class _Session:
+    """One open secure channel (``SESSION_OPEN`` .. ``SESSION_CLOSE``).
+
+    ``kem_ct`` is the encapsulation ciphertext the channel was opened
+    with — it binds every ``SEAL`` tag, exactly as
+    :class:`repro.lac.hybrid.LacHybrid` binds its tags, which is what
+    makes served transcripts bit-identical to the library's.
+    """
+
+    session_id: int
+    key_id: int
+    tenant: int
+    kem_ct: bytes
+    enc_key: bytes
+    mac_key: bytes
+
+
+def _xor_stream(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with the :func:`repro.lac.hybrid` keystream."""
+    stream = _keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream, strict=True))
 
 
 #: Old flat constructor kwargs that now live on :class:`ServiceConfig`.
@@ -208,7 +297,7 @@ def _fold_legacy_kwargs(
 
 
 class KemService:
-    """An async LAC KEM service with adaptive micro-batching.
+    """An async multi-scheme KEM service with adaptive micro-batching.
 
     Construct, ``await start()``, attach transports, ``await
     shutdown()``.  Tuning lives in one frozen :class:`ServiceConfig`
@@ -269,7 +358,16 @@ class KemService:
                 max_wait_us=config.max_wait_us, min_wait_us=config.min_wait_us
             ),
             priority_of=lambda e: e.tier,
+            tenant_of=lambda e: e.tenant,
         )
+        # quota accounting for the tenants named in the config;
+        # unlisted tenants are unlimited and never enter this table
+        self._tenants: dict[int, _TenantState] = {
+            quota.tenant: _TenantState(quota=quota, tokens=quota.bucket_capacity)
+            for quota in config.tenant_quotas
+        }
+        self._sessions: dict[int, _Session] = {}
+        self._next_session_id = 1
         # per-tier admission limits: tier i admits while pending <
         # high_watermark * tier_watermarks[i]; wire tiers beyond the
         # table clamp to the last (most aggressively shed) entry
@@ -348,8 +446,8 @@ class KemService:
         # warms at startup, not on the first serving batch
         for hosted in self._keys.values():
             if not hosted.fingerprints:
-                hosted.fingerprints = self._backend.register_key(
-                    hosted.params, hosted.pair.public_key, hosted.pair.secret_key
+                hosted.fingerprints = self._backend.register_scheme_key(
+                    hosted.scheme, hosted.params, hosted.pair
                 )
         if self.fault_plan is not None and self.fault_plan.observer is None:
             # every fault the plan fires is mirrored into the metrics,
@@ -440,27 +538,61 @@ class KemService:
 
     def add_keypair(
         self,
-        params: LacParams,
-        pair: KemKeyPair | None = None,
+        spec: Any,
+        pair: Any | None = None,
         seed: bytes | None = None,
+        *,
+        tenant: int = DEFAULT_TENANT,
     ) -> int:
         """Host a key pair (generating one unless given); returns its id.
 
-        With the backend up, the key registers with its per-key
-        transform cache immediately (keys added before :meth:`start`
-        register when the backend comes up).
+        ``spec`` is anything :func:`repro.schemes.resolve` accepts — a
+        :class:`~repro.schemes.ParamId`, a parameter-set name
+        (``"NewHope512"``), a wire id, or a scheme-native parameter
+        object such as :class:`LacParams` (the pre-PR-10 signature, so
+        existing callers keep working unchanged).  With the backend up,
+        the key registers with its per-key transform cache immediately
+        (keys added before :meth:`start` register when the backend
+        comes up).  Raises :class:`repro.errors.UnsupportedScheme` when
+        the backend declines the scheme (e.g. a NewHope key on the
+        cosim backend, whose cycle model covers LAC only).
         """
-        kem = self.kem_for(params)
+        scheme, params = resolve(spec)
         if pair is None:
-            pair = kem.keygen(seed)
+            pair = scheme.keygen(params, seed)
+        return self._register_pair(scheme, params, pair, tenant=tenant)
+
+    def _register_pair(
+        self,
+        scheme: Any,
+        params: Any,
+        pair: Any,
+        *,
+        tenant: int = DEFAULT_TENANT,
+    ) -> int:
+        """The one registration path: wire KEYGEN, programmatic
+        :meth:`add_keypair` and :class:`ThreadedService` all land here,
+        so the hosted-key table cannot drift between entry points."""
         key_id = self._next_key_id
         self._next_key_id += 1
-        hosted = HostedKey(key_id, params, kem, pair)
+        kem = self.kem_for(params) if isinstance(params, LacParams) else None
+        hosted = HostedKey(
+            key_id,
+            params,
+            kem,
+            pair,
+            scheme=scheme,
+            tenant=tenant,
+            wire_id=wire_id_for_params(params),
+        )
         if self._backend is not None:
-            hosted.fingerprints = self._backend.register_key(
-                params, pair.public_key, pair.secret_key
+            hosted.fingerprints = self._backend.register_scheme_key(
+                scheme, params, pair
             )
         self._keys[key_id] = hosted
+        state = self._tenants.get(tenant)
+        if state is not None:
+            state.keys += 1
         return key_id
 
     def remove_keypair(self, key_id: int) -> bool:
@@ -479,6 +611,9 @@ class KemService:
         if self._backend is not None and hosted.fingerprints:
             self._backend.invalidate_key(hosted.fingerprints)
         hosted.fingerprints = []
+        state = self._tenants.get(hosted.tenant)
+        if state is not None and state.keys > 0:
+            state.keys -= 1
         return True
 
     def hosted_key(self, key_id: int) -> HostedKey | None:
@@ -630,11 +765,41 @@ class KemService:
         )
         self.metrics.observe_stage("admission", max(duration, 0.0))
 
+    def _tenant_admit(self, op: Op, tenant: int) -> str | None:
+        """Check (and charge) ``tenant``'s quota for one request.
+
+        Returns ``None`` to admit, or the exhausted limit —
+        ``"keys"`` (KEYGEN would exceed ``max_keys``), ``"inflight"``
+        (``max_inflight`` accepted-but-unanswered requests), or
+        ``"rate"`` (the ops/s token bucket is empty).  Admission costs
+        one token; tenants without a configured quota are unlimited.
+        """
+        state = self._tenants.get(tenant)
+        if state is None:
+            return None
+        quota = state.quota
+        if (
+            op is Op.KEYGEN
+            and quota.max_keys is not None
+            and state.keys >= quota.max_keys
+        ):
+            return "keys"
+        if quota.max_inflight is not None and state.inflight >= quota.max_inflight:
+            return "inflight"
+        if quota.ops_per_s is not None:
+            state.refill(self._clock())
+            if state.tokens < 1.0:
+                return "rate"
+            state.tokens -= 1.0
+        return None
+
     async def _handle_frame(self, frame: Frame, respond: _Respond) -> None:
         op = frame.op
         tracer = self.tracer
         t_read = self._clock() if tracer.enabled else 0.0
+        tenant = frame.tenant if frame.tenant is not None else DEFAULT_TENANT
         self.metrics.record_request(op.name)
+        self.metrics.record_tenant_request(tenant)
         if op is Op.INFO:
             await respond(self._info_response(frame))
             self.metrics.record_response(op.name, Status.OK.name)
@@ -686,6 +851,29 @@ class KemService:
             if qos is not None and qos.deadline_us
             else self.config.default_deadline_s
         )
+        # tenant quota: the tenant's own key/in-flight/rate budget is
+        # checked before any shared-capacity gate, so an over-quota
+        # tenant is shed by *its* limits, never by crowding others out
+        over_quota = self._tenant_admit(op, tenant)
+        if over_quota is not None:
+            self.metrics.record_shed("quota", tier, tenant)
+            await respond(
+                self._error(
+                    frame, Status.BUSY,
+                    f"tenant {tenant} over quota ({over_quota})",
+                )
+            )
+            self._trace_reject(
+                frame, t_read, Status.BUSY,
+                shed_reason="quota", tier=tier, tenant=tenant,
+            )
+            return
+        if op in _SESSION_OPS:
+            # stateful channel ops: answered inline like INFO — they
+            # never enter the batch queue (the quota gate above still
+            # applies, so a chatty tenant cannot flood the channel path)
+            await self._handle_session(frame, respond, tenant, t_read)
+            return
         # per-tier watermark: lower tiers stop admitting before the
         # queue is full, reserving the remaining headroom for
         # interactive traffic (tier 0 keeps the classic full-queue BUSY)
@@ -694,7 +882,7 @@ class KemService:
             # count the shed before the response goes out: once the
             # client sees BUSY the metric must already be observable
             if limit < self.high_watermark:
-                self.metrics.record_shed("watermark", tier)
+                self.metrics.record_shed("watermark", tier, tenant)
             await respond(
                 self._error(
                     frame, Status.BUSY, f"{self._pending} requests pending"
@@ -716,7 +904,7 @@ class KemService:
             if estimate is not None and predicted_miss(0.0, estimate, deadline_s):
                 # count the shed before the response goes out: once the
                 # client sees BUSY the metric must already be observable
-                self.metrics.record_shed("hopeless", tier)
+                self.metrics.record_shed("hopeless", tier, tenant)
                 await respond(
                     self._error(
                         frame, Status.BUSY,
@@ -754,42 +942,61 @@ class KemService:
     def _parse_request(self, frame: Frame, respond: _Respond) -> _Entry:
         now = self._clock()
         op, payload = frame.op, frame.payload
+        tenant = frame.tenant if frame.tenant is not None else DEFAULT_TENANT
         if op is Op.KEYGEN:
-            params = params_for_id(frame.param_id)
-            if payload and len(payload) != params.seed_bytes + 32:
+            scheme, params = params_for_wire_id(frame.param_id)
+            backend = self._backend
+            if backend is not None and not backend.supports_scheme(scheme):
                 raise ProtocolError(
-                    f"KEYGEN seed must be {params.seed_bytes + 32} bytes or empty"
+                    f"backend {backend.name!r} does not support scheme "
+                    f"{scheme.name!r}"
                 )
-            return _Entry(frame, respond, now, params=params, seed=payload or None)
+            seed_len = scheme.seed_len(params)
+            if payload and len(payload) != seed_len:
+                raise ProtocolError(
+                    f"KEYGEN seed must be {seed_len} bytes or empty"
+                )
+            return _Entry(
+                frame, respond, now, params=params, scheme=scheme,
+                seed=payload or None, tenant=tenant,
+            )
         key_id, rest = unpack_key_id(payload)
         key = self._keys.get(key_id)
         if key is None:
             raise KeyError(f"unknown key id {key_id}")
-        if frame.param_id != id_for_params(key.params):
+        if frame.param_id != key.wire_id:
             raise ProtocolError(
                 f"key {key_id} is {key.params.name}, not parameter id "
                 f"{frame.param_id}"
             )
         if op is Op.ENCAPS:
-            if rest and len(rest) != key.params.message_bytes:
+            message_bytes = key.scheme.message_bytes(key.params)
+            if rest and len(rest) != message_bytes:
                 raise ProtocolError(
-                    f"message must be {key.params.message_bytes} bytes or empty"
+                    f"message must be {message_bytes} bytes or empty"
                 )
-            return _Entry(frame, respond, now, key=key, message=rest or None)
+            return _Entry(
+                frame, respond, now, key=key, message=rest or None, tenant=tenant
+            )
         if op is Op.DECAPS:
-            if len(rest) != key.params.ciphertext_bytes:
-                raise ProtocolError(
-                    f"ciphertext must be {key.params.ciphertext_bytes} bytes"
-                )
-            return _Entry(frame, respond, now, key=key, ct_bytes=rest)
+            ct_bytes = key.scheme.ciphertext_wire_bytes(key.params)
+            if len(rest) != ct_bytes:
+                raise ProtocolError(f"ciphertext must be {ct_bytes} bytes")
+            return _Entry(frame, respond, now, key=key, ct_bytes=rest, tenant=tenant)
         raise ProtocolError(f"unsupported op {op.name}")
 
     def _accept(self, op: Op, entry: _Entry) -> None:
         self._pending += 1
         self.metrics.adjust_queue_depth(+1)
+        state = self._tenants.get(entry.tenant)
+        if state is not None:
+            state.inflight += 1
+        # batches are per-tenant: one tenant's burst cannot ride in
+        # another tenant's batch, and the scheduler's DRR fair-share
+        # orders same-tier flushes by under-served tenant
         batch_key = (
-            (op, entry.key.key_id) if entry.key is not None
-            else (op, entry.params.name)
+            (op, entry.key.key_id, entry.tenant) if entry.key is not None
+            else (op, entry.scheme.name, entry.params.name, entry.tenant)
         )
         batch = self._scheduler.submit(batch_key, entry, self._clock())
         if batch is not None:
@@ -912,7 +1119,7 @@ class KemService:
                 # the wait already spent plus the expected kernel time
                 # overshoots the budget: answer TIMEOUT *before* burning
                 # backend capacity on a response nobody will use
-                self.metrics.record_shed("predicted-miss", entry.tier)
+                self.metrics.record_shed("predicted-miss", entry.tier, entry.tenant)
                 entry.shed_reason = "predicted-miss"
                 await self._finish(
                     entry,
@@ -981,7 +1188,7 @@ class KemService:
                 # within SLO" a server-side guarantee.  KEYGEN is
                 # exempt: its response names a now-hosted key the
                 # client must learn about either way
-                self.metrics.record_shed("missed", entry.tier)
+                self.metrics.record_shed("missed", entry.tier, entry.tenant)
                 entry.shed_reason = "missed"
                 await self._finish(
                     entry,
@@ -1062,43 +1269,83 @@ class KemService:
         wrapper = self._kernel_wrapper(live)
         if op is Op.KEYGEN:
             params = live[0].params
-            assert params is not None
-            pairs = await asyncio.wrap_future(
-                backend.submit_keygen(
-                    params, [e.seed for e in live], wrapper=wrapper
+            scheme = live[0].scheme
+            assert params is not None and scheme is not None
+            if isinstance(params, LacParams):
+                # LAC rides the typed backend hook: batched kernels,
+                # transform-cache warmup, cosim cycle accounting
+                pairs = await asyncio.wrap_future(
+                    backend.submit_keygen(
+                        params, [e.seed for e in live], wrapper=wrapper
+                    )
                 )
-            )
+            else:
+                seeds = [e.seed for e in live]
+                pairs = await asyncio.wrap_future(
+                    backend.submit_task(
+                        lambda: [scheme.keygen(params, seed) for seed in seeds],
+                        wrapper=wrapper,
+                    )
+                )
             return [
-                pack_key_id(self.add_keypair(e.params, pair))
-                + pair.public_key.to_bytes()
+                pack_key_id(
+                    self._register_pair(scheme, params, pair, tenant=e.tenant)
+                )
+                + scheme.public_key_bytes_of(params, pair)
                 for e, pair in zip(live, pairs, strict=True)
             ]
         key = live[0].key
         assert key is not None
+        scheme = key.scheme
         if op is Op.ENCAPS:
+            message_bytes = scheme.message_bytes(key.params)
             messages = [
                 e.message
                 if e.message is not None
-                else secrets.token_bytes(key.params.message_bytes)
+                else secrets.token_bytes(message_bytes)
                 for e in live
             ]
-            results = await asyncio.wrap_future(
-                backend.submit_encaps(
-                    key.params, key.pair.public_key, messages, wrapper=wrapper
+            if key.kem is not None:
+                results = await asyncio.wrap_future(
+                    backend.submit_encaps(
+                        key.params, key.pair.public_key, messages, wrapper=wrapper
+                    )
+                )
+                return [r.ciphertext.to_bytes() + r.shared_secret for r in results]
+            encapsulated = await asyncio.wrap_future(
+                backend.submit_task(
+                    lambda: scheme.encaps_many(key.params, key.pair, messages),
+                    wrapper=wrapper,
                 )
             )
-            return [r.ciphertext.to_bytes() + r.shared_secret for r in results]
-        ciphertexts = [Ciphertext.from_bytes(key.params, e.ct_bytes) for e in live]
+            return [ct + shared for ct, shared in encapsulated]
+        if key.kem is not None:
+            ciphertexts = [
+                Ciphertext.from_bytes(key.params, e.ct_bytes) for e in live
+            ]
+            return list(
+                await asyncio.wrap_future(
+                    backend.submit_decaps(
+                        key.params, key.pair.secret_key, ciphertexts,
+                        wrapper=wrapper,
+                    )
+                )
+            )
+        blobs = [e.ct_bytes for e in live]
         return list(
             await asyncio.wrap_future(
-                backend.submit_decaps(
-                    key.params, key.pair.secret_key, ciphertexts, wrapper=wrapper
+                backend.submit_task(
+                    lambda: scheme.decaps_many(key.params, key.pair, blobs),
+                    wrapper=wrapper,
                 )
             )
         )
 
     async def _finish(self, entry: _Entry, status: Status, payload: bytes) -> None:
         self._pending -= 1
+        state = self._tenants.get(entry.tenant)
+        if state is not None and state.inflight > 0:
+            state.inflight -= 1
         frame = entry.frame
         self.metrics.record_response(frame.op.name, status.name)
         self.metrics.observe_latency(
@@ -1136,6 +1383,8 @@ class KemService:
             tags["key_id"] = entry.key.key_id
         if entry.tier:
             tags["tier"] = entry.tier
+        if entry.tenant:
+            tags["tenant"] = entry.tenant
         if entry.shed_reason is not None:
             tags["shed_reason"] = entry.shed_reason
         if entry.batch_size:
@@ -1178,6 +1427,122 @@ class KemService:
         stage("reply", entry.t_kernel_end, t_done)
 
     # ------------------------------------------------------------------
+    # sessions (the secure-channel workload)
+    # ------------------------------------------------------------------
+
+    async def _handle_session(
+        self, frame: Frame, respond: _Respond, tenant: int, t_read: float
+    ) -> None:
+        """Serve one secure-channel op inline (never batched).
+
+        ``SESSION_OPEN`` encapsulates via the hosted key's backend path
+        and derives the channel keys with
+        :func:`repro.lac.hybrid._derive_keys`; ``SEAL``/``OPEN`` run
+        the same keystream/tag construction as
+        :class:`~repro.lac.hybrid.LacHybrid`, so served transcripts are
+        bit-identical to the library's.  Sessions are tenant-scoped:
+        another tenant's session id answers ``NOT_FOUND``.
+        """
+        op = frame.op
+        started = self._clock()
+
+        async def ok(payload: bytes = b"") -> None:
+            self.metrics.record_response(op.name, Status.OK.name)
+            self.metrics.observe_latency(op.name, (self._clock() - started) * 1e6)
+            await respond(
+                Frame(
+                    op, frame.request_id, frame.param_id, Status.OK, payload,
+                    trace=frame.trace,
+                )
+            )
+
+        async def not_found(message: str) -> None:
+            await respond(self._error(frame, Status.NOT_FOUND, message))
+            self._trace_reject(frame, t_read, Status.NOT_FOUND, tenant=tenant)
+
+        try:
+            if op is Op.SESSION_OPEN:
+                key_id, rest = unpack_key_id(frame.payload)
+                key = self._keys.get(key_id)
+                if key is None:
+                    await not_found(f"unknown key id {key_id}")
+                    return
+                message_bytes = key.scheme.message_bytes(key.params)
+                if rest and len(rest) != message_bytes:
+                    raise ProtocolError(
+                        f"message must be {message_bytes} bytes or empty"
+                    )
+                message = rest or secrets.token_bytes(message_bytes)
+                ct_bytes, shared = await self._session_encaps(key, message)
+                enc_key, mac_key = _derive_keys(shared)
+                session_id = self._next_session_id
+                self._next_session_id += 1
+                self._sessions[session_id] = _Session(
+                    session_id, key.key_id, tenant, ct_bytes, enc_key, mac_key
+                )
+                await ok(pack_key_id(session_id) + ct_bytes + shared)
+                return
+            if op is Op.SESSION_CLOSE:
+                session_id, _ = unpack_key_id(frame.payload)
+                session = self._sessions.get(session_id)
+                if session is None or session.tenant != tenant:
+                    await not_found(f"unknown session id {session_id}")
+                    return
+                del self._sessions[session_id]
+                await ok()
+                return
+            session_id, nonce, rest = unpack_session_request(frame.payload)
+            session = self._sessions.get(session_id)
+            if session is None or session.tenant != tenant:
+                await not_found(f"unknown session id {session_id}")
+                return
+            if op is Op.SEAL:
+                body = _xor_stream(session.enc_key, nonce, rest)
+                tag = _tag(session.mac_key, session.kem_ct + nonce + body)
+                await ok(body + tag)
+                return
+            if len(rest) < SESSION_TAG_SIZE:
+                raise ProtocolError(
+                    f"sealed body must carry a {SESSION_TAG_SIZE}-byte tag"
+                )
+            body, tag = rest[:-SESSION_TAG_SIZE], rest[-SESSION_TAG_SIZE:]
+            expected = _tag(session.mac_key, session.kem_ct + nonce + body)
+            if not hmac.compare_digest(expected, tag):
+                await respond(
+                    self._error(frame, Status.BAD_REQUEST, "authentication failed")
+                )
+                self._trace_reject(
+                    frame, t_read, Status.BAD_REQUEST, tenant=tenant
+                )
+                return
+            await ok(_xor_stream(session.enc_key, nonce, body))
+        except ProtocolError as exc:
+            await respond(self._error(frame, Status.BAD_REQUEST, str(exc)))
+            self._trace_reject(frame, t_read, Status.BAD_REQUEST, tenant=tenant)
+
+    async def _session_encaps(
+        self, key: HostedKey, message: bytes
+    ) -> tuple[bytes, bytes]:
+        """One encapsulation against a hosted key, on the backend.
+
+        LAC keys ride the typed :meth:`submit_encaps` hook (transform
+        cache, cosim cycle accounting); other schemes run their adapter
+        through :meth:`submit_task`.
+        """
+        backend = self._backend
+        assert backend is not None, "start() the service first"
+        if key.kem is not None:
+            results = await asyncio.wrap_future(
+                backend.submit_encaps(key.params, key.pair.public_key, [message])
+            )
+            return results[0].ciphertext.to_bytes(), results[0].shared_secret
+        scheme, params, pair = key.scheme, key.params, key.pair
+        ct_bytes, shared = await asyncio.wrap_future(
+            backend.submit_task(lambda: scheme.encaps_one(params, pair, message))
+        )
+        return ct_bytes, shared
+
+    # ------------------------------------------------------------------
     # INFO
     # ------------------------------------------------------------------
 
@@ -1207,6 +1572,32 @@ class KemService:
                 "autoscale": self.config.autoscale,
                 "cycle_priors": self.config.cycle_priors,
                 "estimator": self._estimator.snapshot(),
+                "schemes": {
+                    scheme.name: [p.name for p in scheme.param_sets]
+                    for scheme in all_schemes()
+                },
+                "sessions": len(self._sessions),
+                "tenants": {
+                    str(tenant): {
+                        "keys": state.keys,
+                        "inflight": state.inflight,
+                        "tokens": round(state.tokens, 3),
+                        "max_keys": state.quota.max_keys,
+                        "max_inflight": state.quota.max_inflight,
+                        "ops_per_s": state.quota.ops_per_s,
+                    }
+                    for tenant, state in sorted(self._tenants.items())
+                },
+                "fair_share": (
+                    {
+                        str(tenant): round(balance, 3)
+                        for tenant, balance in sorted(
+                            self._scheduler.fair_share.snapshot().items()
+                        )
+                    }
+                    if self._scheduler.fair_share is not None
+                    else None
+                ),
             }
             payload = json.dumps(snap).encode()
         return Frame(
@@ -1292,11 +1683,22 @@ class ThreadedService:
         """A new in-process connection as a blocking client socket."""
         return self._call(self._service().connect_socket())
 
-    def add_keypair(self, params: LacParams, seed: bytes | None = None) -> int:
-        """Host a key pair on the service thread; returns its id."""
+    def add_keypair(
+        self,
+        spec: Any,
+        seed: bytes | None = None,
+        *,
+        tenant: int = DEFAULT_TENANT,
+    ) -> int:
+        """Host a key pair on the service thread; returns its id.
+
+        Same registration path as :meth:`KemService.add_keypair`
+        (``spec`` is anything :func:`repro.schemes.resolve` accepts),
+        so the wire handler and both programmatic APIs cannot drift.
+        """
 
         async def _add() -> int:
-            return self._service().add_keypair(params, seed=seed)
+            return self._service().add_keypair(spec, seed=seed, tenant=tenant)
 
         return self._call(_add())
 

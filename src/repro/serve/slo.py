@@ -208,11 +208,11 @@ class CycleCostEstimator:
         prediction before any batch has run.
         """
         from repro.lac.params import ALL_PARAMS
-        from repro.serve.protocol import id_for_params
+        from repro.schemes import wire_id_for_params
 
         out: dict[object, float] = {}
         for params in params_list if params_list is not None else ALL_PARAMS:
-            param_id = id_for_params(params)
+            param_id = wire_id_for_params(params)
             for op_name in ("KEYGEN", "ENCAPS", "DECAPS"):
                 out[(op_name, param_id)] = self.op_seconds(params, op_name)
         return out

@@ -480,3 +480,88 @@ class TestCosimServiceParity:
             assert shared == reference.shared_secret
             assert client.decaps(key_id, ct_bytes) == shared
             client.close()
+
+
+class TestCrossSchemeConformance:
+    """The scheme seam: NewHope bit-parity vs ``repro.newhope.cca``.
+
+    Non-LAC schemes reach backends through ``register_scheme_key`` +
+    ``submit_task`` (the server's dispatch path for anything without
+    typed LAC hooks), so the sweep drives exactly those entry points
+    over the inline, thread and process backends and pins the results
+    against direct ``NewHopeCcaKem`` calls.  The cosim backend models
+    only LAC cycle costs and must *refuse* the registration with a
+    typed :class:`UnsupportedScheme` instead of tallying nonsense.
+    """
+
+    NH_SEED = bytes(range(64))
+
+    def _reference(self, params):
+        from repro.newhope.cca import NewHopeCcaKem
+
+        kem = NewHopeCcaKem(params)
+        return kem, kem.keygen(self.NH_SEED)
+
+    def test_supports_scheme_split(self, backend):
+        from repro.schemes import LAC_SCHEME, NEWHOPE_SCHEME
+
+        assert backend.supports_scheme(LAC_SCHEME)
+        expected = not isinstance(backend, CosimBackend)
+        assert backend.supports_scheme(NEWHOPE_SCHEME) is expected
+
+    def test_cosim_rejects_newhope_registration(self, cosim_backend):
+        from repro.errors import UnsupportedScheme
+        from repro.newhope.params import NEWHOPE_512
+        from repro.schemes import NEWHOPE_SCHEME
+
+        pair = NEWHOPE_SCHEME.keygen(NEWHOPE_512, self.NH_SEED)
+        with pytest.raises(UnsupportedScheme):
+            cosim_backend.register_scheme_key(NEWHOPE_SCHEME, NEWHOPE_512, pair)
+
+    def test_newhope_encaps_bit_identical(self, backend):
+        from repro.newhope.params import NEWHOPE_512
+        from repro.schemes import NEWHOPE_SCHEME
+
+        if not backend.supports_scheme(NEWHOPE_SCHEME):
+            pytest.skip("cosim models only LAC")
+        kem, sk = self._reference(NEWHOPE_512)
+        pair = NEWHOPE_SCHEME.keygen(NEWHOPE_512, self.NH_SEED)
+        backend.register_scheme_key(NEWHOPE_SCHEME, NEWHOPE_512, pair)
+        messages = [bytes([i]) * 32 for i in range(4)]
+        got = backend.submit_task(
+            lambda: NEWHOPE_SCHEME.encaps_many(NEWHOPE_512, pair, messages)
+        ).result()
+        for message, (ct_bytes, shared) in zip(messages, got):
+            ct, want_shared = kem.encaps(sk, message)
+            want_ct = (
+                ct.u_hat.astype("<u2").tobytes() + ct.v_compressed.tobytes()
+            )
+            assert ct_bytes == want_ct
+            assert shared == want_shared
+
+    def test_newhope_decaps_round_trip_and_rejection(self, backend):
+        from repro.newhope.params import NEWHOPE_512
+        from repro.schemes import NEWHOPE_SCHEME
+
+        if not backend.supports_scheme(NEWHOPE_SCHEME):
+            pytest.skip("cosim models only LAC")
+        kem, sk = self._reference(NEWHOPE_512)
+        pair = NEWHOPE_SCHEME.keygen(NEWHOPE_512, self.NH_SEED)
+        messages = [bytes([7 + i]) * 32 for i in range(3)]
+        blobs = [
+            ct for ct, _ in NEWHOPE_SCHEME.encaps_many(NEWHOPE_512, pair, messages)
+        ]
+        want = [s for _, s in NEWHOPE_SCHEME.encaps_many(NEWHOPE_512, pair, messages)]
+        got = backend.submit_task(
+            lambda: NEWHOPE_SCHEME.decaps_many(NEWHOPE_512, pair, blobs)
+        ).result()
+        assert got == want
+        # FO rejection parity: a flipped ciphertext byte must produce
+        # exactly the scalar reference's (rejecting) secret, not a crash
+        tampered = bytes([blobs[0][0] ^ 0x01]) + blobs[0][1:]
+        [via_backend] = backend.submit_task(
+            lambda: NEWHOPE_SCHEME.decaps_many(NEWHOPE_512, pair, [tampered])
+        ).result()
+        direct = kem.decaps(sk, NEWHOPE_SCHEME._parse_ct(NEWHOPE_512, tampered))
+        assert via_backend == direct
+        assert via_backend != want[0]

@@ -32,7 +32,7 @@ from repro.serve import (
     ThreadedService,
     predicted_miss,
 )
-from repro.serve.protocol import id_for_params
+from repro.schemes import wire_id_for_params
 
 SEED = bytes(range(64))
 MESSAGE = bytes(range(32))  # == the cycle model's seed[:32]
@@ -174,7 +174,7 @@ class TestCyclePriors:
             predicted.decapsulation / 1_000_000.0
         )
         priors = estimator.priors([LAC_128])
-        param_id = id_for_params(LAC_128)
+        param_id = wire_id_for_params(LAC_128)
         assert set(priors) == {
             ("KEYGEN", param_id),
             ("ENCAPS", param_id),
@@ -199,7 +199,7 @@ class TestCyclePriors:
                 profile="ise", clock_hz=1_000_000.0
             ).priors([LAC_128])
         )
-        key = ("KEYGEN", id_for_params(LAC_128))
+        key = ("KEYGEN", wire_id_for_params(LAC_128))
         estimate = estimator.batch_seconds(key)
         assert estimate is not None  # predicted before any batch ran
         assert predicted_miss(0.0, estimate, estimate / 2) is True
@@ -227,4 +227,4 @@ class TestCyclePriors:
                 client.keygen(LAC_128, SEED)
             client.close()
             sheds = svc.service.metrics.snapshot()["sheds"]
-        assert sheds.get("hopeless:0") == 1
+        assert sheds.get("hopeless:0:0") == 1

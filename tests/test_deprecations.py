@@ -12,6 +12,8 @@ deprecated surface                    documented replacement
 ``repro.batch.shared_executor()``     ``repro.backend.default_thread_backend()``
 flat ``KemService(max_batch=...)``    ``config=ServiceConfig(...)``
 ``KemService(executor=...)``          ``backend=ThreadBackend(executor=...)``
+``protocol.id_for_params()``          ``repro.schemes.wire_id_for_params()``
+``protocol.params_for_id()``          ``protocol.params_for_wire_id()``
 ====================================  ================================
 """
 
@@ -20,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.lac.params import ALL_PARAMS
 from repro.serve import KemService, ThreadedService
 
 
@@ -72,6 +75,41 @@ class TestFlatKwargShim:
     def test_unknown_kwargs_still_raise(self):
         with pytest.raises(TypeError):
             KemService(definitely_not_a_kwarg=1)
+
+
+class TestLacOnlyParamIdShims:
+    """The pre-registry LAC-only wire-id helpers stay importable."""
+
+    def test_id_for_params_warns_and_names_replacement(self):
+        from repro.serve.protocol import id_for_params
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ids = [id_for_params(p) for p in ALL_PARAMS]
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == len(ALL_PARAMS)
+        message = str(deprecations[0].message)
+        assert "id_for_params" in message
+        assert "wire_id_for_params" in message, (
+            "the warning must name the documented replacement"
+        )
+        # the shim still returns the historical wire values
+        assert ids == [0, 1, 2]
+
+    def test_params_for_id_warns_and_names_replacement(self):
+        from repro.serve.protocol import params_for_id
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            params = params_for_id(2)
+        message = sole_deprecation(caught)
+        assert "params_for_id" in message
+        assert "params_for_wire_id" in message, (
+            "the warning must name the documented replacement"
+        )
+        assert params is ALL_PARAMS[2]  # the shim still works
 
 
 class TestExecutorShim:

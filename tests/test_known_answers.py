@@ -56,6 +56,22 @@ NEWHOPE_VECTORS = {
     ),
 }
 
+#: scheme -> (sha256(wire pk), sha256(wire ct), shared_secret) for the
+#: *CCA* KEM in the serving stack's wire serialization (see
+#: ``repro.schemes.newhope`` for the format)
+NEWHOPE_CCA_VECTORS = {
+    "NewHope512": (
+        "fb5b1996075547f9261ac960a85c144709d58f6c52b452c2851651809c37b458",
+        "7c6227c320eeda7a706247020f873969eb98a556d2c050e311d3eb288a457ab3",
+        "6c97817e049e7171d0fd7b58e2f11b0c3fb54b9973a274567a4faf35bd426ce9",
+    ),
+    "NewHope1024": (
+        "cdfe5d6507b5eea2354255241e07d0409ff6e543c4e02bac603a129f217c9a87",
+        "fa705ef314a9e587b1f2576b2045763fca556693587a6ec17bbe776d82d5fd70",
+        "54705ff21f783226db5ec609dab3472a9a6936b1bf775b16a9d5fc94618a72c9",
+    ),
+}
+
 #: BCH generator polynomial bitmasks (hex) — mathematically determined
 #: by (GF(2^9), p(x) = 1 + x^4 + x^9, t), so these can never change.
 GENERATOR_MASKS = {
@@ -102,6 +118,22 @@ def test_lac_kat_through_the_service(params):
         client = KemClient(svc.connect())
         key_id, pk = client.keygen(params, SEED)
         assert hashlib.sha256(pk.to_bytes()).hexdigest() == pk_digest
+        ct_bytes, shared = client.encaps(key_id, MESSAGE)
+        assert hashlib.sha256(ct_bytes).hexdigest() == ct_digest
+        assert shared.hex() == shared_hex
+        assert client.decaps(key_id, ct_bytes).hex() == shared_hex
+        client.close()
+
+
+@pytest.mark.parametrize("params", [NEWHOPE_512, NEWHOPE_1024], ids=str)
+def test_newhope_kat_through_the_service(params):
+    """The served NewHope path (scheme registry + ``submit_task``
+    dispatch) must reproduce the frozen CCA vectors bit-for-bit."""
+    pk_digest, ct_digest, shared_hex = NEWHOPE_CCA_VECTORS[params.name]
+    with ThreadedService(ServiceConfig(max_batch=4)) as svc:
+        client = KemClient(svc.connect())
+        key_id, pk_bytes = client.keygen(params, SEED)
+        assert hashlib.sha256(pk_bytes).hexdigest() == pk_digest
         ct_bytes, shared = client.encaps(key_id, MESSAGE)
         assert hashlib.sha256(ct_bytes).hexdigest() == ct_digest
         assert shared.hex() == shared_hex

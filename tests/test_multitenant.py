@@ -1,0 +1,455 @@
+"""Multi-tenancy: quotas, fair-share scheduling, and tenant isolation.
+
+Tenants are declared per frame (one extension byte); the service
+enforces opt-in :class:`~repro.serve.TenantQuota` limits at admission
+(key count, in-flight requests, ops/s token bucket), shares batch
+dispatch across tenants with deficit-round-robin, and labels sheds and
+request counters per tenant.  The chaos lane at the bottom is the
+ISSUE's acceptance workload: a seeded multi-tenant mix where one tenant
+is driven well past its quota, and the outcome ledger must balance per
+tenant — every scheduled request accounted for, the over-quota tenant
+shed with ``reason="quota"``, the others untouched and inside the
+PR-8 SLO gate.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceBusy
+from repro.lac.kem import LacKem
+from repro.lac.params import LAC_128, LAC_256
+from repro.loadgen import OpenLoopLoadGen, PoissonProcess, TierSpec
+from repro.newhope.params import NEWHOPE_512
+from repro.schemes import NEWHOPE_SCHEME, wire_id_for_params
+from repro.serve import (
+    AsyncKemClient,
+    DeficitRoundRobin,
+    Frame,
+    KemClient,
+    KemService,
+    Op,
+    RetryPolicy,
+    ServiceConfig,
+    TenantQuota,
+    ThreadedService,
+)
+from repro.serve.protocol import pack_encaps_request
+from repro.serve.scheduler import AdaptiveDeadlinePolicy, MicroBatchScheduler
+
+SEED = bytes(range(64))
+
+#: The PR-8 capacity-report SLO (see ``benchmarks/bench_capacity.py``).
+SLO_P99_S = 0.5
+
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+class TestTenantQuotaConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(tenant=-1)
+        with pytest.raises(ValueError):
+            TenantQuota(tenant=256)
+        with pytest.raises(ValueError):
+            TenantQuota(tenant=1, max_keys=-1)
+        with pytest.raises(ValueError):
+            TenantQuota(tenant=1, max_inflight=0)
+        with pytest.raises(ValueError):
+            TenantQuota(tenant=1, ops_per_s=0.0)
+        with pytest.raises(ValueError):
+            TenantQuota(tenant=1, burst=0.5)
+
+    def test_bucket_capacity_defaults_to_one_second_of_rate(self):
+        assert TenantQuota(tenant=1, ops_per_s=40.0).bucket_capacity == 40.0
+        assert TenantQuota(tenant=1, ops_per_s=0.25).bucket_capacity == 1.0
+        assert (
+            TenantQuota(tenant=1, ops_per_s=10.0, burst=3.0).bucket_capacity
+            == 3.0
+        )
+
+    def test_duplicate_tenants_rejected_by_service_config(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ServiceConfig(
+                tenant_quotas=(
+                    TenantQuota(tenant=1, max_keys=1),
+                    TenantQuota(tenant=1, max_keys=2),
+                )
+            )
+
+
+class TestDeficitRoundRobin:
+    def test_new_tenants_join_at_the_floor(self):
+        drr = DeficitRoundRobin()
+        drr.balance("a")  # "a" becomes known (served 0)
+        drr.charge("b", 100.0)
+        # the newcomer joins at the *least*-served tenant's level: it is
+        # neither favoured over "a" nor punished for history it missed
+        assert drr.balance("c") == 0.0
+        assert drr.snapshot() == {"a": 0.0, "b": 100.0, "c": 0.0}
+
+    def test_balance_is_relative_to_least_served(self):
+        drr = DeficitRoundRobin()
+        drr.balance("b")  # both tenants present from the start
+        drr.charge("a", 10.0)
+        drr.charge("b", 4.0)
+        assert drr.balance("a") == pytest.approx(6.0)
+        assert drr.balance("b") == 0.0
+        drr.charge("b", 10.0)
+        assert drr.balance("a") == 0.0
+        assert drr.balance("b") == pytest.approx(4.0)
+
+    def test_sole_tenant_is_always_the_floor(self):
+        # with no contention there is nothing to be relative to
+        drr = DeficitRoundRobin()
+        drr.charge("a", 1000.0)
+        assert drr.balance("a") == 0.0
+        assert drr.snapshot() == {"a": 0.0}
+
+    def test_recenter_keeps_counters_bounded(self):
+        drr = DeficitRoundRobin(recenter_at=100.0)
+        drr.balance("b")
+        for _ in range(50):
+            drr.charge("a", 10.0)
+            drr.charge("b", 8.0)
+        snap = drr.snapshot()
+        assert snap["b"] == 0.0
+        assert snap["a"] == pytest.approx(100.0)  # relative gap survives
+        # the raw counters were re-centred, not just the snapshot
+        assert max(drr._served.values()) <= 200.0
+
+    def test_negative_charge_rejected(self):
+        drr = DeficitRoundRobin()
+        with pytest.raises(ValueError):
+            drr.charge("a", -1.0)
+
+
+class TestSchedulerFairShare:
+    def _scheduler(self):
+        return MicroBatchScheduler(
+            max_batch=8,
+            policy=AdaptiveDeadlinePolicy(max_wait_us=100.0, min_wait_us=50.0),
+            tenant_of=lambda entry: entry[0],
+        )
+
+    def test_under_served_tenant_dispatches_first(self):
+        clock = FakeClock()
+        sched = self._scheduler()
+        assert sched.fair_share is not None
+        # both tenants are in contention; "hog" has already been
+        # served a lot this epoch
+        sched.fair_share.balance("quiet")
+        sched.fair_share.charge("hog", 64.0)
+        sched.submit(("hog", "k1"), ("hog", 1), clock())
+        sched.submit(("quiet", "k2"), ("quiet", 1), clock())
+        batches = sched.poll(clock.advance(1.0))
+        assert [batch.key[0] for batch in batches] == ["quiet", "hog"]
+
+    def test_dispatch_charges_the_tenant(self):
+        clock = FakeClock()
+        sched = self._scheduler()
+        sched.fair_share.balance("idle")  # a second tenant as baseline
+        for i in range(3):
+            sched.submit(("a", "k"), ("a", i), clock())
+        sched.poll(clock.advance(1.0))
+        assert sched.fair_share.snapshot() == {"a": 3.0, "idle": 0.0}
+
+    def test_no_tenant_hook_means_no_fair_share(self):
+        sched = MicroBatchScheduler(
+            max_batch=4,
+            policy=AdaptiveDeadlinePolicy(max_wait_us=100.0, min_wait_us=50.0),
+        )
+        assert sched.fair_share is None
+
+
+class TestQuotaEnforcement:
+    def test_max_keys_caps_keygen(self):
+        quota = TenantQuota(tenant=3, max_keys=1)
+        with ThreadedService(
+            ServiceConfig(max_batch=2, tenant_quotas=(quota,))
+        ) as svc:
+            client = KemClient(svc.connect(), retry=NO_RETRY)
+            client.keygen(LAC_128, SEED, tenant=3)
+            with pytest.raises(ServiceBusy, match="quota"):
+                client.keygen(LAC_128, SEED, tenant=3)
+            # the default tenant is not subject to tenant 3's quota
+            client.keygen(LAC_128, SEED)
+            client.close()
+
+    def test_token_bucket_rate_limits_and_refills(self):
+        clock = FakeClock()
+
+        async def main():
+            svc = KemService(
+                ServiceConfig(
+                    max_batch=64,
+                    tenant_quotas=(
+                        TenantQuota(tenant=5, ops_per_s=2.0, burst=2.0),
+                    ),
+                ),
+                clock=clock,
+            )
+            await svc.start()
+            key_id = svc.add_keypair(LAC_128, seed=SEED, tenant=5)
+            responses = []
+
+            async def respond(frame):
+                responses.append(frame)
+
+            def encaps_frame(rid):
+                return Frame(
+                    Op.ENCAPS,
+                    rid,
+                    wire_id_for_params(LAC_128),
+                    payload=pack_encaps_request(key_id, None),
+                    tenant=5,
+                )
+
+            # burst capacity 2: two admitted, the third shed as quota
+            for rid in range(3):
+                await svc._handle_frame(encaps_frame(rid), respond)
+            assert [f.status.name for f in responses] == ["BUSY"]
+            assert "over quota (rate)" in responses[0].payload.decode()
+            sheds = svc.metrics.snapshot()["sheds"]
+            assert sheds == {"quota:0:5": 1}
+            # half a second refills one token at 2 ops/s
+            clock.advance(0.5)
+            await svc._handle_frame(encaps_frame(3), respond)
+            assert len(responses) == 1  # admitted: no reject response
+            svc._pending -= 3  # release accepted entries for shutdown
+            await svc.shutdown()
+
+        asyncio.run(main())
+
+    def test_max_inflight_caps_accepted_requests(self):
+        clock = FakeClock()
+
+        async def main():
+            svc = KemService(
+                ServiceConfig(
+                    max_batch=64,
+                    tenant_quotas=(TenantQuota(tenant=9, max_inflight=2),),
+                ),
+                clock=clock,
+            )
+            await svc.start()
+            key_id = svc.add_keypair(LAC_128, seed=SEED, tenant=9)
+            responses = []
+
+            async def respond(frame):
+                responses.append(frame)
+
+            for rid in range(3):
+                frame = Frame(
+                    Op.ENCAPS,
+                    rid,
+                    wire_id_for_params(LAC_128),
+                    payload=pack_encaps_request(key_id, None),
+                    tenant=9,
+                )
+                await svc._handle_frame(frame, respond)
+            assert [f.status.name for f in responses] == ["BUSY"]
+            assert "over quota (inflight)" in responses[0].payload.decode()
+            svc._pending -= 2
+            await svc.shutdown()
+
+        asyncio.run(main())
+
+    def test_quota_shed_rendered_with_tenant_label(self):
+        quota = TenantQuota(tenant=7, max_keys=0)
+        with ThreadedService(
+            ServiceConfig(max_batch=2, tenant_quotas=(quota,))
+        ) as svc:
+            client = KemClient(svc.connect(), retry=NO_RETRY)
+            with pytest.raises(ServiceBusy):
+                client.keygen(LAC_128, SEED, tenant=7)
+            text = client.info(text=True)
+            assert (
+                'kem_shed_total{reason="quota",tenant="7",tier="0"} 1' in text
+            )
+            client.close()
+
+
+def _tenant_send(clients, references):
+    """Bind a loadgen ``send`` that encapsulates per the spec's tenant
+    and checks every OK answer bit-for-bit against the scalar ref."""
+
+    async def send(spec):
+        client, key_id, message, (want_ct, want_shared) = references[
+            spec.tenant
+        ]
+        ct, shared = await client.encaps(
+            key_id, message, deadline_s=spec.deadline_s, tenant=spec.tenant
+        )
+        assert ct == want_ct, "served encaps diverged from scalar"
+        assert shared == want_shared, "served secret diverged from scalar"
+
+    return send
+
+
+@pytest.mark.timing
+def test_multitenant_chaos_ledger_balances():
+    """The seeded multi-tenant lane: one tenant at 3x its rate quota.
+
+    The recorder's per-tenant outcome ledger must balance (every
+    scheduled request lands in exactly one outcome), the over-quota
+    tenant is the only one shed for quota, and the well-behaved
+    tenants stay whole and inside the SLO gate.
+    """
+
+    async def main():
+        svc = await KemService(
+            ServiceConfig(
+                max_batch=8,
+                tenant_quotas=(TenantQuota(tenant=2, ops_per_s=40.0),),
+            )
+        ).start()
+        kem = LacKem(LAC_128)
+        message = bytes(range(LAC_128.message_bytes))
+        references = {}
+        clients = []
+        for tenant in (1, 2, 3):
+            client = AsyncKemClient(
+                *(await svc.connect()), retry=NO_RETRY, reconnect=svc.connect
+            )
+            clients.append(client)
+            seed = bytes((tenant + i) % 256 for i in range(64))
+            key_id, pk = await client.keygen(LAC_128, seed, tenant=tenant)
+            result = kem.encaps(pk, message)
+            references[tenant] = (
+                client,
+                key_id,
+                message,
+                (result.ciphertext.to_bytes(), result.shared_secret),
+            )
+        # ~240 req/s split three ways: tenant 2 offers ~120 ops/s
+        # against its 40 ops/s bucket — 3x quota, deterministic seed
+        tiers = (
+            TierSpec(tier=0, weight=1.0, deadline_s=SLO_P99_S, tenant=1),
+            TierSpec(tier=0, weight=2.0, deadline_s=SLO_P99_S, tenant=2),
+            TierSpec(tier=0, weight=1.0, deadline_s=SLO_P99_S, tenant=3),
+        )
+        gen = OpenLoopLoadGen(
+            _tenant_send(clients, references),
+            PoissonProcess(240.0, seed=11),
+            max_requests=240,
+            tiers=tiers,
+            seed=11,
+        )
+        recorder = await gen.run()
+        snapshot = svc.metrics.snapshot()
+        for client in clients:
+            await client.aclose()
+        await svc.shutdown()
+        return recorder, snapshot
+
+    recorder, snapshot = asyncio.run(asyncio.wait_for(main(), 60.0))
+
+    # the ledger balances: every scheduled request is accounted for,
+    # per tenant, in exactly one outcome bucket
+    ledger = recorder.tenant_ledger()
+    assert set(ledger) == {1, 2, 3}
+    assert sum(sum(row.values()) for row in ledger.values()) == recorder.total
+    assert recorder.total == 240
+
+    # only the over-quota tenant was shed, and the server labelled
+    # every one of those sheds with its tenant
+    assert ledger[2].get("busy", 0) > 0
+    assert ledger[1].get("busy", 0) == 0
+    assert ledger[3].get("busy", 0) == 0
+    quota_sheds = {
+        key: count
+        for key, count in snapshot["sheds"].items()
+        if key.startswith("quota:")
+    }
+    assert set(quota_sheds) == {"quota:0:2"}
+    assert quota_sheds["quota:0:2"] == ledger[2]["busy"]
+
+    # the well-behaved tenants' traffic was served whole and in SLO
+    for tenant in (1, 3):
+        assert ledger[tenant]["ok"] == sum(ledger[tenant].values())
+        p99 = recorder.tenant_latency_percentile(tenant, 99.0)
+        assert p99 is not None and p99 <= SLO_P99_S
+
+
+@pytest.mark.timing
+def test_mixed_scheme_mixed_tenant_acceptance():
+    """The ISSUE acceptance workload: LAC-128 + LAC-256 + NewHope keys
+    under three tenants, every accepted answer bit-identical to its
+    scalar reference, with the loaded tenant's quota enforced."""
+
+    async def main():
+        svc = await KemService(
+            ServiceConfig(
+                max_batch=8,
+                tenant_quotas=(TenantQuota(tenant=2, ops_per_s=20.0),),
+            )
+        ).start()
+        message = bytes(range(32))
+        nh_pair = NEWHOPE_SCHEME.keygen(NEWHOPE_512, SEED)
+        [(nh_ct, nh_shared)] = NEWHOPE_SCHEME.encaps_many(
+            NEWHOPE_512, nh_pair, [message]
+        )
+        per_tenant = {
+            1: (LAC_128, None),
+            2: (LAC_256, None),
+            3: (NEWHOPE_512, (nh_ct, nh_shared)),
+        }
+        references = {}
+        clients = []
+        for tenant, (params, newhope_ref) in per_tenant.items():
+            client = AsyncKemClient(
+                *(await svc.connect()), retry=NO_RETRY, reconnect=svc.connect
+            )
+            clients.append(client)
+            key_id, pk = await client.keygen(params, SEED, tenant=tenant)
+            if newhope_ref is None:
+                result = LacKem(params).encaps(pk, message)
+                want = (result.ciphertext.to_bytes(), result.shared_secret)
+            else:
+                want = newhope_ref
+            references[tenant] = (client, key_id, message, want)
+        tiers = (
+            TierSpec(tier=0, weight=1.0, deadline_s=SLO_P99_S, tenant=1),
+            TierSpec(tier=0, weight=2.0, deadline_s=SLO_P99_S, tenant=2),
+            TierSpec(tier=0, weight=1.0, deadline_s=SLO_P99_S, tenant=3),
+        )
+        gen = OpenLoopLoadGen(
+            _tenant_send(clients, references),
+            PoissonProcess(120.0, seed=23),
+            max_requests=120,
+            tiers=tiers,
+            seed=23,
+        )
+        recorder = await gen.run()
+        snapshot = svc.metrics.snapshot()
+        for client in clients:
+            await client.aclose()
+        await svc.shutdown()
+        return recorder, snapshot
+
+    recorder, snapshot = asyncio.run(asyncio.wait_for(main(), 60.0))
+    ledger = recorder.tenant_ledger()
+    # every tenant made progress, bit-identical (asserted in send)
+    for tenant in (1, 2, 3):
+        assert ledger[tenant].get("ok", 0) > 0
+    # the loaded tenant (LAC-256 at ~60 ops/s vs 20, 3x) was rate-shed
+    assert ledger[2].get("busy", 0) > 0
+    assert snapshot["sheds"].get("quota:0:2", 0) == ledger[2]["busy"]
+    # the others rode along unshed and inside the SLO gate
+    for tenant in (1, 3):
+        assert ledger[tenant].get("busy", 0) == 0
+        p99 = recorder.tenant_latency_percentile(tenant, 99.0)
+        assert p99 is not None and p99 <= SLO_P99_S

@@ -1,0 +1,210 @@
+"""The scheme registry: identities, the resolver, and wire sizes.
+
+The registry is the single front door the server, clients, router and
+facade share, so these tests pin the properties everything downstream
+leans on: stable wire ids (LAC keeps its historical 0/1/2), one
+``resolve`` accepting every spec shape, wire-size metadata that matches
+the bytes the adapters actually produce, and registration guards that
+keep ``PARAM_NONE`` unclaimable.
+"""
+
+import pytest
+
+from repro.lac.params import ALL_PARAMS, LAC_128, LAC_192, LAC_256
+from repro.newhope.params import NEWHOPE_512, NEWHOPE_1024
+from repro.schemes import (
+    LAC_SCHEME,
+    NEWHOPE_SCHEME,
+    PARAM_NONE,
+    KemScheme,
+    ParamId,
+    SchemeId,
+    all_param_ids,
+    all_schemes,
+    param_id_of,
+    params_for_wire_id,
+    register_scheme,
+    resolve,
+    scheme_for,
+    scheme_of,
+    wire_id_for_params,
+)
+
+SEED = bytes(range(64))
+
+
+class TestWireIdentity:
+    def test_lac_keeps_historical_wire_ids(self):
+        # pre-registry clients and recorded traces stay valid
+        assert [wire_id_for_params(p) for p in ALL_PARAMS] == [0, 1, 2]
+
+    def test_newhope_is_scheme_one(self):
+        assert wire_id_for_params(NEWHOPE_512) == 0x10
+        assert wire_id_for_params(NEWHOPE_1024) == 0x11
+
+    def test_wire_ids_round_trip(self):
+        for params in (*ALL_PARAMS, NEWHOPE_512, NEWHOPE_1024):
+            scheme, decoded = params_for_wire_id(wire_id_for_params(params))
+            assert decoded is params
+            assert scheme.owns_params(params)
+
+    def test_param_none_is_never_a_valid_wire_id(self):
+        with pytest.raises(ValueError):
+            params_for_wire_id(PARAM_NONE)
+
+    def test_unknown_scheme_and_index_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            params_for_wire_id(0x20)  # no scheme 2
+        with pytest.raises(ValueError, match="unknown"):
+            params_for_wire_id(0x03)  # no LAC index 3
+        with pytest.raises(ValueError, match="unknown"):
+            params_for_wire_id(0x12)  # no NewHope index 2
+
+    def test_all_param_ids_enumerates_everything(self):
+        ids = all_param_ids()
+        assert [p.name for p in ids] == [
+            "LAC-128",
+            "LAC-192",
+            "LAC-256",
+            "NewHope512",
+            "NewHope1024",
+        ]
+        assert [p.wire_id for p in ids] == [0, 1, 2, 0x10, 0x11]
+
+    def test_param_id_of_matches_enumeration(self):
+        assert param_id_of(LAC_192) == ParamId(SchemeId.LAC, 1, "LAC-192")
+        assert param_id_of(NEWHOPE_1024).wire_id == 0x11
+
+
+class TestResolver:
+    def test_resolves_param_id(self):
+        scheme, params = resolve(param_id_of(NEWHOPE_512))
+        assert scheme is NEWHOPE_SCHEME
+        assert params is NEWHOPE_512
+
+    def test_resolves_wire_id(self):
+        assert resolve(2) == (LAC_SCHEME, LAC_256)
+
+    def test_resolves_name(self):
+        assert resolve("LAC-128") == (LAC_SCHEME, LAC_128)
+        assert resolve("NewHope1024") == (NEWHOPE_SCHEME, NEWHOPE_1024)
+
+    def test_resolves_native_params_object(self):
+        assert resolve(LAC_128) == (LAC_SCHEME, LAC_128)
+        assert resolve(NEWHOPE_512) == (NEWHOPE_SCHEME, NEWHOPE_512)
+
+    def test_unknown_specs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve("NTRU-743")
+        with pytest.raises(ValueError):
+            resolve(0x42)
+        with pytest.raises(ValueError):
+            resolve(object())
+
+    def test_scheme_for_by_name_and_id(self):
+        assert scheme_for("lac") is LAC_SCHEME
+        assert scheme_for(SchemeId.NEWHOPE) is NEWHOPE_SCHEME
+        with pytest.raises(ValueError):
+            scheme_for("kyber")
+
+    def test_scheme_of_by_param_type(self):
+        assert scheme_of(LAC_192) is LAC_SCHEME
+        assert scheme_of(NEWHOPE_512) is NEWHOPE_SCHEME
+        with pytest.raises(ValueError):
+            scheme_of(42.0)
+
+
+class TestSizeMetadata:
+    """The quoted wire sizes must match the bytes adapters emit."""
+
+    @pytest.mark.parametrize(
+        "params", [*ALL_PARAMS, NEWHOPE_512, NEWHOPE_1024], ids=str
+    )
+    def test_sizes_match_actual_serialization(self, params):
+        scheme, params = resolve(params)
+        pair = scheme.keygen(params, SEED)
+        pk = scheme.public_key_bytes_of(params, pair)
+        assert len(pk) == scheme.public_key_wire_bytes(params)
+        message = bytes(scheme.message_bytes(params))
+        [(ct, shared)] = scheme.encaps_many(params, pair, [message])
+        assert len(ct) == scheme.ciphertext_wire_bytes(params)
+        assert len(shared) == scheme.shared_secret_bytes(params)
+        assert scheme.decaps_many(params, pair, [ct]) == [shared]
+
+    @pytest.mark.parametrize(
+        "params", [*ALL_PARAMS, NEWHOPE_512, NEWHOPE_1024], ids=str
+    )
+    def test_seeded_keygen_is_deterministic(self, params):
+        scheme, params = resolve(params)
+        a = scheme.keygen(params, SEED)
+        b = scheme.keygen(params, SEED)
+        assert scheme.public_key_bytes_of(params, a) == scheme.public_key_bytes_of(
+            params, b
+        )
+
+
+class TestRegistrationGuards:
+    def test_registering_existing_schemes_is_idempotent(self):
+        assert register_scheme(LAC_SCHEME) is LAC_SCHEME
+        assert all_schemes() == (LAC_SCHEME, NEWHOPE_SCHEME)
+
+    def test_conflicting_scheme_id_rejected(self):
+        class Impostor(KemScheme):
+            scheme_id = 0
+            name = "impostor"
+            param_sets = ()
+
+            def owns_params(self, params):
+                return False
+
+            def public_key_wire_bytes(self, params):
+                return 0
+
+            def ciphertext_wire_bytes(self, params):
+                return 0
+
+            def keygen(self, params, seed=None):
+                raise NotImplementedError
+
+            def public_key_bytes_of(self, params, pair):
+                return b""
+
+            def encaps_many(self, params, pair, messages):
+                return []
+
+            def decaps_many(self, params, pair, ciphertexts):
+                return []
+
+        with pytest.raises(ValueError, match="already taken"):
+            register_scheme(Impostor())
+        assert all_schemes() == (LAC_SCHEME, NEWHOPE_SCHEME)
+
+    def test_scheme_id_fifteen_reserved_for_param_none(self):
+        class TooHigh(KemScheme):
+            scheme_id = 15
+            name = "toohigh"
+            param_sets = ()
+
+            def owns_params(self, params):
+                return False
+
+            def public_key_wire_bytes(self, params):
+                return 0
+
+            def ciphertext_wire_bytes(self, params):
+                return 0
+
+            def keygen(self, params, seed=None):
+                raise NotImplementedError
+
+            def public_key_bytes_of(self, params, pair):
+                return b""
+
+            def encaps_many(self, params, pair, messages):
+                return []
+
+            def decaps_many(self, params, pair, ciphertexts):
+                return []
+
+        with pytest.raises(ValueError, match="PARAM_NONE"):
+            register_scheme(TooHigh())

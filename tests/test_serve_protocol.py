@@ -9,6 +9,8 @@ import asyncio
 import pytest
 
 from repro.lac.params import ALL_PARAMS, LAC_128, LAC_256
+from repro.newhope.params import NEWHOPE_512, NEWHOPE_1024
+from repro.schemes import wire_id_for_params
 from repro.serve.protocol import (
     HEADER_SIZE,
     MAX_PAYLOAD,
@@ -18,10 +20,9 @@ from repro.serve.protocol import (
     ProtocolError,
     Status,
     decode_frame,
-    id_for_params,
     pack_decaps_request,
     pack_encaps_request,
-    params_for_id,
+    params_for_wire_id,
     parse_header,
     read_frame,
     unpack_encaps_response,
@@ -39,7 +40,7 @@ class TestFrameRoundtrip:
 
     def test_payload_roundtrip(self):
         frame = Frame(
-            Op.ENCAPS, 0xDEADBEEF, id_for_params(LAC_256), Status.OK, b"\x01" * 37
+            Op.ENCAPS, 0xDEADBEEF, wire_id_for_params(LAC_256), Status.OK, b"\x01" * 37
         )
         blob = frame.to_bytes()
         decoded, consumed = decode_frame(blob + b"trailing")
@@ -97,17 +98,21 @@ class TestMalformedFrames:
 
 class TestParamIds:
     def test_roundtrip_all_sets(self):
-        for params in ALL_PARAMS:
-            assert params_for_id(id_for_params(params)) is params
+        for params in (*ALL_PARAMS, NEWHOPE_512, NEWHOPE_1024):
+            assert params_for_wire_id(wire_id_for_params(params))[1] is params
 
     def test_ids_are_stable_wire_values(self):
-        # wire compatibility: ids are positional in ALL_PARAMS
-        assert [id_for_params(p) for p in ALL_PARAMS] == [0, 1, 2]
+        # wire compatibility: LAC ids are positional in ALL_PARAMS
+        # (scheme 0 keeps the historical values); NewHope is scheme 1
+        assert [wire_id_for_params(p) for p in ALL_PARAMS] == [0, 1, 2]
+        assert wire_id_for_params(NEWHOPE_512) == 0x10
+        assert wire_id_for_params(NEWHOPE_1024) == 0x11
 
     def test_unknown_id_rejected(self):
-        for bad in (3, 17, PARAM_NONE):
+        # 3: no LAC index 3; 0x12: no NewHope index 2; 0x20: no scheme 2
+        for bad in (3, 0x12, 0x20, PARAM_NONE):
             with pytest.raises(ProtocolError, match="unknown"):
-                params_for_id(bad)
+                params_for_wire_id(bad)
 
 
 class TestPayloadPacking:
@@ -238,7 +243,7 @@ class TestServerMalformedIsolation:
             svc = await KemService(ServiceConfig(max_batch=1)).start()
             client = AsyncKemClient(*(await svc.connect()))
             frame = await client.request(
-                Op.ENCAPS, id_for_params(LAC_128), b"\x01\x02"
+                Op.ENCAPS, wire_id_for_params(LAC_128), b"\x01\x02"
             )
             assert frame.status is Status.BAD_REQUEST
             with pytest.raises(BadRequest):

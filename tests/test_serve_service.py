@@ -26,7 +26,8 @@ from repro.serve import (
     ServiceDraining,
     ThreadedService,
 )
-from repro.serve.protocol import Frame, Op, Status, id_for_params, pack_encaps_request
+from repro.schemes import wire_id_for_params
+from repro.serve.protocol import Frame, Op, Status, pack_encaps_request
 
 SEED = bytes(range(64))
 
@@ -164,7 +165,7 @@ class TestBatchingDeterministic:
             for i in range(4):
                 await svc._handle_frame(
                     Frame(
-                        Op.ENCAPS, i, id_for_params(LAC_128),
+                        Op.ENCAPS, i, wire_id_for_params(LAC_128),
                         payload=pack_encaps_request(key_id),
                     ),
                     respond,
@@ -197,7 +198,7 @@ class TestBatchingDeterministic:
 
             await svc._handle_frame(
                 Frame(
-                    Op.ENCAPS, 1, id_for_params(LAC_128),
+                    Op.ENCAPS, 1, wire_id_for_params(LAC_128),
                     payload=pack_encaps_request(key_a),
                 ),
                 respond,
@@ -208,7 +209,7 @@ class TestBatchingDeterministic:
             # notice key A's expired deadline
             await svc._handle_frame(
                 Frame(
-                    Op.ENCAPS, 2, id_for_params(LAC_128),
+                    Op.ENCAPS, 2, wire_id_for_params(LAC_128),
                     payload=pack_encaps_request(key_b),
                 ),
                 respond,

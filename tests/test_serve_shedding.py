@@ -27,10 +27,10 @@ from repro.faults import (
 )
 from repro.lac.params import LAC_128
 from repro.serve import AsyncKemClient, KemService, ServiceConfig
-from repro.serve.protocol import id_for_params
+from repro.schemes import wire_id_for_params
 
 SEED = b"\x11" * (LAC_128.seed_bytes + 32)
-PID = id_for_params(LAC_128)
+PID = wire_id_for_params(LAC_128)
 
 
 async def _started(config: ServiceConfig, plan: FaultPlan | None = None):
@@ -51,7 +51,7 @@ def test_hopeless_deadline_is_shed_at_admission_as_busy():
         svc._estimator.observe(("ENCAPS", PID), 5.0, 1)
         with pytest.raises(ServiceBusy):
             await client.encaps(key_id, deadline_s=0.05)
-        assert svc.metrics.snapshot()["sheds"] == {"hopeless:0": 1}
+        assert svc.metrics.snapshot()["sheds"] == {"hopeless:0:0": 1}
         # the same request without a deadline is served normally
         ct, _ = await client.encaps(key_id)
         assert ct
@@ -71,7 +71,7 @@ def test_config_default_deadline_applies_to_bare_requests():
         svc._estimator.observe(("ENCAPS", PID), 5.0, 1)
         with pytest.raises(ServiceBusy):
             await client.encaps(key_id)  # no per-request deadline
-        assert svc.metrics.snapshot()["sheds"] == {"hopeless:0": 1}
+        assert svc.metrics.snapshot()["sheds"] == {"hopeless:0:0": 1}
         await client.aclose()
         await svc.shutdown()
 
@@ -92,7 +92,7 @@ def test_patient_batch_window_triggers_predicted_miss():
         )
         with pytest.raises(RequestTimedOut):
             await client.encaps(key_id, deadline_s=0.02)
-        assert svc.metrics.snapshot()["sheds"] == {"predicted-miss:0": 1}
+        assert svc.metrics.snapshot()["sheds"] == {"predicted-miss:0:0": 1}
         await client.aclose()
         await svc.shutdown()
 
@@ -109,7 +109,7 @@ def test_completion_past_deadline_is_timeout_not_late_ok():
         svc, client, key_id = await _started(ServiceConfig(), plan)
         with pytest.raises(RequestTimedOut):
             await client.encaps(key_id, deadline_s=0.02)
-        assert svc.metrics.snapshot()["sheds"] == {"missed:0": 1}
+        assert svc.metrics.snapshot()["sheds"] == {"missed:0:0": 1}
         await client.aclose()
         await svc.shutdown()
 
@@ -129,7 +129,7 @@ def test_keygen_is_exempt_from_completion_enforcement():
         client = AsyncKemClient(*(await svc.connect()))
         key_id, pk = await client.keygen(LAC_128, SEED, deadline_s=0.02)
         assert pk is not None
-        assert "missed:0" not in svc.metrics.snapshot()["sheds"]
+        assert "missed:0:0" not in svc.metrics.snapshot()["sheds"]
         # the late key is genuinely usable
         ct, _ = await client.encaps(key_id)
         assert ct
@@ -147,7 +147,7 @@ def test_shed_responses_carry_tier_metrics():
         svc._estimator.observe(("ENCAPS", PID), 5.0, 1)
         with pytest.raises(ServiceBusy):
             await client.encaps(key_id, deadline_s=0.05, tier=2)
-        assert svc.metrics.snapshot()["sheds"] == {"hopeless:2": 1}
+        assert svc.metrics.snapshot()["sheds"] == {"hopeless:2:0": 1}
         await client.aclose()
         await svc.shutdown()
 

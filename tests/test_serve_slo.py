@@ -212,14 +212,14 @@ class TestTierWatermarks:
             async def respond(frame):
                 responses.append(frame)
 
+            from repro.schemes import wire_id_for_params
             from repro.serve.protocol import (
                 Frame,
                 Op,
-                id_for_params,
                 pack_encaps_request,
             )
 
-            pid = id_for_params(LAC_128)
+            pid = wire_id_for_params(LAC_128)
             # tier 9 clamps onto the last (0.5) watermark: rejected
             frame = Frame(
                 Op.ENCAPS, 1, pid,
@@ -229,7 +229,7 @@ class TestTierWatermarks:
             await svc._handle_frame(frame, respond)
             assert responses[-1].status.name == "BUSY"
             shed = svc.metrics.snapshot()["sheds"]
-            assert shed.get("watermark:1") == 1
+            assert shed.get("watermark:1:0") == 1
             # tier 0 still has headroom at the same depth
             frame0 = Frame(
                 Op.ENCAPS, 2, pid, payload=pack_encaps_request(key_id, None)
